@@ -1,0 +1,27 @@
+// Regenerates the SS4.2 Amdahl analysis: per application, the speedup upper
+// bound obtainable from the easy-to-parallelize loop nests alone (the paper
+// finds a bound above 3x for 5 of the 12 applications).
+#include <cstdio>
+
+#include "report/tables.h"
+
+using namespace jsceres;
+
+int main() {
+  const auto rows = report::build_amdahl(analysis::Difficulty::Easy);
+  std::fputs(report::render_amdahl(rows).c_str(), stdout);
+
+  std::printf("\nsweep over admissible difficulty:\n");
+  for (const auto difficulty :
+       {analysis::Difficulty::VeryEasy, analysis::Difficulty::Easy,
+        analysis::Difficulty::Medium}) {
+    const auto sweep = report::build_amdahl(difficulty);
+    int above = 0;
+    for (const auto& row : sweep) {
+      if (row.bound_infinite > 3.0) ++above;
+    }
+    std::printf("  allowing <= %-9s : %d of %zu apps above 3x\n",
+                analysis::difficulty_label(difficulty), above, sweep.size());
+  }
+  return 0;
+}

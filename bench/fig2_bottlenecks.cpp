@@ -1,0 +1,23 @@
+// Regenerates Figure 2: performance-bottleneck importance as rated by the
+// 174 survey respondents (three levels per component).
+#include <cstdio>
+
+#include "survey/aggregate.h"
+
+using namespace jsceres::survey;
+
+int main() {
+  const Dataset dataset = Dataset::paper_reconstruction();
+  const Fig2Data data = fig2_bottlenecks(dataset);
+  std::fputs(render_fig2(data).c_str(), stdout);
+  std::printf(
+      "\nkey findings (paper SS2.2): resource loading %.0f%% bottleneck, DOM "
+      "%.0f%%, Canvas %.0f%%, number crunching %.0f%% (with another %.0f%% not "
+      "dismissing it)\n",
+      data.share(Component::ResourceLoading, Rating::Bottleneck) * 100,
+      data.share(Component::DomManipulation, Rating::Bottleneck) * 100,
+      data.share(Component::CanvasImages, Rating::Bottleneck) * 100,
+      data.share(Component::NumberCrunching, Rating::Bottleneck) * 100,
+      data.share(Component::NumberCrunching, Rating::SoSo) * 100);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates Figure 3: programming style preference, from functional (1) to
+// imperative (5), plus the SS2.3 operators-vs-loops result.
+#include <cstdio>
+
+#include "survey/aggregate.h"
+
+using namespace jsceres::survey;
+
+int main() {
+  const Dataset dataset = Dataset::paper_reconstruction();
+  const ScaleData data = fig3_style(dataset);
+  std::fputs(render_scale(data,
+                          "Figure 3. Programming style preference scale",
+                          "strongly functional", "strongly imperative")
+                 .c_str(),
+             stdout);
+
+  const OperatorPreference ops = operators_preference(dataset);
+  std::printf(
+      "\nSS2.3 high-level Array operators vs for-loops: %d of %d answerers "
+      "(%.0f%%) prefer the builtin operators (paper: 74%%)\n",
+      ops.prefer_operators, ops.answered, ops.share() * 100);
+  std::printf("functional-leaning (1-2): %.0f%%  imperative-leaning (4-5): %.0f%%\n",
+              (data.share(1) + data.share(2)) * 100,
+              (data.share(4) + data.share(5)) * 100);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Regenerates Figure 4: variable polymorphism self-rating, from purely
+// monomorphic (1) to heavy polymorphism (5), plus the SS2.4 globals-usage
+// coding.
+#include <cstdio>
+
+#include "survey/aggregate.h"
+
+using namespace jsceres::survey;
+
+int main() {
+  const Dataset dataset = Dataset::paper_reconstruction();
+  const ScaleData data = fig4_polymorphism(dataset);
+  std::fputs(render_scale(data,
+                          "Figure 4. Preference scale for variables",
+                          "monomorphic", "polymorphic")
+                 .c_str(),
+             stdout);
+  std::printf("\npurely monomorphic: %.0f%% (paper: ~58%%); heavy polymorphism: "
+              "%.0f%% (paper: ~1%%)\n",
+              data.share(1) * 100, data.share(5) * 100);
+
+  const GlobalsUsage globals = globals_usage(dataset);
+  std::printf(
+      "\nSS2.4 globals usage (%d answers): namespace emulation %d (paper: 33), "
+      "inter-script communication %d, singletons %d, other %d\n",
+      globals.answered, globals.namespace_emulation,
+      globals.inter_script_communication, globals.singletons, globals.other);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks for the substrate hot paths: lexing,
+// parsing, interpretation throughput, canvas raster ops, characterization
+// diffs, and the parallel runtime.
+#include <benchmark/benchmark.h>
+
+#include "ceres/char_stack.h"
+#include "dom/canvas.h"
+#include "interp/interpreter.h"
+#include "js/lexer.h"
+#include "js/parser.h"
+#include "rivertrail/kernels.h"
+#include "rivertrail/parallel_for.h"
+
+namespace {
+
+using namespace jsceres;
+
+const char* kSample = R"JS(
+function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+var total = 0;
+for (var i = 0; i < 32; i++) { total += fib(10); }
+)JS";
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(js::lex(kSample));
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(js::parse(kSample));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_InterpretArithmeticLoop(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "var s = 0;\n"
+      "for (var i = 0; i < 10000; i++) { s += i * 2 - (i & 3); }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+    benchmark::DoNotOptimize(clock.cpu_ns());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_InterpretArithmeticLoop);
+
+void BM_InterpretCalls(benchmark::State& state) {
+  const js::Program program = js::parse(kSample);
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+}
+BENCHMARK(BM_InterpretCalls);
+
+void BM_InterpretPropertyAccess(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "var o = {a: 1, b: 2};\n"
+      "var s = 0;\n"
+      "for (var i = 0; i < 5000; i++) { o.a = o.a + 1; s += o.b; }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_InterpretPropertyAccess);
+
+void BM_CanvasFillRect(benchmark::State& state) {
+  dom::CanvasContext ctx(256, 256);
+  ctx.set_fill_color(dom::Rgba{10, 20, 30, 255});
+  for (auto _ : state) {
+    ctx.fill_rect(0, 0, 256, 256);
+    benchmark::DoNotOptimize(ctx.drain_cost());
+  }
+}
+BENCHMARK(BM_CanvasFillRect);
+
+void BM_CharacterizeCreation(benchmark::State& state) {
+  const ceres::Stamp stamp = {{1, 4, 2}, {2, 9, 5}};
+  const ceres::Stamp current = {{1, 4, 2}, {2, 9, 7}, {3, 1, 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ceres::characterize_creation(stamp, current));
+  }
+}
+BENCHMARK(BM_CharacterizeCreation);
+
+void BM_ParallelFor(benchmark::State& state) {
+  rivertrail::ThreadPool pool;
+  std::vector<double> data(1 << state.range(0));
+  for (auto _ : state) {
+    rivertrail::parallel_for(pool, 0, std::int64_t(data.size()),
+                             [&](std::int64_t lo, std::int64_t hi) {
+                               for (std::int64_t i = lo; i < hi; ++i) {
+                                 data[std::size_t(i)] = double(i) * 1.5;
+                               }
+                             });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * std::int64_t(data.size()));
+}
+BENCHMARK(BM_ParallelFor)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_NBodyStepPar(benchmark::State& state) {
+  rivertrail::ThreadPool pool;
+  auto bodies = rivertrail::kernels::make_bodies(int(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rivertrail::kernels::nbody_step_par(pool, bodies, 0.01));
+  }
+}
+BENCHMARK(BM_NBodyStepPar)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// The SS2.3 / SS5.5 anomaly check: developers *say* they prefer functional
+// Array operators (74% in the survey), yet "all loops that are
+// compute-intensive are written in an imperative style" (SS5.3). This census
+// statically scans all 12 case-study programs for imperative loops vs
+// functional operator call sites.
+#include <cstdio>
+
+#include "js/loop_scanner.h"
+#include "js/parser.h"
+#include "js/refactor.h"
+#include "support/table.h"
+#include "workloads/workload.h"
+
+using namespace jsceres;
+
+int main() {
+  Table table({"workload", "for", "for-in", "while", "do-while",
+               "functional ops"});
+  for (std::size_t c = 1; c <= 5; ++c) table.set_align(c, Table::Align::Right);
+  int total_imperative = 0;
+  int total_functional = 0;
+  for (const auto& workload : workloads::all_workloads()) {
+    const js::Program program = js::parse(workload.source, workload.name);
+    const js::StyleCensus census = js::census(program);
+    total_imperative += census.imperative_loops();
+    total_functional += census.functional_op_calls;
+    table.add_row({workload.name, std::to_string(census.for_loops),
+                   std::to_string(census.for_in_loops),
+                   std::to_string(census.while_loops),
+                   std::to_string(census.do_while_loops),
+                   std::to_string(census.functional_op_calls)});
+  }
+  std::fputs("Style census over the 12 case-study programs\n", stdout);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nimperative loops: %d, functional operator call sites: %d\n"
+      "(paper SS5.5: \"the case study applications contain very few loops that "
+      "use functional operators\" despite the survey's 74%% stated preference)\n",
+      total_imperative, total_functional);
+
+  // SS5.3's proposed remedy, applied: how many of those imperative loops can
+  // the refactoring tool mechanically convert to functional operators?
+  int candidates = 0;
+  int rewritten = 0;
+  for (const auto& workload : workloads::all_workloads()) {
+    js::Program program = js::parse(workload.source, workload.name);
+    const js::RefactorReport report = js::to_functional(program);
+    candidates += report.candidates;
+    rewritten += report.rewritten;
+  }
+  std::printf(
+      "\nrefactoring tool (SS5.3): %d canonical array loops found, %d safely "
+      "rewritten to forEach\n(the rest use strided indices, scalar bounds, or "
+      "early exits — the paper's point that the conversion often needs a "
+      "human)\n",
+      candidates, rewritten);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Calibration / smoke binary: runs every workload in Combined mode and
+// dumps Table-2 style numbers plus per-nest stats and classifier outputs.
+// Used during development to tune workload scales; kept as a debugging aid.
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "analysis/classifier.h"
+#include "analysis/nest.h"
+#include "js/loop_scanner.h"
+#include "workloads/runner.h"
+
+using namespace jsceres;
+
+int main() {
+  for (const auto& workload : workloads::all_workloads()) {
+    const auto host_start = std::chrono::steady_clock::now();
+    try {
+      auto run = workloads::run_workload(workload, workloads::Mode::Combined);
+      const double host_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - host_start)
+                                 .count();
+      const auto row = run.table2_row();
+      std::printf("%-20s total=%6.2fs active=%6.2fs loops=%6.2fs host=%6.0fms\n",
+                  workload.name.c_str(), row.total_s, row.active_s, row.in_loops_s,
+                  host_ms);
+      const auto nests = analysis::build_nests(*run.loops, run.nest_roots);
+      const auto static_info = js::scan_loops(run.program);
+      for (const auto& nest : nests) {
+        const auto evidence =
+            analysis::gather_evidence(nest, run.program, static_info, *run.dependence);
+        std::printf(
+            "  nest@line%-4d share=%5.1f%% inst=%-7lld trips=%7.1f±%-7.1f dom=%d/%d "
+            "div=%-6s deps=%-9s par=%-9s [var=%d prop=%d flow=%d conf=%d rec=%d]\n",
+            run.program.loop(nest.root_loop_id).line, nest.share_of_loop_time * 100,
+            (long long)nest.instances, nest.trips_mean, nest.trips_stddev,
+            nest.touches_dom, nest.touches_canvas,
+            analysis::divergence_label(analysis::classify_divergence(evidence)),
+            analysis::difficulty_label(analysis::classify_dependences(evidence)),
+            analysis::difficulty_label(analysis::classify_parallelization(evidence)),
+            evidence.var_write_sites, evidence.prop_write_sites, evidence.flow_sites,
+            evidence.conflicting_write_sites, int(evidence.recursion_detected));
+      }
+    } catch (const std::exception& e) {
+      std::printf("%-20s FAILED: %s\n", workload.name.c_str(), e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// The paper's Fig. 6 walkthrough, end to end: run the N-body step under
+// instrumentation mode 3 (dependence analysis) focused on the inner for
+// loop, and print the warnings in the paper's
+// "while(line 24) ok ok -> for(line 6) ok dependence" format.
+//
+// Then re-run the refactored version (loop body extracted into a function,
+// the paper's forEach-equivalent) and show that the warnings on `p`
+// disappear while the center-of-mass flow dependence stands.
+#include <cstdio>
+
+#include "ceres/dependence_analyzer.h"
+#include "interp/interpreter.h"
+#include "js/parser.h"
+
+using namespace jsceres;
+
+namespace {
+
+const char* kOriginal = R"JS(
+var dT = 0.1;
+var bodies = [];
+for (var i0 = 0; i0 < 8; i0++) {
+  bodies.push({x: i0, y: 0, vX: 0, vY: 0, fX: 1, fY: 1, m: 1});
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function step() {
+  var com = new Particle();
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  return com;
+}
+var steps = 0;
+while (steps < 5) {
+  var com = step();
+  steps = steps + 1;
+}
+)JS";
+
+const char* kRefactored = R"JS(
+var dT = 0.1;
+var bodies = [];
+for (var i0 = 0; i0 < 8; i0++) {
+  bodies.push({x: i0, y: 0, vX: 0, vY: 0, fX: 1, fY: 1, m: 1});
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function step() {
+  var com = new Particle();
+  function body(i) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  for (var i = 0; i < bodies.length; i++) { body(i); }
+  return com;
+}
+var steps = 0;
+while (steps < 5) {
+  var com = step();
+  steps = steps + 1;
+}
+)JS";
+
+void analyze(const char* title, const char* source) {
+  js::Program program = js::parse(source, "nbody.js");
+  // Focus on the for loop inside step() — loop id 2 (the setup for is 1).
+  ceres::DependenceAnalyzer::Options options;
+  options.focus_loop_id = 2;
+  ceres::DependenceAnalyzer analyzer(program, options);
+  VirtualClock clock;
+  interp::Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  std::printf("--- %s ---\n%s\n", title, analyzer.report().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Paper Fig. 6: N-body simulation step under dependence analysis\n\n");
+  analyze("original (var p shared through function scoping)", kOriginal);
+  analyze("refactored (body extracted into a function; p private, com still flagged)",
+          kRefactored);
+  std::printf(
+      "Interpretation (paper SS3.3): the output dependences on p vanish after\n"
+      "the extraction; the flow dependence on the center of mass is real and\n"
+      "must be re-expressed (e.g. as a reduction) to parallelize the loop —\n"
+      "which is exactly what src/rivertrail/kernels.cpp::nbody_step_par does.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// The "what if the browser exposed parallelism" demo: run the C++ ports of
+// the parallelizable workload kernels on the River-Trail-style runtime and
+// verify they match their sequential references.
+//
+//   $ ./parallel_kernels [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "rivertrail/validator.h"
+
+using namespace jsceres::rivertrail;
+
+int main(int argc, char** argv) {
+  const unsigned threads = argc > 1 ? unsigned(std::atoi(argv[1])) : 0;
+  ThreadPool pool(threads);
+  const auto results = validate_all(pool, /*scale=*/1.0);
+  std::fputs(render_validation_table(results, pool.size()).c_str(), stdout);
+  for (const auto& r : results) {
+    if (!r.outputs_match) {
+      std::printf("MISMATCH in %s\n", r.kernel.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "\nEvery kernel the dependence analysis classified as (very) easy runs\n"
+      "in parallel with results identical to the sequential reference — the\n"
+      "latent data parallelism of the paper's title is real.\n");
+  return 0;
+}

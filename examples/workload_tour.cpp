@@ -1,0 +1,75 @@
+// Full JS-CERES pipeline on one case-study application, chosen by name:
+//
+//   $ ./workload_tour "Tear-able Cloth"
+//   $ ./workload_tour            # lists the 12 workloads
+//
+// Runs the paper's three staged analyses (SS3): lightweight profiling, loop
+// profiling, and dependence analysis; then prints the app's Table 2 row,
+// its Table 3 nest rows, and the top dependence warnings.
+#include <cstdio>
+
+#include "analysis/classifier.h"
+#include "analysis/nest.h"
+#include "ceres/abort_advisor.h"
+#include "js/loop_scanner.h"
+#include "report/tables.h"
+#include "workloads/runner.h"
+
+using namespace jsceres;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: workload_tour <name>\navailable workloads:\n");
+    for (const auto& w : workloads::all_workloads()) {
+      std::printf("  %-20s %-18s %s\n", w.name.c_str(), w.category.c_str(),
+                  w.description.c_str());
+    }
+    return 0;
+  }
+
+  const workloads::Workload& workload = workloads::workload_by_name(argv[1]);
+  std::printf("%s — %s (%s)\n\n", workload.name.c_str(),
+              workload.description.c_str(), workload.url.c_str());
+
+  // Mode 1: how much of the run is loops at all?
+  auto light = workloads::run_workload(workload, workloads::Mode::Lightweight);
+  const auto row = light.table2_row();
+  std::printf("mode 1 (lightweight): total %.2fs, active %.2fs, in loops %.2fs\n",
+              row.total_s, row.active_s, row.in_loops_s);
+  std::printf("  paper reference:    total %.0fs, active %.2fs, in loops %.2fs\n\n",
+              workload.paper.total_s, workload.paper.active_s,
+              workload.paper.in_loops_s);
+
+  // Modes 2+3: the Table 3 rows.
+  const auto rows = report::build_table3_rows(workload);
+  std::printf("mode 2+3 (loop profile + dependence): reported nests\n");
+  for (const auto& nest : rows) {
+    std::printf(
+        "  line %-4d  %5.1f%% of loop time, %lld instance(s), trips %.1f±%.1f\n"
+        "             divergence=%s dom=%s deps=%s difficulty=%s\n",
+        nest.root_line, nest.share * 100, static_cast<long long>(nest.instances),
+        nest.trips_mean, nest.trips_stddev,
+        analysis::divergence_label(nest.divergence), nest.dom_access ? "yes" : "no",
+        analysis::difficulty_label(nest.breaking_deps),
+        analysis::difficulty_label(nest.difficulty));
+  }
+
+  // A taste of the raw mode-3 warnings.
+  auto dep = workloads::run_workload(workload, workloads::Mode::Dependence);
+  std::printf("\nmode 3 warning sites: %zu distinct; first few:\n",
+              dep.dependence->warnings().size());
+  std::size_t shown = 0;
+  for (const auto& warning : dep.dependence->warnings()) {
+    if (shown++ == 6) break;
+    std::printf("  %s\n", warning.render(dep.program).c_str());
+  }
+
+  // SS5.3: what a speculative parallelizer would tell the developer about
+  // each reported nest.
+  std::printf("\n");
+  for (const int root : dep.nest_roots) {
+    const auto spec = ceres::advise(dep.program, *dep.dependence, root, nullptr);
+    std::fputs(spec.render(dep.program).c_str(), stdout);
+  }
+  return 0;
+}

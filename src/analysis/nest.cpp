@@ -1,0 +1,112 @@
+#include "analysis/nest.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jsceres::analysis {
+
+namespace {
+
+/// Dominant dynamic parent of each loop (most frequent nesting edge).
+std::unordered_map<int, int> dominant_parents(const ceres::LoopProfiler& profiler) {
+  std::unordered_map<int, int> parent;
+  std::unordered_map<int, std::int64_t> best;
+  for (const auto& [edge, count] : profiler.nesting_edges()) {
+    const auto [child, candidate] = edge;
+    if (count > best[child]) {
+      best[child] = count;
+      parent[child] = candidate;
+    }
+  }
+  return parent;
+}
+
+}  // namespace
+
+std::vector<LoopNest> build_nests(const ceres::LoopProfiler& profiler,
+                                  const std::vector<int>& report_roots) {
+  const auto parents = dominant_parents(profiler);
+
+  // Roots: explicitly requested report roots, else loops with no parent.
+  std::vector<int> roots;
+  if (!report_roots.empty()) {
+    roots = report_roots;
+  } else {
+    for (const auto& [loop_id, stats] : profiler.stats()) {
+      (void)stats;
+      if (parents.find(loop_id) == parents.end()) roots.push_back(loop_id);
+    }
+  }
+
+  // children adjacency
+  std::unordered_map<int, std::vector<int>> children;
+  for (const auto& [child, parent] : parents) children[parent].push_back(child);
+
+  const double total_ns = double(profiler.total_in_loops_ns());
+  std::vector<LoopNest> nests;
+  for (const int root : roots) {
+    const ceres::LoopStats* root_stats = profiler.stats_for(root);
+    if (root_stats == nullptr || root_stats->instances == 0) continue;
+
+    LoopNest nest;
+    nest.root_loop_id = root;
+    // BFS over descendants.
+    std::vector<int> queue = {root};
+    std::unordered_set<int> seen;
+    while (!queue.empty()) {
+      const int loop = queue.back();
+      queue.pop_back();
+      if (!seen.insert(loop).second) continue;
+      nest.members.push_back(loop);
+      const auto it = children.find(loop);
+      if (it != children.end()) {
+        for (const int child : it->second) queue.push_back(child);
+      }
+    }
+    std::sort(nest.members.begin(), nest.members.end());
+    // Keep the root first for readability.
+    std::erase(nest.members, root);
+    nest.members.insert(nest.members.begin(), root);
+
+    nest.instances = root_stats->instances;
+    nest.trips_mean = root_stats->trips.mean();
+    nest.trips_stddev = root_stats->trips.stddev();
+    nest.runtime_ns = root_stats->total_runtime_ns();
+    nest.share_of_loop_time = total_ns > 0 ? nest.runtime_ns / total_ns : 0;
+
+    std::int64_t touches = 0;
+    std::int64_t iterations = 0;
+    for (const int member : nest.members) {
+      const ceres::LoopStats* stats = profiler.stats_for(member);
+      if (stats == nullptr) continue;
+      nest.touches_dom |= stats->dom_touches > 0;
+      nest.touches_canvas |= stats->canvas_touches > 0;
+      if (member == nest.root_loop_id) {
+        touches = stats->dom_touches + stats->canvas_touches;
+        iterations = std::int64_t(stats->trips.total());
+      }
+    }
+    nest.dom_touches_per_iteration =
+        iterations > 0 ? double(touches) / double(iterations) : 0.0;
+    nests.push_back(std::move(nest));
+  }
+
+  std::sort(nests.begin(), nests.end(), [](const LoopNest& a, const LoopNest& b) {
+    return a.runtime_ns > b.runtime_ns;
+  });
+  return nests;
+}
+
+std::vector<LoopNest> top_nests(const std::vector<LoopNest>& nests, double coverage) {
+  std::vector<LoopNest> out;
+  double covered = 0;
+  for (const auto& nest : nests) {
+    if (covered >= coverage && !out.empty()) break;
+    out.push_back(nest);
+    covered += nest.share_of_loop_time;
+  }
+  return out;
+}
+
+}  // namespace jsceres::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ceres/dependence_analyzer.h"
+#include "ceres/loop_profiler.h"
+#include "js/ast.h"
+#include "js/loop_scanner.h"
+
+namespace jsceres::analysis {
+
+/// A loop nest: "a group of loops nested within a single top-level loop"
+/// (paper §4.1), reconstructed from the loop profiler's dynamic nesting
+/// edges. Nesting follows runtime containment (loops reached through calls
+/// made inside a loop are nested), not syntax.
+struct LoopNest {
+  int root_loop_id = 0;
+  std::vector<int> members;  // root first, then descendants
+
+  // Aggregates for the Table 3 row.
+  std::int64_t instances = 0;
+  double trips_mean = 0;
+  double trips_stddev = 0;
+  double runtime_ns = 0;       // total wall time of the root loop
+  double share_of_loop_time = 0;  // runtime / total time in loops
+  bool touches_dom = false;
+  bool touches_canvas = false;
+  /// DOM/Canvas touches per root-loop iteration (density used by the
+  /// parallelization classifier: incidental vs. fundamental).
+  double dom_touches_per_iteration = 0;
+};
+
+/// Build nests from profiling data. `report_roots` optionally overrides the
+/// top-level roots with inner loops (the paper: "in a few cases the
+/// parallelizable loop is not the outer loop of a nest; we consider the
+/// loop nest formed without some of the outer layers").
+std::vector<LoopNest> build_nests(const ceres::LoopProfiler& profiler,
+                                  const std::vector<int>& report_roots = {});
+
+/// Nests covering at least `coverage` (e.g. 2.0/3.0, as in the paper) of the
+/// total loop time, largest first.
+std::vector<LoopNest> top_nests(const std::vector<LoopNest>& nests, double coverage);
+
+}  // namespace jsceres::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ceres/dependence_analyzer.h"
+#include "ceres/loop_profiler.h"
+
+namespace jsceres::ceres {
+
+/// The developer-facing abort reporter the paper asks for in §5.3: "As
+/// speculative parallelization gains ground for JavaScript ... it does not
+/// only need to abort when it fails to run a loop in parallel, but also have
+/// ways to report to the developer the reason for aborting. Furthermore,
+/// once the detailed reason for aborting is identified, the developer would
+/// need to transform the code significantly to solve the issue."
+///
+/// Turns raw dependence warnings into (a) the concrete reasons a speculative
+/// runtime would abort this loop and (b) the code transformation that would
+/// remove each reason.
+struct AbortReason {
+  std::string what;     // e.g. "loop-carried read-after-write on 'm' (line 16)"
+  std::string remedy;   // e.g. "re-express the accumulation as a reduction"
+};
+
+struct SpeculationReport {
+  int loop_id = 0;
+  bool would_abort = false;
+  std::vector<AbortReason> reasons;
+  /// Obstacles that do not force an abort but cost performance (divergence,
+  /// host access).
+  std::vector<std::string> advisories;
+
+  [[nodiscard]] std::string render(const js::Program& program) const;
+};
+
+/// Build the report for one loop from a completed dependence run. `profiler`
+/// (optional) contributes DOM/Canvas advisories.
+SpeculationReport advise(const js::Program& program, const DependenceAnalyzer& analyzer,
+                         int loop_id, const LoopProfiler* profiler = nullptr);
+
+}  // namespace jsceres::ceres

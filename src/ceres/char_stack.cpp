@@ -1,0 +1,90 @@
+#include "ceres/char_stack.h"
+
+namespace jsceres::ceres {
+
+Characterization characterize_creation(const Stamp& stamp, const Stamp& current) {
+  Characterization out;
+  out.levels.reserve(current.size());
+  bool shared = false;
+  for (std::size_t k = 0; k < current.size(); ++k) {
+    LevelFlags flags;
+    flags.loop_id = current[k].loop_id;
+    if (shared) {
+      flags.instance_dep = true;
+      flags.iteration_dep = true;
+    } else if (k < stamp.size()) {
+      const bool same_instance = stamp[k].loop_id == current[k].loop_id &&
+                                 stamp[k].instance == current[k].instance;
+      if (!same_instance) {
+        // Created under a different instance of this loop (or a different
+        // loop entirely): shared across instances and iterations.
+        flags.instance_dep = true;
+        flags.iteration_dep = true;
+        shared = true;
+      } else if (stamp[k].iteration != current[k].iteration) {
+        // Created in an earlier iteration of this very loop instance.
+        flags.iteration_dep = true;
+        shared = true;
+      }
+      // else: created within this iteration — private so far.
+    } else {
+      // The loop was not yet open at creation: the datum pre-dates the loop,
+      // so all iterations of this instance share it. Each *instance* still
+      // gets the version current in its containing iteration (which matched
+      // exactly above), hence instance stays "ok".
+      flags.iteration_dep = true;
+      shared = true;
+    }
+    out.levels.push_back(flags);
+  }
+  return out;
+}
+
+Characterization characterize_flow(const Stamp& write, const Stamp& read) {
+  Characterization out;
+  out.levels.reserve(read.size());
+  bool shared = false;
+  bool past = false;
+  for (std::size_t k = 0; k < read.size(); ++k) {
+    LevelFlags flags;
+    flags.loop_id = read[k].loop_id;
+    if (shared) {
+      flags.instance_dep = true;
+      flags.iteration_dep = true;
+    } else if (!past && k < write.size()) {
+      const bool same_instance = write[k].loop_id == read[k].loop_id &&
+                                 write[k].instance == read[k].instance;
+      if (!same_instance) {
+        // The write happened under a different (hence already-closed) loop
+        // instance at this depth: it strictly precedes the current loop, so
+        // it is plain input, not a loop-carried dependence.
+        past = true;
+      } else if (write[k].iteration != read[k].iteration) {
+        flags.iteration_dep = true;
+        shared = true;
+      }
+    }
+    // Levels beyond the write stack (or past writes): the value was written
+    // before this loop began — loop-invariant input, not a flow dependence.
+    out.levels.push_back(flags);
+  }
+  return out;
+}
+
+std::string render_characterization(const Characterization& chr,
+                                    const js::Program& program) {
+  std::string out;
+  for (std::size_t k = 0; k < chr.levels.size(); ++k) {
+    const LevelFlags& level = chr.levels[k];
+    if (k > 0) out += " -> ";
+    const js::LoopSite& site = program.loop(level.loop_id);
+    out += std::string(js::loop_kind_name(site.kind)) + "(line " +
+           std::to_string(site.line) + ") ";
+    out += level.instance_dep ? "dependence" : "ok";
+    out += " ";
+    out += level.iteration_dep ? "dependence" : "ok";
+  }
+  return out;
+}
+
+}  // namespace jsceres::ceres

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsceres::ceres {
+
+/// One open loop on the characterization stack (paper §3.3): the syntactic
+/// loop, which dynamic instance of it this is (a global per-loop counter,
+/// incremented every time the loop is entered), and the current iteration
+/// within that instance.
+struct LoopFrame {
+  int loop_id = 0;
+  std::int64_t instance = 0;
+  std::int64_t iteration = 0;
+};
+
+/// A snapshot of the characterization stack, stamped onto environments and
+/// objects at creation time and onto (object, property) pairs at write time.
+using Stamp = std::vector<LoopFrame>;
+
+/// Per-loop-level dependence flags. The paper renders a triple per loop:
+/// "<loop> <instance-flag> <iteration-flag>", where "ok" means each
+/// instance/iteration has a private version of the datum and "dependence"
+/// means they share it. "dependence ok" is not a valid combination: sharing
+/// across instances implies sharing across iterations.
+struct LevelFlags {
+  int loop_id = 0;
+  bool instance_dep = false;
+  bool iteration_dep = false;
+
+  bool operator==(const LevelFlags&) const = default;
+};
+
+/// The characterization of one access: flags for every loop open at the
+/// access, outermost first.
+struct Characterization {
+  std::vector<LevelFlags> levels;
+
+  [[nodiscard]] bool problematic() const {
+    for (const auto& level : levels) {
+      if (level.instance_dep || level.iteration_dep) return true;
+    }
+    return false;
+  }
+
+  /// Flags at the level of a particular loop, or nullptr when the loop is
+  /// not part of this characterization.
+  [[nodiscard]] const LevelFlags* at_loop(int loop_id) const {
+    for (const auto& level : levels) {
+      if (level.loop_id == loop_id) return &level;
+    }
+    return nullptr;
+  }
+
+  bool operator==(const Characterization&) const = default;
+};
+
+/// Characterize a *creation-stamped* datum accessed under `current`:
+/// environments (type (a) variable writes) and objects (type (b) property
+/// writes). A level present in both stamp and current with equal
+/// instance+iteration is private ("ok ok"); equal instance but different
+/// iteration means the datum pre-dates this iteration ("ok dependence");
+/// levels beyond the stamp mean the datum pre-dates the loop entirely within
+/// the current containing iteration ("ok dependence"); once a level is
+/// shared, all deeper levels are fully shared ("dependence dependence").
+Characterization characterize_creation(const Stamp& stamp, const Stamp& current);
+
+/// Characterize a write→read pair for flow (read-after-write) detection
+/// (type (c)). A level is an iteration dependence only when *both* stacks
+/// contain that loop instance and the iterations differ — a value written
+/// before the loop is loop-invariant input, not a flow dependence.
+Characterization characterize_flow(const Stamp& write, const Stamp& read);
+
+/// Render "while(line 24) ok ok -> for(line 6) ok dependence", resolving
+/// loop kinds and lines through the program's loop table.
+std::string render_characterization(const Characterization& chr,
+                                    const js::Program& program);
+
+/// Maintains the runtime characterization stack. Driven by loop
+/// enter/iteration/exit events; detects loop re-entry through recursion
+/// (paper §3.3: the stack would otherwise grow without bound; JS-CERES
+/// raises a warning and discards results for the affected nest).
+class CharStack {
+ public:
+  void on_enter(int loop_id) {
+    for (const auto& frame : stack_) {
+      if (frame.loop_id == loop_id) {
+        recursive_loops_.insert({loop_id, true});
+        break;
+      }
+    }
+    stack_.push_back(LoopFrame{loop_id, instance_counters_[loop_id]++, 0});
+  }
+
+  void on_iteration(int loop_id) {
+    if (!stack_.empty() && stack_.back().loop_id == loop_id) {
+      ++stack_.back().iteration;
+    }
+  }
+
+  void on_exit(int loop_id) {
+    if (!stack_.empty() && stack_.back().loop_id == loop_id) {
+      stack_.pop_back();
+    }
+  }
+
+  [[nodiscard]] const Stamp& current() const { return stack_; }
+  [[nodiscard]] bool any_open() const { return !stack_.empty(); }
+  [[nodiscard]] bool is_open(int loop_id) const {
+    for (const auto& frame : stack_) {
+      if (frame.loop_id == loop_id) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::unordered_map<int, bool>& recursive_loops() const {
+    return recursive_loops_;
+  }
+
+ private:
+  Stamp stack_;
+  std::unordered_map<int, std::int64_t> instance_counters_;
+  std::unordered_map<int, bool> recursive_loops_;
+};
+
+}  // namespace jsceres::ceres

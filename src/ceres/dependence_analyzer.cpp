@@ -1,0 +1,286 @@
+#include "ceres/dependence_analyzer.h"
+
+#include <sstream>
+
+namespace jsceres::ceres {
+
+const Stamp DependenceAnalyzer::kEmptyStamp;
+
+DependenceAnalyzer::DependenceAnalyzer(const js::Program& program, Options options)
+    : program_(program), options_(options) {}
+
+std::string DependenceWarning::render(const js::Program& program) const {
+  std::string out;
+  switch (kind) {
+    case AccessKind::VarWrite: out = "write to variable " + name; break;
+    case AccessKind::PropWrite: out = "write to property " + name; break;
+    case AccessKind::PropRead: out = "read of property " + name; break;
+  }
+  if (line > 0) out += " (line " + std::to_string(line) + ")";
+  out += ": ";
+  out += render_characterization(characterization, program);
+  out += dep == DepClass::Flow ? "  [flow]" : "  [output]";
+  if (count > 1) out += " x" + std::to_string(count);
+  return out;
+}
+
+void DependenceAnalyzer::on_loop_enter(const interp::LoopEvent& e) {
+  chars_.on_enter(e.loop_id);
+  auto& summary = summaries_[e.loop_id];
+  summary.loop_id = e.loop_id;
+  if (chars_.recursive_loops().count(e.loop_id) > 0) {
+    summary.recursion_detected = true;
+  }
+}
+
+void DependenceAnalyzer::on_loop_iteration(const interp::LoopEvent& e) {
+  chars_.on_iteration(e.loop_id);
+}
+
+void DependenceAnalyzer::on_loop_exit(const interp::LoopEvent& e) {
+  chars_.on_exit(e.loop_id);
+}
+
+void DependenceAnalyzer::on_function_enter(int fn_id, const std::string&) {
+  if (chars_.any_open()) {
+    for (const int open_fn : fn_stack_) {
+      if (open_fn == fn_id) {
+        // Recursive call under an open loop: iteration work is unbounded.
+        for (const LoopFrame& frame : chars_.current()) {
+          auto& summary = summaries_[frame.loop_id];
+          summary.loop_id = frame.loop_id;
+          summary.recursion_detected = true;
+        }
+        break;
+      }
+    }
+  }
+  fn_stack_.push_back(fn_id);
+}
+
+void DependenceAnalyzer::on_function_exit(int) {
+  if (!fn_stack_.empty()) fn_stack_.pop_back();
+}
+
+void DependenceAnalyzer::on_env_created(std::uint64_t env_id) {
+  if (global_env_id_ == 0) global_env_id_ = env_id;  // first env == global
+  if (chars_.any_open()) env_stamps_[env_id] = chars_.current();
+}
+
+void DependenceAnalyzer::on_object_created(std::uint64_t obj_id, int) {
+  if (chars_.any_open()) obj_stamps_[obj_id] = chars_.current();
+}
+
+bool DependenceAnalyzer::in_focus() const {
+  if (!chars_.any_open()) return false;
+  if (options_.focus_loop_id == 0) return true;
+  return chars_.is_open(options_.focus_loop_id);
+}
+
+const Stamp& DependenceAnalyzer::base_stamp(
+    std::uint64_t obj_id, const interp::BaseProvenance& base) const {
+  using Kind = interp::BaseProvenance::Kind;
+  if (base.kind == Kind::Binding || base.kind == Kind::This) {
+    const auto it = env_stamps_.find(base.env_id);
+    return it == env_stamps_.end() ? kEmptyStamp : it->second;
+  }
+  const auto it = obj_stamps_.find(obj_id);
+  return it == obj_stamps_.end() ? kEmptyStamp : it->second;
+}
+
+void DependenceAnalyzer::bump_summary_counters(const Characterization& chr,
+                                               AccessKind kind) {
+  for (const LevelFlags& level : chr.levels) {
+    if (!level.instance_dep && !level.iteration_dep) continue;
+    auto& summary = summaries_[level.loop_id];
+    summary.loop_id = level.loop_id;
+    switch (kind) {
+      case AccessKind::VarWrite: ++summary.shared_var_writes; break;
+      case AccessKind::PropWrite: ++summary.shared_prop_writes; break;
+      case AccessKind::PropRead: ++summary.flow_deps; break;
+    }
+  }
+}
+
+void DependenceAnalyzer::record(AccessKind kind, DepClass dep,
+                                const std::string& name, int line,
+                                Characterization chr) {
+  bump_summary_counters(chr, kind);
+
+  // Dedup by (kind, line, name, rendered flags).
+  std::string flags_key;
+  for (const auto& level : chr.levels) {
+    flags_key += std::to_string(level.loop_id);
+    flags_key += level.instance_dep ? 'D' : 'o';
+    flags_key += level.iteration_dep ? 'D' : 'o';
+  }
+  const auto key = std::make_tuple(int(kind), line, name, flags_key);
+  const auto it = warning_index_.find(key);
+  if (it != warning_index_.end()) {
+    ++warnings_[it->second].count;
+    return;
+  }
+  if (warnings_.size() >= options_.max_warnings) {
+    truncated_ = true;
+    return;
+  }
+  DependenceWarning warning;
+  warning.kind = kind;
+  warning.dep = dep;
+  warning.name = name;
+  warning.line = line;
+  warning.characterization = std::move(chr);
+  warning.count = 1;
+  warning_index_.emplace(key, warnings_.size());
+  warnings_.push_back(std::move(warning));
+}
+
+void DependenceAnalyzer::on_var_write(std::uint64_t env_id, const std::string& name,
+                                      int line) {
+  if (!in_focus()) return;
+  const auto it = env_stamps_.find(env_id);
+  const Stamp& stamp = it == env_stamps_.end() ? kEmptyStamp : it->second;
+  Characterization chr = characterize_creation(stamp, chars_.current());
+  if (chr.problematic()) {
+    const std::size_t index = warnings_.size();
+    record(AccessKind::VarWrite, DepClass::Output, name, line, std::move(chr));
+    if (warnings_.size() > index) {
+      warnings_.back().global_binding = env_id == global_env_id_;
+    }
+  } else {
+    for (const auto& level : chars_.current()) {
+      ++summaries_[level.loop_id].private_writes;
+      (void)level;
+    }
+  }
+  if (options_.variable_flow) {
+    var_writes_[env_id][name] = chars_.current();
+  }
+}
+
+void DependenceAnalyzer::on_var_read(std::uint64_t env_id, const std::string& name,
+                                     int line) {
+  if (!in_focus()) return;
+  const auto it = env_stamps_.find(env_id);
+  const Stamp& stamp = it == env_stamps_.end() ? kEmptyStamp : it->second;
+  const Characterization chr = characterize_creation(stamp, chars_.current());
+  // Reads of data from outside the loop are not warnings, but Table 3's
+  // "accesses to shared memory" assessment counts them.
+  for (const LevelFlags& level : chr.levels) {
+    if (level.instance_dep || level.iteration_dep) {
+      ++summaries_[level.loop_id].shared_reads;
+    }
+  }
+  if (options_.variable_flow) {
+    const auto env_it = var_writes_.find(env_id);
+    if (env_it != var_writes_.end()) {
+      const auto write_it = env_it->second.find(name);
+      if (write_it != env_it->second.end()) {
+        Characterization flow = characterize_flow(write_it->second, chars_.current());
+        if (flow.problematic()) {
+          record(AccessKind::PropRead, DepClass::Flow, name, line, std::move(flow));
+        }
+      }
+    }
+  }
+}
+
+void DependenceAnalyzer::on_prop_write(std::uint64_t obj_id, const std::string& key,
+                                       int line, const interp::BaseProvenance& base) {
+  if (!in_focus()) {
+    // Still remember the snapshot: a read inside the focused loop must see
+    // writes that happened before/outside it to judge flow correctly.
+    writes_[obj_id][key] = chars_.current();
+    return;
+  }
+  // Cross-iteration write/write conflicts on the same field (true output
+  // dependence, independent of how the base was reached).
+  auto& object_writes = writes_[obj_id];
+  const auto prev = object_writes.find(key);
+  bool same_field_conflict = false;
+  if (prev != object_writes.end()) {
+    const Characterization conflict = characterize_flow(prev->second, chars_.current());
+    same_field_conflict = conflict.problematic();
+  }
+
+  // Attribute same-field conflicts only to the loop levels actually carrying
+  // the write-write dependence (a pixel rewritten every *frame* conflicts at
+  // the frame loop, not at the row loop inside one frame).
+  if (same_field_conflict) {
+    const Characterization conflict =
+        characterize_flow(prev->second, chars_.current());
+    for (const LevelFlags& level : conflict.levels) {
+      if (!level.instance_dep && !level.iteration_dep) continue;
+      auto& summary = summaries_[level.loop_id];
+      summary.loop_id = level.loop_id;
+      ++summary.conflicting_write_sites;
+    }
+  }
+
+  Characterization chr = characterize_creation(base_stamp(obj_id, base), chars_.current());
+  if (chr.problematic()) {
+    record(AccessKind::PropWrite, DepClass::Output, key, line, std::move(chr));
+  } else {
+    for (const auto& level : chars_.current()) {
+      ++summaries_[level.loop_id].private_writes;
+    }
+  }
+  object_writes[key] = chars_.current();
+}
+
+void DependenceAnalyzer::on_prop_read(std::uint64_t obj_id, const std::string& key,
+                                      int line, const interp::BaseProvenance& base) {
+  if (!in_focus()) return;
+  const auto obj_it = writes_.find(obj_id);
+  if (obj_it != writes_.end()) {
+    const auto write_it = obj_it->second.find(key);
+    if (write_it != obj_it->second.end()) {
+      Characterization flow = characterize_flow(write_it->second, chars_.current());
+      if (flow.problematic()) {
+        record(AccessKind::PropRead, DepClass::Flow, key, line, std::move(flow));
+        return;
+      }
+    }
+  }
+  // Not a flow dependence; count shared-memory reads for the summary.
+  const Characterization chr =
+      characterize_creation(base_stamp(obj_id, base), chars_.current());
+  for (const LevelFlags& level : chr.levels) {
+    if (level.instance_dep || level.iteration_dep) {
+      ++summaries_[level.loop_id].shared_reads;
+    }
+  }
+}
+
+std::map<int, LoopDependenceSummary> DependenceAnalyzer::summaries() const {
+  auto out = summaries_;
+  for (const auto& [loop_id, flag] : chars_.recursive_loops()) {
+    (void)flag;
+    out[loop_id].loop_id = loop_id;
+    out[loop_id].recursion_detected = true;
+  }
+  return out;
+}
+
+std::string DependenceAnalyzer::report() const {
+  std::ostringstream out;
+  out << "dependence analysis: " << warnings_.size() << " distinct warning site(s)";
+  if (options_.focus_loop_id != 0) {
+    const js::LoopSite& site = program_.loop(options_.focus_loop_id);
+    out << " (focused on " << js::loop_kind_name(site.kind) << " at line "
+        << site.line << ")";
+  }
+  out << "\n";
+  for (const auto& warning : warnings_) {
+    out << "  " << warning.render(program_) << "\n";
+  }
+  if (!chars_.recursive_loops().empty()) {
+    out << "  note: recursion detected through "
+        << chars_.recursive_loops().size()
+        << " loop(s); results for those nests were discarded\n";
+  }
+  if (truncated_) out << "  note: warning list truncated\n";
+  return out.str();
+}
+
+}  // namespace jsceres::ceres

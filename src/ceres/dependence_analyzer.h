@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ceres/char_stack.h"
+#include "interp/hooks.h"
+#include "js/ast.h"
+
+namespace jsceres::ceres {
+
+/// Dependence class of a reported access (paper §3.3 a/b/c).
+enum class DepClass {
+  Output,  // (a) shared-variable write or (b) shared-object field write
+  Flow,    // (c) read of a field written in a different iteration
+};
+
+/// What kind of program point produced the warning.
+enum class AccessKind { VarWrite, PropWrite, PropRead };
+
+/// One deduplicated warning: an access site plus its characterization, with
+/// an occurrence count.
+struct DependenceWarning {
+  AccessKind kind = AccessKind::VarWrite;
+  DepClass dep = DepClass::Output;
+  std::string name;  // variable name or property key
+  int line = 0;      // access site (0 for native-initiated writes)
+  Characterization characterization;
+  std::int64_t count = 0;
+  /// For VarWrite: the binding lives in the global environment (application
+  /// state) rather than a function activation (a privatizable temporary —
+  /// the distinction §3.3's forEach discussion draws).
+  bool global_binding = false;
+
+  /// "write to variable p (line 7): while(line 24) ok ok -> for(line 6) ok
+  /// dependence" — the paper's report format.
+  [[nodiscard]] std::string render(const js::Program& program) const;
+};
+
+/// Per-loop aggregate counters feeding the Table 3 classifiers.
+struct LoopDependenceSummary {
+  int loop_id = 0;
+  std::int64_t shared_var_writes = 0;   // type (a) at this loop's level
+  std::int64_t shared_prop_writes = 0;  // type (b) at this loop's level
+  std::int64_t flow_deps = 0;           // type (c) at this loop's level
+  std::int64_t shared_reads = 0;        // reads of data from outside the loop
+  std::int64_t private_writes = 0;      // writes characterized "ok ok"
+  /// Distinct (name, line) sites with cross-iteration write conflicts.
+  std::int64_t conflicting_write_sites = 0;
+  bool recursion_detected = false;      // results for this nest are suspect
+};
+
+/// Instrumentation mode 3 (paper §3.3): runtime dependence analysis.
+///
+/// Maintains the characterization stack; stamps every environment and object
+/// at creation (the engine-level equivalent of wrapping creation sites in an
+/// ES Proxy); remembers a stack snapshot per written (object, property); and
+/// classifies each access by diffing stamps against the current stack:
+///
+///   (a) writes to variables whose environment pre-dates the current loop
+///       iteration  -> output dependence,
+///   (b) writes to fields reached through a shared base (binding stamp for
+///       `x.f`, `this.f`; object creation stamp otherwise) -> output/anti
+///       dependence,
+///   (c) reads of fields last written in a different iteration -> flow
+///       dependence.
+///
+/// Like JS-CERES, the analysis can focus on one loop to bound the (very
+/// high) overhead; only accesses while the focused loop is open are
+/// reported.
+class DependenceAnalyzer final : public interp::ExecutionHooks {
+ public:
+  struct Options {
+    /// Report only accesses occurring while this loop is open (0 = report
+    /// accesses inside any loop).
+    int focus_loop_id = 0;
+    /// Also detect flow dependencies through *variables* (an extension; the
+    /// paper tracks flow through object fields only).
+    bool variable_flow = false;
+    /// Cap on distinct warning sites kept (memory guard; the paper notes the
+    /// tool "failed to scale to some of the case studies").
+    std::size_t max_warnings = 100000;
+  };
+
+  DependenceAnalyzer(const js::Program& program, Options options);
+  explicit DependenceAnalyzer(const js::Program& program)
+      : DependenceAnalyzer(program, Options()) {}
+
+  // -- hook interface --
+  [[nodiscard]] bool wants_memory_events() const override { return true; }
+  void on_loop_enter(const interp::LoopEvent& e) override;
+  void on_loop_iteration(const interp::LoopEvent& e) override;
+  void on_loop_exit(const interp::LoopEvent& e) override;
+  void on_function_enter(int fn_id, const std::string& name) override;
+  void on_function_exit(int fn_id) override;
+  void on_env_created(std::uint64_t env_id) override;
+  void on_object_created(std::uint64_t obj_id, int line) override;
+  void on_var_write(std::uint64_t env_id, const std::string& name, int line) override;
+  void on_var_read(std::uint64_t env_id, const std::string& name, int line) override;
+  void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,
+                     const interp::BaseProvenance& base) override;
+  void on_prop_read(std::uint64_t obj_id, const std::string& key, int line,
+                    const interp::BaseProvenance& base) override;
+
+  // -- results --
+  [[nodiscard]] const std::vector<DependenceWarning>& warnings() const {
+    return warnings_;
+  }
+  [[nodiscard]] std::map<int, LoopDependenceSummary> summaries() const;
+  [[nodiscard]] const CharStack& char_stack() const { return chars_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+
+  /// Full human-readable report (all warnings, paper format).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  /// Stamp of the base through which a property was reached.
+  [[nodiscard]] const Stamp& base_stamp(std::uint64_t obj_id,
+                                        const interp::BaseProvenance& base) const;
+  [[nodiscard]] bool in_focus() const;
+  void record(AccessKind kind, DepClass dep, const std::string& name, int line,
+              Characterization chr);
+  void bump_summary_counters(const Characterization& chr, AccessKind kind);
+
+  const js::Program& program_;
+  Options options_;
+  CharStack chars_;
+
+  // Creation stamps. Empty stamps (creation outside any loop) are implicit —
+  // a map miss means "empty" — keeping memory proportional to in-loop
+  // allocations only.
+  std::unordered_map<std::uint64_t, Stamp> env_stamps_;
+  std::unordered_map<std::uint64_t, Stamp> obj_stamps_;
+  /// Last-write snapshot per (object, property).
+  std::unordered_map<std::uint64_t, std::unordered_map<std::string, Stamp>> writes_;
+  /// Last-write snapshot per (environment, variable) for the variable_flow
+  /// extension.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::string, Stamp>> var_writes_;
+
+  // Active JS call stack (fn ids); recursion inside an open loop makes the
+  // loop's iteration work unbounded (paper §3.3's recursion guard, extended
+  // to function recursion: HAAR's tree search, the raytracer's trace()).
+  std::vector<int> fn_stack_;
+
+  // Warning dedup: site key -> index into warnings_.
+  std::map<std::tuple<int, int, std::string, std::string>, std::size_t> warning_index_;
+  std::vector<DependenceWarning> warnings_;
+  bool truncated_ = false;
+  std::uint64_t global_env_id_ = 0;
+
+  // Per-loop counters (keyed by loop id).
+  std::map<int, LoopDependenceSummary> summaries_;
+
+  static const Stamp kEmptyStamp;
+};
+
+}  // namespace jsceres::ceres

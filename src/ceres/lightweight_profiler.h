@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "interp/hooks.h"
+#include "support/clock.h"
+
+namespace jsceres::ceres {
+
+/// Instrumentation mode 1 (paper §3.1): measures exactly two scalars — the
+/// total wall time of the run and the wall time during which at least one
+/// loop is open. An open-loop counter is incremented/decremented around each
+/// loop; a timestamp is taken on the 0→1 transition and the difference
+/// accumulated on the 1→0 transition, using the high-resolution (virtual)
+/// timer.
+///
+/// Because the measurement is *wall* time, blocking work inside a loop (a
+/// putImageData upload, a suspended thread) counts as loop time even though
+/// the CPU is idle — which is why the paper sees loop time exceed the Gecko
+/// profiler's active time for some workloads.
+class LightweightProfiler final : public interp::ExecutionHooks {
+ public:
+  explicit LightweightProfiler(const VirtualClock& clock) : clock_(&clock) {}
+
+  void on_loop_enter(const interp::LoopEvent&) override {
+    if (open_loops_++ == 0) loop_entry_wall_ns_ = clock_->wall_ns();
+  }
+
+  void on_loop_exit(const interp::LoopEvent&) override {
+    if (--open_loops_ == 0) {
+      in_loops_ns_ += clock_->wall_ns() - loop_entry_wall_ns_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t in_loops_ns() const {
+    // If called mid-run with loops still open, include the open stretch.
+    if (open_loops_ > 0) {
+      return in_loops_ns_ + (clock_->wall_ns() - loop_entry_wall_ns_);
+    }
+    return in_loops_ns_;
+  }
+  [[nodiscard]] double in_loops_seconds() const { return double(in_loops_ns()) / 1e9; }
+  [[nodiscard]] int open_loops() const { return open_loops_; }
+
+ private:
+  const VirtualClock* clock_;
+  int open_loops_ = 0;
+  std::int64_t loop_entry_wall_ns_ = 0;
+  std::int64_t in_loops_ns_ = 0;
+};
+
+}  // namespace jsceres::ceres

@@ -1,0 +1,47 @@
+#include "ceres/loop_profiler.h"
+
+namespace jsceres::ceres {
+
+void LoopProfiler::on_loop_enter(const interp::LoopEvent& e) {
+  auto& stats = stats_[e.loop_id];
+  stats.loop_id = e.loop_id;
+  ++stats.instances;
+  if (!open_.empty()) {
+    ++edges_[{e.loop_id, open_.back().loop_id}];
+  } else {
+    outermost_enter_ns_ = clock_->wall_ns();
+  }
+  open_.push_back(OpenLoop{e.loop_id, clock_->wall_ns(), 0});
+}
+
+void LoopProfiler::on_loop_iteration(const interp::LoopEvent& e) {
+  if (!open_.empty() && open_.back().loop_id == e.loop_id) {
+    ++open_.back().trip_count;
+  }
+}
+
+void LoopProfiler::on_loop_exit(const interp::LoopEvent& e) {
+  if (open_.empty() || open_.back().loop_id != e.loop_id) return;
+  const OpenLoop frame = open_.back();
+  open_.pop_back();
+  auto& stats = stats_[e.loop_id];
+  stats.trips.add(double(frame.trip_count));
+  stats.runtime_ns.add(double(clock_->wall_ns() - frame.enter_wall_ns));
+  if (open_.empty()) {
+    in_loops_ns_ += clock_->wall_ns() - outermost_enter_ns_;
+  }
+}
+
+void LoopProfiler::on_host_access(interp::HostAccess access, const char*) {
+  const bool is_dom = access == interp::HostAccess::Dom;
+  const bool is_canvas =
+      access == interp::HostAccess::Canvas || access == interp::HostAccess::WebGl;
+  if (!is_dom && !is_canvas) return;
+  for (const OpenLoop& frame : open_) {
+    auto& stats = stats_[frame.loop_id];
+    if (is_dom) ++stats.dom_touches;
+    if (is_canvas) ++stats.canvas_touches;
+  }
+}
+
+}  // namespace jsceres::ceres

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "interp/hooks.h"
+#include "support/clock.h"
+#include "support/welford.h"
+
+namespace jsceres::ceres {
+
+/// Per-syntactic-loop dynamic statistics (paper §3.2): how many times the
+/// loop was encountered (instances), and total/average/variance of both its
+/// running time and its trip count, maintained with Welford's online
+/// algorithm. Additionally attributes host-API (DOM/Canvas) touches to the
+/// loops open at the time — the raw data behind Table 3's "DOM access"
+/// column.
+struct LoopStats {
+  int loop_id = 0;
+  std::int64_t instances = 0;
+  Welford trips;        // iterations per instance
+  Welford runtime_ns;   // wall time per instance
+  std::int64_t dom_touches = 0;
+  std::int64_t canvas_touches = 0;
+
+  [[nodiscard]] bool touches_dom() const {
+    return dom_touches > 0 || canvas_touches > 0;
+  }
+  [[nodiscard]] double total_runtime_ns() const { return runtime_ns.total(); }
+};
+
+/// Instrumentation mode 2 (paper §3.2): loop profiling.
+class LoopProfiler final : public interp::ExecutionHooks {
+ public:
+  explicit LoopProfiler(const VirtualClock& clock) : clock_(&clock) {}
+
+  void on_loop_enter(const interp::LoopEvent& e) override;
+  void on_loop_iteration(const interp::LoopEvent& e) override;
+  void on_loop_exit(const interp::LoopEvent& e) override;
+  void on_host_access(interp::HostAccess access, const char* api_name) override;
+
+  [[nodiscard]] const std::map<int, LoopStats>& stats() const { return stats_; }
+  [[nodiscard]] const LoopStats* stats_for(int loop_id) const {
+    const auto it = stats_.find(loop_id);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  /// Dynamic nesting edges: (child loop, parent loop) -> occurrence count.
+  /// Loops reached through function calls made inside another loop count as
+  /// nested — matching the paper's loop-*nest* granularity, which follows
+  /// runtime nesting, not syntax.
+  [[nodiscard]] const std::map<std::pair<int, int>, std::int64_t>& nesting_edges()
+      const {
+    return edges_;
+  }
+
+  /// Wall time with at least one loop open (same metric as mode 1).
+  [[nodiscard]] std::int64_t total_in_loops_ns() const { return in_loops_ns_; }
+
+ private:
+  struct OpenLoop {
+    int loop_id = 0;
+    std::int64_t enter_wall_ns = 0;
+    std::int64_t trip_count = 0;
+  };
+
+  const VirtualClock* clock_;
+  std::map<int, LoopStats> stats_;
+  std::map<std::pair<int, int>, std::int64_t> edges_;
+  std::vector<OpenLoop> open_;
+  std::int64_t in_loops_ns_ = 0;
+  std::int64_t outermost_enter_ns_ = 0;
+};
+
+}  // namespace jsceres::ceres

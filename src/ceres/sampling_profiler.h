@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "interp/hooks.h"
+#include "support/clock.h"
+
+namespace jsceres::ceres {
+
+/// Emulation of the Gecko sampling profiler the paper pairs with mode 1
+/// (§3.1) to measure CPU-active time.
+///
+/// Samples are taken every `period_ns` of virtual wall time. A sample counts
+/// as active when the CPU clock advanced across it (the engine was
+/// executing, not blocked/idle). With `function_granularity_artifact`
+/// enabled, a sample additionally requires the sampled JS function to have
+/// changed within the last `max_same_fn_samples` samples — reproducing the
+/// paper's observed Gecko anomaly where "a long running computation within a
+/// single function may be seen as inactive time".
+class SamplingProfiler final : public interp::ExecutionHooks {
+ public:
+  struct Options {
+    std::int64_t period_ns = 1'000'000;  // 1 ms virtual, Gecko-like
+    bool function_granularity_artifact = false;
+    int max_same_fn_samples = 64;
+  };
+
+  SamplingProfiler(const VirtualClock& clock, Options options)
+      : clock_(&clock), options_(options) {}
+  explicit SamplingProfiler(const VirtualClock& clock)
+      : SamplingProfiler(clock, Options()) {}
+
+  void on_clock_advance(int current_fn_id) override { observe(current_fn_id); }
+
+  /// Flush any pending interval (call once at end of run).
+  void finish() { observe(last_fn_id_); }
+
+  [[nodiscard]] std::int64_t active_samples() const { return active_samples_; }
+  [[nodiscard]] std::int64_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::int64_t active_ns() const {
+    return active_samples_ * options_.period_ns;
+  }
+  [[nodiscard]] double active_seconds() const { return double(active_ns()) / 1e9; }
+
+  /// Per-function active sample counts (fn_id -> samples), the flat profile
+  /// a Gecko-style profiler reports.
+  [[nodiscard]] const std::unordered_map<int, std::int64_t>& samples_by_function()
+      const {
+    return samples_by_fn_;
+  }
+
+ private:
+  void observe(int current_fn_id) {
+    const std::int64_t wall = clock_->wall_ns();
+    const std::int64_t cpu = clock_->cpu_ns();
+    const std::int64_t cpu_delta = cpu - last_cpu_;
+    // Execution is assumed to occupy the leading `cpu_delta` of the
+    // interval; the remainder (if any) was blocking/idle.
+    const std::int64_t active_until = last_wall_ + cpu_delta;
+    while (next_sample_ns_ <= wall) {
+      ++total_samples_;
+      bool active = next_sample_ns_ <= active_until;
+      if (active && options_.function_granularity_artifact) {
+        if (current_fn_id == last_sampled_fn_ &&
+            ++same_fn_run_ > options_.max_same_fn_samples) {
+          active = false;  // the profiler "loses" long single-function runs
+        } else if (current_fn_id != last_sampled_fn_) {
+          same_fn_run_ = 0;
+        }
+        last_sampled_fn_ = current_fn_id;
+      }
+      if (active) {
+        ++active_samples_;
+        ++samples_by_fn_[current_fn_id];
+      }
+      next_sample_ns_ += options_.period_ns;
+    }
+    last_wall_ = wall;
+    last_cpu_ = cpu;
+    last_fn_id_ = current_fn_id;
+  }
+
+  const VirtualClock* clock_;
+  Options options_;
+  std::int64_t next_sample_ns_ = 0;
+  std::int64_t last_wall_ = 0;
+  std::int64_t last_cpu_ = 0;
+  std::int64_t active_samples_ = 0;
+  std::int64_t total_samples_ = 0;
+  int last_fn_id_ = 0;
+  int last_sampled_fn_ = -1;
+  int same_fn_run_ = 0;
+  std::unordered_map<int, std::int64_t> samples_by_fn_;
+};
+
+}  // namespace jsceres::ceres

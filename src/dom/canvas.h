@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/object.h"
+
+namespace jsceres::dom {
+
+/// RGBA color, 8 bits per channel.
+struct Rgba {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  std::uint8_t a = 255;
+};
+
+/// Parse CSS-ish color strings: "#rgb", "#rrggbb", "rgb(r,g,b)",
+/// "rgba(r,g,b,a)", plus a small named-color set. Unknown strings parse as
+/// opaque black.
+Rgba parse_color(const std::string& text);
+
+/// Host-side 2D canvas: the substrate standing in for the browser's Canvas
+/// implementation (paper §2.2: Canvas read/write is one of the surveyed
+/// bottleneck categories).
+///
+/// Cost model: raster work charges CPU ticks proportional to the pixels
+/// touched (native-code speed, far cheaper per pixel than JS), and
+/// presentation-style operations (putImageData) additionally *block* —
+/// advancing wall-clock only — modelling upload/compositor latency. This is
+/// what makes loop wall-time exceed CPU-active time for the draw-heavy
+/// workloads in Table 2, the anomaly the paper calls out in §3.1.
+class CanvasContext final : public interp::HostData {
+ public:
+  CanvasContext(int width, int height)
+      : width_(width), height_(height), pixels_(std::size_t(width * height)) {}
+
+  [[nodiscard]] interp::HostAccess category() const override {
+    return interp::HostAccess::Canvas;
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  // Path/raster state.
+  void set_fill_color(Rgba c) { fill_ = c; }
+  void set_stroke_color(Rgba c) { stroke_ = c; }
+  [[nodiscard]] Rgba fill_color() const { return fill_; }
+  [[nodiscard]] Rgba stroke_color() const { return stroke_; }
+
+  void fill_rect(int x, int y, int w, int h);
+  void clear_rect(int x, int y, int w, int h);
+  void draw_line(double x0, double y0, double x1, double y1);
+  void fill_circle(double cx, double cy, double radius);
+
+  // Minimal path API (beginPath / moveTo / lineTo / arc / stroke / fill).
+  void begin_path() {
+    path_.clear();
+    has_arc_ = false;
+  }
+  void move_to(double x, double y) { path_.push_back({x, y}); }
+  void line_to(double x, double y) { path_.push_back({x, y}); }
+  void arc(double cx, double cy, double radius) {
+    has_arc_ = true;
+    arc_cx_ = cx;
+    arc_cy_ = cy;
+    arc_r_ = radius;
+  }
+  /// Rasterize the accumulated polyline with the stroke color.
+  void stroke_path();
+  /// Fill the pending arc (circle) with the fill color.
+  void fill_path();
+
+  /// Copy out a region as packed RGBA bytes (row-major).
+  [[nodiscard]] std::vector<std::uint8_t> get_image_data(int x, int y, int w,
+                                                         int h) const;
+  /// Write a packed RGBA region back.
+  void put_image_data(const std::vector<std::uint8_t>& rgba, int x, int y, int w,
+                      int h);
+
+  [[nodiscard]] Rgba pixel(int x, int y) const {
+    return in_bounds(x, y) ? pixels_[std::size_t(y * width_ + x)] : Rgba{};
+  }
+
+  /// FNV-1a hash over the pixel buffer; lets tests assert deterministic
+  /// rendering without golden images.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  /// CPU ticks and blocking nanoseconds accrued by raster calls since the
+  /// last drain; the page bindings forward these to the interpreter clock.
+  struct Cost {
+    std::int64_t cpu_ticks = 0;
+    std::int64_t block_ns = 0;
+  };
+  Cost drain_cost() {
+    const Cost cost = pending_;
+    pending_ = Cost{};
+    return cost;
+  }
+
+ private:
+  [[nodiscard]] bool in_bounds(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width_ && y < height_;
+  }
+  void set_pixel(int x, int y, Rgba c) {
+    if (in_bounds(x, y)) pixels_[std::size_t(y * width_ + x)] = c;
+  }
+  void charge(std::int64_t pixels, std::int64_t block_ns_per_kpixel = 0);
+
+  int width_;
+  int height_;
+  std::vector<Rgba> pixels_;
+  Rgba fill_{0, 0, 0, 255};
+  Rgba stroke_{0, 0, 0, 255};
+  Cost pending_;
+  std::vector<std::pair<double, double>> path_;
+  bool has_arc_ = false;
+  double arc_cx_ = 0;
+  double arc_cy_ = 0;
+  double arc_r_ = 0;
+};
+
+}  // namespace jsceres::dom

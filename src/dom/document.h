@@ -1,0 +1,109 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/object.h"
+
+namespace jsceres::dom {
+
+/// Host-side DOM node. The browser substrate keeps the authoritative tree in
+/// C++; JavaScript sees wrapper objects whose property touches are reported
+/// as DOM accesses to the instrumentation.
+class DomNode : public interp::HostData,
+                public std::enable_shared_from_this<DomNode> {
+ public:
+  explicit DomNode(std::string tag) : tag_(std::move(tag)) {}
+
+  [[nodiscard]] interp::HostAccess category() const override {
+    return interp::HostAccess::Dom;
+  }
+
+  [[nodiscard]] const std::string& tag() const { return tag_; }
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  void set_id(std::string id) { id_ = std::move(id); }
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  void set_attribute(const std::string& name, std::string value) {
+    attributes_[name] = std::move(value);
+  }
+  [[nodiscard]] std::string attribute(const std::string& name) const {
+    const auto it = attributes_.find(name);
+    return it == attributes_.end() ? "" : it->second;
+  }
+
+  void append_child(std::shared_ptr<DomNode> child) {
+    child->parent_ = weak_from_this();
+    children_.push_back(std::move(child));
+  }
+  bool remove_child(const DomNode* child) {
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+      if (it->get() == child) {
+        children_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  [[nodiscard]] const std::vector<std::shared_ptr<DomNode>>& children() const {
+    return children_;
+  }
+  [[nodiscard]] std::shared_ptr<DomNode> parent() const { return parent_.lock(); }
+
+  /// Total number of nodes in this subtree (including this node).
+  [[nodiscard]] std::size_t subtree_size() const {
+    std::size_t n = 1;
+    for (const auto& c : children_) n += c->subtree_size();
+    return n;
+  }
+
+ private:
+  std::string tag_;
+  std::string id_;
+  std::string text_;
+  std::unordered_map<std::string, std::string> attributes_;
+  std::vector<std::shared_ptr<DomNode>> children_;
+  std::weak_ptr<DomNode> parent_;
+};
+
+/// The host document: a root node plus an id index.
+class Document {
+ public:
+  Document() : root_(std::make_shared<DomNode>("html")) {
+    auto body = std::make_shared<DomNode>("body");
+    body->set_id("body");
+    register_id(body);
+    root_->append_child(body);
+    body_ = std::move(body);
+  }
+
+  [[nodiscard]] const std::shared_ptr<DomNode>& root() const { return root_; }
+  [[nodiscard]] const std::shared_ptr<DomNode>& body() const { return body_; }
+
+  std::shared_ptr<DomNode> create(std::string tag) {
+    return std::make_shared<DomNode>(std::move(tag));
+  }
+
+  void register_id(const std::shared_ptr<DomNode>& node) {
+    if (!node->id().empty()) by_id_[node->id()] = node;
+  }
+
+  [[nodiscard]] std::shared_ptr<DomNode> by_id(const std::string& id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? nullptr : it->second.lock();
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return root_->subtree_size(); }
+
+ private:
+  std::shared_ptr<DomNode> root_;
+  std::shared_ptr<DomNode> body_;
+  std::unordered_map<std::string, std::weak_ptr<DomNode>> by_id_;
+};
+
+}  // namespace jsceres::dom

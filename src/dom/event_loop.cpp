@@ -1,0 +1,104 @@
+#include "dom/event_loop.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace jsceres::dom {
+
+using interp::Value;
+
+std::uint64_t EventLoop::set_timeout(Value callback, std::int64_t delay_ms) {
+  const std::int64_t due = interp_->clock().wall_ns() + delay_ms * 1'000'000;
+  const std::uint64_t id = next_id_++;
+  tasks_.emplace(std::make_pair(due, next_seq_++), Task{id, std::move(callback), false});
+  interp_->note_host_access(interp::HostAccess::Timer, "setTimeout");
+  return id;
+}
+
+void EventLoop::clear_timeout(std::uint64_t id) {
+  for (auto it = tasks_.begin(); it != tasks_.end(); ++it) {
+    if (it->second.id == id) {
+      tasks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::uint64_t EventLoop::request_animation_frame(Value callback) {
+  const std::int64_t now = interp_->clock().wall_ns();
+  const std::int64_t due = (now / kFrameNs + 1) * kFrameNs;
+  const std::uint64_t id = next_id_++;
+  tasks_.emplace(std::make_pair(due, next_seq_++), Task{id, std::move(callback), true});
+  interp_->note_host_access(interp::HostAccess::Timer, "requestAnimationFrame");
+  return id;
+}
+
+void EventLoop::add_listener(const std::string& type, Value callback) {
+  listeners_[type].push_back(std::move(callback));
+}
+
+void EventLoop::push_user_events(const std::vector<UserEvent>& events) {
+  user_events_.insert(user_events_.end(), events.begin(), events.end());
+  std::stable_sort(user_events_.begin() + std::ptrdiff_t(next_user_event_),
+                   user_events_.end(),
+                   [](const UserEvent& a, const UserEvent& b) { return a.t_ms < b.t_ms; });
+}
+
+void EventLoop::advance_wall_to(std::int64_t target_ns) {
+  const std::int64_t now = interp_->clock().wall_ns();
+  if (target_ns > now) interp_->block(target_ns - now);
+}
+
+void EventLoop::dispatch_user_event(const UserEvent& event) {
+  const auto it = listeners_.find(event.type);
+  if (it == listeners_.end()) return;
+  interp::ObjPtr info = interp_->make_object();
+  info->set_property("type", Value::str(event.type));
+  info->set_property("x", Value::number(event.x));
+  info->set_property("y", Value::number(event.y));
+  info->set_property("key", Value::str(event.key));
+  info->set_property("timeStamp",
+                     Value::number(double(interp_->clock().wall_ns()) / 1e6));
+  ++events_dispatched_;
+  // Copy: a handler may add/remove listeners while we iterate.
+  const std::vector<Value> handlers = it->second;
+  for (const Value& handler : handlers) {
+    interp_->call(handler, Value::undefined(), {Value::object(info)});
+  }
+}
+
+void EventLoop::run(std::int64_t horizon_ms) {
+  const std::int64_t horizon_ns = horizon_ms * 1'000'000;
+  while (true) {
+    const bool has_task = !tasks_.empty();
+    const bool has_event = next_user_event_ < user_events_.size();
+    if (!has_task && !has_event) break;
+
+    const std::int64_t task_due =
+        has_task ? tasks_.begin()->first.first : std::numeric_limits<std::int64_t>::max();
+    const std::int64_t event_due = has_event
+                                       ? user_events_[next_user_event_].t_ms * 1'000'000
+                                       : std::numeric_limits<std::int64_t>::max();
+
+    const std::int64_t due = std::min(task_due, event_due);
+    if (due > horizon_ns) break;
+    advance_wall_to(due);
+
+    if (task_due <= event_due) {
+      Task task = std::move(tasks_.begin()->second);
+      tasks_.erase(tasks_.begin());
+      ++tasks_dispatched_;
+      const Value arg = Value::number(double(interp_->clock().wall_ns()) / 1e6);
+      interp_->call(task.callback, Value::undefined(), task.is_raf ? std::vector<Value>{arg}
+                                                                   : std::vector<Value>{});
+    } else {
+      const UserEvent event = user_events_[next_user_event_++];
+      dispatch_user_event(event);
+    }
+  }
+  // Idle out the rest of the session: the app sits on screen until the user
+  // stops interacting (paper Table 2 measures from start to results upload).
+  advance_wall_to(horizon_ns);
+}
+
+}  // namespace jsceres::dom

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "dom/canvas.h"
+#include "dom/document.h"
+#include "dom/event_loop.h"
+#include "interp/interpreter.h"
+
+namespace jsceres::dom {
+
+/// The browser-page substrate: wires `document`, `window`, canvas 2D
+/// contexts, timers, localStorage and a simulated resource loader into an
+/// interpreter instance.
+///
+/// Design notes / simplifications (vs. a real browser):
+///  - Element wrappers expose explicit methods (appendChild, setAttribute,
+///    getContext, ...). Scalar DOM state written through plain JS property
+///    assignment (e.g. `el.textContent = ...`) stays on the wrapper; the
+///    instrumentation still sees it as a DOM access via the host-object
+///    category hook, which is all the study measures.
+///  - Layout is modelled as a per-mutation CPU charge rather than an actual
+///    layout pass.
+///  - Resource loading advances wall-clock only: the network is not the CPU.
+struct PageConfig {
+  int viewport_width = 1024;
+  int viewport_height = 768;
+  /// Simulated network: latency + per-KB transfer time for loadResource.
+  std::int64_t net_latency_ms = 40;
+  double net_ms_per_kb = 0.6;
+  /// CPU ticks charged per DOM mutation (appendChild etc.), modelling
+  /// style/layout invalidation work.
+  std::int64_t dom_mutation_ticks = 40;
+};
+
+class Page {
+ public:
+  using Config = PageConfig;
+
+  Page(interp::Interpreter& interp, Config config = Config());
+
+  [[nodiscard]] Document& document() { return document_; }
+  [[nodiscard]] EventLoop& event_loop() { return event_loop_; }
+  [[nodiscard]] interp::Interpreter& interp() { return *interp_; }
+
+  /// The JS wrapper for a host node (cached so identity is stable).
+  interp::Value wrap(const std::shared_ptr<DomNode>& node);
+
+  /// Canvas context attached to a canvas element, if any.
+  [[nodiscard]] std::shared_ptr<CanvasContext> context_of(const DomNode* node) const {
+    const auto it = contexts_.find(node);
+    return it == contexts_.end() ? nullptr : it->second;
+  }
+
+  /// Convenience used by workloads and tests: a canvas element with the
+  /// given id appended to <body>.
+  interp::Value add_canvas(const std::string& id, int width, int height);
+
+ private:
+  void install_document();
+  void install_window();
+  void install_storage();
+
+  interp::Interpreter* interp_;
+  Config config_;
+  Document document_;
+  EventLoop event_loop_;
+  std::unordered_map<const DomNode*, interp::ObjPtr> wrappers_;
+  std::unordered_map<const DomNode*, std::shared_ptr<CanvasContext>> contexts_;
+  std::unordered_map<std::string, std::string> storage_;
+};
+
+}  // namespace jsceres::dom

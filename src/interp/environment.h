@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace jsceres::interp {
+
+class Environment;
+using EnvPtr = std::shared_ptr<Environment>;
+
+/// A function-scope environment record. JavaScript (ES5) has *function*
+/// scoping: one environment is created per call, holding the parameters and
+/// every `var` hoisted from the body — regardless of where the `var` appears
+/// textually. This is exactly the semantics the paper's Fig. 6 relies on
+/// (`var p` inside a loop body is one binding shared by all iterations).
+///
+/// Each environment carries a process-unique id; the dependence analyzer
+/// stamps the id with the loop-characterization stack current at creation.
+class Environment {
+ public:
+  Environment(std::uint64_t id, EnvPtr parent)
+      : id_(id), parent_(std::move(parent)) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const EnvPtr& parent() const { return parent_; }
+
+  /// Declare (or re-declare, a no-op) a binding in this environment.
+  void declare(const std::string& name, Value value) {
+    const auto it = names_.find(name);
+    if (it != names_.end()) {
+      slots_[it->second] = std::move(value);
+      return;
+    }
+    names_.emplace(name, std::uint32_t(slots_.size()));
+    slots_.push_back(std::move(value));
+  }
+
+  [[nodiscard]] bool has_own(const std::string& name) const {
+    return names_.find(name) != names_.end();
+  }
+
+  /// Slot of an own binding, or nullptr.
+  [[nodiscard]] Value* own_slot(const std::string& name) {
+    const auto it = names_.find(name);
+    return it == names_.end() ? nullptr : &slots_[it->second];
+  }
+
+  /// Resolve a name through the scope chain. Returns the owning environment
+  /// (for provenance stamping) and the slot, or {nullptr, nullptr}.
+  struct Resolution {
+    Environment* env = nullptr;
+    Value* slot = nullptr;
+  };
+  Resolution resolve(const std::string& name) {
+    for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
+      if (Value* slot = env->own_slot(name)) return {env, slot};
+    }
+    return {};
+  }
+
+  // `this` binding of the activation this environment belongs to.
+  void set_this(Value this_val) {
+    this_val_ = std::move(this_val);
+    has_this_ = true;
+  }
+  /// The `this` value, walking outward to the nearest activation that set one.
+  [[nodiscard]] const Value* this_value() const {
+    const Environment* env = this_env();
+    return env == nullptr ? nullptr : &env->this_val_;
+  }
+
+  /// The activation environment owning the current `this` binding; used by
+  /// the dependence analysis to stamp `this.foo` accesses.
+  [[nodiscard]] const Environment* this_env() const {
+    for (const Environment* env = this; env != nullptr; env = env->parent_.get()) {
+      if (env->has_this_) return env;
+    }
+    return nullptr;
+  }
+
+  void reserve(std::size_t n) {
+    names_.reserve(n);
+    slots_.reserve(n);
+  }
+
+ private:
+  std::uint64_t id_;
+  EnvPtr parent_;
+  std::unordered_map<std::string, std::uint32_t> names_;
+  std::vector<Value> slots_;
+  Value this_val_;
+  bool has_this_ = false;
+};
+
+}  // namespace jsceres::interp

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsceres::interp {
+
+/// Static loop metadata forwarded to hooks (mirrors js::LoopSite, duplicated
+/// here to keep the hook interface free of front-end includes).
+struct LoopEvent {
+  int loop_id = 0;
+  int line = 0;
+  int kind = 0;  // cast of js::LoopKind
+};
+
+/// How the base object of a property access was reached. The dependence
+/// analysis characterizes a property access by the *reference path*: when a
+/// loop body writes `p.vX` and `p` is a `var` binding hoisted to function
+/// scope, the access inherits the binding's sharing across iterations (the
+/// paper's Fig. 6 walkthrough); when the object is reached anonymously
+/// (e.g. `bodies[i].vX`), the object's own creation stamp is used.
+struct BaseProvenance {
+  enum class Kind : std::uint8_t {
+    Object,   // complex base expression: use the object's creation stamp
+    Binding,  // base was an identifier: use the owning environment's stamp
+    This,     // base was `this`: use the call environment's stamp
+  };
+  Kind kind = Kind::Object;
+  std::uint64_t env_id = 0;  // valid for Binding / This
+};
+
+/// Category of host (browser-substrate) API touched by a native call.
+enum class HostAccess : std::uint8_t {
+  Dom,      // document tree reads/writes
+  Canvas,   // 2D context draw calls / image data
+  WebGl,    // shader-style calls
+  Storage,  // localStorage-style calls
+  Timer,    // setTimeout / requestAnimationFrame
+  Network,  // simulated resource loading
+};
+
+/// Engine-level instrumentation interface — the reproduction's equivalent of
+/// JS-CERES's source-to-source instrumentation. The interpreter emits these
+/// events as it executes; the three instrumentation modes of the paper
+/// (lightweight profiling, loop profiling, dependence analysis) are
+/// implementations of this interface in `src/ceres`.
+///
+/// All callbacks default to no-ops so a mode only pays for what it observes.
+class ExecutionHooks {
+ public:
+  virtual ~ExecutionHooks() = default;
+
+  // --- loops ---
+  virtual void on_loop_enter(const LoopEvent&) {}
+  /// Fired before each iteration's body executes (after the condition).
+  virtual void on_loop_iteration(const LoopEvent&) {}
+  virtual void on_loop_exit(const LoopEvent&) {}
+
+  // --- calls ---
+  virtual void on_function_enter(int /*fn_id*/, const std::string& /*name*/) {}
+  virtual void on_function_exit(int /*fn_id*/) {}
+
+  // --- heap / environments ---
+  virtual void on_env_created(std::uint64_t /*env_id*/) {}
+  virtual void on_object_created(std::uint64_t /*obj_id*/, int /*line*/) {}
+
+  // --- memory accesses ---
+  virtual void on_var_write(std::uint64_t /*env_id*/, const std::string& /*name*/,
+                            int /*line*/) {}
+  virtual void on_var_read(std::uint64_t /*env_id*/, const std::string& /*name*/,
+                           int /*line*/) {}
+  virtual void on_prop_write(std::uint64_t /*obj_id*/, const std::string& /*key*/,
+                             int /*line*/, const BaseProvenance&) {}
+  virtual void on_prop_read(std::uint64_t /*obj_id*/, const std::string& /*key*/,
+                            int /*line*/, const BaseProvenance&) {}
+
+  // --- substrate ---
+  virtual void on_host_access(HostAccess, const char* /*api_name*/) {}
+
+  /// Periodic low-frequency callback (every few dozen cost-model ticks and
+  /// after event-loop idle jumps); used by the sampling profiler.
+  virtual void on_clock_advance(int /*current_fn_id*/) {}
+
+  /// Whether memory-access callbacks are wanted at all. The interpreter
+  /// checks this once per access site; returning false keeps the lightweight
+  /// and loop-profiling modes cheap (the paper's reason for staging modes).
+  [[nodiscard]] virtual bool wants_memory_events() const { return false; }
+};
+
+/// Fan-out composite so several observers (e.g. loop profiler + sampling
+/// profiler) can be attached to one run.
+class HookList final : public ExecutionHooks {
+ public:
+  void add(ExecutionHooks* hooks) {
+    if (hooks != nullptr) hooks_.push_back(hooks);
+  }
+
+  void on_loop_enter(const LoopEvent& e) override {
+    for (auto* h : hooks_) h->on_loop_enter(e);
+  }
+  void on_loop_iteration(const LoopEvent& e) override {
+    for (auto* h : hooks_) h->on_loop_iteration(e);
+  }
+  void on_loop_exit(const LoopEvent& e) override {
+    for (auto* h : hooks_) h->on_loop_exit(e);
+  }
+  void on_function_enter(int fn_id, const std::string& name) override {
+    for (auto* h : hooks_) h->on_function_enter(fn_id, name);
+  }
+  void on_function_exit(int fn_id) override {
+    for (auto* h : hooks_) h->on_function_exit(fn_id);
+  }
+  void on_env_created(std::uint64_t env_id) override {
+    for (auto* h : hooks_) h->on_env_created(env_id);
+  }
+  void on_object_created(std::uint64_t obj_id, int line) override {
+    for (auto* h : hooks_) h->on_object_created(obj_id, line);
+  }
+  void on_var_write(std::uint64_t env_id, const std::string& name, int line) override {
+    for (auto* h : hooks_) h->on_var_write(env_id, name, line);
+  }
+  void on_var_read(std::uint64_t env_id, const std::string& name, int line) override {
+    for (auto* h : hooks_) h->on_var_read(env_id, name, line);
+  }
+  void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,
+                     const BaseProvenance& base) override {
+    for (auto* h : hooks_) h->on_prop_write(obj_id, key, line, base);
+  }
+  void on_prop_read(std::uint64_t obj_id, const std::string& key, int line,
+                    const BaseProvenance& base) override {
+    for (auto* h : hooks_) h->on_prop_read(obj_id, key, line, base);
+  }
+  void on_host_access(HostAccess access, const char* api_name) override {
+    for (auto* h : hooks_) h->on_host_access(access, api_name);
+  }
+  void on_clock_advance(int fn_id) override {
+    for (auto* h : hooks_) h->on_clock_advance(fn_id);
+  }
+  [[nodiscard]] bool wants_memory_events() const override {
+    for (auto* h : hooks_) {
+      if (h->wants_memory_events()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<ExecutionHooks*> hooks_;
+};
+
+}  // namespace jsceres::interp

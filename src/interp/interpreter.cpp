@@ -1,0 +1,1096 @@
+#include "interp/interpreter.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+
+namespace jsceres::interp {
+
+namespace {
+
+/// Canonical array index parse: "0", "1", ... without leading zeros.
+bool index_from_string(const std::string& key, std::size_t* out) {
+  if (key.empty() || key.size() > 10) return false;
+  if (key.size() > 1 && key[0] == '0') return false;
+  std::size_t value = 0;
+  for (const char c : key) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + std::size_t(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool number_as_index(double d, std::size_t* out) {
+  if (!(d >= 0) || d != std::floor(d) || d >= 4294967295.0) return false;
+  *out = std::size_t(d);
+  return true;
+}
+
+/// RAII guard pairing on_function_enter / on_function_exit even when a JS
+/// exception unwinds through C++ frames.
+class FunctionFrame {
+ public:
+  FunctionFrame(ExecutionHooks* hooks, std::vector<int>& stack, int fn_id,
+                const std::string& name)
+      : hooks_(hooks), stack_(stack), fn_id_(fn_id) {
+    stack_.push_back(fn_id_);
+    if (hooks_ != nullptr) hooks_->on_function_enter(fn_id_, name);
+  }
+  ~FunctionFrame() {
+    stack_.pop_back();
+    if (hooks_ != nullptr) hooks_->on_function_exit(fn_id_);
+  }
+
+ private:
+  ExecutionHooks* hooks_;
+  std::vector<int>& stack_;
+  int fn_id_;
+};
+
+}  // namespace
+
+Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
+                         ExecutionHooks* hooks, Config config)
+    : program_(program),
+      clock_(&clock),
+      hooks_(hooks),
+      config_(config),
+      rng_(config.random_seed) {
+  memory_events_ = hooks_ != nullptr && hooks_->wants_memory_events();
+
+  global_env_ = std::make_shared<Environment>(next_env_id_++, nullptr);
+  if (hooks_ != nullptr) hooks_->on_env_created(global_env_->id());
+
+  object_proto_ = std::make_shared<JSObject>(next_obj_id_++);
+  array_proto_ = std::make_shared<JSObject>(next_obj_id_++);
+  string_proto_ = std::make_shared<JSObject>(next_obj_id_++);
+  function_proto_ = std::make_shared<JSObject>(next_obj_id_++);
+  array_proto_->set_prototype(object_proto_);
+
+  define_global("undefined", Value::undefined());
+  define_global("NaN", Value::number(std::numeric_limits<double>::quiet_NaN()));
+  define_global("Infinity", Value::number(std::numeric_limits<double>::infinity()));
+
+  install_stdlib(*this);
+}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::tick(std::int64_t n) {
+  clock_->tick(n);
+  ticks_since_probe_ += n;
+  if (ticks_since_probe_ >= 64) {
+    ticks_since_probe_ = 0;
+    if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
+    if (config_.max_ticks >= 0 && clock_->cpu_ns() > config_.max_ticks * VirtualClock::kTickNs) {
+      throw EngineError("tick budget exceeded");
+    }
+  }
+  if (config_.preempt_interval_ticks > 0) {
+    ticks_since_preempt_ += n;
+    if (ticks_since_preempt_ >= config_.preempt_interval_ticks) {
+      ticks_since_preempt_ = 0;
+      block(config_.preempt_block_ns);
+    }
+  }
+}
+
+void Interpreter::charge(std::int64_t ticks) { tick(ticks); }
+
+void Interpreter::block(std::int64_t ns) {
+  clock_->block_ns(ns);
+  if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
+}
+
+void Interpreter::console_write(const std::string& text) {
+  console_ += text;
+  console_ += '\n';
+  if (config_.echo_console) std::cout << text << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// Object construction
+// ---------------------------------------------------------------------------
+
+ObjPtr Interpreter::make_object() {
+  auto obj = std::make_shared<JSObject>(next_obj_id_++);
+  obj->set_prototype(object_proto_);
+  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), 0);
+  return obj;
+}
+
+ObjPtr Interpreter::make_array(std::size_t reserve) {
+  auto obj = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
+  obj->set_prototype(array_proto_);
+  if (reserve > 0) obj->elements().reserve(reserve);
+  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), 0);
+  return obj;
+}
+
+ObjPtr Interpreter::make_native_function(std::string name, NativeFn fn) {
+  auto obj = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Function);
+  obj->set_prototype(function_proto_);
+  auto data = std::make_unique<FunctionData>();
+  data->name = std::move(name);
+  data->native = std::move(fn);
+  obj->set_function(std::move(data));
+  return obj;
+}
+
+ObjPtr Interpreter::make_function_from_node(const js::FunctionNode& node,
+                                            const EnvPtr& env) {
+  auto obj = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Function);
+  obj->set_prototype(function_proto_);
+  auto data = std::make_unique<FunctionData>();
+  data->decl = &node;
+  data->closure = env;
+  data->name = node.name;
+  data->fn_id = node.fn_id;
+  obj->set_function(std::move(data));
+  // Constructor protocol: every function carries a fresh `prototype` object.
+  auto proto = std::make_shared<JSObject>(next_obj_id_++);
+  proto->set_prototype(object_proto_);
+  proto->set_property("constructor", Value::object(obj));
+  obj->set_property("prototype", Value::object(proto));
+  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), node.line);
+  return obj;
+}
+
+void Interpreter::throw_error(const std::string& kind, const std::string& message) {
+  auto obj = std::make_shared<JSObject>(next_obj_id_++);
+  obj->set_prototype(object_proto_);
+  obj->set_property("name", Value::str(kind));
+  obj->set_property("message", Value::str(message));
+  throw JSException{Value::object(obj)};
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+bool Interpreter::to_boolean(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Undefined:
+    case Value::Kind::Null:
+      return false;
+    case Value::Kind::Boolean:
+      return v.as_boolean();
+    case Value::Kind::Number:
+      return v.as_number() != 0 && !std::isnan(v.as_number());
+    case Value::Kind::String:
+      return !v.as_string().empty();
+    case Value::Kind::Object:
+      return true;
+  }
+  return false;
+}
+
+double Interpreter::to_number(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Undefined:
+      return std::numeric_limits<double>::quiet_NaN();
+    case Value::Kind::Null:
+      return 0;
+    case Value::Kind::Boolean:
+      return v.as_boolean() ? 1 : 0;
+    case Value::Kind::Number:
+      return v.as_number();
+    case Value::Kind::String: {
+      const std::string& s = v.as_string();
+      std::size_t begin = 0;
+      std::size_t end = s.size();
+      while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+      while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+      if (begin == end) return 0;
+      char* parse_end = nullptr;
+      const std::string trimmed = s.substr(begin, end - begin);
+      const double d = std::strtod(trimmed.c_str(), &parse_end);
+      if (parse_end != trimmed.c_str() + trimmed.size()) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return d;
+    }
+    case Value::Kind::Object:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+  return 0;
+}
+
+std::string Interpreter::number_to_string(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", d);
+  return buf;
+}
+
+std::string Interpreter::to_string_value(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::Undefined:
+      return "undefined";
+    case Value::Kind::Null:
+      return "null";
+    case Value::Kind::Boolean:
+      return v.as_boolean() ? "true" : "false";
+    case Value::Kind::Number:
+      return number_to_string(v.as_number());
+    case Value::Kind::String:
+      return v.as_string();
+    case Value::Kind::Object: {
+      const ObjPtr& obj = v.as_object();
+      if (obj->is_array()) {
+        std::string out;
+        for (std::size_t i = 0; i < obj->elements().size(); ++i) {
+          if (i > 0) out += ",";
+          const Value& e = obj->elements()[i];
+          if (!e.is_nullish()) out += to_string_value(e);
+        }
+        return out;
+      }
+      if (obj->is_function()) {
+        const auto* fn = obj->function();
+        return "function " + (fn != nullptr ? fn->name : "") + "() { ... }";
+      }
+      return "[object Object]";
+    }
+  }
+  return "";
+}
+
+std::int32_t Interpreter::to_int32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0;
+  return std::int32_t(std::uint32_t(std::fmod(std::trunc(d), 4294967296.0)));
+}
+
+std::uint32_t Interpreter::to_uint32(double d) {
+  if (std::isnan(d) || std::isinf(d)) return 0;
+  return std::uint32_t(std::int64_t(std::fmod(std::trunc(d), 4294967296.0)));
+}
+
+std::string Interpreter::property_key(const Value& key) {
+  if (key.is_string()) return key.as_string();
+  if (key.is_number()) return number_to_string(key.as_number());
+  return to_string_value(key);
+}
+
+// ---------------------------------------------------------------------------
+// Property protocol
+// ---------------------------------------------------------------------------
+
+Value Interpreter::property_get(const Value& base, const std::string& key, int line,
+                                const BaseProvenance& prov) {
+  if (base.is_string()) {
+    const std::string& s = base.as_string();
+    if (key == "length") return Value::number(double(s.size()));
+    if (const Value* method = string_proto_->own_property(key)) return *method;
+    std::size_t index = 0;
+    if (index_from_string(key, &index) && index < s.size()) {
+      return Value::str(std::string(1, s[index]));
+    }
+    return Value::undefined();
+  }
+  if (base.is_number()) {
+    // Allow Number method lookups (toFixed) through a tiny implicit box.
+    if (const Value* method = string_proto_->own_property(key)) return *method;
+    return Value::undefined();
+  }
+  if (!base.is_object()) {
+    throw_error("TypeError",
+                "cannot read property '" + key + "' of " + to_string_value(base));
+  }
+  const ObjPtr& obj = base.as_object();
+  if (obj->host() != nullptr) {
+    note_host_access(obj->host()->category(), key.c_str());
+  }
+
+  if (obj->is_array()) {
+    if (key == "length") return Value::number(double(obj->elements().size()));
+    std::size_t index = 0;
+    if (index_from_string(key, &index)) {
+      if (memory_events_) hooks_->on_prop_read(obj->id(), key, line, prov);
+      return index < obj->elements().size() ? obj->elements()[index]
+                                            : Value::undefined();
+    }
+  }
+  if (memory_events_) hooks_->on_prop_read(obj->id(), key, line, prov);
+  for (const JSObject* walk = obj.get(); walk != nullptr;
+       walk = walk->prototype().get()) {
+    if (const Value* found = walk->own_property(key)) return *found;
+  }
+  return Value::undefined();
+}
+
+void Interpreter::property_set(const Value& base, const std::string& key, Value value,
+                               int line, const BaseProvenance& prov) {
+  if (!base.is_object()) {
+    throw_error("TypeError",
+                "cannot set property '" + key + "' of " + to_string_value(base));
+  }
+  const ObjPtr& obj = base.as_object();
+  if (obj->host() != nullptr) {
+    note_host_access(obj->host()->category(), key.c_str());
+  }
+  if (memory_events_) hooks_->on_prop_write(obj->id(), key, line, prov);
+
+  if (obj->is_array()) {
+    if (key == "length") {
+      std::size_t n = 0;
+      if (number_as_index(to_number(value), &n)) obj->elements().resize(n);
+      return;
+    }
+    std::size_t index = 0;
+    if (index_from_string(key, &index)) {
+      if (index >= obj->elements().size()) obj->elements().resize(index + 1);
+      obj->elements()[index] = std::move(value);
+      return;
+    }
+  }
+  obj->set_property(key, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+void Interpreter::define_global(const std::string& name, Value value) {
+  global_env_->declare(name, std::move(value));
+}
+
+Value Interpreter::global(const std::string& name) {
+  const Value* slot = global_env_->own_slot(name);
+  return slot == nullptr ? Value::undefined() : *slot;
+}
+
+Environment::Resolution Interpreter::resolve_for_write(const std::string& name,
+                                                       const EnvPtr& env) {
+  Environment::Resolution res = env->resolve(name);
+  if (res.slot == nullptr) {
+    // Sloppy-mode JavaScript: assigning an undeclared name creates a global.
+    global_env_->declare(name, Value::undefined());
+    res.env = global_env_.get();
+    res.slot = global_env_->own_slot(name);
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Equality
+// ---------------------------------------------------------------------------
+
+bool Interpreter::strict_equals(const Value& a, const Value& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Value::Kind::Undefined:
+    case Value::Kind::Null:
+      return true;
+    case Value::Kind::Boolean:
+      return a.as_boolean() == b.as_boolean();
+    case Value::Kind::Number:
+      return a.as_number() == b.as_number();
+    case Value::Kind::String:
+      return a.as_string() == b.as_string();
+    case Value::Kind::Object:
+      return a.as_object() == b.as_object();
+  }
+  return false;
+}
+
+bool Interpreter::loose_equals(const Value& a, const Value& b) {
+  if (a.kind() == b.kind()) return strict_equals(a, b);
+  if (a.is_nullish() && b.is_nullish()) return true;
+  if (a.is_nullish() || b.is_nullish()) return false;
+  if (a.is_object() || b.is_object()) {
+    // Compare via string representation when one side is an object
+    // (sufficient for the study corpus, which compares primitives).
+    return to_string_value(a) == to_string_value(b);
+  }
+  return to_number(a) == to_number(b);
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+// ---------------------------------------------------------------------------
+
+void Interpreter::hoist_into(Environment& env, const std::vector<std::string>& vars,
+                             const std::vector<const js::FunctionDecl*>& fns,
+                             const EnvPtr& env_ptr) {
+  for (const auto& name : vars) {
+    if (!env.has_own(name)) env.declare(name, Value::undefined());
+  }
+  for (const auto* decl : fns) {
+    env.declare(decl->fn->name, Value::object(make_function_from_node(*decl->fn, env_ptr)));
+  }
+}
+
+Value Interpreter::call(const Value& callee, const Value& this_val,
+                        const std::vector<Value>& args) {
+  if (!callee.is_object() || !callee.as_object()->is_function()) {
+    throw_error("TypeError", to_string_value(callee) + " is not a function");
+  }
+  JSObject& fn_obj = *callee.as_object();
+  FunctionData& fn = *fn_obj.function();
+  if (fn.native) {
+    tick(2);
+    return fn.native(*this, this_val, args);
+  }
+  return call_js_function(fn_obj, this_val, args);
+}
+
+Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
+                                    const std::vector<Value>& args) {
+  FunctionData& fn = *fn_obj.function();
+  const js::FunctionNode& node = *fn.decl;
+  if (++call_depth_ > config_.max_call_depth) {
+    --call_depth_;
+    throw_error("RangeError", "maximum call stack size exceeded");
+  }
+
+  auto env = std::make_shared<Environment>(next_env_id_++, fn.closure);
+  env->reserve(node.params.size() + node.hoisted_vars.size());
+  for (std::size_t i = 0; i < node.params.size(); ++i) {
+    env->declare(node.params[i], i < args.size() ? args[i] : Value::undefined());
+  }
+  hoist_into(*env, node.hoisted_vars, node.hoisted_functions, env);
+  env->set_this(this_val);
+  if (hooks_ != nullptr) hooks_->on_env_created(env->id());
+
+  FunctionFrame frame(hooks_, fn_stack_, node.fn_id,
+                      fn.name.empty() ? "<anonymous>" : fn.name);
+  tick(3);
+  Value result;
+  try {
+    const Completion completion = exec(*static_cast<const js::Block*>(node.body.get()), env);
+    if (completion.type == Completion::Type::Return) result = completion.value;
+  } catch (...) {
+    --call_depth_;
+    throw;
+  }
+  --call_depth_;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+void Interpreter::run() {
+  hoist_into(*global_env_, program_.hoisted_vars, program_.hoisted_functions,
+             global_env_);
+  try {
+    for (const auto& stmt : program_.statements) {
+      const Completion completion = exec(*stmt, global_env_);
+      if (completion.type != Completion::Type::Normal) break;
+    }
+  } catch (const JSException& ex) {
+    std::string name = "Error";
+    std::string message = to_string_value(ex.value);
+    if (ex.value.is_object()) {
+      if (const Value* n = ex.value.as_object()->own_property("name")) {
+        name = to_string_value(*n);
+      }
+      if (const Value* m = ex.value.as_object()->own_property("message")) {
+        message = to_string_value(*m);
+      }
+    }
+    throw EngineError("uncaught " + name + ": " + message);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+Interpreter::Completion Interpreter::exec_block(const js::Block& block,
+                                                const EnvPtr& env) {
+  for (const auto& stmt : block.statements) {
+    const Completion completion = exec(*stmt, env);
+    if (completion.type != Completion::Type::Normal) return completion;
+  }
+  return {};
+}
+
+Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& env) {
+  tick(1);
+  switch (stmt.kind) {
+    case js::NodeKind::Block:
+      return exec_block(static_cast<const js::Block&>(stmt), env);
+    case js::NodeKind::ExprStmt:
+      eval(*static_cast<const js::ExprStmt&>(stmt).expr, env);
+      return {};
+    case js::NodeKind::VarDecl: {
+      const auto& decl = static_cast<const js::VarDecl&>(stmt);
+      for (const auto& d : decl.declarators) {
+        if (!d.init) continue;
+        Value value = eval(*d.init, env);
+        const Environment::Resolution res = resolve_for_write(d.name, env);
+        if (memory_events_) hooks_->on_var_write(res.env->id(), d.name, stmt.line);
+        *res.slot = std::move(value);
+      }
+      return {};
+    }
+    case js::NodeKind::FunctionDecl:
+      return {};  // bound during hoisting
+    case js::NodeKind::If: {
+      const auto& node = static_cast<const js::If&>(stmt);
+      if (to_boolean(eval(*node.condition, env))) return exec(*node.consequent, env);
+      if (node.alternate) return exec(*node.alternate, env);
+      return {};
+    }
+    case js::NodeKind::For:
+      return exec_for(static_cast<const js::For&>(stmt), env);
+    case js::NodeKind::ForIn:
+      return exec_for_in(static_cast<const js::ForIn&>(stmt), env);
+    case js::NodeKind::While:
+      return exec_while(static_cast<const js::While&>(stmt), env);
+    case js::NodeKind::DoWhile:
+      return exec_do_while(static_cast<const js::DoWhile&>(stmt), env);
+    case js::NodeKind::Return: {
+      const auto& node = static_cast<const js::Return&>(stmt);
+      Completion completion;
+      completion.type = Completion::Type::Return;
+      if (node.value) completion.value = eval(*node.value, env);
+      return completion;
+    }
+    case js::NodeKind::Break:
+      return {Completion::Type::Break, {}};
+    case js::NodeKind::Continue:
+      return {Completion::Type::Continue, {}};
+    case js::NodeKind::Empty:
+      return {};
+    case js::NodeKind::Throw:
+      throw JSException{eval(*static_cast<const js::Throw&>(stmt).value, env)};
+    case js::NodeKind::TryCatch: {
+      const auto& node = static_cast<const js::TryCatch&>(stmt);
+      Completion completion;
+      try {
+        completion = exec(*node.try_block, env);
+      } catch (const JSException& ex) {
+        if (node.catch_block) {
+          auto catch_env = std::make_shared<Environment>(next_env_id_++, env);
+          catch_env->declare(node.catch_param, ex.value);
+          if (hooks_ != nullptr) hooks_->on_env_created(catch_env->id());
+          completion = exec(*node.catch_block, catch_env);
+        } else {
+          if (node.finally_block) exec(*node.finally_block, env);
+          throw;
+        }
+      }
+      if (node.finally_block) {
+        const Completion fin = exec(*node.finally_block, env);
+        if (fin.type != Completion::Type::Normal) return fin;
+      }
+      return completion;
+    }
+    default:
+      throw EngineError("unexpected statement node");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loops — the instrumented events the whole study hangs off
+// ---------------------------------------------------------------------------
+
+namespace {
+LoopEvent loop_event(int loop_id, int line, js::LoopKind kind) {
+  return LoopEvent{loop_id, line, int(kind)};
+}
+}  // namespace
+
+Interpreter::Completion Interpreter::exec_for(const js::For& node, const EnvPtr& env) {
+  if (node.init) exec(*node.init, env);
+  const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::For);
+  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  Completion result;
+  while (true) {
+    if (node.condition && !to_boolean(eval(*node.condition, env))) break;
+    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    const Completion completion = exec(*node.body, env);
+    if (completion.type == Completion::Type::Break) break;
+    if (completion.type == Completion::Type::Return) {
+      result = completion;
+      break;
+    }
+    if (node.update) eval(*node.update, env);
+  }
+  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  return result;
+}
+
+Interpreter::Completion Interpreter::exec_while(const js::While& node,
+                                                const EnvPtr& env) {
+  const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::While);
+  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  Completion result;
+  while (to_boolean(eval(*node.condition, env))) {
+    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    const Completion completion = exec(*node.body, env);
+    if (completion.type == Completion::Type::Break) break;
+    if (completion.type == Completion::Type::Return) {
+      result = completion;
+      break;
+    }
+  }
+  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  return result;
+}
+
+Interpreter::Completion Interpreter::exec_do_while(const js::DoWhile& node,
+                                                   const EnvPtr& env) {
+  const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::DoWhile);
+  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  Completion result;
+  do {
+    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    const Completion completion = exec(*node.body, env);
+    if (completion.type == Completion::Type::Break) break;
+    if (completion.type == Completion::Type::Return) {
+      result = completion;
+      break;
+    }
+  } while (to_boolean(eval(*node.condition, env)));
+  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  return result;
+}
+
+Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
+                                                 const EnvPtr& env) {
+  const Value object = eval(*node.object, env);
+  const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::ForIn);
+  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  Completion result;
+
+  std::vector<std::string> keys;
+  if (object.is_object()) {
+    const ObjPtr& obj = object.as_object();
+    if (obj->is_array()) {
+      keys.reserve(obj->elements().size() + obj->key_order().size());
+      for (std::size_t i = 0; i < obj->elements().size(); ++i) {
+        keys.push_back(number_to_string(double(i)));
+      }
+    }
+    for (const auto& key : obj->key_order()) keys.push_back(key);
+  }
+
+  for (const auto& key : keys) {
+    const Environment::Resolution res = resolve_for_write(node.var_name, env);
+    if (memory_events_) hooks_->on_var_write(res.env->id(), node.var_name, node.line);
+    *res.slot = Value::str(key);
+    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    const Completion completion = exec(*node.body, env);
+    if (completion.type == Completion::Type::Break) break;
+    if (completion.type == Completion::Type::Return) {
+      result = completion;
+      break;
+    }
+  }
+  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+BaseProvenance Interpreter::provenance_of(const js::Expr& base_expr, const EnvPtr& env) {
+  if (base_expr.kind == js::NodeKind::Ident) {
+    const auto& ident = static_cast<const js::Ident&>(base_expr);
+    const Environment::Resolution res = env->resolve(ident.name);
+    if (res.env != nullptr) {
+      return BaseProvenance{BaseProvenance::Kind::Binding, res.env->id()};
+    }
+    return BaseProvenance{BaseProvenance::Kind::Object, 0};
+  }
+  if (base_expr.kind == js::NodeKind::ThisExpr) {
+    const Environment* owner = env->this_env();
+    if (owner != nullptr) {
+      return BaseProvenance{BaseProvenance::Kind::This, owner->id()};
+    }
+  }
+  return BaseProvenance{BaseProvenance::Kind::Object, 0};
+}
+
+Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
+  tick(1);
+  switch (expr.kind) {
+    case js::NodeKind::NumberLit:
+      return Value::number(static_cast<const js::NumberLit&>(expr).value);
+    case js::NodeKind::StringLit:
+      return Value::str(static_cast<const js::StringLit&>(expr).value);
+    case js::NodeKind::BoolLit:
+      return Value::boolean(static_cast<const js::BoolLit&>(expr).value);
+    case js::NodeKind::NullLit:
+      return Value::null();
+    case js::NodeKind::Ident: {
+      const auto& ident = static_cast<const js::Ident&>(expr);
+      const Environment::Resolution res = env->resolve(ident.name);
+      if (res.slot == nullptr) {
+        throw_error("ReferenceError", ident.name + " is not defined");
+      }
+      if (memory_events_) hooks_->on_var_read(res.env->id(), ident.name, expr.line);
+      return *res.slot;
+    }
+    case js::NodeKind::ThisExpr: {
+      const Value* this_val = env->this_value();
+      return this_val == nullptr ? Value::undefined() : *this_val;
+    }
+    case js::NodeKind::ArrayLit: {
+      const auto& lit = static_cast<const js::ArrayLit&>(expr);
+      auto arr = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
+      arr->set_prototype(array_proto_);
+      if (hooks_ != nullptr) hooks_->on_object_created(arr->id(), expr.line);
+      arr->elements().reserve(lit.elements.size());
+      const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
+      for (std::size_t i = 0; i < lit.elements.size(); ++i) {
+        arr->elements().push_back(eval(*lit.elements[i], env));
+        if (memory_events_) {
+          hooks_->on_prop_write(arr->id(), number_to_string(double(i)), expr.line, prov);
+        }
+      }
+      return Value::object(arr);
+    }
+    case js::NodeKind::ObjectLit: {
+      const auto& lit = static_cast<const js::ObjectLit&>(expr);
+      auto obj = std::make_shared<JSObject>(next_obj_id_++);
+      obj->set_prototype(object_proto_);
+      if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), expr.line);
+      const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
+      for (const auto& [key, value_expr] : lit.properties) {
+        obj->set_property(key, eval(*value_expr, env));
+        if (memory_events_) hooks_->on_prop_write(obj->id(), key, expr.line, prov);
+      }
+      return Value::object(obj);
+    }
+    case js::NodeKind::FunctionExpr: {
+      const auto& node = static_cast<const js::FunctionExpr&>(expr);
+      return Value::object(make_function_from_node(*node.fn, env));
+    }
+    case js::NodeKind::Call:
+      return eval_call(static_cast<const js::Call&>(expr), env);
+    case js::NodeKind::New:
+      return eval_new(static_cast<const js::New&>(expr), env);
+    case js::NodeKind::Member:
+      return eval_member(static_cast<const js::Member&>(expr), env);
+    case js::NodeKind::Assign:
+      return eval_assign(static_cast<const js::Assign&>(expr), env);
+    case js::NodeKind::Conditional: {
+      const auto& node = static_cast<const js::Conditional&>(expr);
+      return to_boolean(eval(*node.condition, env)) ? eval(*node.consequent, env)
+                                                    : eval(*node.alternate, env);
+    }
+    case js::NodeKind::Binary:
+      return eval_binary(static_cast<const js::Binary&>(expr), env);
+    case js::NodeKind::Logical: {
+      const auto& node = static_cast<const js::Logical&>(expr);
+      Value lhs = eval(*node.lhs, env);
+      if (node.op == js::LogicalOp::And) {
+        return to_boolean(lhs) ? eval(*node.rhs, env) : lhs;
+      }
+      return to_boolean(lhs) ? lhs : eval(*node.rhs, env);
+    }
+    case js::NodeKind::Unary: {
+      const auto& node = static_cast<const js::Unary&>(expr);
+      switch (node.op) {
+        case js::UnaryOp::Neg:
+          return Value::number(-to_number(eval(*node.operand, env)));
+        case js::UnaryOp::Plus:
+          return Value::number(to_number(eval(*node.operand, env)));
+        case js::UnaryOp::Not:
+          return Value::boolean(!to_boolean(eval(*node.operand, env)));
+        case js::UnaryOp::BitNot:
+          return Value::number(double(~to_int32(to_number(eval(*node.operand, env)))));
+        case js::UnaryOp::TypeOf: {
+          // typeof tolerates unresolved identifiers.
+          if (node.operand->kind == js::NodeKind::Ident) {
+            const auto& ident = static_cast<const js::Ident&>(*node.operand);
+            const Environment::Resolution res = env->resolve(ident.name);
+            if (res.slot == nullptr) return Value::str("undefined");
+          }
+          const Value v = eval(*node.operand, env);
+          switch (v.kind()) {
+            case Value::Kind::Undefined: return Value::str("undefined");
+            case Value::Kind::Null: return Value::str("object");
+            case Value::Kind::Boolean: return Value::str("boolean");
+            case Value::Kind::Number: return Value::str("number");
+            case Value::Kind::String: return Value::str("string");
+            case Value::Kind::Object:
+              return Value::str(v.as_object()->is_function() ? "function" : "object");
+          }
+          return Value::str("undefined");
+        }
+        case js::UnaryOp::Delete: {
+          const auto& member = static_cast<const js::Member&>(*node.operand);
+          const Value base = eval(*member.object, env);
+          if (!base.is_object()) return Value::boolean(true);
+          std::string key = member.computed ? property_key(eval(*member.index, env))
+                                            : member.property;
+          const ObjPtr& obj = base.as_object();
+          std::size_t index = 0;
+          if (obj->is_array() && index_from_string(key, &index)) {
+            if (index < obj->elements().size()) {
+              obj->elements()[index] = Value::undefined();
+            }
+            return Value::boolean(true);
+          }
+          return Value::boolean(obj->delete_property(key));
+        }
+      }
+      return Value::undefined();
+    }
+    case js::NodeKind::Update:
+      return eval_update(static_cast<const js::Update&>(expr), env);
+    case js::NodeKind::Sequence: {
+      const auto& node = static_cast<const js::Sequence&>(expr);
+      Value last;
+      for (const auto& e : node.exprs) last = eval(*e, env);
+      return last;
+    }
+    default:
+      throw EngineError("unexpected expression node");
+  }
+}
+
+Value Interpreter::eval_member(const js::Member& member, const EnvPtr& env) {
+  const Value base = eval(*member.object, env);
+  if (member.computed) {
+    const Value key = eval(*member.index, env);
+    // Fast path: numeric index into a dense array, no instrumentation.
+    if (!memory_events_ && base.is_object() && base.as_object()->is_array() &&
+        key.is_number()) {
+      std::size_t index = 0;
+      if (number_as_index(key.as_number(), &index)) {
+        const auto& elements = base.as_object()->elements();
+        return index < elements.size() ? elements[index] : Value::undefined();
+      }
+    }
+    return property_get(base, property_key(key), member.line,
+                        provenance_of(*member.object, env));
+  }
+  return property_get(base, member.property, member.line,
+                      provenance_of(*member.object, env));
+}
+
+Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
+  if (assign.target->kind == js::NodeKind::Ident) {
+    const auto& ident = static_cast<const js::Ident&>(*assign.target);
+    Value value;
+    if (assign.op == js::AssignOp::None) {
+      value = eval(*assign.value, env);
+    } else {
+      const Environment::Resolution pre = env->resolve(ident.name);
+      if (pre.slot == nullptr) {
+        throw_error("ReferenceError", ident.name + " is not defined");
+      }
+      if (memory_events_) hooks_->on_var_read(pre.env->id(), ident.name, assign.line);
+      value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
+                           *pre.slot, eval(*assign.value, env), assign.line);
+    }
+    const Environment::Resolution res = resolve_for_write(ident.name, env);
+    if (memory_events_) hooks_->on_var_write(res.env->id(), ident.name, assign.line);
+    *res.slot = value;
+    return value;
+  }
+
+  const auto& member = static_cast<const js::Member&>(*assign.target);
+  const Value base = eval(*member.object, env);
+  std::string key = member.computed ? property_key(eval(*member.index, env))
+                                    : member.property;
+  const BaseProvenance prov = provenance_of(*member.object, env);
+  Value value;
+  if (assign.op == js::AssignOp::None) {
+    value = eval(*assign.value, env);
+  } else {
+    const Value current = property_get(base, key, assign.line, prov);
+    value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
+                         current, eval(*assign.value, env), assign.line);
+  }
+  // Fast path mirror of eval_member.
+  if (!memory_events_ && base.is_object() && base.as_object()->is_array()) {
+    std::size_t index = 0;
+    if (index_from_string(key, &index)) {
+      auto& elements = base.as_object()->elements();
+      if (index >= elements.size()) elements.resize(index + 1);
+      elements[index] = value;
+      return value;
+    }
+  }
+  property_set(base, key, value, assign.line, prov);
+  return value;
+}
+
+Value Interpreter::eval_update(const js::Update& update, const EnvPtr& env) {
+  const double delta = update.increment ? 1 : -1;
+  if (update.target->kind == js::NodeKind::Ident) {
+    const auto& ident = static_cast<const js::Ident&>(*update.target);
+    const Environment::Resolution res = env->resolve(ident.name);
+    if (res.slot == nullptr) {
+      throw_error("ReferenceError", ident.name + " is not defined");
+    }
+    const double before = to_number(*res.slot);
+    if (memory_events_) hooks_->on_var_write(res.env->id(), ident.name, update.line);
+    *res.slot = Value::number(before + delta);
+    return Value::number(update.prefix ? before + delta : before);
+  }
+  const auto& member = static_cast<const js::Member&>(*update.target);
+  const Value base = eval(*member.object, env);
+  std::string key = member.computed ? property_key(eval(*member.index, env))
+                                    : member.property;
+  const BaseProvenance prov = provenance_of(*member.object, env);
+  const double before = to_number(property_get(base, key, update.line, prov));
+  property_set(base, key, Value::number(before + delta), update.line, prov);
+  return Value::number(update.prefix ? before + delta : before);
+}
+
+Value Interpreter::eval_call(const js::Call& call, const EnvPtr& env) {
+  Value this_val;
+  Value callee;
+  if (call.callee->kind == js::NodeKind::Member) {
+    const auto& member = static_cast<const js::Member&>(*call.callee);
+    this_val = eval(*member.object, env);
+    const std::string key = member.computed
+                                ? property_key(eval(*member.index, env))
+                                : member.property;
+    callee = property_get(this_val, key, member.line, provenance_of(*member.object, env));
+    if (!callee.is_object() || !callee.as_object()->is_function()) {
+      throw_error("TypeError", key + " is not a function");
+    }
+  } else {
+    callee = eval(*call.callee, env);
+  }
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const auto& arg : call.args) args.push_back(eval(*arg, env));
+  return this->call(callee, this_val, args);
+}
+
+Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
+  const Value callee = eval(*node.callee, env);
+  if (!callee.is_object() || !callee.as_object()->is_function()) {
+    throw_error("TypeError", "constructor is not a function");
+  }
+  auto obj = std::make_shared<JSObject>(next_obj_id_++);
+  if (const Value* proto = callee.as_object()->own_property("prototype");
+      proto != nullptr && proto->is_object()) {
+    obj->set_prototype(proto->as_object());
+  } else {
+    obj->set_prototype(object_proto_);
+  }
+  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), node.line);
+
+  std::vector<Value> args;
+  args.reserve(node.args.size());
+  for (const auto& arg : node.args) args.push_back(eval(*arg, env));
+  const Value result = call(callee, Value::object(obj), args);
+  return result.is_object() ? result : Value::object(obj);
+}
+
+Value Interpreter::eval_binary(const js::Binary& binary, const EnvPtr& env) {
+  const Value lhs = eval(*binary.lhs, env);
+  const Value rhs = eval(*binary.rhs, env);
+  return apply_binary(binary.op, lhs, rhs, binary.line);
+}
+
+Value Interpreter::apply_binary(js::BinaryOp op, const Value& lhs, const Value& rhs,
+                                int line) {
+  using js::BinaryOp;
+  switch (op) {
+    case BinaryOp::Add:
+      if (lhs.is_number() && rhs.is_number()) {
+        return Value::number(lhs.as_number() + rhs.as_number());
+      }
+      if (lhs.is_string() || rhs.is_string() || lhs.is_object() || rhs.is_object()) {
+        return Value::str(to_string_value(lhs) + to_string_value(rhs));
+      }
+      return Value::number(to_number(lhs) + to_number(rhs));
+    case BinaryOp::Sub:
+      return Value::number(to_number(lhs) - to_number(rhs));
+    case BinaryOp::Mul:
+      return Value::number(to_number(lhs) * to_number(rhs));
+    case BinaryOp::Div:
+      return Value::number(to_number(lhs) / to_number(rhs));
+    case BinaryOp::Mod:
+      return Value::number(std::fmod(to_number(lhs), to_number(rhs)));
+    case BinaryOp::BitAnd:
+      return Value::number(double(to_int32(to_number(lhs)) & to_int32(to_number(rhs))));
+    case BinaryOp::BitOr:
+      return Value::number(double(to_int32(to_number(lhs)) | to_int32(to_number(rhs))));
+    case BinaryOp::BitXor:
+      return Value::number(double(to_int32(to_number(lhs)) ^ to_int32(to_number(rhs))));
+    case BinaryOp::Shl:
+      return Value::number(
+          double(to_int32(to_number(lhs)) << (to_uint32(to_number(rhs)) & 31)));
+    case BinaryOp::Shr:
+      return Value::number(
+          double(to_int32(to_number(lhs)) >> (to_uint32(to_number(rhs)) & 31)));
+    case BinaryOp::UShr:
+      return Value::number(
+          double(to_uint32(to_number(lhs)) >> (to_uint32(to_number(rhs)) & 31)));
+    case BinaryOp::Lt:
+      if (lhs.is_string() && rhs.is_string()) {
+        return Value::boolean(lhs.as_string() < rhs.as_string());
+      }
+      return Value::boolean(to_number(lhs) < to_number(rhs));
+    case BinaryOp::Gt:
+      if (lhs.is_string() && rhs.is_string()) {
+        return Value::boolean(lhs.as_string() > rhs.as_string());
+      }
+      return Value::boolean(to_number(lhs) > to_number(rhs));
+    case BinaryOp::Le:
+      if (lhs.is_string() && rhs.is_string()) {
+        return Value::boolean(lhs.as_string() <= rhs.as_string());
+      }
+      return Value::boolean(to_number(lhs) <= to_number(rhs));
+    case BinaryOp::Ge:
+      if (lhs.is_string() && rhs.is_string()) {
+        return Value::boolean(lhs.as_string() >= rhs.as_string());
+      }
+      return Value::boolean(to_number(lhs) >= to_number(rhs));
+    case BinaryOp::Eq:
+      return Value::boolean(loose_equals(lhs, rhs));
+    case BinaryOp::Ne:
+      return Value::boolean(!loose_equals(lhs, rhs));
+    case BinaryOp::StrictEq:
+      return Value::boolean(strict_equals(lhs, rhs));
+    case BinaryOp::StrictNe:
+      return Value::boolean(!strict_equals(lhs, rhs));
+    case BinaryOp::In: {
+      if (!rhs.is_object()) throw_error("TypeError", "'in' requires an object");
+      const std::string key = property_key(lhs);
+      const ObjPtr& obj = rhs.as_object();
+      std::size_t index = 0;
+      if (obj->is_array() && index_from_string(key, &index)) {
+        return Value::boolean(index < obj->elements().size());
+      }
+      for (const JSObject* walk = obj.get(); walk != nullptr;
+           walk = walk->prototype().get()) {
+        if (walk->own_property(key) != nullptr) return Value::boolean(true);
+      }
+      return Value::boolean(false);
+    }
+    case BinaryOp::InstanceOf: {
+      if (!rhs.is_object() || !rhs.as_object()->is_function()) {
+        throw_error("TypeError", "instanceof requires a function");
+      }
+      if (!lhs.is_object()) return Value::boolean(false);
+      const Value* proto = rhs.as_object()->own_property("prototype");
+      if (proto == nullptr || !proto->is_object()) return Value::boolean(false);
+      for (const JSObject* walk = lhs.as_object()->prototype().get(); walk != nullptr;
+           walk = walk->prototype().get()) {
+        if (walk == proto->as_object().get()) return Value::boolean(true);
+      }
+      return Value::boolean(false);
+    }
+  }
+  (void)line;
+  throw EngineError("unexpected binary operator");
+}
+
+}  // namespace jsceres::interp

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "interp/environment.h"
+#include "interp/hooks.h"
+#include "interp/object.h"
+#include "interp/value.h"
+#include "js/ast.h"
+#include "support/clock.h"
+#include "support/rng.h"
+
+namespace jsceres::interp {
+
+/// A JavaScript `throw` propagating through C++ frames. Caught by
+/// try/catch statements; escapes `run()` as an EngineError if uncaught.
+struct JSException {
+  Value value;
+};
+
+/// Host-level failure (uncaught JS exception, tick budget exceeded, call
+/// stack overflow).
+class EngineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Tree-walking interpreter for the engine's JavaScript subset.
+///
+/// Deterministic by construction: Math.random is seeded, Date.now /
+/// performance.now read the virtual clock, and property enumeration follows
+/// insertion order. Every evaluated node advances the cost-model clock, so
+/// "CPU time" in the reproduction is a pure function of the executed
+/// program.
+struct InterpreterConfig {
+  std::uint64_t random_seed = 42;
+  std::int64_t max_ticks = -1;  // <0: unlimited
+  int max_call_depth = 256;
+  bool echo_console = false;  // also print console.log to stdout
+  /// Simulated OS/browser thread preemption: every `preempt_interval_ticks`
+  /// of CPU work the engine is suspended for `preempt_block_ns` of
+  /// wall-clock. Models the paper's §3.1 observation that "if ... the OS or
+  /// Firefox decides to suspend the thread, JS-CERES continues to count the
+  /// time as part of the loop" — the mechanism behind In-Loops > Active.
+  std::int64_t preempt_interval_ticks = 0;  // 0: disabled
+  std::int64_t preempt_block_ns = 0;
+};
+
+class Interpreter {
+ public:
+  using Config = InterpreterConfig;
+
+  Interpreter(const js::Program& program, VirtualClock& clock,
+              ExecutionHooks* hooks = nullptr, Config config = Config());
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Execute the top-level program.
+  void run();
+
+  /// Invoke a callable value (used by builtins, the event loop, tests).
+  Value call(const Value& callee, const Value& this_val,
+             const std::vector<Value>& args);
+
+  // --- globals ---
+  void define_global(const std::string& name, Value value);
+  [[nodiscard]] Value global(const std::string& name);
+  [[nodiscard]] const EnvPtr& global_env() const { return global_env_; }
+
+  // --- object construction (used by builtins and substrate bindings) ---
+  ObjPtr make_object();
+  ObjPtr make_array(std::size_t reserve = 0);
+  ObjPtr make_native_function(std::string name, NativeFn fn);
+  /// Create an error object ({name, message}) ready to be thrown.
+  [[noreturn]] void throw_error(const std::string& kind, const std::string& message);
+
+  // --- property protocol (prototype-chain aware, hook-emitting) ---
+  Value property_get(const Value& base, const std::string& key, int line,
+                     const BaseProvenance& prov);
+  void property_set(const Value& base, const std::string& key, Value value,
+                    int line, const BaseProvenance& prov);
+
+  // --- conversions (exposed for builtins) ---
+  static bool to_boolean(const Value& v);
+  double to_number(const Value& v);
+  std::string to_string_value(const Value& v);
+  static std::string number_to_string(double d);
+  static std::int32_t to_int32(double d);
+  static std::uint32_t to_uint32(double d);
+
+  // --- services ---
+  [[nodiscard]] VirtualClock& clock() { return *clock_; }
+  [[nodiscard]] ExecutionHooks* hooks() { return hooks_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] const js::Program& program() const { return program_; }
+  [[nodiscard]] const std::string& console_output() const { return console_; }
+  void console_write(const std::string& text);
+  /// fn_id of the innermost JS function currently executing (0 == top level).
+  [[nodiscard]] int current_fn_id() const {
+    return fn_stack_.empty() ? 0 : fn_stack_.back();
+  }
+  /// Report a host API touch to the active instrumentation.
+  void note_host_access(HostAccess access, const char* api_name) {
+    if (hooks_ != nullptr) hooks_->on_host_access(access, api_name);
+  }
+  /// Charge `ticks` cost-model ticks (used by substrate bindings to model
+  /// non-trivial native work, e.g. canvas raster fills).
+  void charge(std::int64_t ticks);
+  /// Advance wall-clock only (blocking host work: decode, compositor, ...).
+  void block(std::int64_t ns);
+
+  [[nodiscard]] const ObjPtr& array_prototype() const { return array_proto_; }
+  [[nodiscard]] const ObjPtr& object_prototype() const { return object_proto_; }
+  [[nodiscard]] const ObjPtr& string_prototype() const { return string_proto_; }
+  [[nodiscard]] const ObjPtr& function_prototype() const { return function_proto_; }
+
+ private:
+  struct Completion {
+    enum class Type : std::uint8_t { Normal, Return, Break, Continue };
+    Type type = Type::Normal;
+    Value value;
+  };
+
+  // Statement / expression evaluation.
+  Completion exec(const js::Stmt& stmt, const EnvPtr& env);
+  Completion exec_block(const js::Block& block, const EnvPtr& env);
+  Value eval(const js::Expr& expr, const EnvPtr& env);
+  Value eval_call(const js::Call& call, const EnvPtr& env);
+  Value eval_new(const js::New& node, const EnvPtr& env);
+  Value eval_member(const js::Member& member, const EnvPtr& env);
+  Value eval_assign(const js::Assign& assign, const EnvPtr& env);
+  Value eval_update(const js::Update& update, const EnvPtr& env);
+  Value eval_binary(const js::Binary& binary, const EnvPtr& env);
+  Value apply_binary(js::BinaryOp op, const Value& lhs, const Value& rhs, int line);
+
+  Completion exec_for(const js::For& node, const EnvPtr& env);
+  Completion exec_for_in(const js::ForIn& node, const EnvPtr& env);
+  Completion exec_while(const js::While& node, const EnvPtr& env);
+  Completion exec_do_while(const js::DoWhile& node, const EnvPtr& env);
+
+  /// Key for a property access; resolves computed indices.
+  std::string property_key(const Value& key);
+
+  Value call_js_function(JSObject& fn_obj, const Value& this_val,
+                         const std::vector<Value>& args);
+
+  ObjPtr make_function_from_node(const js::FunctionNode& node, const EnvPtr& env);
+  void hoist_into(Environment& env, const std::vector<std::string>& vars,
+                  const std::vector<const js::FunctionDecl*>& fns, const EnvPtr& env_ptr);
+
+  /// Resolve an identifier for assignment; creates a global on miss
+  /// (sloppy-mode JavaScript).
+  Environment::Resolution resolve_for_write(const std::string& name, const EnvPtr& env);
+
+  bool strict_equals(const Value& a, const Value& b);
+  bool loose_equals(const Value& a, const Value& b);
+
+  void tick(std::int64_t n = 1);
+
+  BaseProvenance provenance_of(const js::Expr& base_expr, const EnvPtr& env);
+
+  const js::Program& program_;
+  VirtualClock* clock_;
+  ExecutionHooks* hooks_;
+  Config config_;
+  Rng rng_;
+
+  EnvPtr global_env_;
+  ObjPtr object_proto_;
+  ObjPtr array_proto_;
+  ObjPtr string_proto_;
+  ObjPtr function_proto_;
+
+  std::uint64_t next_env_id_ = 1;
+  std::uint64_t next_obj_id_ = 1;
+  int call_depth_ = 0;
+  std::vector<int> fn_stack_;
+  std::int64_t ticks_since_probe_ = 0;
+  std::int64_t ticks_since_preempt_ = 0;
+  bool memory_events_ = false;
+  std::string console_;
+};
+
+/// Install the standard library (Math, console, Array/String/Object
+/// builtins, parseInt & friends, performance.now / Date.now) into a fresh
+/// interpreter. Called by the Interpreter constructor.
+void install_stdlib(Interpreter& interp);
+
+}  // namespace jsceres::interp

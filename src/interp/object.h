@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/hooks.h"
+#include "interp/value.h"
+
+namespace jsceres::js {
+struct FunctionNode;
+}
+
+namespace jsceres::interp {
+
+class Interpreter;
+class Environment;
+using EnvPtr = std::shared_ptr<Environment>;
+
+/// Signature of C++-implemented builtins and substrate bindings.
+using NativeFn =
+    std::function<Value(Interpreter&, const Value& this_val, const std::vector<Value>& args)>;
+
+/// Payload attached to objects that front a host-substrate entity (DOM
+/// element, canvas context, ...). The DOM module subclasses this. Property
+/// touches on host-backed objects are reported to the instrumentation under
+/// `category()` — this is how the study detects DOM/Canvas access inside
+/// loops (Table 3, column 6).
+struct HostData {
+  virtual ~HostData() = default;
+  [[nodiscard]] virtual HostAccess category() const { return HostAccess::Dom; }
+};
+
+/// Closure / native-function payload of callable objects.
+struct FunctionData {
+  const js::FunctionNode* decl = nullptr;  // null for native functions
+  EnvPtr closure;                          // captured scope for JS functions
+  NativeFn native;                         // set for native functions
+  std::string name;
+  int fn_id = 0;  // 0 for natives (they don't appear in sampled JS stacks)
+};
+
+/// A JavaScript heap object. One representation serves plain objects,
+/// arrays (dense element storage fast path) and functions.
+class JSObject {
+ public:
+  enum class Cls : std::uint8_t { Plain, Array, Function };
+
+  explicit JSObject(std::uint64_t id, Cls cls = Cls::Plain) : id_(id), cls_(cls) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] Cls cls() const { return cls_; }
+  [[nodiscard]] bool is_array() const { return cls_ == Cls::Array; }
+  [[nodiscard]] bool is_function() const { return cls_ == Cls::Function; }
+
+  // --- named properties (own only; prototype walk is in the interpreter) ---
+
+  [[nodiscard]] const Value* own_property(const std::string& key) const {
+    const auto it = props_.find(key);
+    return it == props_.end() ? nullptr : &it->second;
+  }
+  void set_property(const std::string& key, Value value) {
+    const auto [it, inserted] = props_.insert_or_assign(key, std::move(value));
+    (void)it;
+    if (inserted) key_order_.push_back(key);
+  }
+  bool delete_property(const std::string& key) {
+    if (props_.erase(key) == 0) return false;
+    std::erase(key_order_, key);
+    return true;
+  }
+  /// Own property names in insertion order (deterministic for-in /
+  /// Object.keys, matching the de-facto JS enumeration contract).
+  [[nodiscard]] const std::vector<std::string>& key_order() const {
+    return key_order_;
+  }
+
+  // --- dense array elements ---
+
+  [[nodiscard]] std::vector<Value>& elements() { return elements_; }
+  [[nodiscard]] const std::vector<Value>& elements() const { return elements_; }
+
+  // --- prototype chain ---
+
+  [[nodiscard]] const ObjPtr& prototype() const { return prototype_; }
+  void set_prototype(ObjPtr proto) { prototype_ = std::move(proto); }
+
+  // --- callable payload ---
+
+  [[nodiscard]] FunctionData* function() { return fn_.get(); }
+  [[nodiscard]] const FunctionData* function() const { return fn_.get(); }
+  void set_function(std::unique_ptr<FunctionData> fn) { fn_ = std::move(fn); }
+
+  // --- host payload ---
+
+  [[nodiscard]] const std::shared_ptr<HostData>& host() const { return host_; }
+  void set_host(std::shared_ptr<HostData> host) { host_ = std::move(host); }
+
+  template <typename T>
+  [[nodiscard]] T* host_as() const {
+    return dynamic_cast<T*>(host_.get());
+  }
+
+ private:
+  std::uint64_t id_;
+  Cls cls_;
+  ObjPtr prototype_;
+  std::unordered_map<std::string, Value> props_;
+  std::vector<std::string> key_order_;
+  std::vector<Value> elements_;
+  std::unique_ptr<FunctionData> fn_;
+  std::shared_ptr<HostData> host_;
+};
+
+}  // namespace jsceres::interp

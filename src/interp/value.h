@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace jsceres::interp {
+
+class JSObject;
+using ObjPtr = std::shared_ptr<JSObject>;
+using StrPtr = std::shared_ptr<const std::string>;
+
+/// A JavaScript value: one of undefined, null, boolean, number, string, or
+/// object reference. Strings are immutable and shared; objects are reference
+/// counted (the engine has no cycle collector — programs in the study corpus
+/// are run-to-completion, so cycles simply die with the heap).
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Undefined, Null, Boolean, Number, String, Object };
+
+  Value() : kind_(Kind::Undefined) {}
+
+  static Value undefined() { return Value(); }
+  static Value null() {
+    Value v;
+    v.kind_ = Kind::Null;
+    return v;
+  }
+  static Value boolean(bool b) {
+    Value v;
+    v.kind_ = Kind::Boolean;
+    v.bool_ = b;
+    return v;
+  }
+  static Value number(double d) {
+    Value v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    return v;
+  }
+  static Value str(std::string s) {
+    Value v;
+    v.kind_ = Kind::String;
+    v.str_ = std::make_shared<const std::string>(std::move(s));
+    return v;
+  }
+  static Value str(StrPtr s) {
+    Value v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value object(ObjPtr obj) {
+    Value v;
+    v.kind_ = Kind::Object;
+    v.obj_ = std::move(obj);
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_undefined() const { return kind_ == Kind::Undefined; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_nullish() const { return is_undefined() || is_null(); }
+  [[nodiscard]] bool is_boolean() const { return kind_ == Kind::Boolean; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_boolean() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return *str_; }
+  [[nodiscard]] const StrPtr& string_ptr() const { return str_; }
+  [[nodiscard]] const ObjPtr& as_object() const { return obj_; }
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  StrPtr str_;
+  ObjPtr obj_;
+};
+
+}  // namespace jsceres::interp

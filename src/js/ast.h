@@ -1,0 +1,364 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jsceres::js {
+
+/// AST node discriminator. The interpreter dispatches on this enum; keeping
+/// the AST as plain data (instead of virtual eval methods) lets multiple
+/// consumers — interpreter, static loop scanner, printer — share one tree.
+enum class NodeKind {
+  // Expressions
+  NumberLit,
+  StringLit,
+  BoolLit,
+  NullLit,
+  Ident,
+  ThisExpr,
+  ArrayLit,
+  ObjectLit,
+  FunctionExpr,
+  Call,
+  New,
+  Member,
+  Assign,
+  Conditional,
+  Binary,
+  Logical,
+  Unary,
+  Update,
+  Sequence,
+  // Statements
+  VarDecl,
+  FunctionDecl,
+  ExprStmt,
+  If,
+  For,
+  ForIn,
+  While,
+  DoWhile,
+  Block,
+  Return,
+  Break,
+  Continue,
+  Empty,
+  Throw,
+  TryCatch,
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Mod,
+  BitAnd, BitOr, BitXor, Shl, Shr, UShr,
+  Lt, Gt, Le, Ge,
+  Eq, Ne, StrictEq, StrictNe,
+  In, InstanceOf,
+};
+
+enum class LogicalOp { And, Or };
+
+enum class UnaryOp { Neg, Plus, Not, BitNot, TypeOf, Delete };
+
+/// Compound-assignment operator; `None` means plain `=`.
+enum class AssignOp { None, Add, Sub, Mul, Div, Mod, BitAnd, BitOr, BitXor, Shl, Shr };
+
+struct Node {
+  NodeKind kind;
+  int line = 0;
+
+ protected:
+  explicit Node(NodeKind k) : kind(k) {}
+};
+
+struct Expr : Node {
+ protected:
+  using Node::Node;
+};
+
+struct Stmt : Node {
+ protected:
+  using Node::Node;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct NumberLit : Expr {
+  NumberLit() : Expr(NodeKind::NumberLit) {}
+  double value = 0;
+};
+
+struct StringLit : Expr {
+  StringLit() : Expr(NodeKind::StringLit) {}
+  std::string value;
+};
+
+struct BoolLit : Expr {
+  BoolLit() : Expr(NodeKind::BoolLit) {}
+  bool value = false;
+};
+
+struct NullLit : Expr {
+  NullLit() : Expr(NodeKind::NullLit) {}
+};
+
+struct Ident : Expr {
+  Ident() : Expr(NodeKind::Ident) {}
+  std::string name;
+};
+
+struct ThisExpr : Expr {
+  ThisExpr() : Expr(NodeKind::ThisExpr) {}
+};
+
+struct ArrayLit : Expr {
+  ArrayLit() : Expr(NodeKind::ArrayLit) {}
+  std::vector<ExprPtr> elements;
+};
+
+struct ObjectLit : Expr {
+  ObjectLit() : Expr(NodeKind::ObjectLit) {}
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+struct FunctionExpr;  // below, shares FunctionNode
+
+/// A function body shared by declarations and expressions. The parser
+/// pre-computes the `var`-hoisted local names (JavaScript has function
+/// scoping, which is load-bearing for the paper's dependence analysis: a
+/// `var` declared textually inside a loop still names one binding shared by
+/// every iteration) and assigns a process-unique `fn_id` used by the
+/// sampling profiler and the call-stack instrumentation.
+struct FunctionNode {
+  std::string name;  // empty for anonymous function expressions
+  std::vector<std::string> params;
+  std::vector<std::string> hoisted_vars;     // all `var` names in this function
+  std::vector<const struct FunctionDecl*> hoisted_functions;
+  StmtPtr body;  // always a Block
+  int fn_id = 0;
+  int line = 0;
+};
+
+struct FunctionExpr : Expr {
+  FunctionExpr() : Expr(NodeKind::FunctionExpr) {}
+  std::unique_ptr<FunctionNode> fn;
+};
+
+struct Call : Expr {
+  Call() : Expr(NodeKind::Call) {}
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+struct New : Expr {
+  New() : Expr(NodeKind::New) {}
+  ExprPtr callee;
+  std::vector<ExprPtr> args;
+};
+
+struct Member : Expr {
+  Member() : Expr(NodeKind::Member) {}
+  ExprPtr object;
+  std::string property;  // used when !computed
+  ExprPtr index;         // used when computed
+  bool computed = false;
+};
+
+struct Assign : Expr {
+  Assign() : Expr(NodeKind::Assign) {}
+  AssignOp op = AssignOp::None;
+  ExprPtr target;  // Ident or Member
+  ExprPtr value;
+};
+
+struct Conditional : Expr {
+  Conditional() : Expr(NodeKind::Conditional) {}
+  ExprPtr condition;
+  ExprPtr consequent;
+  ExprPtr alternate;
+};
+
+struct Binary : Expr {
+  Binary() : Expr(NodeKind::Binary) {}
+  BinaryOp op = BinaryOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Logical : Expr {
+  Logical() : Expr(NodeKind::Logical) {}
+  LogicalOp op = LogicalOp::And;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Unary : Expr {
+  Unary() : Expr(NodeKind::Unary) {}
+  UnaryOp op = UnaryOp::Neg;
+  ExprPtr operand;
+};
+
+struct Update : Expr {
+  Update() : Expr(NodeKind::Update) {}
+  bool increment = true;
+  bool prefix = false;
+  ExprPtr target;  // Ident or Member
+};
+
+struct Sequence : Expr {
+  Sequence() : Expr(NodeKind::Sequence) {}
+  std::vector<ExprPtr> exprs;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct VarDecl : Stmt {
+  VarDecl() : Stmt(NodeKind::VarDecl) {}
+  struct Declarator {
+    std::string name;
+    ExprPtr init;  // may be null
+  };
+  std::vector<Declarator> declarators;
+};
+
+struct FunctionDecl : Stmt {
+  FunctionDecl() : Stmt(NodeKind::FunctionDecl) {}
+  std::unique_ptr<FunctionNode> fn;
+};
+
+struct ExprStmt : Stmt {
+  ExprStmt() : Stmt(NodeKind::ExprStmt) {}
+  ExprPtr expr;
+};
+
+struct If : Stmt {
+  If() : Stmt(NodeKind::If) {}
+  ExprPtr condition;
+  StmtPtr consequent;
+  StmtPtr alternate;  // may be null
+};
+
+/// Loop kind recorded in the loop table; used by the dependence reports to
+/// render the paper's "while(line 24) ok ok -> for(line 6) ok dependence"
+/// characterization lists.
+enum class LoopKind { For, ForIn, While, DoWhile };
+
+struct For : Stmt {
+  For() : Stmt(NodeKind::For) {}
+  StmtPtr init;       // VarDecl or ExprStmt or null
+  ExprPtr condition;  // may be null (infinite)
+  ExprPtr update;     // may be null
+  StmtPtr body;
+  int loop_id = 0;
+};
+
+struct ForIn : Stmt {
+  ForIn() : Stmt(NodeKind::ForIn) {}
+  std::string var_name;
+  bool declares_var = false;
+  ExprPtr object;
+  StmtPtr body;
+  int loop_id = 0;
+};
+
+struct While : Stmt {
+  While() : Stmt(NodeKind::While) {}
+  ExprPtr condition;
+  StmtPtr body;
+  int loop_id = 0;
+};
+
+struct DoWhile : Stmt {
+  DoWhile() : Stmt(NodeKind::DoWhile) {}
+  ExprPtr condition;
+  StmtPtr body;
+  int loop_id = 0;
+};
+
+struct Block : Stmt {
+  Block() : Stmt(NodeKind::Block) {}
+  std::vector<StmtPtr> statements;
+};
+
+struct Return : Stmt {
+  Return() : Stmt(NodeKind::Return) {}
+  ExprPtr value;  // may be null
+};
+
+struct Break : Stmt {
+  Break() : Stmt(NodeKind::Break) {}
+};
+
+struct Continue : Stmt {
+  Continue() : Stmt(NodeKind::Continue) {}
+};
+
+struct Empty : Stmt {
+  Empty() : Stmt(NodeKind::Empty) {}
+};
+
+struct Throw : Stmt {
+  Throw() : Stmt(NodeKind::Throw) {}
+  ExprPtr value;
+};
+
+struct TryCatch : Stmt {
+  TryCatch() : Stmt(NodeKind::TryCatch) {}
+  StmtPtr try_block;
+  std::string catch_param;
+  StmtPtr catch_block;  // may be null when only finally is present
+  StmtPtr finally_block;  // may be null
+};
+
+// ---------------------------------------------------------------------------
+// Program and loop table
+// ---------------------------------------------------------------------------
+
+/// Static description of one syntactic loop, recorded at parse time.
+struct LoopSite {
+  int loop_id = 0;
+  LoopKind kind = LoopKind::For;
+  int line = 0;
+  int enclosing_fn_id = 0;  // 0 == top level
+  /// The loop's AST node (owned by the Program; valid for its lifetime).
+  const Stmt* stmt = nullptr;
+};
+
+/// The induction variable of a canonical `for` (the identifier incremented
+/// or reassigned in the update clause), or "" when the loop has none.
+std::string induction_variable_of(const LoopSite& site);
+
+const char* loop_kind_name(LoopKind kind);
+
+/// A parsed compilation unit. Owns the AST, the loop table, and the
+/// top-level hoisting information (top-level `var`s become globals).
+struct Program {
+  std::vector<StmtPtr> statements;
+  std::vector<std::string> hoisted_vars;
+  std::vector<const FunctionDecl*> hoisted_functions;
+  std::vector<LoopSite> loops;        // indexed by loop_id - 1
+  std::vector<std::string> fn_names;  // indexed by fn_id - 1
+  std::string source_name;
+
+  [[nodiscard]] const LoopSite& loop(int loop_id) const {
+    return loops.at(std::size_t(loop_id) - 1);
+  }
+  [[nodiscard]] int loop_count() const { return int(loops.size()); }
+
+  /// First loop whose source line equals `line`, or 0 when none matches.
+  [[nodiscard]] int loop_id_at_line(int line) const {
+    for (const auto& site : loops) {
+      if (site.line == line) return site.loop_id;
+    }
+    return 0;
+  }
+};
+
+}  // namespace jsceres::js

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "js/ast.h"
+
+namespace jsceres::js {
+
+/// Pretty-print an AST back to JavaScript source. The output re-parses to a
+/// structurally identical tree (the round-trip property tested in
+/// tests/test_properties.cpp), which is what makes source-level rewriting
+/// tools (js/refactor.h) safe.
+std::string print(const Program& program);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+std::string print_expr(const Expr& expr);
+
+}  // namespace jsceres::js

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "js/token.h"
+
+namespace jsceres::js {
+
+/// Error raised for malformed source; carries the 1-based line number.
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize an entire source buffer. The token stream always ends with an
+/// explicit Eof token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace jsceres::js

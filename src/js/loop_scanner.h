@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsceres::js {
+
+/// Static, per-syntactic-loop structure facts gathered by walking the AST.
+/// The divergence classifier (Table 3, column 5) combines these with dynamic
+/// trip statistics.
+struct LoopStaticInfo {
+  int loop_id = 0;
+  int branch_sites = 0;        // if / ?: / && / || in the loop body
+  int call_sites = 0;          // function calls in the loop body
+  int nested_loops = 0;        // loops syntactically inside this one
+  int body_statements = 0;     // rough body size
+  bool condition_data_dependent = false;  // non-`for(i=0;i<n;i++)` shape
+};
+
+/// Counts for the §2.3 / §5.5 style census: do developers write hot code
+/// with imperative loops or with the functional Array operators they claim
+/// to prefer?
+struct StyleCensus {
+  int for_loops = 0;
+  int for_in_loops = 0;
+  int while_loops = 0;
+  int do_while_loops = 0;
+  int functional_op_calls = 0;  // map/forEach/filter/reduce/every/some call sites
+  int function_decls = 0;
+
+  [[nodiscard]] int imperative_loops() const {
+    return for_loops + for_in_loops + while_loops + do_while_loops;
+  }
+};
+
+/// Names treated as functional iteration operators in the census.
+bool is_functional_operator(const std::string& name);
+
+StyleCensus census(const Program& program);
+
+/// Static info for every loop in the program, keyed by loop id.
+std::map<int, LoopStaticInfo> scan_loops(const Program& program);
+
+}  // namespace jsceres::js

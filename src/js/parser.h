@@ -1,0 +1,33 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "js/ast.h"
+
+namespace jsceres::js {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a complete program. `source_name` is used in reports.
+///
+/// The grammar is the ES5-flavoured subset the study corpus uses:
+/// var/function declarations, all loop forms, if/else, try/catch/finally,
+/// throw, the full C-like expression grammar (assignment, conditional,
+/// logical, bitwise, equality incl. ===, relational incl. in/instanceof,
+/// shifts, arithmetic, unary incl. typeof/delete, update, call/new/member),
+/// array/object literals and function expressions. Statements must be
+/// semicolon-terminated (no automatic semicolon insertion).
+Program parse(std::string_view source, std::string source_name = "<program>");
+
+}  // namespace jsceres::js

@@ -1,0 +1,721 @@
+#include "js/refactor.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "js/ast_printer.h"
+
+namespace jsceres::js {
+
+namespace {
+
+/// Does `stmt` (recursively, not crossing function boundaries) contain a
+/// break/continue/return that would escape the loop body?
+bool has_escaping_control_flow(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case NodeKind::Break:
+    case NodeKind::Continue:
+    case NodeKind::Return:
+      return true;
+    case NodeKind::Block: {
+      for (const auto& s : static_cast<const Block&>(stmt).statements) {
+        if (has_escaping_control_flow(*s)) return true;
+      }
+      return false;
+    }
+    case NodeKind::If: {
+      const auto& node = static_cast<const If&>(stmt);
+      if (has_escaping_control_flow(*node.consequent)) return true;
+      return node.alternate && has_escaping_control_flow(*node.alternate);
+    }
+    // break/continue inside a *nested* loop bind to that loop: safe.
+    case NodeKind::For:
+    case NodeKind::ForIn:
+    case NodeKind::While:
+    case NodeKind::DoWhile:
+      return false;
+    case NodeKind::TryCatch: {
+      const auto& node = static_cast<const TryCatch&>(stmt);
+      if (has_escaping_control_flow(*node.try_block)) return true;
+      if (node.catch_block && has_escaping_control_flow(*node.catch_block)) return true;
+      return node.finally_block && has_escaping_control_flow(*node.finally_block);
+    }
+    default:
+      return false;
+  }
+}
+
+using IdentCounts = std::map<std::string, int>;
+
+void collect_idents_expr(const Expr& expr, IdentCounts& out);
+
+void collect_idents_stmt(const Stmt& stmt, IdentCounts& out) {
+  switch (stmt.kind) {
+    case NodeKind::Block:
+      for (const auto& s : static_cast<const Block&>(stmt).statements) {
+        collect_idents_stmt(*s, out);
+      }
+      break;
+    case NodeKind::VarDecl:
+      for (const auto& d : static_cast<const VarDecl&>(stmt).declarators) {
+        ++out[d.name];
+        if (d.init) collect_idents_expr(*d.init, out);
+      }
+      break;
+    case NodeKind::FunctionDecl: {
+      const auto& fn = *static_cast<const FunctionDecl&>(stmt).fn;
+      ++out[fn.name];
+      collect_idents_stmt(*fn.body, out);
+      break;
+    }
+    case NodeKind::ExprStmt:
+      collect_idents_expr(*static_cast<const ExprStmt&>(stmt).expr, out);
+      break;
+    case NodeKind::If: {
+      const auto& node = static_cast<const If&>(stmt);
+      collect_idents_expr(*node.condition, out);
+      collect_idents_stmt(*node.consequent, out);
+      if (node.alternate) collect_idents_stmt(*node.alternate, out);
+      break;
+    }
+    case NodeKind::For: {
+      const auto& node = static_cast<const For&>(stmt);
+      if (node.init) collect_idents_stmt(*node.init, out);
+      if (node.condition) collect_idents_expr(*node.condition, out);
+      if (node.update) collect_idents_expr(*node.update, out);
+      collect_idents_stmt(*node.body, out);
+      break;
+    }
+    case NodeKind::ForIn: {
+      const auto& node = static_cast<const ForIn&>(stmt);
+      ++out[node.var_name];
+      collect_idents_expr(*node.object, out);
+      collect_idents_stmt(*node.body, out);
+      break;
+    }
+    case NodeKind::While: {
+      const auto& node = static_cast<const While&>(stmt);
+      collect_idents_expr(*node.condition, out);
+      collect_idents_stmt(*node.body, out);
+      break;
+    }
+    case NodeKind::DoWhile: {
+      const auto& node = static_cast<const DoWhile&>(stmt);
+      collect_idents_expr(*node.condition, out);
+      collect_idents_stmt(*node.body, out);
+      break;
+    }
+    case NodeKind::Return: {
+      const auto& node = static_cast<const Return&>(stmt);
+      if (node.value) collect_idents_expr(*node.value, out);
+      break;
+    }
+    case NodeKind::Throw:
+      collect_idents_expr(*static_cast<const Throw&>(stmt).value, out);
+      break;
+    case NodeKind::TryCatch: {
+      const auto& node = static_cast<const TryCatch&>(stmt);
+      collect_idents_stmt(*node.try_block, out);
+      if (node.catch_block) collect_idents_stmt(*node.catch_block, out);
+      if (node.finally_block) collect_idents_stmt(*node.finally_block, out);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void collect_idents_expr(const Expr& expr, IdentCounts& out) {
+  switch (expr.kind) {
+    case NodeKind::Ident:
+      ++out[static_cast<const Ident&>(expr).name];
+      break;
+    case NodeKind::ArrayLit:
+      for (const auto& e : static_cast<const ArrayLit&>(expr).elements) {
+        collect_idents_expr(*e, out);
+      }
+      break;
+    case NodeKind::ObjectLit:
+      for (const auto& [key, value] : static_cast<const ObjectLit&>(expr).properties) {
+        (void)key;
+        collect_idents_expr(*value, out);
+      }
+      break;
+    case NodeKind::FunctionExpr:
+      collect_idents_stmt(*static_cast<const FunctionExpr&>(expr).fn->body, out);
+      break;
+    case NodeKind::Call: {
+      const auto& node = static_cast<const Call&>(expr);
+      collect_idents_expr(*node.callee, out);
+      for (const auto& a : node.args) collect_idents_expr(*a, out);
+      break;
+    }
+    case NodeKind::New: {
+      const auto& node = static_cast<const New&>(expr);
+      collect_idents_expr(*node.callee, out);
+      for (const auto& a : node.args) collect_idents_expr(*a, out);
+      break;
+    }
+    case NodeKind::Member: {
+      const auto& node = static_cast<const Member&>(expr);
+      collect_idents_expr(*node.object, out);
+      if (node.computed) collect_idents_expr(*node.index, out);
+      break;
+    }
+    case NodeKind::Assign: {
+      const auto& node = static_cast<const Assign&>(expr);
+      collect_idents_expr(*node.target, out);
+      collect_idents_expr(*node.value, out);
+      break;
+    }
+    case NodeKind::Conditional: {
+      const auto& node = static_cast<const Conditional&>(expr);
+      collect_idents_expr(*node.condition, out);
+      collect_idents_expr(*node.consequent, out);
+      collect_idents_expr(*node.alternate, out);
+      break;
+    }
+    case NodeKind::Binary: {
+      const auto& node = static_cast<const Binary&>(expr);
+      collect_idents_expr(*node.lhs, out);
+      collect_idents_expr(*node.rhs, out);
+      break;
+    }
+    case NodeKind::Logical: {
+      const auto& node = static_cast<const Logical&>(expr);
+      collect_idents_expr(*node.lhs, out);
+      collect_idents_expr(*node.rhs, out);
+      break;
+    }
+    case NodeKind::Unary:
+      collect_idents_expr(*static_cast<const Unary&>(expr).operand, out);
+      break;
+    case NodeKind::Update:
+      collect_idents_expr(*static_cast<const Update&>(expr).target, out);
+      break;
+    case NodeKind::Sequence:
+      for (const auto& e : static_cast<const Sequence&>(expr).exprs) {
+        collect_idents_expr(*e, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+/// Does the body write `name` (assignment or update; declarations excluded)?
+bool writes_variable(const Stmt& stmt, const std::string& name);
+
+bool expr_writes_variable(const Expr& expr, const std::string& name) {
+  switch (expr.kind) {
+    case NodeKind::Assign: {
+      const auto& node = static_cast<const Assign&>(expr);
+      if (node.target->kind == NodeKind::Ident &&
+          static_cast<const Ident&>(*node.target).name == name) {
+        return true;
+      }
+      return expr_writes_variable(*node.value, name) ||
+             expr_writes_variable(*node.target, name);
+    }
+    case NodeKind::Update: {
+      const auto& node = static_cast<const Update&>(expr);
+      return node.target->kind == NodeKind::Ident &&
+             static_cast<const Ident&>(*node.target).name == name;
+    }
+    case NodeKind::Call: {
+      const auto& node = static_cast<const Call&>(expr);
+      if (expr_writes_variable(*node.callee, name)) return true;
+      for (const auto& a : node.args) {
+        if (expr_writes_variable(*a, name)) return true;
+      }
+      return false;
+    }
+    case NodeKind::Binary: {
+      const auto& node = static_cast<const Binary&>(expr);
+      return expr_writes_variable(*node.lhs, name) ||
+             expr_writes_variable(*node.rhs, name);
+    }
+    case NodeKind::Logical: {
+      const auto& node = static_cast<const Logical&>(expr);
+      return expr_writes_variable(*node.lhs, name) ||
+             expr_writes_variable(*node.rhs, name);
+    }
+    case NodeKind::Conditional: {
+      const auto& node = static_cast<const Conditional&>(expr);
+      return expr_writes_variable(*node.condition, name) ||
+             expr_writes_variable(*node.consequent, name) ||
+             expr_writes_variable(*node.alternate, name);
+    }
+    case NodeKind::Member: {
+      const auto& node = static_cast<const Member&>(expr);
+      if (expr_writes_variable(*node.object, name)) return true;
+      return node.computed && expr_writes_variable(*node.index, name);
+    }
+    case NodeKind::Sequence: {
+      for (const auto& e : static_cast<const Sequence&>(expr).exprs) {
+        if (expr_writes_variable(*e, name)) return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool writes_variable(const Stmt& stmt, const std::string& name) {
+  switch (stmt.kind) {
+    case NodeKind::Block:
+      for (const auto& s : static_cast<const Block&>(stmt).statements) {
+        if (writes_variable(*s, name)) return true;
+      }
+      return false;
+    case NodeKind::ExprStmt:
+      return expr_writes_variable(*static_cast<const ExprStmt&>(stmt).expr, name);
+    case NodeKind::If: {
+      const auto& node = static_cast<const If&>(stmt);
+      if (expr_writes_variable(*node.condition, name)) return true;
+      if (writes_variable(*node.consequent, name)) return true;
+      return node.alternate && writes_variable(*node.alternate, name);
+    }
+    case NodeKind::VarDecl:
+      for (const auto& d : static_cast<const VarDecl&>(stmt).declarators) {
+        if (d.init && expr_writes_variable(*d.init, name)) return true;
+      }
+      return false;
+    case NodeKind::For: {
+      const auto& node = static_cast<const For&>(stmt);
+      if (node.init && writes_variable(*node.init, name)) return true;
+      if (node.condition && expr_writes_variable(*node.condition, name)) return true;
+      if (node.update && expr_writes_variable(*node.update, name)) return true;
+      return writes_variable(*node.body, name);
+    }
+    case NodeKind::While:
+      return writes_variable(*static_cast<const While&>(stmt).body, name);
+    default:
+      return false;
+  }
+}
+
+/// Collect `var` names declared directly in the body (not inside nested
+/// functions) — the variables the rewrite will privatize.
+void collect_body_vars(const Stmt& stmt, std::vector<std::string>& out) {
+  switch (stmt.kind) {
+    case NodeKind::Block:
+      for (const auto& s : static_cast<const Block&>(stmt).statements) {
+        collect_body_vars(*s, out);
+      }
+      break;
+    case NodeKind::VarDecl:
+      for (const auto& d : static_cast<const VarDecl&>(stmt).declarators) {
+        out.push_back(d.name);
+      }
+      break;
+    case NodeKind::If: {
+      const auto& node = static_cast<const If&>(stmt);
+      collect_body_vars(*node.consequent, out);
+      if (node.alternate) collect_body_vars(*node.alternate, out);
+      break;
+    }
+    case NodeKind::For: {
+      const auto& node = static_cast<const For&>(stmt);
+      if (node.init) collect_body_vars(*node.init, out);
+      collect_body_vars(*node.body, out);
+      break;
+    }
+    case NodeKind::ForIn: {
+      const auto& node = static_cast<const ForIn&>(stmt);
+      if (node.declares_var) out.push_back(node.var_name);
+      collect_body_vars(*node.body, out);
+      break;
+    }
+    case NodeKind::While:
+      collect_body_vars(*static_cast<const While&>(stmt).body, out);
+      break;
+    case NodeKind::DoWhile:
+      collect_body_vars(*static_cast<const DoWhile&>(stmt).body, out);
+      break;
+    default:
+      break;
+  }
+}
+
+/// The canonical-loop pattern match.
+struct Candidate {
+  std::string index_name;
+  std::string array_name;
+};
+
+bool match_canonical(const For& loop, Candidate* out) {
+  // init: `var i = 0` or `i = 0`
+  std::string index;
+  if (loop.init == nullptr) return false;
+  if (loop.init->kind == NodeKind::VarDecl) {
+    const auto& decl = static_cast<const VarDecl&>(*loop.init);
+    if (decl.declarators.size() != 1 || !decl.declarators[0].init) return false;
+    if (decl.declarators[0].init->kind != NodeKind::NumberLit) return false;
+    if (static_cast<const NumberLit&>(*decl.declarators[0].init).value != 0) return false;
+    index = decl.declarators[0].name;
+  } else if (loop.init->kind == NodeKind::ExprStmt) {
+    const auto& expr = *static_cast<const ExprStmt&>(*loop.init).expr;
+    if (expr.kind != NodeKind::Assign) return false;
+    const auto& assign = static_cast<const Assign&>(expr);
+    if (assign.op != AssignOp::None || assign.target->kind != NodeKind::Ident) return false;
+    if (assign.value->kind != NodeKind::NumberLit ||
+        static_cast<const NumberLit&>(*assign.value).value != 0) {
+      return false;
+    }
+    index = static_cast<const Ident&>(*assign.target).name;
+  } else {
+    return false;
+  }
+
+  // condition: `i < arr.length`
+  if (!loop.condition || loop.condition->kind != NodeKind::Binary) return false;
+  const auto& cond = static_cast<const Binary&>(*loop.condition);
+  if (cond.op != BinaryOp::Lt) return false;
+  if (cond.lhs->kind != NodeKind::Ident ||
+      static_cast<const Ident&>(*cond.lhs).name != index) {
+    return false;
+  }
+  if (cond.rhs->kind != NodeKind::Member) return false;
+  const auto& len = static_cast<const Member&>(*cond.rhs);
+  if (len.computed || len.property != "length") return false;
+  if (len.object->kind != NodeKind::Ident) return false;
+  const std::string array = static_cast<const Ident&>(*len.object).name;
+
+  // update: `i++`, `++i`, `i += 1` or `i = i + 1`
+  if (!loop.update) return false;
+  bool inc_ok = false;
+  if (loop.update->kind == NodeKind::Update) {
+    const auto& update = static_cast<const Update&>(*loop.update);
+    inc_ok = update.increment && update.target->kind == NodeKind::Ident &&
+             static_cast<const Ident&>(*update.target).name == index;
+  } else if (loop.update->kind == NodeKind::Assign) {
+    const auto& assign = static_cast<const Assign&>(*loop.update);
+    if (assign.target->kind == NodeKind::Ident &&
+        static_cast<const Ident&>(*assign.target).name == index) {
+      if (assign.op == AssignOp::Add && assign.value->kind == NodeKind::NumberLit &&
+          static_cast<const NumberLit&>(*assign.value).value == 1) {
+        inc_ok = true;
+      }
+      if (assign.op == AssignOp::None && assign.value->kind == NodeKind::Binary) {
+        const auto& sum = static_cast<const Binary&>(*assign.value);
+        inc_ok = sum.op == BinaryOp::Add && sum.lhs->kind == NodeKind::Ident &&
+                 static_cast<const Ident&>(*sum.lhs).name == index &&
+                 sum.rhs->kind == NodeKind::NumberLit &&
+                 static_cast<const NumberLit&>(*sum.rhs).value == 1;
+      }
+    }
+  }
+  if (!inc_ok) return false;
+
+  out->index_name = index;
+  out->array_name = array;
+  return true;
+}
+
+/// Replace reads of `arr[i]` by `elem` inside an expression tree.
+void substitute_element_expr(ExprPtr& expr, const Candidate& c,
+                             const std::string& elem_name);
+
+bool is_element_access(const Expr& expr, const Candidate& c) {
+  if (expr.kind != NodeKind::Member) return false;
+  const auto& member = static_cast<const Member&>(expr);
+  if (!member.computed) return false;
+  if (member.object->kind != NodeKind::Ident ||
+      static_cast<const Ident&>(*member.object).name != c.array_name) {
+    return false;
+  }
+  return member.index->kind == NodeKind::Ident &&
+         static_cast<const Ident&>(*member.index).name == c.index_name;
+}
+
+void substitute_element_stmt(Stmt& stmt, const Candidate& c,
+                             const std::string& elem_name) {
+  switch (stmt.kind) {
+    case NodeKind::Block:
+      for (auto& s : static_cast<Block&>(stmt).statements) {
+        substitute_element_stmt(*s, c, elem_name);
+      }
+      break;
+    case NodeKind::ExprStmt:
+      substitute_element_expr(static_cast<ExprStmt&>(stmt).expr, c, elem_name);
+      break;
+    case NodeKind::VarDecl:
+      for (auto& d : static_cast<VarDecl&>(stmt).declarators) {
+        if (d.init) substitute_element_expr(d.init, c, elem_name);
+      }
+      break;
+    case NodeKind::If: {
+      auto& node = static_cast<If&>(stmt);
+      substitute_element_expr(node.condition, c, elem_name);
+      substitute_element_stmt(*node.consequent, c, elem_name);
+      if (node.alternate) substitute_element_stmt(*node.alternate, c, elem_name);
+      break;
+    }
+    case NodeKind::Return: {
+      auto& node = static_cast<Return&>(stmt);
+      if (node.value) substitute_element_expr(node.value, c, elem_name);
+      break;
+    }
+    case NodeKind::While: {
+      auto& node = static_cast<While&>(stmt);
+      substitute_element_expr(node.condition, c, elem_name);
+      substitute_element_stmt(*node.body, c, elem_name);
+      break;
+    }
+    case NodeKind::For: {
+      auto& node = static_cast<For&>(stmt);
+      if (node.init) substitute_element_stmt(*node.init, c, elem_name);
+      if (node.condition) substitute_element_expr(node.condition, c, elem_name);
+      if (node.update) substitute_element_expr(node.update, c, elem_name);
+      substitute_element_stmt(*node.body, c, elem_name);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void substitute_element_expr(ExprPtr& expr, const Candidate& c,
+                             const std::string& elem_name) {
+  if (is_element_access(*expr, c)) {
+    auto ident = std::make_unique<Ident>();
+    ident->line = expr->line;
+    ident->name = elem_name;
+    expr = std::move(ident);
+    return;
+  }
+  switch (expr->kind) {
+    case NodeKind::Assign: {
+      auto& node = static_cast<Assign&>(*expr);
+      // Writes through arr[i] stay as-is (forEach callbacks may still write
+      // the array via the closure); only the value side is substituted.
+      substitute_element_expr(node.value, c, elem_name);
+      if (node.target->kind == NodeKind::Member) {
+        auto& member = static_cast<Member&>(*node.target);
+        substitute_element_expr(member.object, c, elem_name);
+        if (member.computed && !is_element_access(*node.target, c)) {
+          substitute_element_expr(member.index, c, elem_name);
+        }
+      }
+      break;
+    }
+    case NodeKind::Binary: {
+      auto& node = static_cast<Binary&>(*expr);
+      substitute_element_expr(node.lhs, c, elem_name);
+      substitute_element_expr(node.rhs, c, elem_name);
+      break;
+    }
+    case NodeKind::Logical: {
+      auto& node = static_cast<Logical&>(*expr);
+      substitute_element_expr(node.lhs, c, elem_name);
+      substitute_element_expr(node.rhs, c, elem_name);
+      break;
+    }
+    case NodeKind::Conditional: {
+      auto& node = static_cast<Conditional&>(*expr);
+      substitute_element_expr(node.condition, c, elem_name);
+      substitute_element_expr(node.consequent, c, elem_name);
+      substitute_element_expr(node.alternate, c, elem_name);
+      break;
+    }
+    case NodeKind::Call: {
+      auto& node = static_cast<Call&>(*expr);
+      substitute_element_expr(node.callee, c, elem_name);
+      for (auto& a : node.args) substitute_element_expr(a, c, elem_name);
+      break;
+    }
+    case NodeKind::New: {
+      auto& node = static_cast<New&>(*expr);
+      substitute_element_expr(node.callee, c, elem_name);
+      for (auto& a : node.args) substitute_element_expr(a, c, elem_name);
+      break;
+    }
+    case NodeKind::Member: {
+      auto& node = static_cast<Member&>(*expr);
+      substitute_element_expr(node.object, c, elem_name);
+      if (node.computed) substitute_element_expr(node.index, c, elem_name);
+      break;
+    }
+    case NodeKind::Unary:
+      substitute_element_expr(static_cast<Unary&>(*expr).operand, c, elem_name);
+      break;
+    case NodeKind::ArrayLit:
+      for (auto& e : static_cast<ArrayLit&>(*expr).elements) {
+        substitute_element_expr(e, c, elem_name);
+      }
+      break;
+    case NodeKind::ObjectLit:
+      for (auto& [key, value] : static_cast<ObjectLit&>(*expr).properties) {
+        (void)key;
+        substitute_element_expr(value, c, elem_name);
+      }
+      break;
+    case NodeKind::Sequence:
+      for (auto& e : static_cast<Sequence&>(*expr).exprs) {
+        substitute_element_expr(e, c, elem_name);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+class Rewriter {
+ public:
+  Rewriter(Program& program, RefactorReport& report)
+      : program_(program), report_(report) {
+    // Names used anywhere (to keep privatization safe and elem fresh).
+    for (const auto& stmt : program.statements) {
+      collect_idents_stmt(*stmt, all_names_);
+    }
+  }
+
+  void run() {
+    rewrite_list(program_.statements);
+  }
+
+ private:
+  void rewrite_list(std::vector<StmtPtr>& statements) {
+    for (auto& stmt : statements) {
+      rewrite_children(*stmt);
+      if (stmt->kind == NodeKind::For) {
+        StmtPtr replacement = try_rewrite(static_cast<For&>(*stmt));
+        if (replacement) stmt = std::move(replacement);
+      }
+    }
+  }
+
+  void rewrite_children(Stmt& stmt) {
+    switch (stmt.kind) {
+      case NodeKind::Block:
+        rewrite_list(static_cast<Block&>(stmt).statements);
+        break;
+      case NodeKind::FunctionDecl:
+        rewrite_children(*static_cast<FunctionDecl&>(stmt).fn->body);
+        break;
+      case NodeKind::If: {
+        auto& node = static_cast<If&>(stmt);
+        rewrite_children(*node.consequent);
+        if (node.alternate) rewrite_children(*node.alternate);
+        break;
+      }
+      case NodeKind::For:
+        rewrite_children(*static_cast<For&>(stmt).body);
+        break;
+      case NodeKind::ForIn:
+        rewrite_children(*static_cast<ForIn&>(stmt).body);
+        break;
+      case NodeKind::While:
+        rewrite_children(*static_cast<While&>(stmt).body);
+        break;
+      case NodeKind::DoWhile:
+        rewrite_children(*static_cast<DoWhile&>(stmt).body);
+        break;
+      default:
+        break;
+    }
+  }
+
+  StmtPtr try_rewrite(For& loop) {
+    Candidate candidate;
+    if (!match_canonical(loop, &candidate)) return nullptr;
+    ++report_.candidates;
+
+    const std::string at = "loop at line " + std::to_string(loop.line);
+    if (has_escaping_control_flow(*loop.body)) {
+      report_.notes.push_back(at + ": skipped (break/continue/return in body)");
+      return nullptr;
+    }
+    if (writes_variable(*loop.body, candidate.index_name) ||
+        writes_variable(*loop.body, candidate.array_name)) {
+      report_.notes.push_back(at + ": skipped (body writes index or array binding)");
+      return nullptr;
+    }
+    std::vector<std::string> body_vars;
+    collect_body_vars(*loop.body, body_vars);
+    // Privatization must not change behaviour: a body-declared var may not
+    // be referenced anywhere outside this loop. Compare whole-program
+    // occurrence counts against in-loop counts.
+    IdentCounts loop_counts;
+    collect_idents_stmt(loop, loop_counts);
+    for (const auto& name : body_vars) {
+      const auto whole = all_names_.find(name);
+      const auto inside = loop_counts.find(name);
+      const int outside_uses = (whole == all_names_.end() ? 0 : whole->second) -
+                               (inside == loop_counts.end() ? 0 : inside->second);
+      if (outside_uses > 0) {
+        report_.notes.push_back(at + ": skipped (var " + name +
+                                " is referenced outside the loop)");
+        return nullptr;
+      }
+    }
+
+    // Fresh element name.
+    std::string elem = "elem";
+    int suffix = 0;
+    while (all_names_.count(elem) > 0) elem = "elem" + std::to_string(++suffix);
+    ++all_names_[elem];
+
+    substitute_element_stmt(*loop.body, candidate, elem);
+
+    // Build: arr.forEach(function (elem, i) { body });
+    auto fn = std::make_unique<FunctionNode>();
+    fn->line = loop.line;
+    fn->fn_id = int(program_.fn_names.size()) + 1;
+    program_.fn_names.push_back("<forEach callback>");
+    fn->params = {elem, candidate.index_name};
+    fn->hoisted_vars = std::move(body_vars);
+    fn->body = std::move(loop.body);
+    if (fn->body->kind != NodeKind::Block) {
+      auto block = std::make_unique<Block>();
+      block->line = loop.line;
+      block->statements.push_back(std::move(fn->body));
+      fn->body = std::move(block);
+    }
+
+    auto fn_expr = std::make_unique<FunctionExpr>();
+    fn_expr->line = loop.line;
+    fn_expr->fn = std::move(fn);
+
+    auto callee = std::make_unique<Member>();
+    callee->line = loop.line;
+    auto array_ident = std::make_unique<Ident>();
+    array_ident->line = loop.line;
+    array_ident->name = candidate.array_name;
+    callee->object = std::move(array_ident);
+    callee->property = "forEach";
+
+    auto call = std::make_unique<Call>();
+    call->line = loop.line;
+    call->callee = std::move(callee);
+    call->args.push_back(std::move(fn_expr));
+
+    auto stmt = std::make_unique<ExprStmt>();
+    stmt->line = loop.line;
+    stmt->expr = std::move(call);
+
+    ++report_.rewritten;
+    report_.notes.push_back(at + ": rewritten to " + candidate.array_name +
+                            ".forEach(...)");
+    return stmt;
+  }
+
+  Program& program_;
+  RefactorReport& report_;
+  IdentCounts all_names_;
+};
+
+}  // namespace
+
+RefactorReport to_functional(Program& program) {
+  RefactorReport report;
+  Rewriter rewriter(program, report);
+  rewriter.run();
+  report.source = print(program);
+  return report;
+}
+
+}  // namespace jsceres::js

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "js/ast.h"
+
+namespace jsceres::js {
+
+/// The imperative-to-functional refactoring tool the paper calls for in
+/// §5.3: "Refactoring tools that can transform imperative iteration into
+/// functional style could make these loops amenable to parallelism via
+/// libraries with parallel operators such as RiverTrail."
+///
+/// Rewrites canonical array-iteration loops
+///
+///     for (var i = 0; i < arr.length; i++) { body }
+///
+/// into
+///
+///     arr.forEach(function (elem, i) { body' });
+///
+/// where reads of `arr[i]` become `elem`. The rewrite also *privatizes*
+/// every `var` declared in the body (function scoping — the exact mechanism
+/// by which the paper's Fig. 6 `var p` warning disappears).
+///
+/// Safety (conservative; unsafe candidates are skipped with a note):
+///  - the induction variable starts at 0, is compared `< arr.length` with a
+///    simple identifier base, and is incremented by exactly 1;
+///  - the body contains no break / continue / return;
+///  - the body does not write the induction variable or rebind the array;
+///  - `var`s declared in the body are not referenced elsewhere in the
+///    program (privatizing them must not change visible behaviour).
+struct RefactorReport {
+  int candidates = 0;  // canonical loops found
+  int rewritten = 0;   // actually converted
+  std::vector<std::string> notes;
+  std::string source;  // the full rewritten program text
+};
+
+/// Rewrites `program` in place and returns the report (including the
+/// printed source, which re-parses cleanly).
+RefactorReport to_functional(Program& program);
+
+}  // namespace jsceres::js

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <string>
+
+namespace jsceres::js {
+
+/// Token kinds for the JavaScript subset accepted by the engine (ES5-style:
+/// the language level of the paper's 2014 study corpus, before ES6 shipped).
+enum class Tok {
+  // Literals / names
+  Number,
+  String,
+  Ident,
+  // Keywords
+  KwVar,
+  KwFunction,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwDo,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwDelete,
+  KwTypeof,
+  KwThis,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwIn,
+  KwInstanceof,
+  KwThrow,
+  KwTry,
+  KwCatch,
+  KwFinally,
+  // Punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+  // Operators
+  Assign,         // =
+  PlusAssign,     // +=
+  MinusAssign,    // -=
+  StarAssign,     // *=
+  SlashAssign,    // /=
+  PercentAssign,  // %=
+  AmpAssign,      // &=
+  PipeAssign,     // |=
+  CaretAssign,    // ^=
+  ShlAssign,      // <<=
+  ShrAssign,      // >>=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  EqEq,
+  NotEq,
+  EqEqEq,
+  NotEqEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  AndAnd,
+  OrOr,
+  Not,
+  BitAnd,
+  BitOr,
+  BitXor,
+  BitNot,
+  Shl,
+  Shr,
+  UShr,
+  // End of input
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;   // identifier name or string literal value
+  double number = 0;  // numeric literal value
+  int line = 0;       // 1-based source line
+};
+
+/// Human-readable token-kind name, for diagnostics.
+const char* tok_name(Tok kind);
+
+}  // namespace jsceres::js

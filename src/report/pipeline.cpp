@@ -1,0 +1,65 @@
+#include "report/pipeline.h"
+
+#include <sstream>
+
+#include "analysis/nest.h"
+#include "ceres/abort_advisor.h"
+#include "js/loop_scanner.h"
+#include "support/str.h"
+
+namespace jsceres::report {
+
+PipelineResult run_pipeline(const workloads::Workload& workload, ResultStore& store) {
+  std::ostringstream out;
+  out << "# JS-CERES report: " << workload.name << "\n";
+  out << workload.category << " / " << workload.description << " (" << workload.url
+      << ")\n\n";
+
+  // Steps 1-4: instrumented runs (the three staged modes).
+  auto light = workloads::run_workload(workload, workloads::Mode::Lightweight);
+  const auto row = light.table2_row();
+  out << "## running time (mode 1)\n";
+  out << "total " << str::fixed(row.total_s, 2) << " s, active "
+      << str::fixed(row.active_s, 2) << " s, in loops "
+      << str::fixed(row.in_loops_s, 2) << " s\n\n";
+
+  const auto nests = build_table3_rows(workload);
+  out << "## loop nests (modes 2+3)\n";
+  for (const auto& nest : nests) {
+    out << "- line " << nest.root_line << ": " << str::fixed(nest.share * 100, 0)
+        << "% of loop time, " << nest.instances << " instance(s), trips "
+        << str::fixed(nest.trips_mean, 1) << "±" << str::fixed(nest.trips_stddev, 1)
+        << "; divergence " << analysis::divergence_label(nest.divergence) << ", DOM "
+        << (nest.dom_access ? "yes" : "no") << ", deps "
+        << analysis::difficulty_label(nest.breaking_deps) << ", difficulty "
+        << analysis::difficulty_label(nest.difficulty) << "\n";
+  }
+
+  // Steps 5-6: interpreted results — warnings + speculation advice.
+  auto dep = workloads::run_workload(workload, workloads::Mode::Dependence);
+  out << "\n## dependence warnings (mode 3, "
+      << dep.dependence->warnings().size() << " distinct sites; top 10)\n";
+  std::size_t shown = 0;
+  for (const auto& warning : dep.dependence->warnings()) {
+    if (shown++ == 10) break;
+    out << "- " << warning.render(dep.program) << "\n";
+  }
+  out << "\n## speculation advice\n";
+  for (const int root : dep.nest_roots) {
+    out << ceres::advise(dep.program, *dep.dependence, root, nullptr)
+               .render(dep.program);
+  }
+
+  // Step 7: version the report.
+  PipelineResult result;
+  result.report = out.str();
+  std::string slug;
+  for (const char c : workload.name) {
+    slug += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? char(std::tolower(c))
+                                                               : '-';
+  }
+  result.stored_path = store.store(slug, result.report);
+  return result;
+}
+
+}  // namespace jsceres::report

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "report/result_store.h"
+#include "report/tables.h"
+
+namespace jsceres::report {
+
+/// The end-to-end JS-CERES flow of the paper's Fig. 5, as one call:
+///
+///   1-3. the engine "instruments" the app (hooks attached at run creation),
+///   4.   the event script exercises it,
+///   5-6. results are interpreted into a human-readable report,
+///   7.   the report is versioned into the ResultStore (the github.com
+///        substitute).
+///
+/// The produced report contains the app's Table 2 row, its Table 3 nest
+/// rows, the top dependence warnings, and a speculation abort report per
+/// nest.
+struct PipelineResult {
+  std::string report;        // the human-readable report text
+  std::string stored_path;   // where the ResultStore filed it
+};
+
+PipelineResult run_pipeline(const workloads::Workload& workload, ResultStore& store);
+
+}  // namespace jsceres::report

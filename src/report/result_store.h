@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsceres::report {
+
+/// Versioned, content-addressed report storage — the reproduction's
+/// substitute for JS-CERES's step 6/7 (the proxy committing human-readable
+/// result reports to a git repository and pushing them to github.com).
+///
+/// Each store() writes `<name>-<hash8>.txt` under the root directory and
+/// appends an entry to `index.md`; identical content is stored once.
+class ResultStore {
+ public:
+  explicit ResultStore(std::string root_dir);
+
+  /// Returns the path of the stored snapshot.
+  std::string store(const std::string& name, const std::string& content);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] const std::vector<std::string>& entries() const { return entries_; }
+
+  static std::uint64_t content_hash(const std::string& content);
+
+ private:
+  std::string root_;
+  std::vector<std::string> entries_;
+};
+
+}  // namespace jsceres::report

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/classifier.h"
+#include "workloads/runner.h"
+
+namespace jsceres::report {
+
+/// One measured Table 2 row next to the paper's published values.
+struct Table2Row {
+  std::string name;
+  workloads::LightweightResult measured;
+  workloads::PaperTable2Row paper;
+};
+
+/// Run all 12 workloads under instrumentation mode 1 (+ the sampling
+/// profiler) and collect Table 2.
+std::vector<Table2Row> build_table2();
+
+std::string render_table2(const std::vector<Table2Row>& rows);
+
+/// One Table 3 row: a reported loop nest of one workload.
+struct Table3Row {
+  std::string workload;
+  int root_line = 0;
+  double share = 0;  // of the app's total loop time
+  std::int64_t instances = 0;
+  double trips_mean = 0;
+  double trips_stddev = 0;
+  analysis::Divergence divergence = analysis::Divergence::None;
+  bool dom_access = false;
+  analysis::Difficulty breaking_deps = analysis::Difficulty::VeryEasy;
+  analysis::Difficulty difficulty = analysis::Difficulty::VeryEasy;
+};
+
+/// Full Table 3 pipeline for one workload: a loop-profiling run (mode 2,
+/// full scale) for timing/trips/DOM columns plus a dependence run (mode 3,
+/// reduced scale) for columns 5/7/8.
+std::vector<Table3Row> build_table3_rows(const workloads::Workload& workload);
+
+/// All 22 rows (every workload's reported nests).
+std::vector<Table3Row> build_table3();
+
+std::string render_table3(const std::vector<Table3Row>& rows);
+
+/// §4.2 Amdahl analysis: per application, the fraction of CPU-active time
+/// spent in nests classified at most `max_difficulty`, and the resulting
+/// speedup bounds.
+struct AmdahlRow {
+  std::string workload;
+  double parallel_fraction = 0;
+  double bound_4_cores = 1;
+  double bound_infinite = 1;
+};
+
+std::vector<AmdahlRow> build_amdahl(
+    analysis::Difficulty max_difficulty = analysis::Difficulty::Easy);
+
+std::string render_amdahl(const std::vector<AmdahlRow>& rows);
+
+}  // namespace jsceres::report

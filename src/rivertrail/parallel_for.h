@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "rivertrail/thread_pool.h"
+
+namespace jsceres::rivertrail {
+
+/// Scheduling policy for parallel_for. Uniform kernels (pixel filters)
+/// favour Static; divergent kernels (the raytracer's variable-depth
+/// recursion — exactly the control-flow-divergence issue of Table 3)
+/// favour Dynamic.
+enum class Schedule { Static, Dynamic };
+
+/// Blocking completion latch (std::latch-alike; kept local so the pool stays
+/// task-agnostic).
+class CompletionGate {
+ public:
+  explicit CompletionGate(int count) : remaining_(count) {}
+  void arrive() {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::lock_guard lock(mutex_);
+      cv_.notify_all();
+    }
+  }
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_.load(std::memory_order_acquire) == 0; });
+  }
+
+ private:
+  std::atomic<int> remaining_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Run body(begin, end) over [begin, end) chunks in parallel and wait.
+/// `body` must be data-race free across disjoint ranges — which is precisely
+/// the property the dependence analyzer certifies for "easy" loop nests.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body body,
+                  Schedule schedule = Schedule::Static, std::int64_t grain = 0) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const auto workers = std::int64_t(pool.size());
+  if (workers <= 1 || n == 1) {
+    body(begin, end);
+    return;
+  }
+
+  if (schedule == Schedule::Static) {
+    const std::int64_t chunks = std::min<std::int64_t>(workers, n);
+    CompletionGate gate{int(chunks)};
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = begin + n * c / chunks;
+      const std::int64_t hi = begin + n * (c + 1) / chunks;
+      pool.submit([&body, &gate, lo, hi] {
+        body(lo, hi);
+        gate.arrive();
+      });
+    }
+    gate.wait();
+    return;
+  }
+
+  // Dynamic: atomic work counter, `grain` iterations at a time.
+  if (grain <= 0) grain = std::max<std::int64_t>(1, n / (workers * 8));
+  auto next = std::make_shared<std::atomic<std::int64_t>>(begin);
+  CompletionGate gate{int(workers)};
+  for (std::int64_t w = 0; w < workers; ++w) {
+    pool.submit([&body, &gate, next, end, grain] {
+      while (true) {
+        const std::int64_t lo = next->fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) break;
+        body(lo, std::min(lo + grain, end));
+      }
+      gate.arrive();
+    });
+  }
+  gate.wait();
+}
+
+/// River-Trail-style data-parallel map: out[i] = fn(in[i]).
+template <typename T, typename U, typename Fn>
+void par_map(ThreadPool& pool, const std::vector<T>& in, std::vector<U>& out, Fn fn,
+             Schedule schedule = Schedule::Static) {
+  out.resize(in.size());
+  parallel_for(
+      pool, 0, std::int64_t(in.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) out[std::size_t(i)] = fn(in[std::size_t(i)]);
+      },
+      schedule);
+}
+
+/// Deterministic parallel reduction: per-chunk partials combined in chunk
+/// order. Floating-point results are reproducible run-to-run for a fixed
+/// worker count (partials are combined in index order, not completion
+/// order).
+template <typename T, typename Acc, typename Transform, typename Combine>
+Acc par_reduce(ThreadPool& pool, const std::vector<T>& in, Acc identity,
+               Transform transform, Combine combine) {
+  const auto workers = std::int64_t(pool.size());
+  const std::int64_t n = std::int64_t(in.size());
+  if (n == 0) return identity;
+  const std::int64_t chunks = std::min<std::int64_t>(std::max<std::int64_t>(workers, 1), n);
+  std::vector<Acc> partials(std::size_t(chunks), identity);
+  CompletionGate gate{int(chunks)};
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const std::int64_t lo = n * c / chunks;
+    const std::int64_t hi = n * (c + 1) / chunks;
+    pool.submit([&, lo, hi, c] {
+      Acc acc = identity;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        acc = combine(acc, transform(in[std::size_t(i)]));
+      }
+      partials[std::size_t(c)] = acc;
+      gate.arrive();
+    });
+  }
+  gate.wait();
+  Acc result = identity;
+  for (const Acc& partial : partials) result = combine(result, partial);
+  return result;
+}
+
+}  // namespace jsceres::rivertrail

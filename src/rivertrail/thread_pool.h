@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsceres::rivertrail {
+
+/// A fixed-size worker pool. Tasks are arbitrary callables; completion is
+/// coordinated by the callers (see parallel_for), keeping the pool itself
+/// free of per-task bookkeeping.
+///
+/// Per the C++ Core Guidelines concurrency rules: all shared state is
+/// mutex-protected, workers are joined in the destructor (RAII), and no
+/// detached threads exist.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned thread_count = 0) {
+    if (thread_count == 0) {
+      thread_count = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(thread_count);
+    for (unsigned i = 0; i < thread_count; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  [[nodiscard]] unsigned size() const { return unsigned(workers_.size()); }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace jsceres::rivertrail

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rivertrail/thread_pool.h"
+
+namespace jsceres::rivertrail {
+
+/// Result of one sequential-vs-parallel validation run.
+struct ValidationResult {
+  std::string kernel;
+  bool outputs_match = false;
+  double max_abs_error = 0;  // 0 for bit-identical kernels
+  double seq_ms = 0;
+  double par_ms = 0;
+  [[nodiscard]] double speedup() const { return par_ms > 0 ? seq_ms / par_ms : 0; }
+};
+
+/// Run every kernel port sequentially and in parallel on `pool`, check the
+/// outputs agree, and time both. `scale` multiplies the default problem
+/// sizes (1 = test-suite friendly, larger for benches).
+std::vector<ValidationResult> validate_all(ThreadPool& pool, double scale = 1.0);
+
+std::string render_validation_table(const std::vector<ValidationResult>& results,
+                                    unsigned threads);
+
+}  // namespace jsceres::rivertrail

@@ -1,0 +1,107 @@
+#include "support/str.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace jsceres::str {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t j = i;
+    while (j < text.size() && !std::isspace(static_cast<unsigned char>(text[j]))) ++j;
+    if (j > i) out.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  return out;
+}
+
+bool contains_word(std::string_view haystack, std::string_view word) {
+  if (word.empty()) return false;
+  std::size_t pos = 0;
+  const auto is_word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-';
+  };
+  while ((pos = haystack.find(word, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(haystack[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end == haystack.size() || !is_word_char(haystack[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string compact_count(double value) {
+  if (value >= 1000.0) {
+    const double k = value / 1000.0;
+    // One decimal only when it is informative (54.6k), none when round (90k).
+    if (std::fabs(k - std::round(k)) < 0.05) {
+      return fixed(std::round(k), 0) + "k";
+    }
+    return fixed(k, 1) + "k";
+  }
+  if (std::fabs(value - std::round(value)) < 1e-9) return fixed(value, 0);
+  return fixed(value, 1);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string repeat(std::string_view unit, int times) {
+  std::string out;
+  out.reserve(unit.size() * std::size_t(std::max(times, 0)));
+  for (int i = 0; i < times; ++i) out += unit;
+  return out;
+}
+
+}  // namespace jsceres::str

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsceres::str {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any whitespace run, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string to_lower(std::string_view text);
+
+bool contains_word(std::string_view haystack, std::string_view word);
+
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style double formatting with `digits` decimals.
+std::string fixed(double value, int digits);
+
+/// Compact human format used in the paper's tables: 90000 -> "90k",
+/// 54600 -> "54.6k", 120 -> "120".
+std::string compact_count(double value);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string repeat(std::string_view unit, int times);
+
+}  // namespace jsceres::str

@@ -1,0 +1,85 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace jsceres {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.assign(headers_.size(), Align::Left);
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto pad = [&](const std::string& text, std::size_t c) {
+    const std::size_t fill = widths[c] - std::min(widths[c], text.size());
+    if (aligns_[c] == Align::Right) return std::string(fill, ' ') + text;
+    return text + std::string(fill, ' ');
+  };
+
+  std::string rule = "+";
+  for (const auto w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out = rule;
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += " " + pad(headers_[c], c) + " |";
+  }
+  out += "\n" + rule;
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += rule;
+    out += "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out += " " + pad(row.cells[c], c) + " |";
+    }
+    out += "\n";
+  }
+  out += rule;
+  return out;
+}
+
+BarChart::BarChart(std::string title, int width)
+    : title_(std::move(title)), width_(width) {}
+
+void BarChart::add(std::string label, double share, std::string annotation) {
+  bars_.push_back(Bar{std::move(label), share, std::move(annotation)});
+}
+
+std::string BarChart::render() const {
+  std::size_t label_width = 0;
+  for (const auto& bar : bars_) label_width = std::max(label_width, bar.label.size());
+
+  std::string out = title_ + "\n";
+  for (const auto& bar : bars_) {
+    const double clamped = std::clamp(bar.share, 0.0, 1.0);
+    const int filled = int(clamped * width_ + 0.5);
+    out += "  " + bar.label + std::string(label_width - bar.label.size(), ' ') + " |";
+    out += str::repeat("#", filled);
+    out += std::string(std::size_t(width_ - filled), ' ');
+    out += "| " + bar.annotation + "\n";
+  }
+  return out;
+}
+
+}  // namespace jsceres

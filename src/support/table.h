@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jsceres {
+
+/// Plain-text table renderer used by every bench harness to print the
+/// paper's tables in a stable, diff-friendly format.
+class Table {
+ public:
+  enum class Align { Left, Right };
+
+  explicit Table(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Horizontal ASCII bar chart, used to render the survey figures the way the
+/// paper plots them (Figures 1-4).
+class BarChart {
+ public:
+  BarChart(std::string title, int width = 40);
+
+  /// Add one bar. `share` is in [0,1]; `annotation` is printed after the bar.
+  void add(std::string label, double share, std::string annotation);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double share;
+    std::string annotation;
+  };
+
+  std::string title_;
+  int width_;
+  std::vector<Bar> bars_;
+};
+
+}  // namespace jsceres

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace jsceres {
+
+/// Welford's online algorithm for mean and variance, exactly as cited by the
+/// paper (§3.2, [36]) for maintaining loop trip-count and running-time
+/// statistics without storing samples.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+    total_ += x;
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+  /// Population variance (the paper reports spread across all observed
+  /// instances, not a sample estimate).
+  [[nodiscard]] double variance() const {
+    return n_ == 0 ? 0.0 : m2_ / double(n_);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const Welford& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto n1 = double(n_);
+    const auto n2 = double(other.n_);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    mean_ = (n1 * mean_ + n2 * other.mean_) / (n1 + n2);
+    n_ += other.n_;
+    total_ += other.total_;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace jsceres

@@ -1,0 +1,143 @@
+#include "survey/aggregate.h"
+
+#include "support/str.h"
+#include "support/table.h"
+
+namespace jsceres::survey {
+
+Fig1Data fig1_categories(const Dataset& dataset, const Coder& coder) {
+  Fig1Data data;
+  for (const Respondent& r : dataset.respondents()) {
+    if (r.trends_answer.empty()) {
+      ++data.no_answer;
+      continue;
+    }
+    const std::set<Category> codes = coder.code(r.trends_answer);
+    if (codes.empty()) {
+      ++data.uncoded;
+      continue;
+    }
+    for (const Category c : codes) {
+      ++data.counts[std::size_t(int(c))];
+      ++data.total_codings;
+    }
+  }
+  return data;
+}
+
+Fig2Data fig2_bottlenecks(const Dataset& dataset) {
+  Fig2Data data;
+  for (const Respondent& r : dataset.respondents()) {
+    for (int c = 0; c < kComponentCount; ++c) {
+      const Rating rating = r.bottlenecks[std::size_t(c)];
+      if (rating == Rating::NoAnswer) continue;
+      ++data.counts[std::size_t(c)][std::size_t(int(rating))];
+    }
+  }
+  return data;
+}
+
+ScaleData fig3_style(const Dataset& dataset) {
+  ScaleData data;
+  for (const Respondent& r : dataset.respondents()) {
+    if (r.style_preference >= 1 && r.style_preference <= 5) {
+      ++data.counts[std::size_t(r.style_preference - 1)];
+    }
+  }
+  return data;
+}
+
+ScaleData fig4_polymorphism(const Dataset& dataset) {
+  ScaleData data;
+  for (const Respondent& r : dataset.respondents()) {
+    if (r.polymorphism >= 1 && r.polymorphism <= 5) {
+      ++data.counts[std::size_t(r.polymorphism - 1)];
+    }
+  }
+  return data;
+}
+
+OperatorPreference operators_preference(const Dataset& dataset) {
+  OperatorPreference pref;
+  for (const Respondent& r : dataset.respondents()) {
+    if (!r.answered_operators) continue;
+    ++pref.answered;
+    if (r.prefers_operators) ++pref.prefer_operators;
+  }
+  return pref;
+}
+
+GlobalsUsage globals_usage(const Dataset& dataset) {
+  GlobalsUsage usage;
+  for (const Respondent& r : dataset.respondents()) {
+    if (r.globals_answer.empty()) continue;
+    ++usage.answered;
+    const std::string lower = str::to_lower(r.globals_answer);
+    if (str::contains_word(lower, "namespace") ||
+        str::contains_word(lower, "module")) {
+      ++usage.namespace_emulation;
+    } else if (str::contains_word(lower, "scripts") ||
+               str::contains_word(lower, "server-rendered")) {
+      ++usage.inter_script_communication;
+    } else if (str::contains_word(lower, "singleton")) {
+      ++usage.singletons;
+    } else {
+      ++usage.other;
+    }
+  }
+  return usage;
+}
+
+std::string render_fig1(const Fig1Data& data) {
+  BarChart chart(
+      "Figure 1. Future web application categories, as identified by respondents",
+      40);
+  for (int c = 0; c < kCategoryCount; ++c) {
+    const auto count = data.counts[std::size_t(c)];
+    const double share = data.share(Category(c));
+    chart.add(category_label(Category(c)), share,
+              std::to_string(count) + " (" + str::fixed(share * 100, 0) + "%)");
+  }
+  std::string out = chart.render();
+  out += "  (no answer / not codable: " + std::to_string(data.no_answer) + " / " +
+         std::to_string(data.uncoded) + " of " +
+         std::to_string(data.no_answer + data.uncoded + data.total_codings) +
+         " responses)\n";
+  return out;
+}
+
+std::string render_fig2(const Fig2Data& data) {
+  Table table({"component", "not an issue", "so, so...", "is a bottleneck",
+               "answered"});
+  for (std::size_t c = 1; c <= 4; ++c) table.set_align(c, Table::Align::Right);
+  for (int c = 0; c < kComponentCount; ++c) {
+    const Component comp = Component(c);
+    std::vector<std::string> row{component_label(comp)};
+    for (int level = 0; level < 3; ++level) {
+      row.push_back(std::to_string(data.counts[std::size_t(c)][std::size_t(level)]) +
+                    " (" +
+                    str::fixed(data.share(comp, Rating(level)) * 100, 0) + "%)");
+    }
+    row.push_back(std::to_string(data.answered(comp)));
+    table.add_row(std::move(row));
+  }
+  return "Figure 2. Performance bottlenecks importance as scaled by respondents\n" +
+         table.render();
+}
+
+std::string render_scale(const ScaleData& data, const std::string& title,
+                         const std::string& low_label,
+                         const std::string& high_label) {
+  BarChart chart(title + "  [1 = " + low_label + " ... 5 = " + high_label + "]", 40);
+  for (int level = 1; level <= 5; ++level) {
+    const double share = data.share(level);
+    chart.add(std::to_string(level), share,
+              std::to_string(data.counts[std::size_t(level - 1)]) + " (" +
+                  str::fixed(share * 100, 0) + "%)");
+  }
+  std::string out = chart.render();
+  out += "  (" + std::to_string(data.answered()) + " respondents answered)\n";
+  return out;
+}
+
+}  // namespace jsceres::survey

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "survey/coding.h"
+#include "survey/model.h"
+
+namespace jsceres::survey {
+
+/// Figure 1 data: respondents per coded category, plus the no-answer bucket.
+struct Fig1Data {
+  std::array<int, kCategoryCount> counts{};
+  int uncoded = 0;     // valid answers the codebook does not cover
+  int no_answer = 0;   // empty responses
+  int total_codings = 0;
+
+  [[nodiscard]] double share(Category c) const {
+    return total_codings > 0 ? double(counts[std::size_t(int(c))]) / total_codings
+                             : 0;
+  }
+};
+
+Fig1Data fig1_categories(const Dataset& dataset, const Coder& coder);
+
+/// Figure 2 data: per component, counts for the three rating levels.
+struct Fig2Data {
+  // [component][level]: level 0 = not an issue, 1 = so-so, 2 = bottleneck.
+  std::array<std::array<int, 3>, kComponentCount> counts{};
+
+  [[nodiscard]] int answered(Component c) const {
+    const auto& row = counts[std::size_t(int(c))];
+    return row[0] + row[1] + row[2];
+  }
+  [[nodiscard]] double share(Component c, Rating level) const {
+    const int n = answered(c);
+    return n > 0 ? double(counts[std::size_t(int(c))][std::size_t(int(level))]) / n
+                 : 0;
+  }
+};
+
+Fig2Data fig2_bottlenecks(const Dataset& dataset);
+
+/// Figures 3 and 4: 1..5 preference histograms.
+struct ScaleData {
+  std::array<int, 5> counts{};
+  [[nodiscard]] int answered() const {
+    int total = 0;
+    for (const int c : counts) total += c;
+    return total;
+  }
+  [[nodiscard]] double share(int level) const {
+    return answered() > 0 ? double(counts[std::size_t(level - 1)]) / answered() : 0;
+  }
+};
+
+ScaleData fig3_style(const Dataset& dataset);
+ScaleData fig4_polymorphism(const Dataset& dataset);
+
+/// §2.3 operators-vs-loops summary.
+struct OperatorPreference {
+  int answered = 0;
+  int prefer_operators = 0;
+  [[nodiscard]] double share() const {
+    return answered > 0 ? double(prefer_operators) / answered : 0;
+  }
+};
+OperatorPreference operators_preference(const Dataset& dataset);
+
+/// §2.4 globals-usage summary (counts by detected usage pattern).
+struct GlobalsUsage {
+  int answered = 0;
+  int namespace_emulation = 0;
+  int inter_script_communication = 0;
+  int singletons = 0;
+  int other = 0;
+};
+GlobalsUsage globals_usage(const Dataset& dataset);
+
+// --- renderers (the paper's figures, as ASCII bar charts) -------------------
+std::string render_fig1(const Fig1Data& data);
+std::string render_fig2(const Fig2Data& data);
+std::string render_scale(const ScaleData& data, const std::string& title,
+                         const std::string& low_label, const std::string& high_label);
+
+}  // namespace jsceres::survey

@@ -1,0 +1,74 @@
+#include "survey/coding.h"
+
+#include <algorithm>
+
+#include "support/str.h"
+
+namespace jsceres::survey {
+
+std::set<Category> Coder::code(const std::string& answer) const {
+  std::set<Category> codes;
+  const std::string lower = str::to_lower(answer);
+  for (std::size_t c = 0; c < keywords_.size(); ++c) {
+    for (const std::string& keyword : keywords_[c]) {
+      if (str::contains_word(lower, keyword)) {
+        codes.insert(Category(c));
+        break;
+      }
+    }
+  }
+  return codes;
+}
+
+Coder Coder::rater_a() {
+  return Coder({
+      /* Games */ {"games", "game", "gaming", "gameplay"},
+      /* P2P/Social */ {"peer-to-peer", "social", "chat"},
+      /* Desktop like */ {"desktop", "desktop-class"},
+      /* Data processing */ {"data analysis", "productivity", "analytics",
+                             "spreadsheet", "data processing"},
+      /* Audio/Video */ {"audio", "video", "music"},
+      /* Visualization */ {"visualization", "charts"},
+      /* AR/recognition */ {"augmented", "recognition", "gesture", "voice"},
+  });
+}
+
+Coder Coder::rater_b() {
+  return Coder({
+      /* Games */ {"game", "games", "engines", "multiplayer"},
+      /* P2P/Social */ {"peer-to-peer", "peers", "social", "messaging"},
+      /* Desktop like */ {"desktop"},
+      /* Data processing */ {"data analysis", "data processing", "productivity",
+                             "number-heavy", "analytics"},
+      /* Audio/Video */ {"audio", "video", "compositing"},
+      /* Visualization */ {"visualization", "maps"},
+      /* AR/recognition */ {"augmented reality", "recognition", "camera",
+                            "gesture"},
+  });
+}
+
+double jaccard(const std::set<Category>& a, const std::set<Category>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  for (const Category c : a) intersection += b.count(c);
+  const std::size_t union_size = a.size() + b.size() - intersection;
+  return double(intersection) / double(union_size);
+}
+
+double inter_rater_agreement(const Dataset& dataset, const Coder& a, const Coder& b,
+                             double fraction) {
+  std::vector<const Respondent*> answered;
+  for (const Respondent& r : dataset.respondents()) {
+    if (!r.trends_answer.empty()) answered.push_back(&r);
+  }
+  const std::size_t sample =
+      std::max<std::size_t>(1, std::size_t(double(answered.size()) * fraction));
+  double total = 0;
+  for (std::size_t i = 0; i < sample; ++i) {
+    total += jaccard(a.code(answered[i]->trends_answer),
+                     b.code(answered[i]->trends_answer));
+  }
+  return total / double(sample);
+}
+
+}  // namespace jsceres::survey

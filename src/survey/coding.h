@@ -1,0 +1,42 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "survey/model.h"
+
+namespace jsceres::survey {
+
+/// Qualitative thematic coding (paper §2.1, citing Cruzes & Dybå [18]): two
+/// coders independently assign category codes to free-text answers; the
+/// codebook is validated by inter-rater agreement (Jaccard coefficient) of
+/// over 80% on 20% of the data.
+class Coder {
+ public:
+  /// Each category has a keyword list; an answer receives a code when any
+  /// keyword matches (whole-word, case-insensitive).
+  explicit Coder(std::vector<std::vector<std::string>> keywords)
+      : keywords_(std::move(keywords)) {}
+
+  [[nodiscard]] std::set<Category> code(const std::string& answer) const;
+
+  /// The two raters of the paper (developed by the second and third
+  /// authors): same codebook, independently chosen keyword vocabularies.
+  static Coder rater_a();
+  static Coder rater_b();
+
+ private:
+  std::vector<std::vector<std::string>> keywords_;  // indexed by Category
+};
+
+/// Jaccard coefficient between two code sets; 1.0 when both are empty
+/// (perfect agreement on "no category").
+double jaccard(const std::set<Category>& a, const std::set<Category>& b);
+
+/// Mean Jaccard agreement between two coders over the first `fraction` of
+/// the answered responses (the paper uses 20% of the data).
+double inter_rater_agreement(const Dataset& dataset, const Coder& a, const Coder& b,
+                             double fraction = 0.2);
+
+}  // namespace jsceres::survey

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace jsceres::survey {
+
+/// The six performance components of Figure 2, in the paper's order.
+enum class Component {
+  ResourceLoading = 0,
+  DomManipulation,
+  CanvasImages,
+  WebGlInteraction,
+  NumberCrunching,
+  StylingCss,
+};
+constexpr int kComponentCount = 6;
+const char* component_label(Component c);
+
+/// Figure 2 rating levels.
+enum class Rating { NoAnswer = -1, NotAnIssue = 0, SoSo = 1, Bottleneck = 2 };
+
+/// Figure 1 categories (thematic codes developed by the two coders).
+enum class Category {
+  Games = 0,
+  PeerToPeerSocial,
+  DesktopLike,
+  DataProcessing,
+  AudioVideo,
+  Visualization,
+  AugmentedRealityRecognition,
+};
+constexpr int kCategoryCount = 7;
+const char* category_label(Category c);
+
+/// One survey respondent. The paper's questionnaire had 20 questions in four
+/// groups (trends, style, tools, bottlenecks); this model carries the
+/// answers the evaluation aggregates.
+struct Respondent {
+  int id = 0;
+
+  /// Open-ended: "what new kinds of applications will trend on the web over
+  /// the next 5 years?" Empty = no answer.
+  std::string trends_answer;
+
+  /// Figure 2 ratings, indexed by Component.
+  std::array<Rating, kComponentCount> bottlenecks{
+      Rating::NoAnswer, Rating::NoAnswer, Rating::NoAnswer,
+      Rating::NoAnswer, Rating::NoAnswer, Rating::NoAnswer};
+
+  /// Figure 3: 1 = strongly functional ... 5 = strongly imperative; 0 = n/a.
+  int style_preference = 0;
+
+  /// Figure 4: 1 = purely monomorphic ... 5 = heavy polymorphism; 0 = n/a.
+  int polymorphism = 0;
+
+  /// §2.3: prefers builtin Array operators over explicit loops.
+  bool answered_operators = false;
+  bool prefers_operators = false;
+
+  /// §2.4 open-ended: "what would be a scenario where using global variables
+  /// helps?" Empty = no answer.
+  std::string globals_answer;
+};
+
+/// The reconstructed 174-respondent dataset (see DESIGN.md: the raw survey
+/// data is not public; the dataset is synthesized so that every aggregate
+/// the paper reports is reproduced, while the free-text answers are
+/// generated from per-category phrase pools so the thematic-coding pipeline
+/// has real text to work on).
+class Dataset {
+ public:
+  static Dataset paper_reconstruction(std::uint64_t seed = 2015);
+
+  [[nodiscard]] const std::vector<Respondent>& respondents() const {
+    return respondents_;
+  }
+  [[nodiscard]] std::size_t size() const { return respondents_.size(); }
+
+ private:
+  std::vector<Respondent> respondents_;
+};
+
+}  // namespace jsceres::survey

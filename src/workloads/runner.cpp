@@ -1,0 +1,102 @@
+#include "workloads/runner.h"
+
+#include <stdexcept>
+
+namespace jsceres::workloads {
+
+int line_of_marker(const std::string& source, const std::string& marker) {
+  const std::size_t pos = source.find(marker);
+  if (pos == std::string::npos) return 0;
+  int line = 1;
+  for (std::size_t i = 0; i < pos; ++i) {
+    if (source[i] == '\n') ++line;
+  }
+  return line;
+}
+
+LightweightResult InstrumentedRun::table2_row() const {
+  LightweightResult row;
+  row.total_s = clock.wall_seconds();
+  if (sampler != nullptr) {
+    row.active_s = sampler->active_seconds();
+  } else {
+    row.active_s = clock.cpu_seconds();
+  }
+  if (lightweight != nullptr) {
+    row.in_loops_s = lightweight->in_loops_seconds();
+  } else if (loops != nullptr) {
+    row.in_loops_s = double(loops->total_in_loops_ns()) / 1e9;
+  }
+  return row;
+}
+
+InstrumentedRun run_workload(const Workload& workload, Mode mode,
+                             double scale_override) {
+  InstrumentedRun run;
+  run.program = js::parse(workload.source, workload.name);
+
+  run.hooks = std::make_unique<interp::HookList>();
+  if (mode == Mode::Lightweight || mode == Mode::Combined) {
+    run.lightweight = std::make_unique<ceres::LightweightProfiler>(run.clock);
+    run.sampler = std::make_unique<ceres::SamplingProfiler>(run.clock);
+    run.hooks->add(run.lightweight.get());
+    run.hooks->add(run.sampler.get());
+  }
+  if (mode == Mode::LoopProfile || mode == Mode::Combined) {
+    run.loops = std::make_unique<ceres::LoopProfiler>(run.clock);
+    run.hooks->add(run.loops.get());
+  }
+  if (mode == Mode::Dependence || mode == Mode::Combined) {
+    run.dependence = std::make_unique<ceres::DependenceAnalyzer>(run.program);
+    run.hooks->add(run.dependence.get());
+  }
+
+  double scale = 1.0;
+  if (mode == Mode::Dependence) scale = workload.dependence_scale;
+  if (scale_override > 0) scale = scale_override;
+
+  interp::InterpreterConfig config;
+  config.preempt_interval_ticks = workload.preempt_interval_ticks;
+  config.preempt_block_ns = workload.preempt_block_ns;
+  run.interp = std::make_unique<interp::Interpreter>(run.program, run.clock,
+                                                     run.hooks.get(), config);
+  run.interp->define_global("SCALE", interp::Value::number(scale));
+
+  run.page = std::make_unique<dom::Page>(*run.interp);
+  if (workload.canvas) {
+    run.page->add_canvas(workload.canvas_id, workload.canvas_w, workload.canvas_h);
+  }
+
+  run.interp->run();
+  run.page->event_loop().push_user_events(workload.events);
+  run.page->event_loop().run(workload.session_ms);
+  if (run.sampler != nullptr) run.sampler->finish();
+
+  for (const std::string& marker : workload.nest_markers) {
+    const int line = line_of_marker(workload.source, marker);
+    const int loop_id = run.program.loop_id_at_line(line);
+    if (line == 0 || loop_id == 0) {
+      throw std::runtime_error(workload.name + ": nest marker not found: " + marker);
+    }
+    run.nest_roots.push_back(loop_id);
+  }
+  return run;
+}
+
+const std::vector<Workload>& all_workloads() {
+  static const std::vector<Workload> workloads = {
+      make_haar(),    make_cloth(),     make_caman(),      make_fluid(),
+      make_harmony(), make_ace(),       make_myscript(),   make_raytrace(),
+      make_normalmap(), make_sigma(),   make_processing(), make_d3(),
+  };
+  return workloads;
+}
+
+const Workload& workload_by_name(const std::string& name) {
+  for (const Workload& w : all_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace jsceres::workloads

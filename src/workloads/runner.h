@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+
+#include "ceres/dependence_analyzer.h"
+#include "ceres/lightweight_profiler.h"
+#include "ceres/loop_profiler.h"
+#include "ceres/sampling_profiler.h"
+#include "dom/page.h"
+#include "js/parser.h"
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// Table 2 row: the three time bases of instrumentation mode 1 + the Gecko
+/// emulation.
+struct LightweightResult {
+  double total_s = 0;     // virtual wall clock at session end
+  double active_s = 0;    // sampled CPU-active time
+  double in_loops_s = 0;  // mode-1 loop time
+};
+
+/// A completed instrumented run; owns everything the analyses reference.
+struct InstrumentedRun {
+  js::Program program;
+  VirtualClock clock;
+  std::unique_ptr<interp::HookList> hooks;
+  std::unique_ptr<ceres::LightweightProfiler> lightweight;
+  std::unique_ptr<ceres::SamplingProfiler> sampler;
+  std::unique_ptr<ceres::LoopProfiler> loops;
+  std::unique_ptr<ceres::DependenceAnalyzer> dependence;
+  std::unique_ptr<interp::Interpreter> interp;
+  std::unique_ptr<dom::Page> page;
+
+  /// Loop ids of the workload's reported nests (resolved nest_markers).
+  std::vector<int> nest_roots;
+
+  [[nodiscard]] LightweightResult table2_row() const;
+};
+
+/// The three staged instrumentation modes of the paper (§3), plus Combined
+/// for tests that want everything from a single run.
+enum class Mode { Lightweight, LoopProfile, Dependence, Combined };
+
+/// Parse, instrument, run to completion (init + event script + session
+/// horizon). `scale_override` > 0 forces the SCALE global (otherwise 1.0
+/// for profiling modes, workload.dependence_scale for dependence mode).
+InstrumentedRun run_workload(const Workload& workload, Mode mode,
+                             double scale_override = 0);
+
+}  // namespace jsceres::workloads

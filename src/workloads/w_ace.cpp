@@ -1,0 +1,169 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+namespace {
+
+std::vector<dom::UserEvent> ace_events() {
+  std::vector<dom::UserEvent> events;
+  const std::string text =
+      "function fib(n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } "
+      "var xs = [1,2,3].map(function (v) { return v * v; }); ";
+  int t = 500;
+  for (std::size_t i = 0; i < 90; ++i) {
+    const char c = text[i % text.size()];
+    dom::UserEvent e;
+    e.t_ms = t;
+    e.type = "keydown";
+    e.key = (i > 0 && i % 10 == 0) ? "Enter" : std::string(1, c);
+    events.push_back(e);
+    t += 300;
+  }
+  return events;
+}
+
+}  // namespace
+
+/// Ace — the code editor used by Cloud9 (Table 1: "Productivity").
+///
+/// Table 3 shape: the renderer's cascading-update while-loop and the
+/// visible-row refresh loop both execute ~1 iteration per keystroke ("the
+/// loops in Ace only execute roughly one iteration on average") -> "yes"
+/// divergence; every iteration updates the DOM; and the document/render
+/// state is a thicket of fields read and written across iterations ->
+/// "very hard" on both dependence columns.
+Workload make_ace() {
+  Workload w;
+  w.name = "Ace";
+  w.url = "ace.c9.io";
+  w.category = "Productivity";
+  w.description = "code editor used by the Cloud9 IDE";
+  w.paper = {30, 0.4, 0.4};
+  w.session_ms = 28000;
+  w.dependence_scale = 1.0;
+  w.nest_markers = {"while (editor.dirtyRows.length > 0) { // cascade",
+                    "for (r = firstVisible; r <= lastVisible; r++) {"};
+  w.events = ace_events();
+  w.source = R"JS(
+var editor = {
+  lines: [''],
+  cursorRow: 0,
+  cursorCol: 0,
+  dirtyRows: [],
+  maxWidth: 0,
+  longestRow: 0,
+  scrollHeight: 1,
+  renderedRows: 0,
+  tokenState: 0,
+  gutterWidth: 2,
+  revision: 0
+};
+var lineElements = [];
+var CHAR_W = 7;
+
+function lineElement(row) {
+  if (lineElements[row] === undefined) {
+    var el = document.createElement('div');
+    el.setAttribute('id', 'line-' + row);
+    document.body.appendChild(el);
+    lineElements[row] = el;
+  }
+  return lineElements[row];
+}
+
+function tokenizeLine(row) {
+  var line = editor.lines[row];
+  var tokens = 0;
+  var inWord = false;
+  var i;
+  for (i = 0; i < line.length; i++) {
+    var c = line.charAt(i);
+    var isSpace = c === ' ' || c === '\t';
+    if (!isSpace && !inWord) { tokens = tokens + 1; }
+    inWord = !isSpace;
+  }
+  return tokens;
+}
+
+// Nest 1: the cascading render loop — processes dirty rows until layout
+// stabilizes. Each iteration reads and writes a pile of shared renderer
+// state (the flow dependences that make Ace "very hard").
+function renderCascade() {
+  while (editor.dirtyRows.length > 0) { // cascade until stable
+    var row = editor.dirtyRows.pop();
+    var line = editor.lines[row];
+    var width = line.length * CHAR_W;
+    var tokens = tokenizeLine(row);
+
+    editor.maxWidth = Math.max(editor.maxWidth, width);
+    editor.longestRow = width >= editor.maxWidth ? row : editor.longestRow;
+    editor.scrollHeight = Math.max(editor.scrollHeight, editor.lines.length);
+    editor.renderedRows = editor.renderedRows + 1;
+    editor.tokenState = editor.tokenState * 31 + tokens;
+    editor.gutterWidth = Math.max(editor.gutterWidth, ('' + editor.scrollHeight).length);
+    editor.revision = editor.revision + 1;
+
+    var el = lineElement(row);
+    el.setAttribute('data-tokens', '' + tokens);
+    el.textContent = line;
+
+    // A row growing past the viewport invalidates its successor (the
+    // cascade; usually does not fire -> ~1 trip).
+    if (width > 600 && row + 1 < editor.lines.length) {
+      editor.dirtyRows.push(row + 1);
+    }
+  }
+}
+
+// Nest 2: refresh the visible rows around the cursor. Usually one row; an
+// occasional context repaint pulls in the previous row too (trips ~1).
+var paint = {
+  screenWidth: 0, lastRenderedRow: 0, paintCount: 0, blitCount: 0,
+  styleEpoch: 0, visibleFirst: 0, visibleLast: 0
+};
+function renderVisible() {
+  var context = editor.revision % 8 === 0 ? 1 : 0;
+  var firstVisible = Math.max(0, editor.cursorRow - context);
+  var lastVisible = Math.min(editor.lines.length - 1, editor.cursorRow);
+  var r;
+  for (r = firstVisible; r <= lastVisible; r++) { // visible rows
+    var el = lineElement(r);
+    el.setAttribute('data-rev', '' + editor.revision);
+    paint.screenWidth = Math.max(paint.screenWidth, editor.lines[r].length * CHAR_W);
+    paint.lastRenderedRow = Math.max(paint.lastRenderedRow, r);
+    paint.paintCount = paint.paintCount + 1;
+    paint.blitCount = paint.blitCount + (r === editor.cursorRow ? 2 : 1);
+    paint.styleEpoch = paint.styleEpoch * 7 + r;
+    paint.visibleFirst = Math.min(paint.visibleFirst, firstVisible);
+    paint.visibleLast = Math.max(paint.visibleLast, r);
+    editor.renderedRows = editor.renderedRows + 1;
+  }
+}
+
+function insertChar(key) {
+  if (key === 'Enter') {
+    var rest = editor.lines[editor.cursorRow].slice(editor.cursorCol);
+    editor.lines[editor.cursorRow] =
+        editor.lines[editor.cursorRow].slice(0, editor.cursorCol);
+    editor.cursorRow = editor.cursorRow + 1;
+    editor.lines.splice(editor.cursorRow, 0, rest);
+    editor.cursorCol = 0;
+    editor.dirtyRows.push(editor.cursorRow - 1);
+    editor.dirtyRows.push(editor.cursorRow);
+  } else {
+    var line = editor.lines[editor.cursorRow];
+    editor.lines[editor.cursorRow] =
+        line.slice(0, editor.cursorCol) + key + line.slice(editor.cursorCol);
+    editor.cursorCol = editor.cursorCol + 1;
+    editor.dirtyRows.push(editor.cursorRow);
+  }
+  renderCascade();
+  renderVisible();
+}
+
+addEventListener('keydown', function (e) { insertChar(e.key); });
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

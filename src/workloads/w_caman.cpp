@@ -1,0 +1,120 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// CamanJS — image manipulation library (Table 1: "Audio and Video").
+///
+/// Table 3 shape: three pixel-kernel nests (brightness, contrast,
+/// saturation) with disjoint index writes into the shared pixel array plus
+/// one shared progress scalar -> "easy" dependence difficulty; local clamp
+/// branches only -> "little" divergence; the image data is fetched from the
+/// canvas *before* the kernels run, so the nests themselves have no
+/// DOM/Canvas access (col 6 "no").
+Workload make_caman() {
+  Workload w;
+  w.name = "CamanJS";
+  w.url = "camanjs.com";
+  w.category = "Audio and Video";
+  w.description = "image manipulation library";
+  w.paper = {40, 23, 17};
+  w.session_ms = 12000;
+  w.canvas = true;
+  w.canvas_w = 96;
+  w.canvas_h = 96;
+  w.dependence_scale = 0.4;
+  w.nest_markers = {"for (p = 0; p < n; p = p + 4) { // brightness",
+                    "for (p = 0; p < n; p = p + 4) { // contrast",
+                    "for (p = 0; p < n; p = p + 4) { // saturation"};
+  // One click (after the photo finishes loading) starts the filter chain.
+  w.events = {{1900, "mousedown", 5, 5, ""}};
+  w.source = R"JS(
+var SIZE = Math.max(16, Math.floor(32 * SCALE));
+var ctx = document.getElementById('stage').getContext('2d');
+var state = {lastTouched: 0, renders: 0};
+var img = null;
+
+function prepare() {
+  // Paint a gradient test card, then pull the pixels once (canvas access
+  // happens here, outside the filter nests).
+  var y;
+  for (y = 0; y < SIZE; y = y + 8) {
+    ctx.fillStyle = 'rgb(' + (y * 2 % 256) + ',' + (y * 3 % 256) + ',' + (255 - y % 256) + ')';
+    ctx.fillRect(0, y, SIZE, 8);
+  }
+  img = ctx.getImageData(0, 0, SIZE, SIZE);
+}
+
+// Channel clamps are inlined in each kernel (local, predictable branches —
+// Table 3's "little" divergence).
+function brightness(amount) {
+  var d = img.data;
+  var n = d.length;
+  var p;
+  for (p = 0; p < n; p = p + 4) { // brightness kernel
+    var r = d[p] + amount;
+    var g = d[p + 1] + amount;
+    var b = d[p + 2] + amount;
+    d[p] = r < 0 ? 0 : (r > 255 ? 255 : r);
+    d[p + 1] = g < 0 ? 0 : (g > 255 ? 255 : g);
+    d[p + 2] = b < 0 ? 0 : (b > 255 ? 255 : b);
+    state.lastTouched = p;
+  }
+}
+
+function contrast(amount) {
+  var factor = (259 * (amount + 255)) / (255 * (259 - amount));
+  var d = img.data;
+  var n = d.length;
+  var p;
+  for (p = 0; p < n; p = p + 4) { // contrast kernel
+    var r = factor * (d[p] - 128) + 128;
+    var g = factor * (d[p + 1] - 128) + 128;
+    var b = factor * (d[p + 2] - 128) + 128;
+    d[p] = r < 0 ? 0 : (r > 255 ? 255 : r);
+    d[p + 1] = g < 0 ? 0 : (g > 255 ? 255 : g);
+    d[p + 2] = b < 0 ? 0 : (b > 255 ? 255 : b);
+    state.lastTouched = p;
+  }
+}
+
+function saturation(amount) {
+  var d = img.data;
+  var n = d.length;
+  var p;
+  for (p = 0; p < n; p = p + 4) { // saturation kernel
+    var avg = (d[p] + d[p + 1] + d[p + 2]) / 3;
+    var r = avg + (d[p] - avg) * amount;
+    var g = avg + (d[p + 1] - avg) * amount;
+    var b = avg + (d[p + 2] - avg) * amount;
+    d[p] = r < 0 ? 0 : (r > 255 ? 255 : r);
+    d[p + 1] = g < 0 ? 0 : (g > 255 ? 255 : g);
+    d[p + 2] = b < 0 ? 0 : (b > 255 ? 255 : b);
+    state.lastTouched = p;
+  }
+}
+
+// Animated enhancement: a chain of render passes (brightness every pass,
+// contrast every fourth, saturation every eighth -- matching the paper's
+// 72/15/7 runtime split across the three nests).
+var pass = 0;
+function renderPass() {
+  brightness(4);
+  if (pass % 4 === 0) { contrast(6); }
+  if (pass % 8 === 0) { saturation(1.08); }
+  state.renders = state.renders + 1;
+  ctx.putImageData(img, 0, 0);
+  pass = pass + 1;
+  if (pass < 12) { setTimeout(renderPass, 250); }
+}
+
+loadResource('photo.jpg', 2200, function () {
+  prepare();
+});
+addEventListener('mousedown', function (e) {
+  if (img !== null && pass === 0) { renderPass(); }
+});
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

@@ -1,0 +1,141 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+namespace {
+
+std::vector<dom::UserEvent> d3_events() {
+  std::vector<dom::UserEvent> events;
+  events.push_back({300, "mousedown", 48, 48, ""});
+  for (int t = 380; t < 3600; t += 700) {
+    events.push_back({t, "mousemove", 48.0 + (t - 380) * 0.02, 48.0, ""});
+  }
+  events.push_back({3650, "mouseup", 112, 48, ""});
+  return events;
+}
+
+}  // namespace
+
+/// D3.js — interactive azimuthal projection map (Table 1: "Visualization").
+///
+/// Table 3 shape: one nest is ~99% of loop time — the per-feature point
+/// loop of the projection path generator. Points behind the horizon are
+/// clipped by *recursive* great-arc subdivision ("yes" divergence); the
+/// path generator threads prev-point and bounding-box state through the
+/// iterations (5 flow-dependence sites -> "hard"); each feature's <path>
+/// element is updated once per ~150 points (DOM access "yes", but
+/// incidental — the paper keeps D3 at "hard" overall).
+Workload make_d3() {
+  Workload w;
+  w.name = "D3.js";
+  w.url = "d3js.org";
+  w.category = "Visualization";
+  w.description = "interactive azimuthal projection map";
+  w.paper = {18, 5, 4};
+  w.session_ms = 17000;
+  // Full scale even under mode 3: the horizon-clip recursion (the divergence
+  // source) only triggers with enough points per feature.
+  w.dependence_scale = 1.0;
+  w.nest_markers = {"for (pi = 0; pi < pts.length; pi++) { // project points"};
+  w.events = d3_events();
+  w.source = R"JS(
+var FEATURES = Math.max(3, Math.floor(6 * SCALE));
+var POINTS = Math.max(20, Math.floor(90 * SCALE));
+var features = [];
+var rotationLambda = 0;
+var redraws = 0;
+var path = {prevX: 0, prevY: 0, minX: 1e9, maxX: -1e9, minY: 1e9, segments: 0};
+var dragging = false;
+var dragStartX = 0;
+
+function buildFeatures() {
+  var f;
+  for (f = 0; f < FEATURES; f++) {
+    var pts = [];
+    var k;
+    for (k = 0; k < POINTS; k++) {
+      var lon = -3.1 + 6.2 * k / POINTS + 0.4 * Math.sin(f * 2.1 + k * 0.3);
+      var lat = (f - FEATURES / 2) * 0.25 + 0.3 * Math.cos(k * 0.21);
+      pts.push({lon: lon, lat: lat});
+    }
+    var el = document.createElement('path');
+    el.setAttribute('id', 'feature-' + f);
+    document.body.appendChild(el);
+    features.push({points: pts, el: el, d: ''});
+  }
+}
+
+// Recursive adaptive resampling along the clip horizon (the divergence
+// source: depth depends on where the arc crosses the horizon).
+function resampleDepth(cosA, cosB, depth) {
+  if (depth === 0) { return 1; }
+  var mid = (cosA + cosB) / 2;
+  if (mid > 0.05 || (cosA < 0 && cosB < 0)) { return 1; }
+  return 1 + resampleDepth(cosA, mid, depth - 1) +
+         resampleDepth(mid, cosB, depth - 1);
+}
+
+function project(lon, lat) {
+  // Azimuthal orthographic projection with rotation.
+  var cosc = Math.cos(lat) * Math.cos(lon - rotationLambda);
+  return {
+    x: 48 + 44 * Math.cos(lat) * Math.sin(lon - rotationLambda),
+    y: 48 - 44 * Math.sin(lat),
+    visible: cosc
+  };
+}
+
+function redraw() {
+  redraws = redraws + 1;
+  var f;
+  for (f = 0; f < features.length; f++) {
+    var pts = features[f].points;
+    var d = '';
+    path.prevX = 0;
+    path.prevY = 0;
+    path.segments = 0;
+    var prevCos = -1;
+    var pi;
+    for (pi = 0; pi < pts.length; pi++) { // project points into the path
+      var pr = project(pts[pi].lon, pts[pi].lat);
+      if (pr.visible > 0 && prevCos > 0) {
+        // Adaptive resampling between consecutive visible points.
+        var extra = resampleDepth(prevCos, pr.visible, 2);
+        var sx = (path.prevX + pr.x) / 2;
+        var sy = (path.prevY + pr.y) / 2;
+        d = d + 'L' + Math.floor(sx * extra % 97) + ' ' + Math.floor(sy);
+        path.segments = path.segments + 1;
+      }
+      path.minX = Math.min(path.minX, pr.x);
+      path.maxX = Math.max(path.maxX, pr.x);
+      path.minY = Math.min(path.minY, pr.y);
+      path.prevX = pr.x;
+      path.prevY = pr.y;
+      prevCos = pr.visible;
+      if (pi % 24 === 0) {
+        features[f].el.setAttribute('data-progress', '' + pi);
+      }
+    }
+    features[f].d = d;
+    features[f].el.setAttribute('d', d);
+  }
+}
+
+addEventListener('mousedown', function (e) {
+  dragging = true;
+  dragStartX = e.x;
+});
+addEventListener('mousemove', function (e) {
+  if (!dragging) { return; }
+  rotationLambda = rotationLambda + (e.x - dragStartX) * 0.002;
+  redraw();
+});
+addEventListener('mouseup', function (e) { dragging = false; });
+
+buildFeatures();
+redraw();
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

@@ -1,0 +1,215 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// HAAR.js — Viola-Jones face detection (Table 1: "User recognition").
+///
+/// Structure mirrors the paper's findings for this app (Table 3):
+///  - nest 1: per-scale variance-map rows — arithmetic on the integral
+///    image, local branching only -> "little" divergence, "easy" deps;
+///  - nest 2: per-window cascade stage loop whose tree features are
+///    evaluated by a *recursive* descent ("a recursive search through a
+///    tree which makes the iterations uneven") -> "yes" divergence;
+///  - the synthetic subject image is synthesized by recursive quadrant
+///    subdivision (standing in for native image decode: CPU-active time
+///    outside any loop, the reason HAAR's Active >> In-Loops in Table 2).
+Workload make_haar() {
+  Workload w;
+  w.name = "HAAR.js";
+  w.url = "github.com/foo123/HAAR.js";
+  w.category = "User recognition";
+  w.description = "face recognition (Viola-Jones)";
+  w.paper = {8, 2, 0.44};
+  w.session_ms = 8000;
+  w.dependence_scale = 0.6;
+  w.nest_markers = {"for (wy = 0; wy + WIN", "for (s = 0; s < cascade.length"};
+  w.events = {{2600, "mousedown", 10, 10, ""}};
+  w.source = R"JS(
+var W = Math.max(18, Math.floor(22 * SCALE));
+var H = Math.max(18, Math.floor(22 * SCALE));
+var WIN = 12;
+var gray = [];
+var ii = [];
+var varianceMap = [];
+var detections = [];
+var windowsTested = 0;
+var stageWins = 0;
+var imageReady = false;
+
+// Recursive quadrant synthesis of the subject image (stands in for native
+// JPEG decode: lots of CPU-active time with no syntactic loop open).
+function paintQuad(x0, y0, x1, y1, tone) {
+  if (x1 - x0 < 1 || y1 - y0 < 1) {
+    gray[y0 * W + x0] = Math.floor(tone);
+    return;
+  }
+  var mx = Math.floor((x0 + x1) / 2);
+  var my = Math.floor((y0 + y1) / 2);
+  var wobble = 24 * Math.sin(x0 * 0.7 + y0 * 0.3);
+  paintQuad(x0, y0, mx, my, tone + wobble);
+  paintQuad(mx + 1, y0, x1, my, tone - wobble * 0.5);
+  paintQuad(x0, my + 1, mx, y1, tone + wobble * 0.25);
+  paintQuad(mx + 1, my + 1, x1, y1, tone - wobble * 0.75);
+}
+
+function buildIntegral() {
+  var y;
+  var x;
+  for (y = 0; y < H; y++) {
+    var rowSum = 0;
+    for (x = 0; x < W; x++) {
+      var v = gray[y * W + x];
+      rowSum = rowSum + (v === undefined ? 128 : v);
+      var above = y > 0 ? ii[(y - 1) * W + x] : 0;
+      ii[y * W + x] = rowSum + above;
+    }
+  }
+}
+
+function rectSum(x0, y0, x1, y1) {
+  var a = (y0 > 0 && x0 > 0) ? ii[(y0 - 1) * W + (x0 - 1)] : 0;
+  var b = y0 > 0 ? ii[(y0 - 1) * W + x1] : 0;
+  var c = x0 > 0 ? ii[y1 * W + (x0 - 1)] : 0;
+  return ii[y1 * W + x1] - b - c + a;
+}
+
+// The classifier cascade: stages of depth-2 feature trees.
+var cascade = [];
+function makeNode(depth, salt) {
+  var node = {
+    fx: salt % 5, fy: (salt * 3) % 5,
+    fw: 3 + salt % 3, fh: 3 + (salt * 7) % 3,
+    t: 70 + (salt * 13) % 80,
+    l: null, r: null,
+    lv: (salt % 2) * 2 - 1, rv: ((salt + 1) % 2) * 2 - 1
+  };
+  if (depth > 0) {
+    node.l = makeNode(depth - 1, (salt * 31 + 7) % 97);
+    node.r = makeNode(depth - 1, (salt * 17 + 3) % 89);
+  }
+  return node;
+}
+function buildStage(s) {
+  if (s >= 16) { return; }
+  var trees = [];
+  trees.push(makeNode(1, s * 7 + 1));
+  trees.push(makeNode(1, s * 11 + 2));
+  // Early stages accept almost everything (classic attentional cascade):
+  // most windows survive ~10 stages, so the stage loop's trip count is
+  // sizeable but uneven.
+  cascade.push({trees: trees, threshold: -2.6 + s * 0.2});
+  buildStage(s + 1);
+}
+
+// Recursive tree descent per feature.
+function evalNode(node, wx, wy, norm) {
+  var sum = rectSum(wx + node.fx, wy + node.fy,
+                    wx + node.fx + node.fw, wy + node.fy + node.fh);
+  var area = node.fw * node.fh;
+  if (sum / area < node.t * norm) {
+    if (node.l !== null) { return evalNode(node.l, wx, wy, norm); }
+    return node.lv;
+  }
+  if (node.r !== null) { return evalNode(node.r, wx, wy, norm); }
+  return node.rv;
+}
+
+// Nest 2: the per-window cascade stage loop (early exit makes trips uneven).
+function testWindow(wx, wy) {
+  // Variance normalization couples the cascade to nest 1's output, so trip
+  // counts vary per window (the paper's 15±15 unevenness).
+  var norm = varianceMap[wy * W + wx];
+  norm = norm === undefined ? 1 : 1 + (norm % 3) * 0.6;
+  var s;
+  for (s = 0; s < cascade.length; s++) {
+    var stage = cascade[s];
+    var vote = 0;
+    var t;
+    for (t = 0; t < stage.trees.length; t++) {
+      vote = vote + evalNode(stage.trees[t], wx, wy, norm);
+    }
+    if (vote < stage.threshold * norm) { return false; }
+    stageWins = stageWins + 1;
+  }
+  return true;
+}
+
+// Nest 1: per-scale variance normalization map — a true per-window second
+// moment over sampled pixels.
+function varianceRows(step) {
+  var wy;
+  for (wy = 0; wy + WIN <= H; wy = wy + 1) {
+    var wx;
+    for (wx = 0; wx + WIN <= W; wx = wx + 1) {
+      var sum = 0;
+      var sq = 0;
+      var py;
+      for (py = 0; py < WIN; py = py + 3) {
+        var px;
+        for (px = 0; px < WIN; px = px + 3) {
+          var v = gray[(wy + py) * W + wx + px];
+          v = v === undefined ? 128 : v;
+          sum = sum + v;
+          sq = sq + v * v;
+        }
+      }
+      var n = (WIN / 3) * (WIN / 3);
+      varianceMap[wy * W + wx] = Math.sqrt(sq / n - (sum / n) * (sum / n) + step);
+    }
+  }
+}
+
+function detect() {
+  var scale;
+  for (scale = 0; scale < 3; scale++) {
+    var step = 2 + scale;
+    varianceRows(step);
+    var wy;
+    for (wy = 0; wy + WIN <= H; wy = wy + step) {
+      var wx;
+      for (wx = 0; wx + WIN <= W; wx = wx + step) {
+        windowsTested = windowsTested + 1;
+        if (testWindow(wx, wy)) {
+          detections.push({x: wx, y: wy, s: scale});
+        }
+      }
+    }
+  }
+}
+
+// Recursive separable blur (part of the simulated decode pipeline: heavy
+// CPU work with no syntactic loop open, so it shows up in Active but not in
+// In-Loops — Table 2's HAAR shape).
+function smoothQuad(x0, y0, x1, y1, depth) {
+  if (x1 - x0 < 1 || y1 - y0 < 1 || depth === 0) {
+    var p = y0 * W + x0;
+    var left = x0 > 0 ? gray[p - 1] : gray[p];
+    var up = y0 > 0 ? gray[p - W] : gray[p];
+    gray[p] = Math.floor((gray[p] * 2 + left + up) / 4);
+    return;
+  }
+  var mx = Math.floor((x0 + x1) / 2);
+  var my = Math.floor((y0 + y1) / 2);
+  smoothQuad(x0, y0, mx, my, depth - 1);
+  smoothQuad(mx + 1, y0, x1, my, depth - 1);
+  smoothQuad(x0, my + 1, mx, y1, depth - 1);
+  smoothQuad(mx + 1, my + 1, x1, y1, depth - 1);
+}
+
+loadResource('subject.jpg', 1400, function () {
+  paintQuad(0, 0, W - 1, H - 1, 128);
+  smoothQuad(0, 0, W - 1, H - 1, 16);
+  smoothQuad(0, 0, W - 1, H - 1, 16);
+  smoothQuad(0, 0, W - 1, H - 1, 16);
+  buildIntegral();
+  buildStage(0);
+  imageReady = true;
+});
+addEventListener('mousedown', function (e) {
+  if (imageReady) { detect(); }
+});
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

@@ -1,0 +1,113 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+namespace {
+
+std::vector<dom::UserEvent> harmony_events() {
+  std::vector<dom::UserEvent> events;
+  events.push_back({400, "mousedown", 20, 20, ""});
+  // A long free-hand sketching session: the app is on screen for ~36 s but
+  // each stroke handler is light — Table 2's Total >> Active shape.
+  for (int t = 450; t < 35600; t += 240) {
+    const double x = 20 + 50.0 * (0.5 + 0.5 * ((t / 240) % 19) / 19.0);
+    const double y = 20 + 40.0 * (0.5 + 0.5 * ((t / 240) % 13) / 13.0);
+    events.push_back({t, "mousemove", x, y, ""});
+  }
+  events.push_back({35650, "mouseup", 60, 40, ""});
+  return events;
+}
+
+}  // namespace
+
+/// Harmony — procedural brush drawing app (Table 1: "Audio and Video").
+///
+/// Table 3 shape: three small nests (web-brush connections, ink shading,
+/// stroke smoothing), all branch-free ("none" divergence), all touching the
+/// canvas every iteration — which is why the paper rates them "easy" to
+/// break dependences but "very hard" to parallelize (non-concurrent
+/// DOM/Canvas is the binding constraint).
+Workload make_harmony() {
+  Workload w;
+  w.name = "Harmony";
+  w.url = "mrdoob.com/projects/harmony";
+  w.category = "Audio and Video";
+  w.description = "drawing application";
+  w.paper = {41, 0.36, 0.28};
+  w.session_ms = 36000;
+  w.canvas = true;
+  w.canvas_w = 96;
+  w.canvas_h = 72;
+  w.dependence_scale = 1.0;
+  w.nest_markers = {"for (i = start; i < points.length; i++) { // web",
+                    "for (k = 1; k < SHADE_STEPS; k++) { // shading",
+                    "for (s = smoothFrom; s < points.length; s++) { // smoothing"};
+  w.events = harmony_events();
+  w.source = R"JS(
+var WEB_NEIGHBORS = Math.max(3, Math.floor(9 * SCALE));
+var SHADE_STEPS = Math.max(3, Math.floor(7 * SCALE));
+var SMOOTH_WINDOW = Math.max(3, Math.floor(6 * SCALE));
+var ctx = document.getElementById('stage').getContext('2d');
+var points = [];
+var smoothed = [];
+var drawing = false;
+var lastX = 0;
+var lastY = 0;
+var smoothCount = 0;
+
+function brushStroke(x, y) {
+  points.push({x: x, y: y});
+
+  // Nest 1: the "web" brush — connect the new point to its recent
+  // neighbours. Branch-free body, one canvas stroke per iteration.
+  var start = Math.max(0, points.length - WEB_NEIGHBORS);
+  var i;
+  for (i = start; i < points.length; i++) { // web connections
+    var p = points[i];
+    ctx.beginPath();
+    ctx.moveTo(p.x, p.y);
+    ctx.lineTo(x, y);
+    ctx.stroke();
+    lastX = p.x;
+    lastY = p.y;
+  }
+
+  // Nest 2: ink shading along the fresh segment.
+  var dx = (x - lastX) / SHADE_STEPS;
+  var dy = (y - lastY) / SHADE_STEPS;
+  var k;
+  for (k = 1; k < SHADE_STEPS; k++) { // shading dots
+    ctx.beginPath();
+    ctx.arc(lastX + dx * k, lastY + dy * k, 1.2);
+    ctx.fill();
+    lastX = lastX + dx * 0.01;
+  }
+
+  // Nest 3: smooth the tail of the stroke into a fresh buffer (writes go to
+  // a new array, keeping the dependences trivial).
+  var smoothFrom = Math.max(1, points.length - SMOOTH_WINDOW);
+  var s;
+  for (s = smoothFrom; s < points.length; s++) { // smoothing pass
+    var a = points[s - 1];
+    var b = points[s];
+    smoothed[s] = {x: (a.x + b.x) * 0.5, y: (a.y + b.y) * 0.5};
+    ctx.fillRect(smoothed[s].x, smoothed[s].y, 1, 1);
+    smoothCount = smoothCount + 1;
+  }
+}
+
+addEventListener('mousedown', function (e) {
+  drawing = true;
+  ctx.strokeStyle = 'rgba(40,40,60,0.4)';
+  ctx.fillStyle = 'rgba(40,40,60,0.25)';
+  brushStroke(e.x, e.y);
+});
+addEventListener('mousemove', function (e) {
+  if (drawing) { brushStroke(e.x, e.y); }
+});
+addEventListener('mouseup', function (e) { drawing = false; });
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

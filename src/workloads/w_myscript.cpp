@@ -1,0 +1,140 @@
+#include "workloads/workload.h"
+
+#include <cmath>
+
+namespace jsceres::workloads {
+
+namespace {
+
+std::vector<dom::UserEvent> myscript_events() {
+  std::vector<dom::UserEvent> events;
+  // Hand-write three letter-like strokes.
+  int t = 600;
+  for (int stroke = 0; stroke < 3; ++stroke) {
+    const double base_x = 15 + stroke * 25;
+    events.push_back({t, "mousedown", base_x, 40, ""});
+    t += 60;
+    for (int k = 0; k < 22; ++k) {
+      const double x = base_x + 8.0 * std::sin(k * 0.6);
+      const double y = 40 - k * 1.5 + 4.0 * std::cos(k * 0.9);
+      events.push_back({t, "mousemove", x, y, ""});
+      t += 55;
+    }
+    events.push_back({t, "mouseup", base_x + 5, 10, ""});
+    t += 700;
+  }
+  return events;
+}
+
+}  // namespace
+
+/// MyScript — handwriting recognition front end (Table 1: "User
+/// recognition").
+///
+/// Table 3 shape: "the only client-side expensive loop executes only a few
+/// iterations, computing the length of line segments" — a data-dependent
+/// while over the stroke's corner points ("yes" divergence), touching the
+/// ink canvas every iteration, and accumulating into a shared recognition
+/// state object (the flow dependences that make it "very hard"). The heavy
+/// recognition itself happens server-side: after each stroke the app waits
+/// on a simulated network round trip, so Total >> Active in Table 2.
+Workload make_myscript() {
+  Workload w;
+  w.name = "MyScript";
+  w.url = "webdemo.visionobjects.com";
+  w.category = "User recognition";
+  w.description = "handwriting recognition application";
+  w.paper = {12, 0.33, 0.15};
+  w.session_ms = 11000;
+  w.canvas = true;
+  w.canvas_w = 96;
+  w.canvas_h = 64;
+  w.dependence_scale = 1.0;
+  w.nest_markers = {"while (seg < corners.length - 1) { // segment walk"};
+  w.events = myscript_events();
+  w.source = R"JS(
+var ctx = document.getElementById('stage').getContext('2d');
+var stroke = [];
+var inking = false;
+var reco = {
+  totalLength: 0, cornerCount: 0, curvature: 0, inkDensity: 0,
+  bboxW: 0, bboxH: 0, speedSum: 0, candidateScore: 0, pending: 0
+};
+
+function cornerPoints() {
+  // Douglas-Peucker-ish corner picking: keep every k-th point plus ends.
+  var corners = [];
+  var step = Math.max(4, Math.floor(stroke.length / 4));
+  var i;
+  for (i = 0; i < stroke.length; i = i + step) {
+    corners.push(stroke[i]);
+  }
+  corners.push(stroke[stroke.length - 1]);
+  return corners;
+}
+
+// The reported nest: walk the corner segments (data-dependent trip count,
+// typically ~4). Every iteration probes the ink raster and folds its
+// measurements into the shared recognition-state object.
+function analyzeStroke() {
+  var corners = cornerPoints();
+  var seg = 0;
+  while (seg < corners.length - 1) { // segment walk
+    var a = corners[seg];
+    var b = corners[seg + 1];
+    var dx = b.x - a.x;
+    var dy = b.y - a.y;
+    var len = Math.sqrt(dx * dx + dy * dy);
+
+    // Probe the rendered ink under this segment (canvas access in-loop).
+    var probe = ctx.getImageData(Math.floor(Math.min(a.x, b.x)),
+                                 Math.floor(Math.min(a.y, b.y)), 2, 2);
+    var inked = probe.data[3] + probe.data[7];
+
+    reco.totalLength = reco.totalLength + len;
+    reco.cornerCount = reco.cornerCount + 1;
+    reco.curvature = reco.curvature + Math.abs(Math.atan2(dy, dx));
+    reco.inkDensity = (reco.inkDensity + inked) * 0.5;
+    reco.bboxW = Math.max(reco.bboxW, Math.abs(dx));
+    reco.bboxH = Math.max(reco.bboxH, Math.abs(dy));
+    reco.speedSum = reco.speedSum + len / (seg + 1);
+    reco.candidateScore = reco.candidateScore * 0.8 + len * 0.2;
+    seg = seg + 1;
+  }
+}
+
+function sendToRecognizer() {
+  reco.pending = reco.pending + 1;
+  // Server-side recognition round trip (most of the session's wall time).
+  loadResource('recognize', 2500, function () {
+    reco.pending = reco.pending - 1;
+  });
+}
+
+addEventListener('mousedown', function (e) {
+  inking = true;
+  stroke = [];
+  stroke.push({x: e.x, y: e.y});
+});
+addEventListener('mousemove', function (e) {
+  if (!inking) { return; }
+  var prev = stroke[stroke.length - 1];
+  ctx.strokeStyle = '#223366';
+  ctx.beginPath();
+  ctx.moveTo(prev.x, prev.y);
+  ctx.lineTo(e.x, e.y);
+  ctx.stroke();
+  stroke.push({x: e.x, y: e.y});
+});
+addEventListener('mouseup', function (e) {
+  inking = false;
+  if (stroke.length > 2) {
+    analyzeStroke();
+    sendToRecognizer();
+  }
+});
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

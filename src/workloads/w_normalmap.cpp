@@ -1,0 +1,91 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// Normal Mapping demo (Table 1: "Games", 29a.ch experiments).
+///
+/// Table 3 shape: a single flat per-pixel loop is 99% of loop time (the
+/// paper reports 64 instances x 65k trips): central-difference normals from
+/// a height field, dot product against a moving light. One clamp branch ->
+/// "little" divergence; writes are disjoint frame-buffer indices -> "very
+/// easy" dependences; no DOM access inside the nest.
+Workload make_normalmap() {
+  Workload w;
+  w.name = "Normal Mapping";
+  w.url = "29a.ch/experiments";
+  w.category = "Games";
+  w.description = "normal mapping";
+  w.paper = {25, 6, 4};
+  w.session_ms = 5000;
+  w.canvas = true;
+  w.canvas_w = 48;
+  w.canvas_h = 48;
+  w.dependence_scale = 0.5;
+  w.nest_markers = {"for (p = 0; p < total; p++) { // shade pixels"};
+  w.events = {};
+  w.source = R"JS(
+var W = Math.max(16, Math.floor(44 * SCALE));
+var H = Math.max(16, Math.floor(44 * SCALE));
+var ctx = document.getElementById('stage').getContext('2d');
+var frame = ctx.getImageData(0, 0, W, H);
+var height = [];
+var lightT = 0;
+var frames = 0;
+
+function buildHeightField() {
+  var i;
+  for (i = 0; i < W * H; i++) {
+    var x = i % W;
+    var y = Math.floor(i / W);
+    height.push(Math.sin(x * 0.31) * Math.cos(y * 0.23) +
+                0.4 * Math.sin((x + y) * 0.17));
+  }
+}
+
+// The reported nest: one flat pass over every pixel.
+function shade() {
+  var lx = Math.cos(lightT);
+  var ly = Math.sin(lightT * 0.7);
+  var lz = 0.8;
+  var lLen = Math.sqrt(lx * lx + ly * ly + lz * lz);
+  lx = lx / lLen;
+  ly = ly / lLen;
+  lz = lz / lLen;
+  var total = W * H;
+  var p;
+  for (p = 0; p < total; p++) { // shade pixels
+    var x = p % W;
+    var y = (p - x) / W;
+    var xm = x > 0 ? p - 1 : p;
+    var xp = x < W - 1 ? p + 1 : p;
+    var ym = y > 0 ? p - W : p;
+    var yp = y < H - 1 ? p + W : p;
+    var nx = height[xm] - height[xp];
+    var ny = height[ym] - height[yp];
+    var nz = 0.25;
+    var nLen = Math.sqrt(nx * nx + ny * ny + nz * nz);
+    var lum = (nx * lx + ny * ly + nz * lz) / nLen;
+    lum = lum < 0 ? 0 : lum;
+    var i = p * 4;
+    frame.data[i] = Math.floor(40 + 215 * lum);
+    frame.data[i + 1] = Math.floor(40 + 180 * lum);
+    frame.data[i + 2] = Math.floor(60 + 140 * lum);
+    frame.data[i + 3] = 255;
+  }
+}
+
+function tick() {
+  frames = frames + 1;
+  lightT = lightT + 0.08;
+  shade();
+  ctx.putImageData(frame, 0, 0);
+  requestAnimationFrame(tick);
+}
+
+buildHeightField();
+requestAnimationFrame(tick);
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

@@ -1,0 +1,131 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// processing.js — interactive spiral visual effect (Table 1:
+/// "Visualization").
+///
+/// Table 3 shape: four tiny per-particle trail loops with very large
+/// instance counts (the paper reports 54.6k instances of ~4 trips each).
+/// Three are branch-free ("no" divergence) with disjoint writes ("easy"
+/// deps, "medium" overall because ~4 trips is too little work per
+/// instance); the render loop executes ~2 trips ("yes" divergence), carries
+/// a pen-state flow dependence ("medium") and strokes the canvas every
+/// iteration ("very hard" overall).
+Workload make_processing() {
+  Workload w;
+  w.name = "processing.js";
+  w.url = "processingjs.org";
+  w.category = "Visualization";
+  w.description = "interactive spiral visual effect";
+  w.paper = {21, 12, 2};
+  w.session_ms = 4000;
+  w.canvas = true;
+  w.canvas_w = 80;
+  w.canvas_h = 80;
+  w.dependence_scale = 0.4;
+  w.nest_markers = {"for (t = TRAIL - 1; t > 0; t--) { // advance trail",
+                    "for (t = 0; t < TRAIL; t++) { // fade trail",
+                    "for (t = 0; t < 2; t++) { // render segments",
+                    "for (t = 0; t < TRAIL; t++) { // centroid"};
+  w.events = {{300, "mousemove", 40, 40, ""}, {1800, "mousemove", 55, 30, ""}};
+  w.source = R"JS(
+var COUNT = Math.max(20, Math.floor(70 * SCALE));
+var TRAIL = 4;
+var ctx = document.getElementById('stage').getContext('2d');
+var particles = [];
+var spin = 0;
+var cxAcc = 0;
+var cyAcc = 0;
+var attractX = 40;
+var attractY = 40;
+var frames = 0;
+var pen = {x: 40, y: 40};
+
+function setup() {
+  var i;
+  for (i = 0; i < COUNT; i++) {
+    var trail = [];
+    var t;
+    for (t = 0; t < TRAIL; t++) {
+      trail.push({x: 40, y: 40, a: 1});
+    }
+    particles.push({
+      angle: i * 0.31, radius: 2 + (i % 17), speed: 0.03 + (i % 5) * 0.01,
+      trail: trail
+    });
+  }
+}
+
+// Recursive octave noise driving the attractor path — the processing.js
+// framework's per-frame sketch interpretation: substantial CPU work with no
+// syntactic loop open, which is why the paper measures processing.js at 12 s
+// Active but only 2 s In-Loops.
+function octaveNoise(x, depth) {
+  if (depth === 0) {
+    return Math.sin(x * 12.9898) * 0.5;
+  }
+  var coarse = octaveNoise(x * 0.5, depth - 1);
+  var fine = octaveNoise(x * 0.5 + 17.17, depth - 1);
+  return coarse * 0.65 + fine * 0.35 + Math.sin(x) * 0.01;
+}
+
+function frameStep() {
+  frames = frames + 1;
+  spin = spin + octaveNoise(frames * 0.05, 7) * 0.01;
+  var pi;
+  for (pi = 0; pi < particles.length; pi++) {
+    var part = particles[pi];
+    part.angle = part.angle + part.speed;
+    var hx = attractX + Math.cos(part.angle + spin) * part.radius;
+    var hy = attractY + Math.sin(part.angle + spin) * part.radius;
+    var t;
+
+    // Nest 1: shift the trail (branch-free, descending copy).
+    for (t = TRAIL - 1; t > 0; t--) { // advance trail positions
+      part.trail[t].x = part.trail[t - 1].x;
+      part.trail[t].y = part.trail[t - 1].y;
+      spin = spin + 0.000001;
+    }
+    part.trail[0].x = hx;
+    part.trail[0].y = hy;
+
+    // Nest 2: fade the trail alphas (branch-free, in-place same-iteration).
+    for (t = 0; t < TRAIL; t++) { // fade trail alpha
+      part.trail[t].a = part.trail[t].a * 0.92 + 0.08;
+      spin = spin + 0.000001;
+    }
+
+    // Nest 3: render two segments of the trail (canvas per iteration; the
+    // pen position carries across iterations).
+    ctx.strokeStyle = 'rgba(70,40,110,0.5)';
+    for (t = 0; t < 2; t++) { // render segments
+      ctx.beginPath();
+      ctx.moveTo(pen.x, pen.y);
+      ctx.lineTo(part.trail[t].x, part.trail[t].y);
+      ctx.stroke();
+      pen.x = part.trail[t].x;
+      pen.y = part.trail[t].y;
+    }
+
+    // Nest 4: centroid accumulation (branch-free shared sums).
+    for (t = 0; t < TRAIL; t++) { // centroid sums
+      cxAcc = cxAcc + part.trail[t].x;
+      cyAcc = cyAcc + part.trail[t].y;
+    }
+  }
+  requestAnimationFrame(frameStep);
+}
+
+addEventListener('mousemove', function (e) {
+  attractX = e.x;
+  attractY = e.y;
+});
+
+setup();
+requestAnimationFrame(frameStep);
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

@@ -1,0 +1,178 @@
+#include "workloads/workload.h"
+
+namespace jsceres::workloads {
+
+/// sigma.js — GEXF graph rendering (Table 1: "Visualization").
+///
+/// Table 3 shape: two nests. The force-layout node loop (~68%) accumulates
+/// forces into shared node fields and global bounds — many flow
+/// dependencies -> "very hard"; local branching -> "little" divergence; it
+/// also samples node DOM attributes, so col 6 is "yes". The edge-render
+/// loop (~22%) strokes the canvas every iteration and recursively
+/// subdivides curved edges -> "yes" divergence, "very hard" overall.
+Workload make_sigma() {
+  Workload w;
+  w.name = "sigma.js";
+  w.url = "sigmajs.org";
+  w.category = "Visualization";
+  w.description = "GEXF rendering";
+  w.paper = {32, 9, 8};
+  w.session_ms = 20000;
+  w.canvas = true;
+  w.canvas_w = 96;
+  w.canvas_h = 96;
+  w.dependence_scale = 0.4;
+  w.nest_markers = {"for (n = 0; n < nodes.length; n++) { // force layout",
+                    "for (e = 0; e < edges.length; e++) { // render edges"};
+  // Three layout bursts across the session (the app idles in between).
+  w.events = {{400, "mousedown", 10, 10, ""},
+              {8000, "mousedown", 20, 20, ""},
+              {15000, "mousedown", 30, 30, ""}};
+  w.source = R"JS(
+var NODE_COUNT = Math.max(12, Math.floor(42 * SCALE));
+var ctx = document.getElementById('stage').getContext('2d');
+var nodes = [];
+var edges = [];
+var bounds = {minX: 0, maxX: 96, minY: 0, maxY: 96};
+var stats = {energy: 0, iterations: 0};
+var running = false;
+
+// Parse a GEXF-ish document (string processing, as sigma's gexf plugin
+// does). The document itself is synthesized below.
+function parseGexf(text) {
+  var records = text.split(';');
+  var i;
+  for (i = 0; i < records.length; i++) {
+    var fields = records[i].split(',');
+    if (fields[0] === 'n') {
+      var el = document.createElement('span');
+      el.setAttribute('id', 'node-' + nodes.length);
+      el.setAttribute('data-size', fields[3]);
+      document.body.appendChild(el);
+      nodes.push({
+        x: parseFloat(fields[1]), y: parseFloat(fields[2]),
+        dx: 0, dy: 0, size: parseFloat(fields[3])
+      });
+    }
+    if (fields[0] === 'e') {
+      edges.push({a: parseInt(fields[1], 10), b: parseInt(fields[2], 10)});
+    }
+  }
+}
+
+function makeGexf() {
+  var text = '';
+  var i;
+  for (i = 0; i < NODE_COUNT; i++) {
+    var x = 8 + (i * 37) % 80;
+    var y = 8 + (i * 53) % 80;
+    text = text + 'n,' + x + ',' + y + ',' + (1 + i % 4) + ';';
+  }
+  for (i = 0; i < NODE_COUNT * 2; i++) {
+    text = text + 'e,' + (i % NODE_COUNT) + ',' + ((i * 7 + 3) % NODE_COUNT) + ';';
+  }
+  return text;
+}
+
+// Nest 1: one ForceAtlas-style layout sweep. Forces written into partner
+// nodes are read back by later iterations (flow), and the global bounds and
+// energy are folded in as the sweep goes.
+function layoutPass() {
+  var sample = 7;
+  var n;
+  for (n = 0; n < nodes.length; n++) { // force layout sweep
+    var node = nodes[n];
+    var el = document.getElementById('node-' + n);
+    var weight = parseFloat(el.getAttribute('data-size'));
+    var k;
+    for (k = 1; k <= sample; k++) {
+      var other = nodes[(n + k * 5) % nodes.length];
+      var dx = node.x - other.x;
+      var dy = node.y - other.y;
+      var d2 = dx * dx + dy * dy + 0.01;
+      var rep = (weight * 3) / d2;
+      node.dx = node.dx + dx * rep;
+      node.dy = node.dy + dy * rep;
+      other.dx = other.dx - dx * rep;
+      other.dy = other.dy - dy * rep;
+    }
+    if (node.x < bounds.minX + 2) { node.dx = node.dx + 0.05; }
+    node.x = node.x + Math.max(-2, Math.min(2, node.dx));
+    node.y = node.y + Math.max(-2, Math.min(2, node.dy));
+    node.dx = node.dx * 0.5;
+    node.dy = node.dy * 0.5;
+    bounds.minX = Math.min(bounds.minX, node.x);
+    bounds.maxX = Math.max(bounds.maxX, node.x);
+    bounds.minY = Math.min(bounds.minY, node.y);
+    bounds.maxY = Math.max(bounds.maxY, node.y);
+    stats.energy = stats.energy * 0.98 + Math.abs(node.dx) + Math.abs(node.dy);
+  }
+  stats.iterations = stats.iterations + 1;
+}
+
+// Recursive quadratic-curve subdivision for curved edges.
+function drawCurve(x0, y0, x1, y1, depth) {
+  if (depth === 0) {
+    ctx.beginPath();
+    ctx.moveTo(x0, y0);
+    ctx.lineTo(x1, y1);
+    ctx.stroke();
+    return;
+  }
+  var mx = (x0 + x1) / 2 + (y1 - y0) * 0.08;
+  var my = (y0 + y1) / 2 + (x0 - x1) * 0.08;
+  drawCurve(x0, y0, mx, my, depth - 1);
+  drawCurve(mx, my, x1, y1, depth - 1);
+}
+
+// Nest 2: render every edge (canvas stroke per iteration, recursion for
+// curvature).
+var pen = {lastX: 0, lastY: 0, strokes: 0, curveBudget: 0,
+           inkX: 0, inkY: 0, longest: 0, sumLen: 0};
+function renderPass() {
+  ctx.fillStyle = '#ffffff';
+  ctx.fillRect(0, 0, 96, 96);
+  ctx.strokeStyle = '#557799';
+  var e;
+  for (e = 0; e < edges.length; e++) { // render edges
+    var a = nodes[edges[e].a];
+    var b = nodes[edges[e].b];
+    drawCurve(a.x, a.y, b.x, b.y, 2);
+    var len = Math.abs(b.x - a.x) + Math.abs(b.y - a.y);
+    pen.lastX = (pen.lastX + b.x) * 0.5;
+    pen.lastY = (pen.lastY + b.y) * 0.5;
+    pen.strokes = pen.strokes + 1;
+    pen.curveBudget = pen.curveBudget + (len > pen.longest ? 2 : 1);
+    pen.inkX = pen.inkX * 0.9 + a.x * 0.1;
+    pen.inkY = pen.inkY * 0.9 + a.y * 0.1;
+    pen.longest = Math.max(pen.longest, len);
+    pen.sumLen = pen.sumLen + len;
+  }
+}
+
+var burstEnd = 0;
+function animate() {
+  layoutPass();
+  layoutPass();
+  renderPass();
+  if (stats.iterations < burstEnd) {
+    requestAnimationFrame(animate);
+  } else {
+    running = false;
+  }
+}
+
+addEventListener('mousedown', function (e) {
+  if (!running) {
+    running = true;
+    burstEnd = stats.iterations + 6;
+    requestAnimationFrame(animate);
+  }
+});
+
+parseGexf(makeGexf());
+)JS";
+  return w;
+}
+
+}  // namespace jsceres::workloads

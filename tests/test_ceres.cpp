@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include "ceres/char_stack.h"
+#include "ceres/dependence_analyzer.h"
+#include "ceres/lightweight_profiler.h"
+#include "ceres/loop_profiler.h"
+#include "ceres/sampling_profiler.h"
+#include "interp/interpreter.h"
+#include "js/parser.h"
+
+namespace jsceres::ceres {
+namespace {
+
+using interp::Interpreter;
+
+// ---------------------------------------------------------------------------
+// Characterization algebra
+// ---------------------------------------------------------------------------
+
+TEST(CharStack, CreationSameIterationIsPrivate) {
+  const Stamp stamp = {{1, 0, 3}};
+  const Stamp current = {{1, 0, 3}};
+  const auto chr = characterize_creation(stamp, current);
+  EXPECT_FALSE(chr.problematic());
+}
+
+TEST(CharStack, CreationEarlierIterationIsIterationDep) {
+  const Stamp stamp = {{1, 0, 2}};
+  const Stamp current = {{1, 0, 5}};
+  const auto chr = characterize_creation(stamp, current);
+  ASSERT_EQ(chr.levels.size(), 1u);
+  EXPECT_FALSE(chr.levels[0].instance_dep);
+  EXPECT_TRUE(chr.levels[0].iteration_dep);
+}
+
+TEST(CharStack, CreationBeforeLoopSharesIterationsNotInstances) {
+  // The paper's `var p` case: env created under [while#k iter m], accessed
+  // under [while#k iter m, for#j iter n].
+  const Stamp stamp = {{1, 4, 2}};
+  const Stamp current = {{1, 4, 2}, {2, 9, 5}};
+  const auto chr = characterize_creation(stamp, current);
+  ASSERT_EQ(chr.levels.size(), 2u);
+  EXPECT_FALSE(chr.levels[0].instance_dep);
+  EXPECT_FALSE(chr.levels[0].iteration_dep);  // while: ok ok
+  EXPECT_FALSE(chr.levels[1].instance_dep);
+  EXPECT_TRUE(chr.levels[1].iteration_dep);  // for: ok dependence
+}
+
+TEST(CharStack, GlobalDataIsFullySharedPastFirstDivergence) {
+  // Created outside all loops, accessed under two nested loops: the outer
+  // level reads "ok dependence" and everything deeper is fully shared.
+  const Stamp stamp = {};
+  const Stamp current = {{1, 0, 2}, {2, 5, 1}};
+  const auto chr = characterize_creation(stamp, current);
+  EXPECT_FALSE(chr.levels[0].instance_dep);
+  EXPECT_TRUE(chr.levels[0].iteration_dep);
+  EXPECT_TRUE(chr.levels[1].instance_dep);
+  EXPECT_TRUE(chr.levels[1].iteration_dep);
+}
+
+TEST(CharStack, DifferentInstanceIsInstanceDep) {
+  const Stamp stamp = {{1, 3, 1}};
+  const Stamp current = {{1, 4, 1}};
+  const auto chr = characterize_creation(stamp, current);
+  EXPECT_TRUE(chr.levels[0].instance_dep);
+  EXPECT_TRUE(chr.levels[0].iteration_dep);
+}
+
+TEST(CharStack, FlowAcrossIterations) {
+  const Stamp write = {{1, 0, 4}};
+  const Stamp read = {{1, 0, 5}};
+  const auto chr = characterize_flow(write, read);
+  EXPECT_FALSE(chr.levels[0].instance_dep);
+  EXPECT_TRUE(chr.levels[0].iteration_dep);
+}
+
+TEST(CharStack, FlowSameIterationIsFine) {
+  const Stamp write = {{1, 0, 5}};
+  const Stamp read = {{1, 0, 5}};
+  EXPECT_FALSE(characterize_flow(write, read).problematic());
+}
+
+TEST(CharStack, WriteBeforeLoopIsNotFlow) {
+  // Loop-invariant input: written outside the loop, read inside.
+  const Stamp write = {};
+  const Stamp read = {{1, 0, 3}};
+  EXPECT_FALSE(characterize_flow(write, read).problematic());
+}
+
+TEST(CharStack, RecursionDetected) {
+  CharStack stack;
+  stack.on_enter(1);
+  stack.on_iteration(1);
+  stack.on_enter(1);  // re-entered while open: recursion
+  EXPECT_EQ(stack.recursive_loops().size(), 1u);
+}
+
+TEST(CharStack, InstanceCounterIncrementsPerEntry) {
+  CharStack stack;
+  stack.on_enter(1);
+  stack.on_exit(1);
+  stack.on_enter(1);
+  EXPECT_EQ(stack.current().back().instance, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 1: lightweight profiling
+// ---------------------------------------------------------------------------
+
+TEST(LightweightProfiler, MeasuresLoopShare) {
+  js::Program program = js::parse(
+      "var s = 0;\n"
+      "for (var i = 0; i < 5000; i++) { s += i; }\n"
+      "var t = 0;\n");
+  VirtualClock clock;
+  LightweightProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  EXPECT_GT(prof.in_loops_ns(), 0);
+  EXPECT_LE(prof.in_loops_ns(), clock.wall_ns());
+  // Nearly all of this program is the loop.
+  EXPECT_GT(double(prof.in_loops_ns()) / double(clock.wall_ns()), 0.9);
+}
+
+TEST(LightweightProfiler, NestedLoopsCountedOnce) {
+  js::Program program = js::parse(
+      "var s = 0;\n"
+      "for (var i = 0; i < 40; i++) { for (var j = 0; j < 40; j++) { s++; } }\n");
+  VirtualClock clock;
+  LightweightProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  EXPECT_LE(prof.in_loops_ns(), clock.wall_ns());
+  EXPECT_EQ(prof.open_loops(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 2: loop profiling
+// ---------------------------------------------------------------------------
+
+TEST(LoopProfiler, TripCountStatistics) {
+  js::Program program = js::parse(
+      "function work(n) { var s = 0; for (var i = 0; i < n; i++) { s += i; } return s; }\n"
+      "work(10); work(20); work(30);\n");
+  VirtualClock clock;
+  LoopProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  const LoopStats* stats = prof.stats_for(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->instances, 3);
+  EXPECT_DOUBLE_EQ(stats->trips.mean(), 20.0);
+  EXPECT_NEAR(stats->trips.stddev(), 8.1649, 1e-3);
+  EXPECT_GT(stats->runtime_ns.total(), 0);
+}
+
+TEST(LoopProfiler, NestingEdgesFollowRuntime) {
+  js::Program program = js::parse(
+      "function inner() { for (var j = 0; j < 2; j++) { } }\n"
+      "for (var i = 0; i < 3; i++) { inner(); }\n");
+  VirtualClock clock;
+  LoopProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  // Loop 1 is inner's for (parsed first), loop 2 the top-level for.
+  const auto& edges = prof.nesting_edges();
+  const auto it = edges.find({1, 2});
+  ASSERT_NE(it, edges.end());
+  EXPECT_EQ(it->second, 3);
+}
+
+TEST(LoopProfiler, OuterLoopTimeIncludesInner) {
+  js::Program program = js::parse(
+      "for (var i = 0; i < 5; i++) { for (var j = 0; j < 100; j++) { } }\n");
+  VirtualClock clock;
+  LoopProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  // Outer loop is id 1, inner id 2.
+  EXPECT_GT(prof.stats_for(1)->total_runtime_ns(),
+            prof.stats_for(2)->total_runtime_ns() * 0.9);
+  EXPECT_EQ(prof.stats_for(2)->instances, 5);
+}
+
+TEST(LoopProfiler, TotalInLoopsMatchesLightweight) {
+  const std::string source =
+      "var s = 0;\n"
+      "for (var i = 0; i < 500; i++) { s += i; }\n"
+      "for (var j = 0; j < 500; j++) { s -= j; }\n";
+  js::Program p1 = js::parse(source);
+  VirtualClock c1;
+  LightweightProfiler light(c1);
+  Interpreter i1(p1, c1, &light);
+  i1.run();
+
+  js::Program p2 = js::parse(source);
+  VirtualClock c2;
+  LoopProfiler loops(c2);
+  Interpreter i2(p2, c2, &loops);
+  i2.run();
+
+  EXPECT_EQ(light.in_loops_ns(), loops.total_in_loops_ns());
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler (Gecko emulation)
+// ---------------------------------------------------------------------------
+
+TEST(SamplingProfiler, ActiveTimeTracksCpu) {
+  js::Program program = js::parse(
+      "var s = 0;\n"
+      "for (var i = 0; i < 200000; i++) { s += i; }\n");
+  VirtualClock clock;
+  SamplingProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  prof.finish();
+  // Pure compute: sampled active time ~== cpu time (within one period).
+  EXPECT_NEAR(double(prof.active_ns()), double(clock.cpu_ns()),
+              2.0 * 1'000'000);
+}
+
+TEST(SamplingProfiler, BlockedTimeIsInactive) {
+  js::Program program = js::parse("var x = 1;");
+  VirtualClock clock;
+  SamplingProfiler prof(clock);
+  Interpreter interp(program, clock, &prof);
+  interp.run();
+  interp.block(50'000'000);  // 50 ms of idle
+  prof.finish();
+  EXPECT_LT(prof.active_ns(), 2'000'000);
+  EXPECT_GE(prof.total_samples(), 50);
+}
+
+TEST(SamplingProfiler, FunctionGranularityArtifactUndercounts) {
+  const std::string source =
+      "function hot() { var s = 0; for (var i = 0; i < 400000; i++) { s += i; } return s; }\n"
+      "hot();\n";
+  js::Program p1 = js::parse(source);
+  VirtualClock c1;
+  SamplingProfiler exact(c1);
+  Interpreter i1(p1, c1, &exact);
+  i1.run();
+  exact.finish();
+
+  js::Program p2 = js::parse(source);
+  VirtualClock c2;
+  SamplingProfiler::Options opts;
+  opts.function_granularity_artifact = true;
+  opts.max_same_fn_samples = 16;
+  SamplingProfiler lossy(c2, opts);
+  Interpreter i2(p2, c2, &lossy);
+  i2.run();
+  lossy.finish();
+
+  // The artifact makes the profiler lose most of a long single-function run
+  // — the paper's "active < in-loops" anomaly.
+  EXPECT_LT(lossy.active_ns(), exact.active_ns() / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Mode 3: dependence analysis — the paper's Fig. 6 walkthrough
+// ---------------------------------------------------------------------------
+
+/// The N-body step of Fig. 6, adapted to the engine subset. Loop ids:
+///   1 = setup for, 2 = for inside step (the focused loop), 3 = driver while.
+const char* kNBody = R"JS(
+var bodies = [];
+var dT = 0.1;
+for (var i0 = 0; i0 < 6; i0++) {
+  bodies.push({x: i0, y: 0, vX: 0, vY: 0, fX: 1, fY: 1, m: 1});
+}
+function Particle() { this.x = 0; this.y = 0; this.m = 0; }
+function step() {
+  var com = new Particle();
+  for (var i = 0; i < bodies.length; i++) {
+    var p = bodies[i];
+    p.vX += p.fX / p.m * dT;
+    p.vY += p.fY / p.m * dT;
+    p.x += p.vX * dT;
+    p.y += p.vY * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+    com.y = (com.y * (com.m - p.m) + p.y * p.m) / com.m;
+  }
+  return com;
+}
+var steps = 0;
+while (steps < 4) {
+  var com = step();
+  steps = steps + 1;
+}
+)JS";
+
+struct NBodyRun {
+  NBodyRun() : program(js::parse(kNBody)) {
+    DependenceAnalyzer::Options options;
+    options.focus_loop_id = 2;  // the for inside step()
+    analyzer = std::make_unique<DependenceAnalyzer>(program, options);
+    interp = std::make_unique<Interpreter>(program, clock, analyzer.get());
+    interp->run();
+  }
+
+  const DependenceWarning* find(AccessKind kind, const std::string& name) const {
+    for (const auto& w : analyzer->warnings()) {
+      if (w.kind == kind && w.name == name) return &w;
+    }
+    return nullptr;
+  }
+
+  js::Program program;
+  VirtualClock clock;
+  std::unique_ptr<DependenceAnalyzer> analyzer;
+  std::unique_ptr<Interpreter> interp;
+};
+
+TEST(DependenceFig6, VarPIsSharedAcrossForIterations) {
+  NBodyRun run;
+  const auto* warning = run.find(AccessKind::VarWrite, "p");
+  ASSERT_NE(warning, nullptr) << run.analyzer->report();
+  // Paper: "while(line 24) ok ok -> for(line 6) ok dependence"
+  const LevelFlags* at_while = warning->characterization.at_loop(3);
+  const LevelFlags* at_for = warning->characterization.at_loop(2);
+  ASSERT_NE(at_while, nullptr);
+  ASSERT_NE(at_for, nullptr);
+  EXPECT_FALSE(at_while->instance_dep);
+  EXPECT_FALSE(at_while->iteration_dep);
+  EXPECT_FALSE(at_for->instance_dep);
+  EXPECT_TRUE(at_for->iteration_dep);
+}
+
+TEST(DependenceFig6, WritesToParticleFieldsFlagged) {
+  NBodyRun run;
+  for (const char* field : {"vX", "vY", "x", "y"}) {
+    const auto* warning = run.find(AccessKind::PropWrite, field);
+    ASSERT_NE(warning, nullptr) << "missing warning for " << field << "\n"
+                                << run.analyzer->report();
+    const LevelFlags* at_for = warning->characterization.at_loop(2);
+    ASSERT_NE(at_for, nullptr);
+    EXPECT_FALSE(at_for->instance_dep) << field;
+    EXPECT_TRUE(at_for->iteration_dep) << field;
+  }
+}
+
+TEST(DependenceFig6, WritesToComFieldsFlagged) {
+  NBodyRun run;
+  const auto* warning = run.find(AccessKind::PropWrite, "m");
+  ASSERT_NE(warning, nullptr) << run.analyzer->report();
+  const LevelFlags* at_for = warning->characterization.at_loop(2);
+  ASSERT_NE(at_for, nullptr);
+  EXPECT_FALSE(at_for->instance_dep);
+  EXPECT_TRUE(at_for->iteration_dep);
+}
+
+TEST(DependenceFig6, ReadsOfComAreFlowDependencies) {
+  NBodyRun run;
+  const auto* warning = run.find(AccessKind::PropRead, "m");
+  ASSERT_NE(warning, nullptr) << run.analyzer->report();
+  EXPECT_EQ(warning->dep, DepClass::Flow);
+  const LevelFlags* at_for = warning->characterization.at_loop(2);
+  ASSERT_NE(at_for, nullptr);
+  EXPECT_TRUE(at_for->iteration_dep);
+}
+
+TEST(DependenceFig6, RenderMatchesPaperFormat) {
+  NBodyRun run;
+  const auto* warning = run.find(AccessKind::VarWrite, "p");
+  ASSERT_NE(warning, nullptr);
+  const std::string text = warning->render(run.program);
+  EXPECT_NE(text.find("write to variable p"), std::string::npos);
+  EXPECT_NE(text.find("while(line 23) ok ok -> for(line 10) ok dependence"),
+            std::string::npos)
+      << text;
+}
+
+/// Paper §3.3: extracting the loop body into a function privatizes `p`
+/// (fresh activation per iteration); the warning on `com` stands.
+TEST(DependenceFig6, ExtractedBodyPrivatizesP) {
+  const char* source = R"JS(
+var bodies = [];
+var dT = 0.1;
+for (var i0 = 0; i0 < 6; i0++) {
+  bodies.push({x: i0, y: 0, vX: 0, vY: 0, m: 1});
+}
+function Particle() { this.x = 0; this.m = 0; }
+function step() {
+  var com = new Particle();
+  function body(i) {
+    var p = bodies[i];
+    p.vX += dT;
+    p.x += p.vX * dT;
+    com.m = com.m + p.m;
+    com.x = (com.x * (com.m - p.m) + p.x * p.m) / com.m;
+  }
+  for (var i = 0; i < bodies.length; i++) { body(i); }
+  return com;
+}
+var steps = 0;
+while (steps < 4) { step(); steps = steps + 1; }
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer::Options options;
+  options.focus_loop_id = 2;
+  DependenceAnalyzer analyzer(program, options);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+
+  for (const auto& w : analyzer.warnings()) {
+    EXPECT_FALSE(w.kind == AccessKind::VarWrite && w.name == "p")
+        << "p should be private now: " << w.render(program);
+    // Writes through p (vX) are private per iteration now.
+    EXPECT_FALSE(w.kind == AccessKind::PropWrite && w.name == "vX")
+        << w.render(program);
+  }
+  // The warning on com stands.
+  bool com_write = false;
+  for (const auto& w : analyzer.warnings()) {
+    if (w.kind == AccessKind::PropWrite && w.name == "m") com_write = true;
+  }
+  EXPECT_TRUE(com_write) << analyzer.report();
+}
+
+TEST(Dependence, DisjointIndexWritesAreNotConflicts) {
+  // out[i] = 2 * in[i] — the parallel pattern: output array is shared
+  // (created outside), but no field is written in two iterations.
+  const char* source = R"JS(
+var input = [];
+for (var i0 = 0; i0 < 32; i0++) { input.push(i0); }
+var out = [];
+out.length = 32;
+for (var i = 0; i < 32; i++) { out[i] = 2 * input[i]; }
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer analyzer(program);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  const auto summaries = analyzer.summaries();
+  const int fill_loop = program.loop_id_at_line(6);
+  ASSERT_NE(fill_loop, 0);
+  const auto it = summaries.find(fill_loop);
+  ASSERT_NE(it, summaries.end());
+  // Writes are flagged shared (the array pre-dates the loop) but no
+  // same-field cross-iteration conflict exists.
+  EXPECT_GT(it->second.shared_prop_writes, 0);
+  EXPECT_EQ(it->second.conflicting_write_sites, 0);
+  EXPECT_EQ(it->second.flow_deps, 0);
+}
+
+TEST(Dependence, ReductionHasConflictsAndFlow) {
+  const char* source = R"JS(
+var acc = {sum: 0};
+var data = [1, 2, 3, 4, 5, 6, 7, 8];
+for (var i = 0; i < data.length; i++) { acc.sum = acc.sum + data[i]; }
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer analyzer(program);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  const int loop = program.loop_id_at_line(4);
+  const auto summaries = analyzer.summaries();
+  const auto it = summaries.find(loop);
+  ASSERT_NE(it, summaries.end());
+  EXPECT_GT(it->second.flow_deps, 0);
+  EXPECT_GT(it->second.conflicting_write_sites, 0);
+}
+
+TEST(Dependence, RecursionGuardFires) {
+  const char* source = R"JS(
+function walk(depth) {
+  for (var i = 0; i < 2; i++) {
+    if (depth > 0) { walk(depth - 1); }
+  }
+}
+walk(3);
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer analyzer(program);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  const auto summaries = analyzer.summaries();
+  ASSERT_EQ(summaries.count(1), 1u);
+  EXPECT_TRUE(summaries.at(1).recursion_detected);
+}
+
+TEST(Dependence, FocusFilterLimitsReports) {
+  const char* source = R"JS(
+var shared = {n: 0};
+for (var a = 0; a < 4; a++) { shared.n = shared.n + 1; }
+for (var b = 0; b < 4; b++) { shared.n = shared.n + 1; }
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer::Options options;
+  options.focus_loop_id = 2;  // second loop only
+  DependenceAnalyzer analyzer(program, options);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  for (const auto& w : analyzer.warnings()) {
+    const LevelFlags* at_first = w.characterization.at_loop(1);
+    EXPECT_EQ(at_first, nullptr) << w.render(program);
+  }
+  EXPECT_FALSE(analyzer.warnings().empty());
+}
+
+TEST(Dependence, WarningsDeduplicateWithCounts) {
+  const char* source = R"JS(
+var o = {n: 0};
+for (var i = 0; i < 50; i++) { o.n = i; }
+)JS";
+  js::Program program = js::parse(source);
+  DependenceAnalyzer analyzer(program);
+  VirtualClock clock;
+  Interpreter interp(program, clock, &analyzer);
+  interp.run();
+  std::int64_t n_warnings = 0;
+  for (const auto& w : analyzer.warnings()) {
+    if (w.kind == AccessKind::PropWrite && w.name == "n") {
+      ++n_warnings;
+      EXPECT_GT(w.count, 1);
+    }
+  }
+  EXPECT_EQ(n_warnings, 1);
+}
+
+}  // namespace
+}  // namespace jsceres::ceres

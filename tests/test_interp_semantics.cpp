@@ -1,0 +1,285 @@
+// Deeper engine-semantics coverage: coercion tables, prototype chains,
+// scoping corners, and the instrumentation-facing behaviours (host-object
+// category reporting, provenance of property accesses).
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.h"
+#include "js/parser.h"
+
+namespace jsceres::interp {
+namespace {
+
+struct EngineRun {
+  explicit EngineRun(const std::string& source, ExecutionHooks* hooks = nullptr)
+      : program(js::parse(source)), interp(program, clock, hooks) {
+    interp.run();
+  }
+  Value global(const std::string& name) { return interp.global(name); }
+
+  js::Program program;
+  VirtualClock clock;
+  Interpreter interp;
+};
+
+double num(const std::string& source) {
+  EngineRun run(source);
+  const Value v = run.global("result");
+  EXPECT_TRUE(v.is_number());
+  return v.as_number();
+}
+
+std::string str_result(const std::string& source) {
+  EngineRun run(source);
+  const Value v = run.global("result");
+  EXPECT_TRUE(v.is_string());
+  return v.as_string();
+}
+
+// ---------------------------------------------------------------------------
+// Coercions
+// ---------------------------------------------------------------------------
+
+struct CoercionCase {
+  const char* expr;
+  const char* expected;
+};
+
+class CoercionTable : public ::testing::TestWithParam<CoercionCase> {};
+
+TEST_P(CoercionTable, StringifiesLikeJavaScript) {
+  const auto& param = GetParam();
+  EXPECT_EQ(str_result(std::string("var result = '' + (") + param.expr + ");"),
+            param.expected)
+      << param.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CoercionTable,
+    ::testing::Values(CoercionCase{"1 + '2'", "12"},
+                      CoercionCase{"'3' * '4'", "12"},
+                      CoercionCase{"true + true", "2"},
+                      CoercionCase{"null + 1", "1"},
+                      CoercionCase{"undefined + 1", "NaN"},
+                      CoercionCase{"[1, 2] + ''", "1,2"},
+                      CoercionCase{"({}) + ''", "[object Object]"},
+                      CoercionCase{"0 / 0", "NaN"},
+                      CoercionCase{"1 / 0", "Infinity"},
+                      CoercionCase{"-1 / 0", "-Infinity"},
+                      CoercionCase{"'5' - 2", "3"},
+                      CoercionCase{"!'nonempty'", "false"},
+                      CoercionCase{"!''", "true"},
+                      CoercionCase{"' 42 ' * 1", "42"},
+                      CoercionCase{"'x' * 1", "NaN"}));
+
+TEST(Semantics, TruthinessTable) {
+  EXPECT_DOUBLE_EQ(num("var result = (0 ? 1 : 0) + ('' ? 1 : 0) + (null ? 1 : 0) + "
+                       "(undefined ? 1 : 0) + (NaN ? 1 : 0);"),
+                   0);
+  EXPECT_DOUBLE_EQ(num("var result = (1 ? 1 : 0) + ('a' ? 1 : 0) + ([] ? 1 : 0) + "
+                       "(({}) ? 1 : 0) + (-1 ? 1 : 0);"),
+                   5);
+}
+
+TEST(Semantics, LooseVsStrictEqualityMatrix) {
+  EXPECT_DOUBLE_EQ(num("var result = (0 == '') + (0 == '0') + ('' == '0') * 10;"),
+                   2);  // '' == '0' is false
+  EXPECT_DOUBLE_EQ(num("var result = (null == undefined) + (null === undefined) * 10;"), 1);
+  EXPECT_DOUBLE_EQ(num("var result = (1 == true) + (1 === true) * 10;"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Prototype chains and constructors
+// ---------------------------------------------------------------------------
+
+TEST(Semantics, PrototypeChainLookupOrder) {
+  EXPECT_DOUBLE_EQ(
+      num("function A() {}\n"
+          "A.prototype.v = 1;\n"
+          "var a = new A();\n"
+          "var before = a.v;\n"
+          "a.v = 2;\n"  // own property shadows the prototype
+          "var result = before * 10 + a.v;"),
+      12);
+}
+
+TEST(Semantics, PrototypeUpdatesAreLive) {
+  EXPECT_DOUBLE_EQ(
+      num("function A() {}\n"
+          "var a = new A();\n"
+          "A.prototype.f = function () { return 7; };\n"  // after construction
+          "var result = a.f();"),
+      7);
+}
+
+TEST(Semantics, ConstructorReturningObjectOverridesThis) {
+  EXPECT_DOUBLE_EQ(num("function F() { this.x = 1; return {x: 99}; }\n"
+                       "var result = new F().x;"),
+                   99);
+  EXPECT_DOUBLE_EQ(num("function G() { this.x = 1; return 42; }\n"
+                       "var result = new G().x;"),
+                   1);  // primitive return is ignored
+}
+
+TEST(Semantics, InstanceofFollowsChain) {
+  EXPECT_DOUBLE_EQ(
+      num("function Base() {}\n"
+          "function Derived() {}\n"
+          "Derived.prototype = new Base();\n"
+          "var d = new Derived();\n"
+          "var result = (d instanceof Derived ? 1 : 0) + (d instanceof Base ? 2 : 0);"),
+      3);
+}
+
+TEST(Semantics, MethodThisBinding) {
+  EXPECT_DOUBLE_EQ(num("var counter = {n: 5, bump: function () { this.n++; return this.n; }};\n"
+                       "counter.bump();\n"
+                       "var result = counter.bump();"),
+                   7);
+}
+
+TEST(Semantics, DetachedMethodLosesThis) {
+  // Calling a detached method gives this === undefined; our engine returns
+  // undefined member reads as TypeError on property set — here we only read.
+  EngineRun run("var o = {n: 3, get: function () { return this; }};\n"
+          "var f = o.get;\n"
+          "var result = f() === undefined ? 'lost' : 'kept';");
+  EXPECT_EQ(run.global("result").as_string(), "lost");
+}
+
+// ---------------------------------------------------------------------------
+// Scoping corners
+// ---------------------------------------------------------------------------
+
+TEST(Semantics, VarHoistingReadsUndefined) {
+  EXPECT_EQ(str_result("var result = typeof x;\nvar x = 1;"), "undefined");
+}
+
+TEST(Semantics, FunctionScopingSharesLoopVariable) {
+  // The study's central JS quirk once more, through closures in an array.
+  EXPECT_DOUBLE_EQ(num("var fs = [];\n"
+                       "for (var i = 0; i < 3; i++) { fs.push(function () { return i; }); }\n"
+                       "var result = fs[0]() + fs[1]() + fs[2]();"),
+                   9);
+}
+
+TEST(Semantics, IifePrivatizes) {
+  EXPECT_DOUBLE_EQ(
+      num("var fs = [];\n"
+          "for (var i = 0; i < 3; i++) {\n"
+          "  (function (j) { fs.push(function () { return j; }); })(i);\n"
+          "}\n"
+          "var result = fs[0]() + fs[1]() + fs[2]();"),
+      3);
+}
+
+TEST(Semantics, CatchParameterIsBlockScoped) {
+  EXPECT_EQ(str_result("var e = 'outer';\n"
+                       "try { throw {message: 'inner'}; } catch (e) { }\n"
+                       "var result = e;"),
+            "outer");
+}
+
+TEST(Semantics, NestedFunctionSeesEnclosingScope) {
+  EXPECT_DOUBLE_EQ(num("function outer() {\n"
+                       "  var secret = 21;\n"
+                       "  function inner() { return secret * 2; }\n"
+                       "  return inner();\n"
+                       "}\n"
+                       "var result = outer();"),
+                   42);
+}
+
+// ---------------------------------------------------------------------------
+// Arrays: holes, growth, length interplay
+// ---------------------------------------------------------------------------
+
+TEST(Semantics, SparseWriteFillsWithUndefined) {
+  EXPECT_EQ(str_result("var a = [];\n"
+                       "a[3] = 'x';\n"
+                       "var result = typeof a[1] + ':' + a.length;"),
+            "undefined:4");
+}
+
+TEST(Semantics, LengthTruncates) {
+  EXPECT_EQ(str_result("var a = [1, 2, 3, 4];\n"
+                       "a.length = 2;\n"
+                       "var result = a.join(',');"),
+            "1,2");
+}
+
+TEST(Semantics, NegativeSliceIndices) {
+  EXPECT_EQ(str_result("var result = [1, 2, 3, 4, 5].slice(-3, -1).join('');"), "34");
+}
+
+TEST(Semantics, ReduceWithoutInitialValue) {
+  EXPECT_DOUBLE_EQ(num("var result = [2, 3, 4].reduce(function (a, b) { return a * b; });"),
+                   24);
+}
+
+TEST(Semantics, MapIndexArgument) {
+  EXPECT_EQ(str_result("var result = ['a', 'b'].map(function (v, i) { return v + i; }).join(',');"),
+            "a0,b1");
+}
+
+// ---------------------------------------------------------------------------
+// Hook-facing behaviour
+// ---------------------------------------------------------------------------
+
+class CountingHooks final : public ExecutionHooks {
+ public:
+  [[nodiscard]] bool wants_memory_events() const override { return true; }
+  void on_var_write(std::uint64_t, const std::string& name, int) override {
+    ++var_writes[name];
+  }
+  void on_prop_write(std::uint64_t, const std::string& key, int,
+                     const BaseProvenance& base) override {
+    ++prop_writes[key];
+    last_base = base.kind;
+  }
+  void on_object_created(std::uint64_t, int) override { ++objects; }
+  std::map<std::string, int> var_writes;
+  std::map<std::string, int> prop_writes;
+  BaseProvenance::Kind last_base = BaseProvenance::Kind::Object;
+  int objects = 0;
+};
+
+TEST(Hooks, VarWritesReported) {
+  CountingHooks hooks;
+  EngineRun run("var x = 1;\nx = 2;\nx += 3;\nx++;", &hooks);
+  EXPECT_EQ(hooks.var_writes["x"], 4);
+}
+
+TEST(Hooks, PropertyWriteProvenanceIsBindingForIdents) {
+  CountingHooks hooks;
+  EngineRun run("var o = {};\no.f = 1;", &hooks);
+  EXPECT_EQ(hooks.prop_writes["f"], 1);
+  EXPECT_EQ(hooks.last_base, BaseProvenance::Kind::Binding);
+}
+
+TEST(Hooks, PropertyWriteProvenanceIsThisInConstructors) {
+  CountingHooks hooks;
+  EngineRun run("function C() { this.v = 1; }\nnew C();", &hooks);
+  EXPECT_EQ(hooks.prop_writes["v"], 1);
+  EXPECT_EQ(hooks.last_base, BaseProvenance::Kind::This);
+}
+
+TEST(Hooks, ObjectCreationCounted) {
+  CountingHooks hooks;
+  EngineRun run("var a = {};\nvar b = [];\nvar c = new Object();\n"
+          "function f() {}\nvar d = f;",
+          &hooks);
+  // {}, [], new Object's allocation, the function object f (plus its
+  // prototype object is created without a hook through make_object? no —
+  // it goes through the ctor path). At minimum the three literals exist.
+  EXPECT_GE(hooks.objects, 3);
+}
+
+TEST(Hooks, ArrayPushReportsElementWrite) {
+  CountingHooks hooks;
+  EngineRun run("var a = [];\na.push(7);\na.push(8);", &hooks);
+  EXPECT_EQ(hooks.prop_writes["0"], 1);
+  EXPECT_EQ(hooks.prop_writes["1"], 1);
+}
+
+}  // namespace
+}  // namespace jsceres::interp

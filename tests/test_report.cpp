@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "report/result_store.h"
+#include "report/tables.h"
+
+namespace jsceres::report {
+namespace {
+
+TEST(Table3, SingleWorkloadRowsAreComplete) {
+  const auto rows = build_table3_rows(workloads::workload_by_name("fluidSim"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].workload, "fluidSim");
+  EXPECT_GT(rows[0].root_line, 0);
+  EXPECT_GT(rows[0].share, 0.5);
+  EXPECT_EQ(rows[0].divergence, analysis::Divergence::None);
+  EXPECT_FALSE(rows[0].dom_access);
+  EXPECT_EQ(rows[0].breaking_deps, analysis::Difficulty::Easy);
+  EXPECT_EQ(rows[0].difficulty, analysis::Difficulty::Easy);
+}
+
+TEST(Table3, AceRowsAreVeryHard) {
+  const auto rows = build_table3_rows(workloads::workload_by_name("Ace"));
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.divergence, analysis::Divergence::Yes);
+    EXPECT_TRUE(row.dom_access);
+    EXPECT_EQ(row.breaking_deps, analysis::Difficulty::VeryHard);
+    EXPECT_EQ(row.difficulty, analysis::Difficulty::VeryHard);
+  }
+}
+
+TEST(Table3, RenderGroupsByWorkload) {
+  std::vector<Table3Row> rows(3);
+  rows[0].workload = "A";
+  rows[1].workload = "A";
+  rows[2].workload = "B";
+  rows[0].trips_mean = 90000;
+  const std::string out = render_table3(rows);
+  EXPECT_NE(out.find("90k"), std::string::npos);
+  EXPECT_NE(out.find("Table 3"), std::string::npos);
+  // Repeated-workload rows leave the name cell blank: exactly one "| A ".
+  std::size_t a_cells = 0;
+  for (std::size_t pos = 0; (pos = out.find("| A ", pos)) != std::string::npos; ++pos) {
+    ++a_cells;
+  }
+  EXPECT_EQ(a_cells, 1u);
+}
+
+TEST(Table2, RenderIncludesPaperReference) {
+  std::vector<Table2Row> rows(1);
+  rows[0].name = "DemoApp";
+  rows[0].measured = {1.5, 1.0, 0.5};
+  rows[0].paper = {10, 5, 2.5};
+  const std::string out = render_table2(rows);
+  EXPECT_NE(out.find("DemoApp"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("10 / 5.00 / 2.50"), std::string::npos);
+}
+
+TEST(Amdahl, RenderCountsAppsAboveThreshold) {
+  std::vector<AmdahlRow> rows(2);
+  rows[0] = {"fast", 0.9, analysis::amdahl_bound(0.9, 4), analysis::amdahl_bound(0.9)};
+  rows[1] = {"slow", 0.1, analysis::amdahl_bound(0.1, 4), analysis::amdahl_bound(0.1)};
+  const std::string out = render_amdahl(rows);
+  EXPECT_NE(out.find("apps with upper bound > 3x: 1 of 2"), std::string::npos);
+}
+
+TEST(ResultStore, StoresAndIndexesSnapshots) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jsceres-store-test").string();
+  std::filesystem::remove_all(dir);
+  ResultStore store(dir);
+  const std::string path = store.store("table2", "hello world\n");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello world\n");
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "index.md"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, IdenticalContentHashesIdentically) {
+  EXPECT_EQ(ResultStore::content_hash("abc"), ResultStore::content_hash("abc"));
+  EXPECT_NE(ResultStore::content_hash("abc"), ResultStore::content_hash("abd"));
+}
+
+TEST(ResultStore, VersionsDifferingContent) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jsceres-store-test2").string();
+  std::filesystem::remove_all(dir);
+  ResultStore store(dir);
+  const std::string p1 = store.store("report", "v1");
+  const std::string p2 = store.store("report", "v2");
+  EXPECT_NE(p1, p2);  // content-addressed: both versions kept
+  EXPECT_TRUE(std::filesystem::exists(p1));
+  EXPECT_TRUE(std::filesystem::exists(p2));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace jsceres::report

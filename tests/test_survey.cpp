@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "survey/aggregate.h"
+#include "survey/coding.h"
+#include "survey/model.h"
+
+namespace jsceres::survey {
+namespace {
+
+const Dataset& dataset() {
+  static const Dataset d = Dataset::paper_reconstruction();
+  return d;
+}
+
+TEST(Dataset, Has174Respondents) { EXPECT_EQ(dataset().size(), 174u); }
+
+TEST(Dataset, IsDeterministic) {
+  const Dataset a = Dataset::paper_reconstruction(2015);
+  const Dataset b = Dataset::paper_reconstruction(2015);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.respondents()[i].trends_answer, b.respondents()[i].trends_answer);
+    EXPECT_EQ(a.respondents()[i].style_preference,
+              b.respondents()[i].style_preference);
+  }
+}
+
+TEST(Dataset, TrendsAnswerBuckets) {
+  int no_answer = 0;
+  for (const auto& r : dataset().respondents()) {
+    if (r.trends_answer.empty()) ++no_answer;
+  }
+  EXPECT_EQ(no_answer, 45);  // paper: 45 "no answer / no valid data"
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: thematic coding
+// ---------------------------------------------------------------------------
+
+TEST(Fig1, ReproducesPaperCounts) {
+  const Fig1Data data = fig1_categories(dataset(), Coder::rater_a());
+  EXPECT_EQ(data.counts[std::size_t(int(Category::Games))], 26);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::PeerToPeerSocial))], 17);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::DesktopLike))], 15);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::DataProcessing))], 7);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::AudioVideo))], 8);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::Visualization))], 7);
+  EXPECT_EQ(data.counts[std::size_t(int(Category::AugmentedRealityRecognition))], 5);
+  EXPECT_EQ(data.no_answer, 45);
+}
+
+TEST(Fig1, SharesMatchPaperPercentages) {
+  const Fig1Data data = fig1_categories(dataset(), Coder::rater_a());
+  EXPECT_NEAR(data.share(Category::Games), 0.31, 0.01);
+  EXPECT_NEAR(data.share(Category::PeerToPeerSocial), 0.20, 0.01);
+  EXPECT_NEAR(data.share(Category::AugmentedRealityRecognition), 0.06, 0.01);
+}
+
+TEST(Coding, RatersAgreeAboveEightyPercent) {
+  const double agreement =
+      inter_rater_agreement(dataset(), Coder::rater_a(), Coder::rater_b(), 0.2);
+  EXPECT_GT(agreement, 0.8);  // the paper's codebook-validation threshold
+}
+
+TEST(Coding, JaccardProperties) {
+  const std::set<Category> a = {Category::Games, Category::AudioVideo};
+  const std::set<Category> b = {Category::Games};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, b), jaccard(b, a));
+}
+
+TEST(Coding, CoderFindsGameAnswers) {
+  const Coder coder = Coder::rater_a();
+  const auto codes = coder.code("webgl games with realistic physics and game ai");
+  EXPECT_EQ(codes.count(Category::Games), 1u);
+}
+
+TEST(Coding, CoderIgnoresUncategorizableText) {
+  const Coder coder = Coder::rater_a();
+  EXPECT_TRUE(coder.code("better tooling for developers themselves").empty());
+}
+
+TEST(Coding, WholeWordMatchingOnly) {
+  const Coder coder = Coder::rater_a();
+  // "gameshow" must not match the keyword "game".
+  EXPECT_TRUE(coder.code("a gameshow tv format").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+TEST(Fig2, ReproducesPaperMatrix) {
+  const Fig2Data data = fig2_bottlenecks(dataset());
+  // component -> {not an issue, so-so, bottleneck}, from the paper's table.
+  const int expected[kComponentCount][3] = {
+      {13, 64, 85}, {23, 65, 83}, {37, 72, 46},
+      {37, 72, 41}, {65, 65, 35}, {62, 77, 25},
+  };
+  for (int c = 0; c < kComponentCount; ++c) {
+    for (int level = 0; level < 3; ++level) {
+      EXPECT_EQ(data.counts[std::size_t(c)][std::size_t(level)], expected[c][level])
+          << component_label(Component(c)) << " level " << level;
+    }
+  }
+}
+
+TEST(Fig2, KeyPercentages) {
+  const Fig2Data data = fig2_bottlenecks(dataset());
+  EXPECT_NEAR(data.share(Component::ResourceLoading, Rating::Bottleneck), 0.52, 0.01);
+  EXPECT_NEAR(data.share(Component::DomManipulation, Rating::Bottleneck), 0.49, 0.01);
+  EXPECT_NEAR(data.share(Component::NumberCrunching, Rating::Bottleneck), 0.21, 0.01);
+  EXPECT_NEAR(data.share(Component::StylingCss, Rating::NotAnIssue), 0.38, 0.01);
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 and 4
+// ---------------------------------------------------------------------------
+
+TEST(Fig3, ReproducesPaperHistogram) {
+  const ScaleData data = fig3_style(dataset());
+  EXPECT_EQ(data.counts[0], 52);
+  EXPECT_EQ(data.counts[1], 50);
+  EXPECT_EQ(data.counts[2], 41);
+  EXPECT_EQ(data.counts[3], 15);
+  EXPECT_EQ(data.counts[4], 8);
+  EXPECT_EQ(data.answered(), 166);
+  EXPECT_NEAR(data.share(1), 0.31, 0.01);
+}
+
+TEST(Fig4, ReproducesPaperHistogram) {
+  const ScaleData data = fig4_polymorphism(dataset());
+  EXPECT_EQ(data.answered(), 168);
+  EXPECT_NEAR(data.share(1), 0.58, 0.01);  // purely monomorphic
+  EXPECT_NEAR(data.share(5), 0.01, 0.01);  // heavy polymorphism
+}
+
+TEST(Operators, SeventyFourPercentPreferOperators) {
+  const OperatorPreference pref = operators_preference(dataset());
+  EXPECT_EQ(pref.answered, 160);
+  EXPECT_NEAR(pref.share(), 0.74, 0.005);
+}
+
+TEST(Globals, NamespaceEmulationDominates) {
+  const GlobalsUsage usage = globals_usage(dataset());
+  EXPECT_EQ(usage.answered, 105);  // paper: 105 responses
+  EXPECT_EQ(usage.namespace_emulation, 33);  // paper: 33 mention namespacing
+  EXPECT_EQ(usage.namespace_emulation + usage.inter_script_communication +
+                usage.singletons + usage.other,
+            usage.answered);
+}
+
+// ---------------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------------
+
+TEST(Render, Fig1ContainsCategoriesAndCounts) {
+  const std::string out = render_fig1(fig1_categories(dataset(), Coder::rater_a()));
+  EXPECT_NE(out.find("Games"), std::string::npos);
+  EXPECT_NE(out.find("26 (31%)"), std::string::npos);
+}
+
+TEST(Render, Fig2ContainsAllComponents) {
+  const std::string out = render_fig2(fig2_bottlenecks(dataset()));
+  for (int c = 0; c < kComponentCount; ++c) {
+    EXPECT_NE(out.find(component_label(Component(c))), std::string::npos);
+  }
+}
+
+TEST(Render, ScaleChartShowsAnswerCount) {
+  const std::string out =
+      render_scale(fig3_style(dataset()), "Figure 3", "functional", "imperative");
+  EXPECT_NE(out.find("166 respondents answered"), std::string::npos);
+}
+
+/// Marginals must survive any seed (the synthesis fills exact counts; only
+/// the pairing of attributes is permuted).
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, MarginalsAreSeedInvariant) {
+  const Dataset d = Dataset::paper_reconstruction(GetParam());
+  EXPECT_EQ(fig3_style(d).counts[0], 52);
+  EXPECT_EQ(fig4_polymorphism(d).answered(), 168);
+  EXPECT_EQ(fig1_categories(d, Coder::rater_a()).counts[0], 26);
+  EXPECT_EQ(fig2_bottlenecks(d).counts[0][2], 85);
+  EXPECT_EQ(operators_preference(d).answered, 160);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 7, 42, 2015, 99999));
+
+}  // namespace
+}  // namespace jsceres::survey
