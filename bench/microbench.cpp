@@ -73,6 +73,47 @@ void BM_InterpretPropertyAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpretPropertyAccess);
 
+// Resolution-bound loop: every iteration reads three closure variables one
+// scope level up plus two locals, isolating identifier-resolution cost from
+// arithmetic and property traffic.
+void BM_ResolveIdentifier(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "function outer() {\n"
+      "  var a = 1; var b = 2; var c = 3;\n"
+      "  function inner() {\n"
+      "    var t = 0;\n"
+      "    for (var i = 0; i < 1000; i++) { t += a + b + c; }\n"
+      "    return t;\n"
+      "  }\n"
+      "  return inner();\n"
+      "}\n"
+      "var result = 0;\n"
+      "for (var j = 0; j < 10; j++) { result += outer(); }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10 * 1000 * 3);
+}
+BENCHMARK(BM_ResolveIdentifier);
+
+// Monomorphic named-property reads and writes on one receiver: the shape
+// inline-cache steady state (three reads + one write per iteration).
+void BM_PropertyAccess(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "var o = {x: 1, y: 2, z: 3};\n"
+      "var s = 0;\n"
+      "for (var i = 0; i < 5000; i++) { s += o.x + o.y + o.z; o.x = i & 7; }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000 * 4);
+}
+BENCHMARK(BM_PropertyAccess);
+
 void BM_CanvasFillRect(benchmark::State& state) {
   dom::CanvasContext ctx(256, 256);
   ctx.set_fill_color(dom::Rgba{10, 20, 30, 255});

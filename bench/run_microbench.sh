@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the interpreter microbenchmark snapshot (BENCH_interp_baseline.json
+# records the before/after of the hot-path overhaul; this script reproduces the
+# 'after' column on the current tree).
+#
+# Usage:
+#   bench/run_microbench.sh [build-dir] [output.json]
+#
+# Requires google-benchmark (the microbench target is skipped by CMake when it
+# is not installed).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-/dev/stdout}"
+FILTER='BM_Lex|BM_Parse|BM_Interpret|BM_Resolve|BM_PropertyAccess'
+
+if [[ ! -x "${BUILD_DIR}/microbench" ]]; then
+  echo "building ${BUILD_DIR}/microbench ..." >&2
+  cmake -B "${BUILD_DIR}" -S "$(dirname "$0")/.." >&2
+  cmake --build "${BUILD_DIR}" --target microbench -j >&2
+fi
+
+"${BUILD_DIR}/microbench" \
+  --benchmark_filter="${FILTER}" \
+  --benchmark_min_time=0.3 \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"${OUT}"

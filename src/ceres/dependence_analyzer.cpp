@@ -135,7 +135,7 @@ void DependenceAnalyzer::record(AccessKind kind, DepClass dep,
   warnings_.push_back(std::move(warning));
 }
 
-void DependenceAnalyzer::on_var_write(std::uint64_t env_id, const std::string& name,
+void DependenceAnalyzer::on_var_write(std::uint64_t env_id, js::Atom name,
                                       int line) {
   if (!in_focus()) return;
   const auto it = env_stamps_.find(env_id);
@@ -158,7 +158,7 @@ void DependenceAnalyzer::on_var_write(std::uint64_t env_id, const std::string& n
   }
 }
 
-void DependenceAnalyzer::on_var_read(std::uint64_t env_id, const std::string& name,
+void DependenceAnalyzer::on_var_read(std::uint64_t env_id, js::Atom name,
                                      int line) {
   if (!in_focus()) return;
   const auto it = env_stamps_.find(env_id);

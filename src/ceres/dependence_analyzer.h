@@ -98,8 +98,11 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
   void on_function_exit(int fn_id) override;
   void on_env_created(std::uint64_t env_id) override;
   void on_object_created(std::uint64_t obj_id, int line) override;
-  void on_var_write(std::uint64_t env_id, const std::string& name, int line) override;
-  void on_var_read(std::uint64_t env_id, const std::string& name, int line) override;
+  // Variable accesses arrive with the interned atom: the last-write tables
+  // key on atom identity (pointer compare + precomputed hash) and warning
+  // text reads the atom's string lazily.
+  void on_var_write(std::uint64_t env_id, js::Atom name, int line) override;
+  void on_var_read(std::uint64_t env_id, js::Atom name, int line) override;
   void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,
                      const interp::BaseProvenance& base) override;
   void on_prop_read(std::uint64_t obj_id, const std::string& key, int line,
@@ -137,8 +140,8 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
   /// Last-write snapshot per (object, property).
   std::unordered_map<std::uint64_t, std::unordered_map<std::string, Stamp>> writes_;
   /// Last-write snapshot per (environment, variable) for the variable_flow
-  /// extension.
-  std::unordered_map<std::uint64_t, std::unordered_map<std::string, Stamp>> var_writes_;
+  /// extension — atom-keyed (variable names are always interned).
+  std::unordered_map<std::uint64_t, std::unordered_map<js::Atom, Stamp>> var_writes_;
 
   // Active JS call stack (fn ids); recursion inside an open loop makes the
   // loop's iteration work unbounded (paper §3.3's recursion guard, extended

@@ -9,8 +9,12 @@ namespace jsceres::interp {
 
 namespace {
 
-Value arg_or_undefined(const std::vector<Value>& args, std::size_t i) {
-  return i < args.size() ? args[i] : Value::undefined();
+/// Reference into `args` (or the shared undefined) — callers that only
+/// inspect the argument avoid copying a Value (two shared_ptr refcount
+/// bumps) per access.
+const Value& arg_or_undefined(const std::vector<Value>& args, std::size_t i) {
+  static const Value kUndefined;
+  return i < args.size() ? args[i] : kUndefined;
 }
 
 double num_arg(Interpreter& interp, const std::vector<Value>& args, std::size_t i) {
@@ -157,7 +161,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "indexOf",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "indexOf");
-                  const Value needle = arg_or_undefined(args, 0);
+                  const Value& needle = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     in.charge(1);
                     const Value& e = arr->elements()[i];
@@ -230,7 +234,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "fill",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "fill");
-                  const Value fill = arg_or_undefined(args, 0);
+                  const Value& fill = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     note_write(in, arr, Interpreter::number_to_string(double(i)));
                     arr->elements()[i] = fill;
@@ -266,7 +270,7 @@ void install_array(Interpreter& interp) {
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "sort");
                   auto& elems = arr->elements();
-                  const Value comparator = arg_or_undefined(args, 0);
+                  const Value& comparator = arg_or_undefined(args, 0);
                   if (comparator.is_object() && comparator.as_object()->is_function()) {
                     std::stable_sort(elems.begin(), elems.end(),
                                      [&](const Value& a, const Value& b) {
@@ -290,7 +294,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "forEach",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "forEach");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     in.call(callback, Value::undefined(),
                             {arr->elements()[i], Value::number(double(i)), self});
@@ -300,7 +304,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "map",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "map");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   ObjPtr out = in.make_array(arr->elements().size());
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     out->elements().push_back(
@@ -312,7 +316,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "filter",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "filter");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   ObjPtr out = in.make_array(0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     const Value keep =
@@ -327,7 +331,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "reduce",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "reduce");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   std::size_t i = 0;
                   Value acc;
                   if (args.size() >= 2) {
@@ -348,7 +352,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "every",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "every");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     const Value ok =
                         in.call(callback, Value::undefined(),
@@ -360,7 +364,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "some",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
                   const ObjPtr arr = require_array(in, self, "some");
-                  const Value callback = arg_or_undefined(args, 0);
+                  const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
                     const Value ok =
                         in.call(callback, Value::undefined(),
@@ -386,7 +390,7 @@ void install_array(Interpreter& interp) {
                            Value::object(interp.make_native_function(
                                "isArray",
                                [](Interpreter&, const Value&, const std::vector<Value>& args) {
-                                 const Value v = arg_or_undefined(args, 0);
+                                 const Value& v = arg_or_undefined(args, 0);
                                  return Value::boolean(v.is_object() &&
                                                        v.as_object()->is_array());
                                })));
@@ -555,7 +559,7 @@ void install_object(Interpreter& interp) {
   object_ctor->set_property(
       "keys", Value::object(interp.make_native_function(
                   "keys", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
-                    const Value v = arg_or_undefined(args, 0);
+                    const Value& v = arg_or_undefined(args, 0);
                     ObjPtr out = in.make_array(0);
                     if (v.is_object()) {
                       const ObjPtr& obj = v.as_object();
@@ -575,7 +579,7 @@ void install_object(Interpreter& interp) {
       "create", Value::object(interp.make_native_function(
                     "create", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
                       ObjPtr obj = in.make_object();
-                      const Value proto = arg_or_undefined(args, 0);
+                      const Value& proto = arg_or_undefined(args, 0);
                       if (proto.is_object()) obj->set_prototype(proto.as_object());
                       if (proto.is_null()) obj->set_prototype(nullptr);
                       return Value::object(obj);
@@ -586,15 +590,15 @@ void install_object(Interpreter& interp) {
   const ObjPtr& fn_proto = interp.function_prototype();
   define_method(interp, fn_proto, "call",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
-                  const Value this_arg = arg_or_undefined(args, 0);
+                  const Value& this_arg = arg_or_undefined(args, 0);
                   std::vector<Value> rest(args.begin() + (args.empty() ? 0 : 1), args.end());
                   return in.call(self, this_arg, rest);
                 });
   define_method(interp, fn_proto, "apply",
                 [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
-                  const Value this_arg = arg_or_undefined(args, 0);
+                  const Value& this_arg = arg_or_undefined(args, 0);
                   std::vector<Value> rest;
-                  const Value arg_list = arg_or_undefined(args, 1);
+                  const Value& arg_list = arg_or_undefined(args, 1);
                   if (arg_list.is_object() && arg_list.as_object()->is_array()) {
                     rest = arg_list.as_object()->elements();
                   }

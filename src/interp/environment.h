@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "interp/value.h"
+#include "js/atom.h"
 
 namespace jsceres::interp {
 
@@ -19,6 +20,11 @@ using EnvPtr = std::shared_ptr<Environment>;
 /// textually. This is exactly the semantics the paper's Fig. 6 relies on
 /// (`var p` inside a loop body is one binding shared by all iterations).
 ///
+/// Bindings are keyed by interned atoms (js::Atom): name maps reuse the
+/// atom's precomputed hash, and the slot index assigned to a name never
+/// changes, so statically resolved references (js::SlotRef) index `slots_`
+/// directly without touching the map at all.
+///
 /// Each environment carries a process-unique id; the dependence analyzer
 /// stamps the id with the loop-characterization stack current at creation.
 class Environment {
@@ -29,8 +35,8 @@ class Environment {
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] const EnvPtr& parent() const { return parent_; }
 
-  /// Declare (or re-declare, a no-op) a binding in this environment.
-  void declare(const std::string& name, Value value) {
+  /// Declare (or re-declare, reusing the slot) a binding in this environment.
+  void declare(js::Atom name, Value value) {
     const auto it = names_.find(name);
     if (it != names_.end()) {
       slots_[it->second] = std::move(value);
@@ -40,23 +46,48 @@ class Environment {
     slots_.push_back(std::move(value));
   }
 
-  [[nodiscard]] bool has_own(const std::string& name) const {
+  [[nodiscard]] bool has_own(js::Atom name) const {
     return names_.find(name) != names_.end();
   }
 
   /// Slot of an own binding, or nullptr.
-  [[nodiscard]] Value* own_slot(const std::string& name) {
+  [[nodiscard]] Value* own_slot(js::Atom name) {
     const auto it = names_.find(name);
     return it == names_.end() ? nullptr : &slots_[it->second];
   }
+  /// String-keyed convenience for hosts/tests: a name that was never
+  /// interned cannot be bound.
+  [[nodiscard]] Value* own_slot(const std::string& name) {
+    js::Atom atom;
+    return js::Atom::try_find(name, &atom) ? own_slot(atom) : nullptr;
+  }
+
+  /// Slot index of an own binding, or -1. Indices are stable for the
+  /// lifetime of the environment (bindings are never removed), which is what
+  /// makes the interpreter's global-reference cache sound.
+  [[nodiscard]] std::int64_t slot_index(js::Atom name) const {
+    const auto it = names_.find(name);
+    return it == names_.end() ? -1 : std::int64_t(it->second);
+  }
+
+  /// Direct slot access for statically resolved references.
+  [[nodiscard]] Value* slot_at(std::uint32_t index) { return &slots_[index]; }
+
+  /// The environment `hops` levels up the chain (0 == this).
+  [[nodiscard]] Environment* ancestor(std::int32_t hops) {
+    Environment* env = this;
+    for (; hops > 0; --hops) env = env->parent_.get();
+    return env;
+  }
 
   /// Resolve a name through the scope chain. Returns the owning environment
-  /// (for provenance stamping) and the slot, or {nullptr, nullptr}.
+  /// (for provenance stamping) and the slot, or {nullptr, nullptr}. This is
+  /// the dynamic fallback; statically resolved references bypass it.
   struct Resolution {
     Environment* env = nullptr;
     Value* slot = nullptr;
   };
-  Resolution resolve(const std::string& name) {
+  Resolution resolve(js::Atom name) {
     for (Environment* env = this; env != nullptr; env = env->parent_.get()) {
       if (Value* slot = env->own_slot(name)) return {env, slot};
     }
@@ -91,7 +122,7 @@ class Environment {
  private:
   std::uint64_t id_;
   EnvPtr parent_;
-  std::unordered_map<std::string, std::uint32_t> names_;
+  std::unordered_map<js::Atom, std::uint32_t> names_;
   std::vector<Value> slots_;
   Value this_val_;
   bool has_this_ = false;

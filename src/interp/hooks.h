@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "js/atom.h"
+
 namespace jsceres::interp {
 
 /// Static loop metadata forwarded to hooks (mirrors js::LoopSite, duplicated
@@ -66,9 +68,13 @@ class ExecutionHooks {
   virtual void on_object_created(std::uint64_t /*obj_id*/, int /*line*/) {}
 
   // --- memory accesses ---
-  virtual void on_var_write(std::uint64_t /*env_id*/, const std::string& /*name*/,
+  // Variable names are always interned (they are identifiers), so these
+  // carry the atom: implementations can key their tables on atom identity
+  // and still read the text via js::Atom's implicit string conversion.
+  // Property keys may be computed at runtime and stay string-based.
+  virtual void on_var_write(std::uint64_t /*env_id*/, js::Atom /*name*/,
                             int /*line*/) {}
-  virtual void on_var_read(std::uint64_t /*env_id*/, const std::string& /*name*/,
+  virtual void on_var_read(std::uint64_t /*env_id*/, js::Atom /*name*/,
                            int /*line*/) {}
   virtual void on_prop_write(std::uint64_t /*obj_id*/, const std::string& /*key*/,
                              int /*line*/, const BaseProvenance&) {}
@@ -117,10 +123,10 @@ class HookList final : public ExecutionHooks {
   void on_object_created(std::uint64_t obj_id, int line) override {
     for (auto* h : hooks_) h->on_object_created(obj_id, line);
   }
-  void on_var_write(std::uint64_t env_id, const std::string& name, int line) override {
+  void on_var_write(std::uint64_t env_id, js::Atom name, int line) override {
     for (auto* h : hooks_) h->on_var_write(env_id, name, line);
   }
-  void on_var_read(std::uint64_t env_id, const std::string& name, int line) override {
+  void on_var_read(std::uint64_t env_id, js::Atom name, int line) override {
     for (auto* h : hooks_) h->on_var_read(env_id, name, line);
   }
   void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,

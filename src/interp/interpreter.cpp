@@ -62,6 +62,22 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
       rng_(config.random_seed) {
   memory_events_ = hooks_ != nullptr && hooks_->wants_memory_events();
 
+  atom_length_ = js::Atom::intern("length");
+  atom_prototype_ = js::Atom::intern("prototype");
+  atom_constructor_ = js::Atom::intern("constructor");
+  atom_name_ = js::Atom::intern("name");
+  atom_message_ = js::Atom::intern("message");
+
+  if (config_.preempt_interval_ticks > 0) {
+    tick_flush_threshold_ =
+        std::min<std::int64_t>(64, config_.preempt_interval_ticks);
+  }
+
+  // Per-site caches sized by the resolver's id assignment.
+  read_ics_.resize(program.ic_count);
+  write_ics_.resize(program.ic_count);
+  global_ref_cache_.assign(program.global_ref_count, -1);
+
   global_env_ = std::make_shared<Environment>(next_env_id_++, nullptr);
   if (hooks_ != nullptr) hooks_->on_env_created(global_env_->id());
 
@@ -80,9 +96,26 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
 
 Interpreter::~Interpreter() = default;
 
-void Interpreter::tick(std::int64_t n) {
-  clock_->tick(n);
-  ticks_since_probe_ += n;
+void Interpreter::flush_ticks_on_unwind() noexcept {
+  // Exception-path flush: charge pending ticks so caller-owned clocks stay
+  // exact, but never let a budget overrun replace the in-flight exception.
+  try {
+    flush_ticks();
+  } catch (...) {
+    // Budget exhaustion discovered while unwinding: the original error wins.
+  }
+}
+
+void Interpreter::flush_ticks() {
+  // Charge the batched ticks to the clock and run the low-frequency work
+  // (sampling probe, budget check, simulated preemption). The probe cadence
+  // (every ~64 ticks) and all totals are identical to charging per node;
+  // only the store into the clock is amortized over the batch.
+  const std::int64_t pending = ticks_pending_;
+  if (pending == 0) return;
+  ticks_pending_ = 0;
+  clock_->tick(pending);
+  ticks_since_probe_ += pending;
   if (ticks_since_probe_ >= 64) {
     ticks_since_probe_ = 0;
     if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
@@ -91,7 +124,7 @@ void Interpreter::tick(std::int64_t n) {
     }
   }
   if (config_.preempt_interval_ticks > 0) {
-    ticks_since_preempt_ += n;
+    ticks_since_preempt_ += pending;
     if (ticks_since_preempt_ >= config_.preempt_interval_ticks) {
       ticks_since_preempt_ = 0;
       block(config_.preempt_block_ns);
@@ -102,6 +135,7 @@ void Interpreter::tick(std::int64_t n) {
 void Interpreter::charge(std::int64_t ticks) { tick(ticks); }
 
 void Interpreter::block(std::int64_t ns) {
+  flush_ticks();
   clock_->block_ns(ns);
   if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
 }
@@ -154,8 +188,8 @@ ObjPtr Interpreter::make_function_from_node(const js::FunctionNode& node,
   // Constructor protocol: every function carries a fresh `prototype` object.
   auto proto = std::make_shared<JSObject>(next_obj_id_++);
   proto->set_prototype(object_proto_);
-  proto->set_property("constructor", Value::object(obj));
-  obj->set_property("prototype", Value::object(proto));
+  proto->set_property(atom_constructor_, Value::object(obj));
+  obj->set_property(atom_prototype_, Value::object(proto));
   if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), node.line);
   return obj;
 }
@@ -163,8 +197,8 @@ ObjPtr Interpreter::make_function_from_node(const js::FunctionNode& node,
 void Interpreter::throw_error(const std::string& kind, const std::string& message) {
   auto obj = std::make_shared<JSObject>(next_obj_id_++);
   obj->set_prototype(object_proto_);
-  obj->set_property("name", Value::str(kind));
-  obj->set_property("message", Value::str(message));
+  obj->set_property(atom_name_, Value::str(kind));
+  obj->set_property(atom_message_, Value::str(message));
   throw JSException{Value::object(obj)};
 }
 
@@ -362,7 +396,7 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
 // ---------------------------------------------------------------------------
 
 void Interpreter::define_global(const std::string& name, Value value) {
-  global_env_->declare(name, std::move(value));
+  global_env_->declare(js::Atom::intern(name), std::move(value));
 }
 
 Value Interpreter::global(const std::string& name) {
@@ -370,16 +404,65 @@ Value Interpreter::global(const std::string& name) {
   return slot == nullptr ? Value::undefined() : *slot;
 }
 
-Environment::Resolution Interpreter::resolve_for_write(const std::string& name,
-                                                       const EnvPtr& env) {
-  Environment::Resolution res = env->resolve(name);
-  if (res.slot == nullptr) {
-    // Sloppy-mode JavaScript: assigning an undeclared name creates a global.
-    global_env_->declare(name, Value::undefined());
-    res.env = global_env_.get();
-    res.slot = global_env_->own_slot(name);
+// ---------------------------------------------------------------------------
+// Identifier resolution — the slot-resolved fast paths
+// ---------------------------------------------------------------------------
+
+Value* Interpreter::lookup_for_read(js::Atom name, const js::SlotRef& ref,
+                                    const EnvPtr& env, Environment** owner) {
+  if (ref.hops >= 0) {
+    // Statically resolved: two pointer chases, no hashing.
+    Environment* target = env->ancestor(ref.hops);
+    *owner = target;
+    return target->slot_at(ref.slot);
   }
-  return res;
+  if (ref.ref_id != js::kNoCacheId) {
+    // Global reference: hash once per site, then direct slot index (global
+    // bindings are never removed, so a cached index stays valid).
+    Environment* global = global_env_.get();
+    *owner = global;
+    std::int32_t& cached = global_ref_cache_[ref.ref_id];
+    if (cached >= 0) return global->slot_at(std::uint32_t(cached));
+    const std::int64_t index = global->slot_index(name);
+    if (index < 0) return nullptr;
+    cached = std::int32_t(index);
+    return global->slot_at(std::uint32_t(index));
+  }
+  // Unresolved AST (synthesized without resolve_scopes): dynamic walk.
+  const Environment::Resolution res = env->resolve(name);
+  *owner = res.env;
+  return res.slot;
+}
+
+Value* Interpreter::lookup_for_write(js::Atom name, const js::SlotRef& ref,
+                                     const EnvPtr& env, Environment** owner) {
+  if (ref.hops >= 0) {
+    Environment* target = env->ancestor(ref.hops);
+    *owner = target;
+    return target->slot_at(ref.slot);
+  }
+  Environment* global = global_env_.get();
+  if (ref.ref_id != js::kNoCacheId) {
+    *owner = global;
+    std::int32_t& cached = global_ref_cache_[ref.ref_id];
+    if (cached >= 0) return global->slot_at(std::uint32_t(cached));
+    std::int64_t index = global->slot_index(name);
+    if (index < 0) {
+      // Sloppy-mode JavaScript: assigning an undeclared name creates a global.
+      global->declare(name, Value::undefined());
+      index = global->slot_index(name);
+    }
+    cached = std::int32_t(index);
+    return global->slot_at(std::uint32_t(index));
+  }
+  const Environment::Resolution res = env->resolve(name);
+  if (res.slot != nullptr) {
+    *owner = res.env;
+    return res.slot;
+  }
+  *owner = global;
+  global->declare(name, Value::undefined());
+  return global->own_slot(name);
 }
 
 // ---------------------------------------------------------------------------
@@ -420,7 +503,7 @@ bool Interpreter::loose_equals(const Value& a, const Value& b) {
 // Calls
 // ---------------------------------------------------------------------------
 
-void Interpreter::hoist_into(Environment& env, const std::vector<std::string>& vars,
+void Interpreter::hoist_into(Environment& env, const std::vector<js::Atom>& vars,
                              const std::vector<const js::FunctionDecl*>& fns,
                              const EnvPtr& env_ptr) {
   for (const auto& name : vars) {
@@ -442,7 +525,15 @@ Value Interpreter::call(const Value& callee, const Value& this_val,
     tick(2);
     return fn.native(*this, this_val, args);
   }
-  return call_js_function(fn_obj, this_val, args);
+  Value result;
+  try {
+    result = call_js_function(fn_obj, this_val, args);
+  } catch (...) {
+    if (call_depth_ == 0) flush_ticks_on_unwind();
+    throw;
+  }
+  if (call_depth_ == 0) flush_ticks();  // external observers see exact totals
+  return result;
 }
 
 Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
@@ -468,8 +559,8 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
   tick(3);
   Value result;
   try {
-    const Completion completion = exec(*static_cast<const js::Block*>(node.body.get()), env);
-    if (completion.type == Completion::Type::Return) result = completion.value;
+    Completion completion = exec(*static_cast<const js::Block*>(node.body.get()), env);
+    if (completion.type == Completion::Type::Return) result = std::move(completion.value);
   } catch (...) {
     --call_depth_;
     throw;
@@ -490,18 +581,23 @@ void Interpreter::run() {
       const Completion completion = exec(*stmt, global_env_);
       if (completion.type != Completion::Type::Normal) break;
     }
+    flush_ticks();
   } catch (const JSException& ex) {
+    flush_ticks_on_unwind();
     std::string name = "Error";
     std::string message = to_string_value(ex.value);
     if (ex.value.is_object()) {
-      if (const Value* n = ex.value.as_object()->own_property("name")) {
+      if (const Value* n = ex.value.as_object()->own_property(atom_name_)) {
         name = to_string_value(*n);
       }
-      if (const Value* m = ex.value.as_object()->own_property("message")) {
+      if (const Value* m = ex.value.as_object()->own_property(atom_message_)) {
         message = to_string_value(*m);
       }
     }
     throw EngineError("uncaught " + name + ": " + message);
+  } catch (...) {
+    flush_ticks_on_unwind();
+    throw;
   }
 }
 
@@ -512,7 +608,7 @@ void Interpreter::run() {
 Interpreter::Completion Interpreter::exec_block(const js::Block& block,
                                                 const EnvPtr& env) {
   for (const auto& stmt : block.statements) {
-    const Completion completion = exec(*stmt, env);
+    Completion completion = exec(*stmt, env);
     if (completion.type != Completion::Type::Normal) return completion;
   }
   return {};
@@ -531,9 +627,10 @@ Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& en
       for (const auto& d : decl.declarators) {
         if (!d.init) continue;
         Value value = eval(*d.init, env);
-        const Environment::Resolution res = resolve_for_write(d.name, env);
-        if (memory_events_) hooks_->on_var_write(res.env->id(), d.name, stmt.line);
-        *res.slot = std::move(value);
+        Environment* owner = nullptr;
+        Value* slot = lookup_for_write(d.name, d.ref, env, &owner);
+        if (memory_events_) hooks_->on_var_write(owner->id(), d.name, stmt.line);
+        *slot = std::move(value);
       }
       return {};
     }
@@ -541,7 +638,7 @@ Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& en
       return {};  // bound during hoisting
     case js::NodeKind::If: {
       const auto& node = static_cast<const js::If&>(stmt);
-      if (to_boolean(eval(*node.condition, env))) return exec(*node.consequent, env);
+      if (eval_condition(*node.condition, env)) return exec(*node.consequent, env);
       if (node.alternate) return exec(*node.alternate, env);
       return {};
     }
@@ -611,12 +708,12 @@ Interpreter::Completion Interpreter::exec_for(const js::For& node, const EnvPtr&
   if (hooks_ != nullptr) hooks_->on_loop_enter(event);
   Completion result;
   while (true) {
-    if (node.condition && !to_boolean(eval(*node.condition, env))) break;
+    if (node.condition && !eval_condition(*node.condition, env)) break;
     if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
-    const Completion completion = exec(*node.body, env);
+    Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
-      result = completion;
+      result = std::move(completion);
       break;
     }
     if (node.update) eval(*node.update, env);
@@ -630,12 +727,12 @@ Interpreter::Completion Interpreter::exec_while(const js::While& node,
   const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::While);
   if (hooks_ != nullptr) hooks_->on_loop_enter(event);
   Completion result;
-  while (to_boolean(eval(*node.condition, env))) {
+  while (eval_condition(*node.condition, env)) {
     if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
-    const Completion completion = exec(*node.body, env);
+    Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
-      result = completion;
+      result = std::move(completion);
       break;
     }
   }
@@ -650,13 +747,13 @@ Interpreter::Completion Interpreter::exec_do_while(const js::DoWhile& node,
   Completion result;
   do {
     if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
-    const Completion completion = exec(*node.body, env);
+    Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
-      result = completion;
+      result = std::move(completion);
       break;
     }
-  } while (to_boolean(eval(*node.condition, env)));
+  } while (eval_condition(*node.condition, env));
   if (hooks_ != nullptr) hooks_->on_loop_exit(event);
   return result;
 }
@@ -668,27 +765,28 @@ Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
   if (hooks_ != nullptr) hooks_->on_loop_enter(event);
   Completion result;
 
-  std::vector<std::string> keys;
+  std::vector<Value> keys;
   if (object.is_object()) {
     const ObjPtr& obj = object.as_object();
     if (obj->is_array()) {
       keys.reserve(obj->elements().size() + obj->key_order().size());
       for (std::size_t i = 0; i < obj->elements().size(); ++i) {
-        keys.push_back(number_to_string(double(i)));
+        keys.push_back(Value::str(number_to_string(double(i))));
       }
     }
-    for (const auto& key : obj->key_order()) keys.push_back(key);
+    for (const auto& key : obj->key_order()) keys.push_back(Value::str(key));
   }
 
-  for (const auto& key : keys) {
-    const Environment::Resolution res = resolve_for_write(node.var_name, env);
-    if (memory_events_) hooks_->on_var_write(res.env->id(), node.var_name, node.line);
-    *res.slot = Value::str(key);
+  for (auto& key : keys) {
+    Environment* owner = nullptr;
+    Value* slot = lookup_for_write(node.var_name, node.var_ref, env, &owner);
+    if (memory_events_) hooks_->on_var_write(owner->id(), node.var_name, node.line);
+    *slot = std::move(key);
     if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
-    const Completion completion = exec(*node.body, env);
+    Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
-      result = completion;
+      result = std::move(completion);
       break;
     }
   }
@@ -703,9 +801,9 @@ Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
 BaseProvenance Interpreter::provenance_of(const js::Expr& base_expr, const EnvPtr& env) {
   if (base_expr.kind == js::NodeKind::Ident) {
     const auto& ident = static_cast<const js::Ident&>(base_expr);
-    const Environment::Resolution res = env->resolve(ident.name);
-    if (res.env != nullptr) {
-      return BaseProvenance{BaseProvenance::Kind::Binding, res.env->id()};
+    Environment* owner = nullptr;
+    if (lookup_for_read(ident.name, ident.ref, env, &owner) != nullptr) {
+      return BaseProvenance{BaseProvenance::Kind::Binding, owner->id()};
     }
     return BaseProvenance{BaseProvenance::Kind::Object, 0};
   }
@@ -731,12 +829,13 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       return Value::null();
     case js::NodeKind::Ident: {
       const auto& ident = static_cast<const js::Ident&>(expr);
-      const Environment::Resolution res = env->resolve(ident.name);
-      if (res.slot == nullptr) {
-        throw_error("ReferenceError", ident.name + " is not defined");
+      Environment* owner = nullptr;
+      const Value* slot = lookup_for_read(ident.name, ident.ref, env, &owner);
+      if (slot == nullptr) {
+        throw_error("ReferenceError", ident.name.str() + " is not defined");
       }
-      if (memory_events_) hooks_->on_var_read(res.env->id(), ident.name, expr.line);
-      return *res.slot;
+      if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, expr.line);
+      return *slot;
     }
     case js::NodeKind::ThisExpr: {
       const Value* this_val = env->this_value();
@@ -765,7 +864,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
       for (const auto& [key, value_expr] : lit.properties) {
         obj->set_property(key, eval(*value_expr, env));
-        if (memory_events_) hooks_->on_prop_write(obj->id(), key, expr.line, prov);
+        if (memory_events_) hooks_->on_prop_write(obj->id(), key.str(), expr.line, prov);
       }
       return Value::object(obj);
     }
@@ -811,8 +910,10 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
           // typeof tolerates unresolved identifiers.
           if (node.operand->kind == js::NodeKind::Ident) {
             const auto& ident = static_cast<const js::Ident&>(*node.operand);
-            const Environment::Resolution res = env->resolve(ident.name);
-            if (res.slot == nullptr) return Value::str("undefined");
+            Environment* owner = nullptr;
+            if (lookup_for_read(ident.name, ident.ref, env, &owner) == nullptr) {
+              return Value::str("undefined");
+            }
           }
           const Value v = eval(*node.operand, env);
           switch (v.kind()) {
@@ -831,7 +932,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
           const Value base = eval(*member.object, env);
           if (!base.is_object()) return Value::boolean(true);
           std::string key = member.computed ? property_key(eval(*member.index, env))
-                                            : member.property;
+                                            : member.property.str();
           const ObjPtr& obj = base.as_object();
           std::size_t index = 0;
           if (obj->is_array() && index_from_string(key, &index)) {
@@ -859,9 +960,9 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
 }
 
 Value Interpreter::eval_member(const js::Member& member, const EnvPtr& env) {
-  const Value base = eval(*member.object, env);
+  const Value base = eval_leaf(*member.object, env);
   if (member.computed) {
-    const Value key = eval(*member.index, env);
+    const Value key = eval_leaf(*member.index, env);
     // Fast path: numeric index into a dense array, no instrumentation.
     if (!memory_events_ && base.is_object() && base.as_object()->is_array() &&
         key.is_number()) {
@@ -872,10 +973,118 @@ Value Interpreter::eval_member(const js::Member& member, const EnvPtr& env) {
       }
     }
     return property_get(base, property_key(key), member.line,
-                        provenance_of(*member.object, env));
+                        memory_events_ ? provenance_of(*member.object, env)
+                                       : BaseProvenance{});
   }
-  return property_get(base, member.property, member.line,
-                      provenance_of(*member.object, env));
+  return eval_member_named(base, member, env);
+}
+
+/// Named (non-computed) property read with a monomorphic shape inline cache:
+/// steady state is one shape pointer compare plus one indexed load.
+Value Interpreter::eval_member_named(const Value& base, const js::Member& member,
+                                     const EnvPtr& env) {
+  const js::Atom key = member.property;
+  if (base.is_object()) {
+    JSObject& obj = *base.as_object();
+    if (obj.host() != nullptr) {
+      note_host_access(obj.host()->category(), key.str().c_str());
+    }
+    if (obj.is_array() && key == atom_length_) {
+      return Value::number(double(obj.elements().size()));
+    }
+    if (memory_events_) {
+      hooks_->on_prop_read(obj.id(), key.str(), member.line,
+                           provenance_of(*member.object, env));
+    }
+    const Shape* shape = obj.shape();
+    if (shape != nullptr && member.ic_id != js::kNoCacheId) {
+      ReadIC& ic = read_ics_[member.ic_id];
+      if (ic.shape == shape) {
+        if (ic.holder == nullptr) return *obj.prop_slot(ic.slot);
+        if (obj.prototype().get() == ic.holder &&
+            ic.holder->shape() == ic.holder_shape) {
+          return *ic.holder->prop_slot(ic.slot);
+        }
+      }
+      // Miss: resolve, then (re)fill the cache for this receiver shape.
+      const std::int32_t own = shape->slot_of(key);
+      if (own >= 0) {
+        ic = ReadIC{shape, std::uint32_t(own), nullptr, nullptr};
+        return *obj.prop_slot(std::uint32_t(own));
+      }
+      JSObject* proto = obj.prototype().get();
+      if (proto != nullptr) {
+        if (const Shape* proto_shape = proto->shape()) {
+          const std::int32_t slot = proto_shape->slot_of(key);
+          if (slot >= 0) {
+            ic = ReadIC{shape, std::uint32_t(slot), proto, proto_shape};
+            return *proto->prop_slot(std::uint32_t(slot));
+          }
+        }
+        // Deeper or dictionary-mode holders: generic walk, no caching.
+        for (const JSObject* walk = proto; walk != nullptr;
+             walk = walk->prototype().get()) {
+          if (const Value* found = walk->own_property(key)) return *found;
+        }
+      }
+      return Value::undefined();
+    }
+    for (const JSObject* walk = &obj; walk != nullptr;
+         walk = walk->prototype().get()) {
+      if (const Value* found = walk->own_property(key)) return *found;
+    }
+    return Value::undefined();
+  }
+  // Non-object bases (string/number/nullish): one implementation lives in
+  // the generic string-keyed path.
+  return property_get(base, key.str(), member.line, BaseProvenance{});
+}
+
+/// Named property write with a store inline cache: an in-place slot store or
+/// a cached property-add shape transition.
+void Interpreter::assign_member_named(const Value& base, const js::Member& member,
+                                      Value value, const EnvPtr& env) {
+  const js::Atom key = member.property;
+  if (!base.is_object()) {
+    throw_error("TypeError",
+                "cannot set property '" + key.str() + "' of " + to_string_value(base));
+  }
+  JSObject& obj = *base.as_object();
+  if (obj.host() != nullptr) {
+    note_host_access(obj.host()->category(), key.str().c_str());
+  }
+  if (memory_events_) {
+    hooks_->on_prop_write(obj.id(), key.str(), member.line,
+                          provenance_of(*member.object, env));
+  }
+  if (obj.is_array() && key == atom_length_) {
+    std::size_t n = 0;
+    if (number_as_index(to_number(value), &n)) obj.elements().resize(n);
+    return;
+  }
+  const Shape* shape = obj.shape();
+  if (shape != nullptr && member.ic_id != js::kNoCacheId) {
+    WriteIC& ic = write_ics_[member.ic_id];
+    if (ic.shape == shape) {
+      if (ic.new_shape == nullptr) {
+        *obj.prop_slot(ic.slot) = std::move(value);
+      } else {
+        obj.append_prop(ic.new_shape, std::move(value));
+      }
+      return;
+    }
+    const std::int32_t own = shape->slot_of(key);
+    if (own >= 0) {
+      ic = WriteIC{shape, std::uint32_t(own), nullptr};
+      *obj.prop_slot(std::uint32_t(own)) = std::move(value);
+      return;
+    }
+    const Shape* next = shape->transition(key);
+    ic = WriteIC{shape, shape->slot_count(), next};
+    obj.append_prop(next, std::move(value));
+    return;
+  }
+  obj.set_property(key, std::move(value));
 }
 
 Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
@@ -885,25 +1094,44 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
     if (assign.op == js::AssignOp::None) {
       value = eval(*assign.value, env);
     } else {
-      const Environment::Resolution pre = env->resolve(ident.name);
-      if (pre.slot == nullptr) {
-        throw_error("ReferenceError", ident.name + " is not defined");
+      Environment* owner = nullptr;
+      const Value* pre = lookup_for_read(ident.name, ident.ref, env, &owner);
+      if (pre == nullptr) {
+        throw_error("ReferenceError", ident.name.str() + " is not defined");
       }
-      if (memory_events_) hooks_->on_var_read(pre.env->id(), ident.name, assign.line);
+      if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, assign.line);
+      // Copy before evaluating the RHS: the RHS may declare new bindings,
+      // which can reallocate the slot storage behind `pre`.
+      const Value current = *pre;
       value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
-                           *pre.slot, eval(*assign.value, env), assign.line);
+                           current, eval(*assign.value, env), assign.line);
     }
-    const Environment::Resolution res = resolve_for_write(ident.name, env);
-    if (memory_events_) hooks_->on_var_write(res.env->id(), ident.name, assign.line);
-    *res.slot = value;
+    Environment* owner = nullptr;
+    Value* slot = lookup_for_write(ident.name, ident.ref, env, &owner);
+    if (memory_events_) hooks_->on_var_write(owner->id(), ident.name, assign.line);
+    *slot = value;
     return value;
   }
 
   const auto& member = static_cast<const js::Member&>(*assign.target);
-  const Value base = eval(*member.object, env);
-  std::string key = member.computed ? property_key(eval(*member.index, env))
-                                    : member.property;
-  const BaseProvenance prov = provenance_of(*member.object, env);
+  const Value base = eval_leaf(*member.object, env);
+
+  if (!member.computed) {
+    Value value;
+    if (assign.op == js::AssignOp::None) {
+      value = eval(*assign.value, env);
+    } else {
+      const Value current = eval_member_named(base, member, env);
+      value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
+                           current, eval(*assign.value, env), assign.line);
+    }
+    assign_member_named(base, member, value, env);
+    return value;
+  }
+
+  std::string key = property_key(eval_leaf(*member.index, env));
+  const BaseProvenance prov = memory_events_ ? provenance_of(*member.object, env)
+                                             : BaseProvenance{};
   Value value;
   if (assign.op == js::AssignOp::None) {
     value = eval(*assign.value, env);
@@ -930,20 +1158,26 @@ Value Interpreter::eval_update(const js::Update& update, const EnvPtr& env) {
   const double delta = update.increment ? 1 : -1;
   if (update.target->kind == js::NodeKind::Ident) {
     const auto& ident = static_cast<const js::Ident&>(*update.target);
-    const Environment::Resolution res = env->resolve(ident.name);
-    if (res.slot == nullptr) {
-      throw_error("ReferenceError", ident.name + " is not defined");
+    Environment* owner = nullptr;
+    Value* slot = lookup_for_read(ident.name, ident.ref, env, &owner);
+    if (slot == nullptr) {
+      throw_error("ReferenceError", ident.name.str() + " is not defined");
     }
-    const double before = to_number(*res.slot);
-    if (memory_events_) hooks_->on_var_write(res.env->id(), ident.name, update.line);
-    *res.slot = Value::number(before + delta);
+    const double before = to_number(*slot);
+    if (memory_events_) hooks_->on_var_write(owner->id(), ident.name, update.line);
+    *slot = Value::number(before + delta);
     return Value::number(update.prefix ? before + delta : before);
   }
   const auto& member = static_cast<const js::Member&>(*update.target);
-  const Value base = eval(*member.object, env);
-  std::string key = member.computed ? property_key(eval(*member.index, env))
-                                    : member.property;
-  const BaseProvenance prov = provenance_of(*member.object, env);
+  const Value base = eval_leaf(*member.object, env);
+  if (!member.computed) {
+    const double before = to_number(eval_member_named(base, member, env));
+    assign_member_named(base, member, Value::number(before + delta), env);
+    return Value::number(update.prefix ? before + delta : before);
+  }
+  std::string key = property_key(eval(*member.index, env));
+  const BaseProvenance prov = memory_events_ ? provenance_of(*member.object, env)
+                                             : BaseProvenance{};
   const double before = to_number(property_get(base, key, update.line, prov));
   property_set(base, key, Value::number(before + delta), update.line, prov);
   return Value::number(update.prefix ? before + delta : before);
@@ -954,20 +1188,27 @@ Value Interpreter::eval_call(const js::Call& call, const EnvPtr& env) {
   Value callee;
   if (call.callee->kind == js::NodeKind::Member) {
     const auto& member = static_cast<const js::Member&>(*call.callee);
-    this_val = eval(*member.object, env);
-    const std::string key = member.computed
-                                ? property_key(eval(*member.index, env))
-                                : member.property;
-    callee = property_get(this_val, key, member.line, provenance_of(*member.object, env));
-    if (!callee.is_object() || !callee.as_object()->is_function()) {
-      throw_error("TypeError", key + " is not a function");
+    this_val = eval_leaf(*member.object, env);
+    if (member.computed) {
+      const std::string key = property_key(eval(*member.index, env));
+      callee = property_get(this_val, key, member.line,
+                            memory_events_ ? provenance_of(*member.object, env)
+                                           : BaseProvenance{});
+      if (!callee.is_object() || !callee.as_object()->is_function()) {
+        throw_error("TypeError", key + " is not a function");
+      }
+    } else {
+      callee = eval_member_named(this_val, member, env);
+      if (!callee.is_object() || !callee.as_object()->is_function()) {
+        throw_error("TypeError", member.property.str() + " is not a function");
+      }
     }
   } else {
     callee = eval(*call.callee, env);
   }
   std::vector<Value> args;
   args.reserve(call.args.size());
-  for (const auto& arg : call.args) args.push_back(eval(*arg, env));
+  for (const auto& arg : call.args) args.push_back(eval_leaf(*arg, env));
   return this->call(callee, this_val, args);
 }
 
@@ -977,7 +1218,7 @@ Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
     throw_error("TypeError", "constructor is not a function");
   }
   auto obj = std::make_shared<JSObject>(next_obj_id_++);
-  if (const Value* proto = callee.as_object()->own_property("prototype");
+  if (const Value* proto = callee.as_object()->own_property(atom_prototype_);
       proto != nullptr && proto->is_object()) {
     obj->set_prototype(proto->as_object());
   } else {
@@ -992,15 +1233,96 @@ Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
   return result.is_object() ? result : Value::object(obj);
 }
 
+inline Value Interpreter::eval_leaf(const js::Expr& expr, const EnvPtr& env) {
+  if (expr.kind == js::NodeKind::NumberLit) {
+    tick(1);
+    return Value::number(static_cast<const js::NumberLit&>(expr).value);
+  }
+  if (expr.kind == js::NodeKind::Ident) {
+    tick(1);
+    const auto& ident = static_cast<const js::Ident&>(expr);
+    Environment* owner = nullptr;
+    const Value* slot = lookup_for_read(ident.name, ident.ref, env, &owner);
+    if (slot == nullptr) {
+      throw_error("ReferenceError", ident.name.str() + " is not defined");
+    }
+    if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, expr.line);
+    return *slot;
+  }
+  return eval(expr, env);
+}
+
 Value Interpreter::eval_binary(const js::Binary& binary, const EnvPtr& env) {
-  const Value lhs = eval(*binary.lhs, env);
-  const Value rhs = eval(*binary.rhs, env);
+  const Value lhs = eval_leaf(*binary.lhs, env);
+  const Value rhs = eval_leaf(*binary.rhs, env);
   return apply_binary(binary.op, lhs, rhs, binary.line);
+}
+
+inline bool Interpreter::eval_condition(const js::Expr& expr, const EnvPtr& env) {
+  if (expr.kind == js::NodeKind::Binary) {
+    const auto& binary = static_cast<const js::Binary&>(expr);
+    switch (binary.op) {
+      case js::BinaryOp::Lt:
+      case js::BinaryOp::Gt:
+      case js::BinaryOp::Le:
+      case js::BinaryOp::Ge: {
+        tick(1);  // the Binary node's own charge
+        const Value lhs = eval_leaf(*binary.lhs, env);
+        const Value rhs = eval_leaf(*binary.rhs, env);
+        if (lhs.is_number() && rhs.is_number()) {
+          const double a = lhs.as_number();
+          const double b = rhs.as_number();
+          switch (binary.op) {
+            case js::BinaryOp::Lt: return a < b;
+            case js::BinaryOp::Gt: return a > b;
+            case js::BinaryOp::Le: return a <= b;
+            default: return a >= b;
+          }
+        }
+        return to_boolean(apply_binary(binary.op, lhs, rhs, binary.line));
+      }
+      default:
+        break;
+    }
+  }
+  return to_boolean(eval(expr, env));
 }
 
 Value Interpreter::apply_binary(js::BinaryOp op, const Value& lhs, const Value& rhs,
                                 int line) {
   using js::BinaryOp;
+  // Number ⊕ number covers the vast majority of loop arithmetic: dispatch
+  // once on the kinds, then once on the operator, skipping the per-operand
+  // to_number coercion switches.
+  if (lhs.is_number() && rhs.is_number()) {
+    const double a = lhs.as_number();
+    const double b = rhs.as_number();
+    switch (op) {
+      case BinaryOp::Add: return Value::number(a + b);
+      case BinaryOp::Sub: return Value::number(a - b);
+      case BinaryOp::Mul: return Value::number(a * b);
+      case BinaryOp::Div: return Value::number(a / b);
+      case BinaryOp::Mod: return Value::number(std::fmod(a, b));
+      case BinaryOp::BitAnd: return Value::number(double(to_int32(a) & to_int32(b)));
+      case BinaryOp::BitOr: return Value::number(double(to_int32(a) | to_int32(b)));
+      case BinaryOp::BitXor: return Value::number(double(to_int32(a) ^ to_int32(b)));
+      case BinaryOp::Shl:
+        return Value::number(double(to_int32(a) << (to_uint32(b) & 31)));
+      case BinaryOp::Shr:
+        return Value::number(double(to_int32(a) >> (to_uint32(b) & 31)));
+      case BinaryOp::UShr:
+        return Value::number(double(to_uint32(a) >> (to_uint32(b) & 31)));
+      case BinaryOp::Lt: return Value::boolean(a < b);
+      case BinaryOp::Gt: return Value::boolean(a > b);
+      case BinaryOp::Le: return Value::boolean(a <= b);
+      case BinaryOp::Ge: return Value::boolean(a >= b);
+      case BinaryOp::Eq:
+      case BinaryOp::StrictEq: return Value::boolean(a == b);
+      case BinaryOp::Ne:
+      case BinaryOp::StrictNe: return Value::boolean(a != b);
+      default: break;  // In / InstanceOf fall through to the generic path
+    }
+  }
   switch (op) {
     case BinaryOp::Add:
       if (lhs.is_number() && rhs.is_number()) {
@@ -1080,7 +1402,7 @@ Value Interpreter::apply_binary(js::BinaryOp op, const Value& lhs, const Value& 
         throw_error("TypeError", "instanceof requires a function");
       }
       if (!lhs.is_object()) return Value::boolean(false);
-      const Value* proto = rhs.as_object()->own_property("prototype");
+      const Value* proto = rhs.as_object()->own_property(atom_prototype_);
       if (proto == nullptr || !proto->is_object()) return Value::boolean(false);
       for (const JSObject* walk = lhs.as_object()->prototype().get(); walk != nullptr;
            walk = walk->prototype().get()) {

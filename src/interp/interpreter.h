@@ -81,6 +81,9 @@ class Interpreter {
   [[noreturn]] void throw_error(const std::string& kind, const std::string& message);
 
   // --- property protocol (prototype-chain aware, hook-emitting) ---
+  // String-keyed generic path, used for computed accesses and by hosts.
+  // Non-computed accesses go through the atom-keyed inline-cached fast path
+  // (eval_member_named / assign_member_named below).
   Value property_get(const Value& base, const std::string& key, int line,
                      const BaseProvenance& prov);
   void property_set(const Value& base, const std::string& key, Value value,
@@ -95,7 +98,10 @@ class Interpreter {
   static std::uint32_t to_uint32(double d);
 
   // --- services ---
-  [[nodiscard]] VirtualClock& clock() { return *clock_; }
+  [[nodiscard]] VirtualClock& clock() {
+    flush_ticks();  // make batched cost-model ticks visible to the reader
+    return *clock_;
+  }
   [[nodiscard]] ExecutionHooks* hooks() { return hooks_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const js::Program& program() const { return program_; }
@@ -127,6 +133,25 @@ class Interpreter {
     Value value;
   };
 
+  /// Monomorphic inline cache for one named property *read* site. A hit is
+  /// `receiver->shape() == shape` (own property at `slot`), optionally
+  /// chained through the direct prototype (`holder` + `holder_shape` checks)
+  /// for method lookups like `arr.push`.
+  struct ReadIC {
+    const Shape* shape = nullptr;
+    std::uint32_t slot = 0;
+    JSObject* holder = nullptr;        // non-null: prototype hit
+    const Shape* holder_shape = nullptr;
+  };
+  /// Inline cache for one named property *write* site: either an in-place
+  /// store to `slot`, or (when `new_shape` is set) the property-add
+  /// transition `shape -> new_shape` appending at `slot`.
+  struct WriteIC {
+    const Shape* shape = nullptr;
+    std::uint32_t slot = 0;
+    const Shape* new_shape = nullptr;
+  };
+
   // Statement / expression evaluation.
   Completion exec(const js::Stmt& stmt, const EnvPtr& env);
   Completion exec_block(const js::Block& block, const EnvPtr& env);
@@ -147,21 +172,57 @@ class Interpreter {
   /// Key for a property access; resolves computed indices.
   std::string property_key(const Value& key);
 
+  /// Inline-cached named property read/write (non-computed member sites).
+  Value eval_member_named(const Value& base, const js::Member& member,
+                          const EnvPtr& env);
+
+  /// Inline-dispatched evaluation of the two dominant expression leaves
+  /// (number literals, identifier reads); everything else forwards to eval.
+  /// Charges exactly the same ticks as eval would.
+  Value eval_leaf(const js::Expr& expr, const EnvPtr& env);
+
+  /// Boolean evaluation of a branch/loop condition. Numeric comparisons —
+  /// the dominant loop-condition form — produce the bool directly without a
+  /// Value round trip; everything else is to_boolean(eval(...)). Tick
+  /// charging matches eval exactly.
+  bool eval_condition(const js::Expr& expr, const EnvPtr& env);
+  void assign_member_named(const Value& base, const js::Member& member,
+                           Value value, const EnvPtr& env);
+
+  /// Slot-resolved identifier access. Statically resolved references chase
+  /// `hops` parent pointers and index the slot directly; global references
+  /// go through the per-site global slot cache; unresolved nodes fall back
+  /// to the dynamic scope walk. Returns nullptr when the name is unbound
+  /// (read path only). `owner` receives the owning environment for
+  /// provenance stamping.
+  Value* lookup_for_read(js::Atom name, const js::SlotRef& ref,
+                         const EnvPtr& env, Environment** owner);
+  /// Write flavour: a global miss creates the binding (sloppy mode).
+  Value* lookup_for_write(js::Atom name, const js::SlotRef& ref,
+                          const EnvPtr& env, Environment** owner);
+
   Value call_js_function(JSObject& fn_obj, const Value& this_val,
                          const std::vector<Value>& args);
 
   ObjPtr make_function_from_node(const js::FunctionNode& node, const EnvPtr& env);
-  void hoist_into(Environment& env, const std::vector<std::string>& vars,
+  void hoist_into(Environment& env, const std::vector<js::Atom>& vars,
                   const std::vector<const js::FunctionDecl*>& fns, const EnvPtr& env_ptr);
-
-  /// Resolve an identifier for assignment; creates a global on miss
-  /// (sloppy-mode JavaScript).
-  Environment::Resolution resolve_for_write(const std::string& name, const EnvPtr& env);
 
   bool strict_equals(const Value& a, const Value& b);
   bool loose_equals(const Value& a, const Value& b);
 
-  void tick(std::int64_t n = 1);
+  /// Charge `n` cost-model ticks. The hot path only bumps a pending counter;
+  /// the clock store, sampling probe, budget check and simulated preemption
+  /// run in flush_ticks() every `tick_flush_threshold_` ticks (and at every
+  /// external observation point: clock(), block(), end of run()/call()), so
+  /// all observable totals match per-node charging exactly.
+  void tick(std::int64_t n = 1) {
+    ticks_pending_ += n;
+    if (ticks_pending_ >= tick_flush_threshold_) flush_ticks();
+  }
+  void flush_ticks();
+  /// Exception-safe flush used while unwinding (and by nothing else).
+  void flush_ticks_on_unwind() noexcept;
 
   BaseProvenance provenance_of(const js::Expr& base_expr, const EnvPtr& env);
 
@@ -177,10 +238,25 @@ class Interpreter {
   ObjPtr string_proto_;
   ObjPtr function_proto_;
 
+  // Per-interpreter caches indexed by the ids resolve_scopes assigned to
+  // the program's AST (the AST itself stays immutable and shareable).
+  std::vector<ReadIC> read_ics_;
+  std::vector<WriteIC> write_ics_;
+  std::vector<std::int32_t> global_ref_cache_;  // -1: not yet resolved
+
+  // Pre-interned hot atoms.
+  js::Atom atom_length_;
+  js::Atom atom_prototype_;
+  js::Atom atom_constructor_;
+  js::Atom atom_name_;
+  js::Atom atom_message_;
+
   std::uint64_t next_env_id_ = 1;
   std::uint64_t next_obj_id_ = 1;
   int call_depth_ = 0;
   std::vector<int> fn_stack_;
+  std::int64_t ticks_pending_ = 0;
+  std::int64_t tick_flush_threshold_ = 64;
   std::int64_t ticks_since_probe_ = 0;
   std::int64_t ticks_since_preempt_ = 0;
   bool memory_events_ = false;

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "interp/hooks.h"
+#include "interp/shape.h"
 #include "interp/value.h"
+#include "js/atom.h"
 
 namespace jsceres::js {
 struct FunctionNode;
@@ -45,6 +47,13 @@ struct FunctionData {
 
 /// A JavaScript heap object. One representation serves plain objects,
 /// arrays (dense element storage fast path) and functions.
+///
+/// Named properties live in shape mode by default: the object's `Shape`
+/// (hidden class) maps interned keys to indices into a dense `prop_slots_`
+/// vector, so a property-access site that has seen this shape before reads
+/// its slot with one pointer compare and one indexed load. `delete`
+/// transitions the object to dictionary mode (atom-keyed hash map), which
+/// inline caches simply never match.
 class JSObject {
  public:
   enum class Cls : std::uint8_t { Plain, Array, Function };
@@ -58,24 +67,74 @@ class JSObject {
 
   // --- named properties (own only; prototype walk is in the interpreter) ---
 
+  [[nodiscard]] const Value* own_property(js::Atom key) const {
+    if (dict_ == nullptr) {
+      const std::int32_t slot = shape_->slot_of(key);
+      return slot < 0 ? nullptr : &prop_slots_[std::size_t(slot)];
+    }
+    const auto it = dict_->map.find(key);
+    return it == dict_->map.end() ? nullptr : &it->second;
+  }
+  /// String-keyed probe: every stored key is interned, so a string that was
+  /// never interned cannot name a property.
   [[nodiscard]] const Value* own_property(const std::string& key) const {
-    const auto it = props_.find(key);
-    return it == props_.end() ? nullptr : &it->second;
+    js::Atom atom;
+    return js::Atom::try_find(key, &atom) ? own_property(atom) : nullptr;
+  }
+
+  void set_property(js::Atom key, Value value) {
+    if (dict_ == nullptr) {
+      const std::int32_t slot = shape_->slot_of(key);
+      if (slot >= 0) {
+        prop_slots_[std::size_t(slot)] = std::move(value);
+        return;
+      }
+      shape_ = shape_->transition(key);
+      prop_slots_.push_back(std::move(value));
+      return;
+    }
+    const auto [it, inserted] = dict_->map.insert_or_assign(key, std::move(value));
+    (void)it;
+    if (inserted) dict_->order.push_back(key);
   }
   void set_property(const std::string& key, Value value) {
-    const auto [it, inserted] = props_.insert_or_assign(key, std::move(value));
-    (void)it;
-    if (inserted) key_order_.push_back(key);
+    set_property(js::Atom::intern(key), std::move(value));
   }
-  bool delete_property(const std::string& key) {
-    if (props_.erase(key) == 0) return false;
-    std::erase(key_order_, key);
+
+  bool delete_property(js::Atom key) {
+    if (dict_ == nullptr) {
+      if (shape_->slot_of(key) < 0) return false;
+      to_dictionary();
+    }
+    if (dict_->map.erase(key) == 0) return false;
+    std::erase(dict_->order, key);
     return true;
   }
+  bool delete_property(const std::string& key) {
+    js::Atom atom;
+    return js::Atom::try_find(key, &atom) && delete_property(atom);
+  }
+
   /// Own property names in insertion order (deterministic for-in /
   /// Object.keys, matching the de-facto JS enumeration contract).
-  [[nodiscard]] const std::vector<std::string>& key_order() const {
-    return key_order_;
+  [[nodiscard]] const std::vector<js::Atom>& key_order() const {
+    return dict_ == nullptr ? shape_->keys() : dict_->order;
+  }
+
+  // --- inline-cache protocol (shape mode only) ---
+
+  /// Current hidden class, or nullptr in dictionary mode (never IC-cached).
+  [[nodiscard]] const Shape* shape() const {
+    return dict_ == nullptr ? shape_ : nullptr;
+  }
+  [[nodiscard]] Value* prop_slot(std::uint32_t index) {
+    return &prop_slots_[index];
+  }
+  /// Append the value for a property-add transition already computed by an
+  /// inline cache: `new_shape` must be `shape()->transition(key)`.
+  void append_prop(const Shape* new_shape, Value value) {
+    shape_ = new_shape;
+    prop_slots_.push_back(std::move(value));
   }
 
   // --- dense array elements ---
@@ -105,11 +164,29 @@ class JSObject {
   }
 
  private:
+  struct Dict {
+    std::unordered_map<js::Atom, Value> map;
+    std::vector<js::Atom> order;
+  };
+
+  void to_dictionary() {
+    auto dict = std::make_unique<Dict>();
+    dict->order = shape_->keys();
+    dict->map.reserve(dict->order.size());
+    for (std::size_t i = 0; i < dict->order.size(); ++i) {
+      dict->map.emplace(dict->order[i], std::move(prop_slots_[i]));
+    }
+    prop_slots_.clear();
+    shape_ = Shape::root();
+    dict_ = std::move(dict);
+  }
+
   std::uint64_t id_;
   Cls cls_;
   ObjPtr prototype_;
-  std::unordered_map<std::string, Value> props_;
-  std::vector<std::string> key_order_;
+  const Shape* shape_ = Shape::root();
+  std::vector<Value> prop_slots_;
+  std::unique_ptr<Dict> dict_;  // non-null == dictionary mode
   std::vector<Value> elements_;
   std::unique_ptr<FunctionData> fn_;
   std::shared_ptr<HostData> host_;

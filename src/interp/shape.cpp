@@ -1,0 +1,23 @@
+#include "interp/shape.h"
+
+namespace jsceres::interp {
+
+Shape::Shape(const Shape& parent, js::Atom key)
+    : slot_map_(parent.slot_map_), keys_(parent.keys_) {
+  slot_map_.emplace(key, std::uint32_t(keys_.size()));
+  keys_.push_back(key);
+}
+
+const Shape* Shape::root() {
+  static const Shape* shape = new Shape();  // leaked: process lifetime
+  return shape;
+}
+
+const Shape* Shape::transition(js::Atom key) const {
+  const std::lock_guard lock(transitions_mutex_);
+  auto& slot = transitions_[key];
+  if (!slot) slot.reset(new Shape(*this, key));
+  return slot.get();
+}
+
+}  // namespace jsceres::interp

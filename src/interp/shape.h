@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "js/atom.h"
+
+namespace jsceres::interp {
+
+/// A hidden class: the property layout shared by every object created with
+/// the same insertion sequence of (atom) keys. Shapes form a transition tree
+/// rooted at the empty shape; adding property `k` to an object with shape S
+/// moves it to the unique child S.transition(k). Two objects with the same
+/// shape therefore store the same properties at the same slot indices, which
+/// is what lets a property-access site cache (shape, slot) once and then
+/// validate a hit with a single pointer compare.
+///
+/// Shapes are immutable after construction except for the transition map,
+/// which is guarded by a per-shape mutex (interpreters on different threads
+/// may grow the tree concurrently; steady-state reads never take the lock).
+/// The tree lives for the process lifetime — shapes are never reclaimed, so
+/// cached `const Shape*` values can never dangle.
+class Shape {
+ public:
+  /// The process-wide empty shape (no properties).
+  static const Shape* root();
+
+  /// The shape an object reaches by adding `key` as its next property.
+  const Shape* transition(js::Atom key) const;
+
+  /// Slot index of `key`, or -1 when this shape has no such property.
+  [[nodiscard]] std::int32_t slot_of(js::Atom key) const {
+    const auto it = slot_map_.find(key);
+    return it == slot_map_.end() ? -1 : std::int32_t(it->second);
+  }
+
+  /// Property keys in insertion order.
+  [[nodiscard]] const std::vector<js::Atom>& keys() const { return keys_; }
+  [[nodiscard]] std::uint32_t slot_count() const {
+    return std::uint32_t(keys_.size());
+  }
+
+ private:
+  Shape() = default;
+  Shape(const Shape& parent, js::Atom key);
+
+  std::unordered_map<js::Atom, std::uint32_t> slot_map_;
+  std::vector<js::Atom> keys_;
+  mutable std::mutex transitions_mutex_;
+  mutable std::unordered_map<js::Atom, std::unique_ptr<Shape>> transitions_;
+};
+
+}  // namespace jsceres::interp

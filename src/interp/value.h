@@ -2,7 +2,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
+
+#include "js/atom.h"
 
 namespace jsceres::interp {
 
@@ -14,11 +18,63 @@ using StrPtr = std::shared_ptr<const std::string>;
 /// object reference. Strings are immutable and shared; objects are reference
 /// counted (the engine has no cycle collector — programs in the study corpus
 /// are run-to-completion, so cycles simply die with the heap).
+///
+/// The string and object references share one union slot (a value is never
+/// both), keeping Value at 32 bytes and copy/destroy to a single kind test —
+/// this matters: the tree-walking interpreter moves a Value per AST node.
+/// The typed accessors (`as_string`, `as_object`, ...) are only valid after
+/// the corresponding kind check, as everywhere in the engine.
 class Value {
  public:
   enum class Kind : std::uint8_t { Undefined, Null, Boolean, Number, String, Object };
 
   Value() : kind_(Kind::Undefined) {}
+
+  ~Value() { release(); }
+
+  Value(const Value& other) : kind_(other.kind_), bool_(other.bool_), num_(other.num_) {
+    if (kind_ == Kind::String) {
+      new (&str_) StrPtr(other.str_);
+    } else if (kind_ == Kind::Object) {
+      new (&obj_) ObjPtr(other.obj_);
+    }
+  }
+  Value(Value&& other) noexcept
+      : kind_(other.kind_), bool_(other.bool_), num_(other.num_) {
+    if (kind_ == Kind::String) {
+      new (&str_) StrPtr(std::move(other.str_));
+    } else if (kind_ == Kind::Object) {
+      new (&obj_) ObjPtr(std::move(other.obj_));
+    }
+  }
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      release();
+      kind_ = other.kind_;
+      bool_ = other.bool_;
+      num_ = other.num_;
+      if (kind_ == Kind::String) {
+        new (&str_) StrPtr(other.str_);
+      } else if (kind_ == Kind::Object) {
+        new (&obj_) ObjPtr(other.obj_);
+      }
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      release();
+      kind_ = other.kind_;
+      bool_ = other.bool_;
+      num_ = other.num_;
+      if (kind_ == Kind::String) {
+        new (&str_) StrPtr(std::move(other.str_));
+      } else if (kind_ == Kind::Object) {
+        new (&obj_) ObjPtr(std::move(other.obj_));
+      }
+    }
+    return *this;
+  }
 
   static Value undefined() { return Value(); }
   static Value null() {
@@ -39,21 +95,20 @@ class Value {
     return v;
   }
   static Value str(std::string s) {
-    Value v;
-    v.kind_ = Kind::String;
-    v.str_ = std::make_shared<const std::string>(std::move(s));
-    return v;
+    return str(std::make_shared<const std::string>(std::move(s)));
   }
   static Value str(StrPtr s) {
     Value v;
     v.kind_ = Kind::String;
-    v.str_ = std::move(s);
+    new (&v.str_) StrPtr(std::move(s));
     return v;
   }
+  /// Interned string: shares the atom table's text, no allocation.
+  static Value str(const js::Atom& atom) { return str(atom.str_ptr()); }
   static Value object(ObjPtr obj) {
     Value v;
     v.kind_ = Kind::Object;
-    v.obj_ = std::move(obj);
+    new (&v.obj_) ObjPtr(std::move(obj));
     return v;
   }
 
@@ -68,16 +123,27 @@ class Value {
 
   [[nodiscard]] bool as_boolean() const { return bool_; }
   [[nodiscard]] double as_number() const { return num_; }
+  // Valid only when the matching kind check passed:
   [[nodiscard]] const std::string& as_string() const { return *str_; }
   [[nodiscard]] const StrPtr& string_ptr() const { return str_; }
   [[nodiscard]] const ObjPtr& as_object() const { return obj_; }
 
  private:
+  void release() {
+    if (kind_ == Kind::String) {
+      str_.~StrPtr();
+    } else if (kind_ == Kind::Object) {
+      obj_.~ObjPtr();
+    }
+  }
+
   Kind kind_;
   bool bool_ = false;
   double num_ = 0;
-  StrPtr str_;
-  ObjPtr obj_;
+  union {
+    StrPtr str_;
+    ObjPtr obj_;
+  };
 };
 
 }  // namespace jsceres::interp

@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "js/atom.h"
 
 namespace jsceres::js {
 
@@ -95,7 +98,7 @@ struct NumberLit : Expr {
 
 struct StringLit : Expr {
   StringLit() : Expr(NodeKind::StringLit) {}
-  std::string value;
+  Atom value;  // interned once at lex time; eval shares the text, no copy
 };
 
 struct BoolLit : Expr {
@@ -107,9 +110,28 @@ struct NullLit : Expr {
   NullLit() : Expr(NodeKind::NullLit) {}
 };
 
+/// Static resolution of one identifier reference, filled in by
+/// `resolve_scopes` after parsing. `hops >= 0` means the binding lives in a
+/// statically known activation: walk `hops` environments up the chain and
+/// index `slot` directly — no name hashing at all. `hops < 0` means the name
+/// resolves to the global object (or is late-bound); `ref_id` then indexes a
+/// per-interpreter cache of resolved global slot indices, so even globals pay
+/// the hash lookup only once per program point.
+/// Sentinel for SlotRef::ref_id / Member::ic_id on nodes that never went
+/// through resolve_scopes (e.g. freshly synthesized by an AST rewriter): the
+/// interpreter then falls back to fully dynamic resolution with no caching.
+inline constexpr std::uint32_t kNoCacheId = 0xffffffffu;
+
+struct SlotRef {
+  std::int32_t hops = -1;
+  std::uint32_t slot = 0;
+  std::uint32_t ref_id = kNoCacheId;
+};
+
 struct Ident : Expr {
   Ident() : Expr(NodeKind::Ident) {}
-  std::string name;
+  Atom name;
+  SlotRef ref;
 };
 
 struct ThisExpr : Expr {
@@ -123,7 +145,7 @@ struct ArrayLit : Expr {
 
 struct ObjectLit : Expr {
   ObjectLit() : Expr(NodeKind::ObjectLit) {}
-  std::vector<std::pair<std::string, ExprPtr>> properties;
+  std::vector<std::pair<Atom, ExprPtr>> properties;
 };
 
 struct FunctionExpr;  // below, shares FunctionNode
@@ -135,9 +157,9 @@ struct FunctionExpr;  // below, shares FunctionNode
 /// every iteration) and assigns a process-unique `fn_id` used by the
 /// sampling profiler and the call-stack instrumentation.
 struct FunctionNode {
-  std::string name;  // empty for anonymous function expressions
-  std::vector<std::string> params;
-  std::vector<std::string> hoisted_vars;     // all `var` names in this function
+  Atom name;  // empty for anonymous function expressions
+  std::vector<Atom> params;
+  std::vector<Atom> hoisted_vars;     // all `var` names in this function
   std::vector<const struct FunctionDecl*> hoisted_functions;
   StmtPtr body;  // always a Block
   int fn_id = 0;
@@ -164,9 +186,12 @@ struct New : Expr {
 struct Member : Expr {
   Member() : Expr(NodeKind::Member) {}
   ExprPtr object;
-  std::string property;  // used when !computed
-  ExprPtr index;         // used when computed
+  Atom property;  // used when !computed
+  ExprPtr index;  // used when computed
   bool computed = false;
+  /// Index of this access site's inline cache in the interpreter's IC table
+  /// (assigned by resolve_scopes to every non-computed member).
+  std::uint32_t ic_id = kNoCacheId;
 };
 
 struct Assign : Expr {
@@ -222,7 +247,8 @@ struct Sequence : Expr {
 struct VarDecl : Stmt {
   VarDecl() : Stmt(NodeKind::VarDecl) {}
   struct Declarator {
-    std::string name;
+    Atom name;
+    SlotRef ref;
     ExprPtr init;  // may be null
   };
   std::vector<Declarator> declarators;
@@ -261,7 +287,8 @@ struct For : Stmt {
 
 struct ForIn : Stmt {
   ForIn() : Stmt(NodeKind::ForIn) {}
-  std::string var_name;
+  Atom var_name;
+  SlotRef var_ref;
   bool declares_var = false;
   ExprPtr object;
   StmtPtr body;
@@ -312,7 +339,7 @@ struct Throw : Stmt {
 struct TryCatch : Stmt {
   TryCatch() : Stmt(NodeKind::TryCatch) {}
   StmtPtr try_block;
-  std::string catch_param;
+  Atom catch_param;
   StmtPtr catch_block;  // may be null when only finally is present
   StmtPtr finally_block;  // may be null
 };
@@ -337,15 +364,26 @@ std::string induction_variable_of(const LoopSite& site);
 
 const char* loop_kind_name(LoopKind kind);
 
+/// One-pass static scope resolution: annotates every identifier reference
+/// (Ident, VarDecl declarator, ForIn loop variable) with a (hops, slot)
+/// coordinate when the binding's activation layout is statically known, and
+/// assigns global-cache / inline-cache ids. `parse` calls this automatically;
+/// AST-rewriting tools (js/refactor) must call it again after mutating a
+/// program. Idempotent.
+void resolve_scopes(struct Program& program);
+
 /// A parsed compilation unit. Owns the AST, the loop table, and the
 /// top-level hoisting information (top-level `var`s become globals).
 struct Program {
   std::vector<StmtPtr> statements;
-  std::vector<std::string> hoisted_vars;
+  std::vector<Atom> hoisted_vars;
   std::vector<const FunctionDecl*> hoisted_functions;
   std::vector<LoopSite> loops;        // indexed by loop_id - 1
   std::vector<std::string> fn_names;  // indexed by fn_id - 1
   std::string source_name;
+  /// Sizes of the per-interpreter caches (filled by resolve_scopes).
+  std::uint32_t global_ref_count = 0;  // SlotRef::ref_id domain
+  std::uint32_t ic_count = 0;          // Member::ic_id domain
 
   [[nodiscard]] const LoopSite& loop(int loop_id) const {
     return loops.at(std::size_t(loop_id) - 1);

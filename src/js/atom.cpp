@@ -1,0 +1,74 @@
+#include "js/atom.h"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace jsceres::js {
+
+namespace {
+
+/// Process-wide intern table. Keys are string_views into the stored text
+/// (stable: AtomData lives in a deque and its text is heap-allocated and
+/// never freed). Interning is rare after warm-up — the lexer front-loads the
+/// program's names — so a shared_mutex keeps concurrent interpreters cheap:
+/// readers take the shared lock, only first-time interns take the exclusive
+/// one.
+struct AtomTable {
+  std::shared_mutex mutex;
+  std::unordered_map<std::string_view, const detail::AtomData*> map;
+  std::deque<detail::AtomData> storage;
+
+  const detail::AtomData* find_locked(std::string_view text) const {
+    const auto it = map.find(text);
+    return it == map.end() ? nullptr : it->second;
+  }
+};
+
+AtomTable& table() {
+  static AtomTable* t = new AtomTable();  // leaked: atoms outlive everything
+  return *t;
+}
+
+const detail::AtomData* intern_data(std::string_view text) {
+  AtomTable& t = table();
+  {
+    const std::shared_lock lock(t.mutex);
+    if (const detail::AtomData* found = t.find_locked(text)) return found;
+  }
+  const std::unique_lock lock(t.mutex);
+  if (const detail::AtomData* found = t.find_locked(text)) return found;
+  detail::AtomData& data = t.storage.emplace_back();
+  data.text = std::make_shared<const std::string>(text);
+  data.hash = std::hash<std::string_view>{}(text);
+  data.id = std::uint32_t(t.storage.size() - 1);
+  t.map.emplace(std::string_view(*data.text), &data);
+  return &data;
+}
+
+}  // namespace
+
+Atom Atom::intern(std::string_view text) { return Atom(intern_data(text)); }
+
+bool Atom::try_find(std::string_view text, Atom* out) {
+  AtomTable& t = table();
+  const std::shared_lock lock(t.mutex);
+  const detail::AtomData* found = t.find_locked(text);
+  if (found == nullptr) return false;
+  *out = Atom(found);
+  return true;
+}
+
+const detail::AtomData* Atom::empty_data() {
+  static const detail::AtomData* data = intern_data("");
+  return data;
+}
+
+std::size_t atom_table_size() {
+  AtomTable& t = table();
+  const std::shared_lock lock(t.mutex);
+  return t.storage.size();
+}
+
+}  // namespace jsceres::js

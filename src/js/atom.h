@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace jsceres::js {
+
+namespace detail {
+/// Immutable backing record of one interned string. Lives forever in the
+/// process-wide atom table; Atom handles are raw pointers into it, so
+/// equality is pointer identity and the hash is computed exactly once.
+struct AtomData {
+  std::shared_ptr<const std::string> text;
+  std::size_t hash = 0;
+  std::uint32_t id = 0;
+};
+}  // namespace detail
+
+/// An interned string handle. The lexer interns every identifier and string
+/// literal; the AST, environments and object shapes store Atoms instead of
+/// std::string, so steady-state name comparisons are pointer compares and
+/// map lookups reuse the precomputed hash.
+///
+/// Atoms convert implicitly to `const std::string&` (the table keeps the
+/// text alive for the process lifetime), which keeps printers, reports and
+/// hook consumers source-compatible.
+class Atom {
+ public:
+  /// The empty atom ("").
+  Atom() : data_(empty_data()) {}
+
+  /// Intern `text`, creating the table entry on first use. Thread-safe.
+  static Atom intern(std::string_view text);
+
+  /// Look up an existing atom without creating one. Returns false when
+  /// `text` was never interned (useful for property probes: a key that was
+  /// never interned cannot name a stored property).
+  static bool try_find(std::string_view text, Atom* out);
+
+  [[nodiscard]] const std::string& str() const { return *data_->text; }
+  [[nodiscard]] const std::shared_ptr<const std::string>& str_ptr() const {
+    return data_->text;
+  }
+  [[nodiscard]] std::size_t hash() const { return data_->hash; }
+  /// Dense id (intern order); stable for the process lifetime.
+  [[nodiscard]] std::uint32_t id() const { return data_->id; }
+  [[nodiscard]] bool empty() const { return data_->text->empty(); }
+  [[nodiscard]] std::size_t size() const { return data_->text->size(); }
+
+  operator const std::string&() const { return str(); }  // NOLINT(google-explicit-constructor)
+
+  /// Identity compare: two atoms are equal iff they intern the same text.
+  bool operator==(const Atom& other) const { return data_ == other.data_; }
+  bool operator!=(const Atom& other) const { return data_ != other.data_; }
+
+  friend bool operator==(const Atom& a, std::string_view s) { return a.str() == s; }
+  friend bool operator==(const Atom& a, const std::string& s) { return a.str() == s; }
+  friend bool operator==(const Atom& a, const char* s) { return a.str() == s; }
+
+  // Concatenation (std::string's templated operator+ can't see the implicit
+  // conversion, so spell these out for printers and report formatting).
+  friend std::string operator+(const std::string& lhs, const Atom& rhs) {
+    return lhs + rhs.str();
+  }
+  friend std::string operator+(const Atom& lhs, const std::string& rhs) {
+    return lhs.str() + rhs;
+  }
+  friend std::string operator+(const char* lhs, const Atom& rhs) {
+    return lhs + rhs.str();
+  }
+  friend std::string operator+(const Atom& lhs, const char* rhs) {
+    return lhs.str() + rhs;
+  }
+
+ private:
+  explicit Atom(const detail::AtomData* data) : data_(data) {}
+  static const detail::AtomData* empty_data();
+
+  const detail::AtomData* data_;
+};
+
+/// Number of atoms interned so far (diagnostics / tests).
+std::size_t atom_table_size();
+
+}  // namespace jsceres::js
+
+template <>
+struct std::hash<jsceres::js::Atom> {
+  std::size_t operator()(const jsceres::js::Atom& atom) const noexcept {
+    return atom.hash();
+  }
+};

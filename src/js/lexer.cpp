@@ -106,7 +106,8 @@ Token lex_number(Cursor& cur) {
     cur.advance();
     while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
     const std::string text(cur.slice(start));
-    return Token{Tok::Number, text, double(std::strtoll(text.c_str(), nullptr, 16)), line};
+    return Token{Tok::Number, text, Atom(),
+                 double(std::strtoll(text.c_str(), nullptr, 16)), line};
   }
   while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
   if (cur.peek() == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
@@ -122,7 +123,7 @@ Token lex_number(Cursor& cur) {
     }
   }
   const std::string text(cur.slice(start));
-  return Token{Tok::Number, text, std::strtod(text.c_str(), nullptr), line};
+  return Token{Tok::Number, text, Atom(), std::strtod(text.c_str(), nullptr), line};
 }
 
 Token lex_string(Cursor& cur) {
@@ -151,7 +152,9 @@ Token lex_string(Cursor& cur) {
       value += c;
     }
   }
-  return Token{Tok::String, value, 0, line};
+  Token token{Tok::String, std::string(), Atom::intern(value), 0, line};
+  token.text = std::move(value);
+  return token;
 }
 
 }  // namespace
@@ -256,18 +259,17 @@ std::vector<Token> lex(std::string_view source) {
     if (is_ident_start(c)) {
       const std::size_t start = cur.pos();
       while (is_ident_part(cur.peek())) cur.advance();
-      const std::string text(cur.slice(start));
+      const std::string_view text = cur.slice(start);
       const auto it = keyword_table().find(text);
-      if (it != keyword_table().end()) {
-        tokens.push_back(Token{it->second, text, 0, line});
-      } else {
-        tokens.push_back(Token{Tok::Ident, text, 0, line});
-      }
+      const Tok kind = it != keyword_table().end() ? it->second : Tok::Ident;
+      tokens.push_back(Token{kind, std::string(text), Atom::intern(text), 0, line});
       continue;
     }
 
     cur.advance();
-    const auto push = [&](Tok kind) { tokens.push_back(Token{kind, "", 0, line}); };
+    const auto push = [&](Tok kind) {
+      tokens.push_back(Token{kind, "", Atom(), 0, line});
+    };
     switch (c) {
       case '(': push(Tok::LParen); break;
       case ')': push(Tok::RParen); break;
@@ -337,7 +339,7 @@ std::vector<Token> lex(std::string_view source) {
         throw LexError(std::string("unexpected character '") + c + "'", line);
     }
   }
-  tokens.push_back(Token{Tok::Eof, "", 0, cur.line()});
+  tokens.push_back(Token{Tok::Eof, "", Atom(), 0, cur.line()});
   return tokens;
 }
 

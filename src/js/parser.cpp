@@ -41,7 +41,7 @@ class Parser {
     }
     ~HoistScope() { parser->hoist_ = previous; }
 
-    void add_var(const std::string& name) {
+    void add_var(Atom name) {
       for (const auto& existing : vars) {
         if (existing == name) return;
       }
@@ -51,7 +51,7 @@ class Parser {
     Parser* parser;
     HoistScope* previous;
     int fn_id;
-    std::vector<std::string> vars;
+    std::vector<Atom> vars;
     std::vector<const FunctionDecl*> functions;
   };
 
@@ -151,7 +151,7 @@ class Parser {
     expect(Tok::KwVar, "variable declaration");
     while (true) {
       VarDecl::Declarator d;
-      d.name = expect(Tok::Ident, "variable declaration").text;
+      d.name = expect(Tok::Ident, "variable declaration").atom;
       hoist_->add_var(d.name);
       if (match(Tok::Assign)) d.init = parse_assignment();
       decl->declarators.push_back(std::move(d));
@@ -165,15 +165,16 @@ class Parser {
     fn->line = line();
     fn->fn_id = next_fn_id_++;
     if (check(Tok::Ident)) {
-      fn->name = advance().text;
+      fn->name = advance().atom;
     } else if (require_name) {
       throw ParseError("function declaration requires a name", line());
     }
-    program_.fn_names.push_back(fn->name.empty() ? "<anonymous>" : fn->name);
+    program_.fn_names.push_back(fn->name.empty() ? std::string("<anonymous>")
+                                                 : fn->name.str());
     expect(Tok::LParen, "function parameter list");
     if (!check(Tok::RParen)) {
       while (true) {
-        fn->params.push_back(expect(Tok::Ident, "parameter list").text);
+        fn->params.push_back(expect(Tok::Ident, "parameter list").atom);
         if (!match(Tok::Comma)) break;
       }
     }
@@ -229,7 +230,7 @@ class Parser {
       auto node = std::make_unique<ForIn>();
       node->line = for_line;
       advance();  // var
-      node->var_name = advance().text;
+      node->var_name = advance().atom;
       node->declares_var = true;
       hoist_->add_var(node->var_name);
       advance();  // in
@@ -242,7 +243,7 @@ class Parser {
     if (check(Tok::Ident) && peek(1).kind == Tok::KwIn) {
       auto node = std::make_unique<ForIn>();
       node->line = for_line;
-      node->var_name = advance().text;
+      node->var_name = advance().atom;
       advance();  // in
       node->object = parse_expression();
       expect(Tok::RParen, "for-in header");
@@ -316,7 +317,7 @@ class Parser {
     node->try_block = parse_block();
     if (match(Tok::KwCatch)) {
       expect(Tok::LParen, "catch clause");
-      node->catch_param = expect(Tok::Ident, "catch clause").text;
+      node->catch_param = expect(Tok::Ident, "catch clause").atom;
       expect(Tok::RParen, "catch clause");
       node->catch_block = parse_block();
     }
@@ -600,9 +601,10 @@ class Parser {
         node->line = peek().line;
         // Allow keyword-looking property names (obj.in is legal ES5).
         if (check(Tok::Ident)) {
-          node->property = advance().text;
+          node->property = advance().atom;
         } else if (!peek().text.empty()) {
-          node->property = advance().text;
+          const Token& tok = advance();
+          node->property = tok.atom.empty() ? Atom::intern(tok.text) : tok.atom;
         } else {
           throw ParseError("expected property name after '.'", peek().line);
         }
@@ -643,7 +645,7 @@ class Parser {
       if (match(Tok::Dot)) {
         auto node = std::make_unique<Member>();
         node->line = peek().line;
-        node->property = expect(Tok::Ident, "member access").text;
+        node->property = expect(Tok::Ident, "member access").atom;
         node->object = std::move(callee);
         callee = std::move(node);
       } else if (check(Tok::LBracket)) {
@@ -686,7 +688,7 @@ class Parser {
       case Tok::String: {
         auto node = std::make_unique<StringLit>();
         node->line = tok.line;
-        node->value = tok.text;
+        node->value = tok.atom;
         advance();
         return node;
       }
@@ -707,7 +709,7 @@ class Parser {
       case Tok::Ident: {
         auto node = std::make_unique<Ident>();
         node->line = tok.line;
-        node->name = tok.text;
+        node->name = tok.atom;
         advance();
         return node;
       }
@@ -740,19 +742,18 @@ class Parser {
         node->line = advance().line;
         if (!check(Tok::RBrace)) {
           while (true) {
-            std::string key;
-            if (check(Tok::Ident) || !peek().text.empty()) {
-              key = advance().text;
-            } else if (check(Tok::String)) {
-              key = advance().text;
-            } else if (check(Tok::Number)) {
-              const Token& num = advance();
-              key = num.text;
+            Atom key;
+            if (check(Tok::Number)) {
+              // Number tokens carry no atom; key by the literal's spelling.
+              key = Atom::intern(advance().text);
+            } else if (check(Tok::Ident) || check(Tok::String) ||
+                       !peek().text.empty()) {
+              key = advance().atom;
             } else {
               throw ParseError("expected property key", peek().line);
             }
             expect(Tok::Colon, "object literal");
-            node->properties.emplace_back(std::move(key), parse_assignment());
+            node->properties.emplace_back(key, parse_assignment());
             if (!match(Tok::Comma)) break;
           }
         }
@@ -813,7 +814,9 @@ const char* loop_kind_name(LoopKind kind) {
 
 Program parse(std::string_view source, std::string source_name) {
   Parser parser(lex(source), std::move(source_name));
-  return parser.run();
+  Program program = parser.run();
+  resolve_scopes(program);
+  return program;
 }
 
 }  // namespace jsceres::js

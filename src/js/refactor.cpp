@@ -299,7 +299,7 @@ bool writes_variable(const Stmt& stmt, const std::string& name) {
 
 /// Collect `var` names declared directly in the body (not inside nested
 /// functions) — the variables the rewrite will privatize.
-void collect_body_vars(const Stmt& stmt, std::vector<std::string>& out) {
+void collect_body_vars(const Stmt& stmt, std::vector<Atom>& out) {
   switch (stmt.kind) {
     case NodeKind::Block:
       for (const auto& s : static_cast<const Block&>(stmt).statements) {
@@ -483,7 +483,7 @@ void substitute_element_expr(ExprPtr& expr, const Candidate& c,
   if (is_element_access(*expr, c)) {
     auto ident = std::make_unique<Ident>();
     ident->line = expr->line;
-    ident->name = elem_name;
+    ident->name = Atom::intern(elem_name);
     expr = std::move(ident);
     return;
   }
@@ -634,7 +634,7 @@ class Rewriter {
       report_.notes.push_back(at + ": skipped (body writes index or array binding)");
       return nullptr;
     }
-    std::vector<std::string> body_vars;
+    std::vector<Atom> body_vars;
     collect_body_vars(*loop.body, body_vars);
     // Privatization must not change behaviour: a body-declared var may not
     // be referenced anywhere outside this loop. Compare whole-program
@@ -666,7 +666,7 @@ class Rewriter {
     fn->line = loop.line;
     fn->fn_id = int(program_.fn_names.size()) + 1;
     program_.fn_names.push_back("<forEach callback>");
-    fn->params = {elem, candidate.index_name};
+    fn->params = {Atom::intern(elem), Atom::intern(candidate.index_name)};
     fn->hoisted_vars = std::move(body_vars);
     fn->body = std::move(loop.body);
     if (fn->body->kind != NodeKind::Block) {
@@ -684,9 +684,9 @@ class Rewriter {
     callee->line = loop.line;
     auto array_ident = std::make_unique<Ident>();
     array_ident->line = loop.line;
-    array_ident->name = candidate.array_name;
+    array_ident->name = Atom::intern(candidate.array_name);
     callee->object = std::move(array_ident);
-    callee->property = "forEach";
+    callee->property = Atom::intern("forEach");
 
     auto call = std::make_unique<Call>();
     call->line = loop.line;
@@ -714,6 +714,9 @@ RefactorReport to_functional(Program& program) {
   RefactorReport report;
   Rewriter rewriter(program, report);
   rewriter.run();
+  // The rewrite moved loop bodies into fresh callback functions, which
+  // changes every (hops, slot) coordinate inside them — re-annotate.
+  resolve_scopes(program);
   report.source = print(program);
   return report;
 }

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "js/atom.h"
+
 namespace jsceres::js {
 
 /// Token kinds for the JavaScript subset accepted by the engine (ES5-style:
@@ -91,6 +93,7 @@ enum class Tok {
 struct Token {
   Tok kind = Tok::Eof;
   std::string text;   // identifier name or string literal value
+  Atom atom;          // interned `text` for Ident / String / keyword tokens
   double number = 0;  // numeric literal value
   int line = 0;       // 1-based source line
 };

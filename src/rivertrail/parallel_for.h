@@ -3,6 +3,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -55,24 +57,38 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
   if (schedule == Schedule::Static) {
     const std::int64_t chunks = std::min<std::int64_t>(workers, n);
     CompletionGate gate{int(chunks)};
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(std::size_t(chunks));
     for (std::int64_t c = 0; c < chunks; ++c) {
       const std::int64_t lo = begin + n * c / chunks;
       const std::int64_t hi = begin + n * (c + 1) / chunks;
-      pool.submit([&body, &gate, lo, hi] {
+      tasks.push_back([&body, &gate, lo, hi] {
         body(lo, hi);
         gate.arrive();
       });
     }
+    pool.submit_bulk(std::move(tasks));
     gate.wait();
     return;
   }
 
-  // Dynamic: atomic work counter, `grain` iterations at a time.
-  if (grain <= 0) grain = std::max<std::int64_t>(1, n / (workers * 8));
+  // Dynamic: atomic work counter, `grain` iterations at a time. The default
+  // grain is clamped from below so tiny ranges don't degenerate into
+  // one-iteration chunks (a fetch_add per iteration costs more than the
+  // iteration itself for small kernels), and the worker count is trimmed so
+  // no task wakes up to find an already-drained counter.
+  constexpr std::int64_t kMinDynamicGrain = 16;
+  if (grain <= 0) {
+    grain = std::max(kMinDynamicGrain, n / (workers * 8));
+  }
+  const std::int64_t tasks_needed =
+      std::min<std::int64_t>(workers, (n + grain - 1) / grain);
   auto next = std::make_shared<std::atomic<std::int64_t>>(begin);
-  CompletionGate gate{int(workers)};
-  for (std::int64_t w = 0; w < workers; ++w) {
-    pool.submit([&body, &gate, next, end, grain] {
+  CompletionGate gate{int(tasks_needed)};
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(std::size_t(tasks_needed));
+  for (std::int64_t w = 0; w < tasks_needed; ++w) {
+    tasks.push_back([&body, &gate, next, end, grain] {
       while (true) {
         const std::int64_t lo = next->fetch_add(grain, std::memory_order_relaxed);
         if (lo >= end) break;
@@ -81,6 +97,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
       gate.arrive();
     });
   }
+  pool.submit_bulk(std::move(tasks));
   gate.wait();
 }
 

@@ -363,5 +363,180 @@ TEST(Interp, PerformanceNowReadsVirtualClock) {
   EXPECT_GT(run_number("for (var i = 0; i < 100; i++) { }\nvar result = performance.now();"), 0);
 }
 
+// ---------------------------------------------------------------------------
+// String interning semantics: a runtime-concatenated string must behave
+// exactly like the interned literal spelling the same text (the atom table
+// is an engine optimization, not an observable identity).
+// ---------------------------------------------------------------------------
+
+TEST(Interning, ConcatenatedStringEqualsLiteral) {
+  EXPECT_DOUBLE_EQ(run_number("var lit = 'hello';\n"
+                              "var dyn = 'hel' + 'lo';\n"
+                              "var result = (lit == dyn ? 1 : 0) + (lit === dyn ? 2 : 0);"),
+                   3);
+}
+
+TEST(Interning, TypeofSameForInternedAndComputedStrings) {
+  EXPECT_EQ(run_string("var result = typeof ('a' + 'b');"), "string");
+  EXPECT_EQ(run_string("var s = 'x'; var result = typeof s.charAt(0);"), "string");
+}
+
+TEST(Interning, ComputedKeyReachesLiteralKeyProperty) {
+  // The property was stored under the interned atom "ab"; the computed key
+  // is a runtime concatenation that must hash to the same binding.
+  EXPECT_DOUBLE_EQ(run_number("var o = {ab: 41};\n"
+                              "o['a' + 'b'] = o['a' + 'b'] + 1;\n"
+                              "var result = o.ab;"),
+                   42);
+}
+
+TEST(Interning, LiteralKeyReachesComputedKeyProperty) {
+  // Reverse direction: stored under a computed (runtime) string, read via
+  // the non-computed inline-cached path.
+  EXPECT_DOUBLE_EQ(run_number("var o = {};\n"
+                              "o['k' + 'ey'] = 7;\n"
+                              "var result = o.key;"),
+                   7);
+}
+
+TEST(Interning, NumericLiteralKeysKeepTheirSpelling) {
+  EXPECT_DOUBLE_EQ(run_number("var o = {1: 'x', 42: 7};\n"
+                              "var result = o[42] + (o[1] === 'x' ? 1 : 0) + (o['1'] === 'x' ? 2 : 0);"),
+                   10);
+  EXPECT_EQ(run_string("var o = {7: 'a'};\nvar ks = '';\nfor (var k in o) { ks += k; }\nvar result = ks;"),
+            "7");
+}
+
+TEST(Interning, NeverInternedKeyReadsUndefined) {
+  EXPECT_EQ(run_string("var o = {a: 1};\n"
+                       "var result = typeof o['zz' + 'q9'];"),
+            "undefined");
+}
+
+TEST(Interning, StringComparisonIsTextualNotIdentity) {
+  EXPECT_DOUBLE_EQ(run_number("var a = 'xy';\n"
+                              "var b = 'x' + 'y';\n"
+                              "var c = 'xz';\n"
+                              "var result = (a === b ? 1 : 0) + (a < c ? 10 : 0) + (b < c ? 100 : 0);"),
+                   111);
+}
+
+// ---------------------------------------------------------------------------
+// Slot-resolved variable access: closure and shadowing corners that stress
+// the static (hops, slot) annotation against the runtime environment chain.
+// ---------------------------------------------------------------------------
+
+TEST(SlotResolution, ParamShadowsOuterVar) {
+  EXPECT_DOUBLE_EQ(run_number("var x = 1;\n"
+                              "function f(x) { return x * 10; }\n"
+                              "var result = f(2) + x;"),
+                   21);
+}
+
+TEST(SlotResolution, InnerVarShadowsOuterAcrossTwoLevels) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var v = 1;\n"
+                 "function outer() {\n"
+                 "  var v = 2;\n"
+                 "  function mid() {\n"
+                 "    function inner() { return v; }\n"  // two hops to outer's v
+                 "    return inner();\n"
+                 "  }\n"
+                 "  return mid();\n"
+                 "}\n"
+                 "var result = outer() * 10 + v;"),
+      21);
+}
+
+TEST(SlotResolution, SiblingClosuresShareOneBinding) {
+  EXPECT_DOUBLE_EQ(
+      run_number("function make() {\n"
+                 "  var n = 0;\n"
+                 "  return [function () { n += 1; return n; },\n"
+                 "          function () { n += 10; return n; }];\n"
+                 "}\n"
+                 "var fns = make();\n"
+                 "fns[0]();\n"
+                 "fns[1]();\n"
+                 "var result = fns[0]();"),
+      12);
+}
+
+TEST(SlotResolution, SeparateCallsGetSeparateSlots) {
+  EXPECT_DOUBLE_EQ(
+      run_number("function make(start) {\n"
+                 "  return function () { start += 1; return start; };\n"
+                 "}\n"
+                 "var a = make(0);\n"
+                 "var b = make(100);\n"
+                 "a(); b();\n"
+                 "var result = a() + b();"),
+      2 + 102);
+}
+
+TEST(SlotResolution, DuplicateParamAndVarShareSlot) {
+  // `var x` re-declares the parameter: one binding, initializer overwrites.
+  EXPECT_DOUBLE_EQ(run_number("function f(x) { var x = 5; return x; }\n"
+                              "var result = f(3);"),
+                   5);
+}
+
+TEST(SlotResolution, CatchScopeShadowsAndUnwinds) {
+  EXPECT_DOUBLE_EQ(
+      run_number("function f() {\n"
+                 "  var e = 1;\n"
+                 "  var seen = 0;\n"
+                 "  try { throw {message: 9}; } catch (e) { seen = e.message; }\n"
+                 "  return e * 100 + seen;\n"
+                 "}\n"
+                 "var result = f();"),
+      109);
+}
+
+TEST(SlotResolution, ClosureCreatedInsideCatchSeesCatchParam) {
+  EXPECT_DOUBLE_EQ(
+      run_number("var f;\n"
+                 "try { throw {v: 7}; } catch (err) { f = function () { return err.v; }; }\n"
+                 "var result = f();"),
+      7);
+}
+
+TEST(SlotResolution, HoistedFunctionInsideCatchIgnoresCatchScope) {
+  // Function *declarations* are hoisted to function scope and close over the
+  // function-entry environment, not the catch environment.
+  EXPECT_DOUBLE_EQ(
+      run_number("function f() {\n"
+                 "  var g;\n"
+                 "  var x = 3;\n"
+                 "  try { throw {}; } catch (x) { g = h; }\n"
+                 "  function h() { return x; }\n"
+                 "  return g();\n"
+                 "}\n"
+                 "var result = f();"),
+      3);
+}
+
+TEST(SlotResolution, GlobalCreatedAfterFirstMissIsFound) {
+  // The per-site global cache must not pin a "not defined" verdict: the
+  // binding appears between two executions of the same read site.
+  EXPECT_DOUBLE_EQ(run_number("function get() { return typeof later === 'undefined' ? 0 : later; }\n"
+                              "var first = get();\n"
+                              "later = 42;\n"
+                              "var result = first + get();"),
+                   42);
+}
+
+TEST(SlotResolution, RecursionStacksIndependentSlots) {
+  EXPECT_DOUBLE_EQ(
+      run_number("function fact(n) {\n"
+                 "  var local = n * 10;\n"
+                 "  if (n <= 1) { return 1; }\n"
+                 "  var r = n * fact(n - 1);\n"
+                 "  return r + (local - n * 10);\n"  // local must be per-activation
+                 "}\n"
+                 "var result = fact(5);"),
+      120);
+}
+
 }  // namespace
 }  // namespace jsceres::interp

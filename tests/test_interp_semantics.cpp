@@ -228,7 +228,7 @@ TEST(Semantics, MapIndexArgument) {
 class CountingHooks final : public ExecutionHooks {
  public:
   [[nodiscard]] bool wants_memory_events() const override { return true; }
-  void on_var_write(std::uint64_t, const std::string& name, int) override {
+  void on_var_write(std::uint64_t, js::Atom name, int) override {
     ++var_writes[name];
   }
   void on_prop_write(std::uint64_t, const std::string& key, int,
@@ -272,6 +272,73 @@ TEST(Hooks, ObjectCreationCounted) {
   // prototype object is created without a hook through make_object? no —
   // it goes through the ctor path). At minimum the three literals exist.
   EXPECT_GE(hooks.objects, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Shape / inline-cache behaviour: the caches must be invisible — polymorphic
+// sites, prototype mutation and delete (dictionary mode) all stay correct.
+// ---------------------------------------------------------------------------
+
+TEST(Shapes, PolymorphicSiteReadsBothLayouts) {
+  // Same access site sees two different shapes ({a,b} and {b,a}): the
+  // monomorphic cache must miss-and-refill, never serve the wrong slot.
+  EXPECT_DOUBLE_EQ(num("var p = {a: 1, b: 2};\n"
+                       "var q = {b: 30, a: 40};\n"
+                       "var s = 0;\n"
+                       "var list = [p, q, p, q];\n"
+                       "for (var i = 0; i < 4; i++) { s += list[i].a; }\n"
+                       "var result = s;"),
+                   1 + 40 + 1 + 40);
+}
+
+TEST(Shapes, DeleteDropsToDictionaryModeCorrectly) {
+  EXPECT_EQ(str_result("var o = {a: 1, b: 2, c: 3};\n"
+                       "var before = o.b;\n"
+                       "delete o.b;\n"
+                       "o.d = 4;\n"
+                       "var keys = '';\n"
+                       "for (var k in o) { keys += k; }\n"
+                       "var result = before + ':' + keys + ':' + (o.b === undefined);"),
+            "2:acd:true");
+}
+
+TEST(Shapes, CachedSiteSeesPropertyOverwrite) {
+  EXPECT_DOUBLE_EQ(num("var o = {v: 1};\n"
+                       "var s = 0;\n"
+                       "for (var i = 0; i < 3; i++) { s += o.v; o.v = o.v + 1; }\n"
+                       "var result = s;"),
+                   1 + 2 + 3);
+}
+
+TEST(Shapes, PrototypeMethodAddedAfterCacheWarmup) {
+  // Warm the site on own properties, then shadow via the prototype chain's
+  // live updates — the holder-shape check must catch the change.
+  EXPECT_DOUBLE_EQ(num("function C() { this.x = 1; }\n"
+                       "C.prototype.get = function () { return 10; };\n"
+                       "var o = new C();\n"
+                       "var a = o.get();\n"          // proto hit, cache fills
+                       "C.prototype.get = function () { return 20; };\n"
+                       "var b = o.get();\n"          // same shape, new holder value
+                       "o.get = function () { return 30; };\n"
+                       "var c = o.get();\n"          // own property now shadows
+                       "var result = a + b + c;"),
+                   10 + 20 + 30);
+}
+
+TEST(Shapes, SameLiteralShapeSharedAcrossObjects) {
+  // Many objects from one literal site: the site stays monomorphic, and all
+  // reads stay per-object.
+  EXPECT_DOUBLE_EQ(num("var total = 0;\n"
+                       "for (var i = 0; i < 16; i++) {\n"
+                       "  var o = {idx: i, sq: i * i};\n"
+                       "  total += o.sq - o.idx;\n"
+                       "}\n"
+                       "var result = total;"),
+                   [] {
+                     double t = 0;
+                     for (int i = 0; i < 16; ++i) t += i * i - i;
+                     return t;
+                   }());
 }
 
 TEST(Hooks, ArrayPushReportsElementWrite) {
