@@ -3,6 +3,12 @@
 // diffs, and the parallel runtime.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <ctime>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
 #include "ceres/char_stack.h"
 #include "dom/canvas.h"
 #include "interp/interpreter.h"
@@ -132,6 +138,97 @@ void BM_CharacterizeCreation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CharacterizeCreation);
+
+// Dispatch latency: what a parallel_for of a near-empty body costs end to
+// end. This is the number the work-stealing runtime targets — for small
+// kernels the old mutex-queue pool spends its time on std::function heap
+// allocation, one locked queue push per chunk, and a cv round trip before
+// any work runs.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  rivertrail::ThreadPool pool(4);
+  const std::int64_t n = state.range(0);
+  std::atomic<std::int64_t> sink{0};
+  // Warm up the workers so thread start-up is not measured.
+  rivertrail::parallel_for(pool, 0, 1 << 12,
+                           [&](std::int64_t lo, std::int64_t) { benchmark::DoNotOptimize(lo); });
+  for (auto _ : state) {
+    rivertrail::parallel_for(pool, 0, n, [&](std::int64_t lo, std::int64_t hi) {
+      sink.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(64)->Arg(4096);
+
+namespace divergent {
+
+// Raytrace-shaped iteration cost: a few cheap iterations, then a heavy tail
+// clustered at one end of the range (mirrors the raytracer's reflective rows
+// all sitting in the same image band). Static equal chunking hands the whole
+// heavy band to one worker.
+double spin_work(std::int64_t i) {
+  const std::int64_t reps = (i < 3584) ? 4 : 1200;  // heavy tail: last 512 of 4096
+  double acc = 0.017 * double(i);
+  for (std::int64_t r = 0; r < reps; ++r) acc = acc * 1.0000001 + 0.5;
+  return acc;
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return double(ts.tv_sec) + double(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace divergent
+
+// Divergent-cost load balance. Each body(lo, hi) call is an indivisible
+// span bound to one worker; the largest span's share of total busy time
+// lower-bounds the makespan on ANY machine (a worker stuck with a span
+// holding 95% of the work caps speedup at ~1x no matter the core count).
+// Reported as `worst_span_share` — 1/chunks is ideal for uniform cost; the
+// schedule balances divergent cost iff the share stays small when the cost
+// is skewed. Host-independent, so the metric is meaningful even on the
+// single-core CI container where wall-clock speedup cannot show.
+template <rivertrail::Schedule kSchedule>
+void BM_ParallelForDivergentImpl(benchmark::State& state) {
+  rivertrail::ThreadPool pool(4);
+  const std::int64_t n = 4096;
+  std::vector<double> out(static_cast<std::size_t>(n));
+  std::mutex span_mutex;
+  double share_sum = 0;
+  for (auto _ : state) {
+    double total_busy = 0;
+    double worst_span = 0;
+    rivertrail::parallel_for(
+        pool, 0, n,
+        [&](std::int64_t lo, std::int64_t hi) {
+          const double t0 = divergent::thread_cpu_seconds();
+          for (std::int64_t i = lo; i < hi; ++i) {
+            out[std::size_t(i)] = divergent::spin_work(i);
+          }
+          const double dt = divergent::thread_cpu_seconds() - t0;
+          const std::lock_guard lock(span_mutex);
+          total_busy += dt;
+          worst_span = std::max(worst_span, dt);
+        },
+        kSchedule);
+    benchmark::DoNotOptimize(out.data());
+    share_sum += total_busy > 0 ? worst_span / total_busy : 0;
+  }
+  state.counters["worst_span_share"] = share_sum / double(state.iterations());
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ParallelForDivergentStatic(benchmark::State& state) {
+  BM_ParallelForDivergentImpl<rivertrail::Schedule::Static>(state);
+}
+BENCHMARK(BM_ParallelForDivergentStatic);
+
+void BM_ParallelForDivergentDynamic(benchmark::State& state) {
+  BM_ParallelForDivergentImpl<rivertrail::Schedule::Dynamic>(state);
+}
+BENCHMARK(BM_ParallelForDivergentDynamic);
 
 void BM_ParallelFor(benchmark::State& state) {
   rivertrail::ThreadPool pool;

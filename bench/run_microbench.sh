@@ -1,18 +1,55 @@
 #!/usr/bin/env bash
-# Regenerate the interpreter microbenchmark snapshot (BENCH_interp_baseline.json
-# records the before/after of the hot-path overhaul; this script reproduces the
-# 'after' column on the current tree).
+# Regenerate microbenchmark snapshots.
 #
-# Usage:
-#   bench/run_microbench.sh [build-dir] [output.json]
+#   bench/run_microbench.sh [--smoke] [--rivertrail|--interp|--all] [build-dir] [output.json]
+#
+# --interp (default): the interpreter hot-path set backing
+#   BENCH_interp_baseline.json.
+# --rivertrail: the parallel-runtime set backing BENCH_rivertrail_baseline.json
+#   (dispatch latency, divergent-balance, scaling).
+# --all: both.
+# --smoke: single fast pass (CI wiring check, not a measurement).
 #
 # Requires google-benchmark (the microbench target is skipped by CMake when it
-# is not installed).
+# is not installed). Compare ratios, not absolute times.
 set -euo pipefail
+
+FILTER_INTERP='BM_Lex|BM_Parse|BM_Interpret|BM_Resolve|BM_PropertyAccess'
+FILTER_RIVERTRAIL='BM_ParallelFor|BM_NBodyStepPar'
+
+FILTER="${FILTER_INTERP}"
+MIN_TIME=0.3
+REPS=3
+AGGREGATES=true
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke)
+      MIN_TIME=0.01
+      REPS=1
+      AGGREGATES=false
+      shift
+      ;;
+    --rivertrail)
+      FILTER="${FILTER_RIVERTRAIL}"
+      shift
+      ;;
+    --interp)
+      FILTER="${FILTER_INTERP}"
+      shift
+      ;;
+    --all)
+      FILTER="${FILTER_INTERP}|${FILTER_RIVERTRAIL}"
+      shift
+      ;;
+    *)
+      break
+      ;;
+  esac
+done
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-/dev/stdout}"
-FILTER='BM_Lex|BM_Parse|BM_Interpret|BM_Resolve|BM_PropertyAccess'
 
 if [[ ! -x "${BUILD_DIR}/microbench" ]]; then
   echo "building ${BUILD_DIR}/microbench ..." >&2
@@ -22,7 +59,7 @@ fi
 
 "${BUILD_DIR}/microbench" \
   --benchmark_filter="${FILTER}" \
-  --benchmark_min_time=0.3 \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_report_aggregates_only="${AGGREGATES}" \
   --benchmark_format=json >"${OUT}"

@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "interp/value.h"
@@ -12,7 +11,47 @@
 namespace jsceres::interp {
 
 class Environment;
-using EnvPtr = std::shared_ptr<Environment>;
+class EnvPool;
+
+/// Intrusive, non-atomic reference-counted handle to an Environment.
+///
+/// Activation environments are created once per JS call — the hottest
+/// allocation in call-dominated code (BM_InterpretCalls). A shared_ptr paid
+/// one control-block allocation per call plus atomic refcount traffic, and
+/// destroying the Environment threw away its map buckets and slot capacity.
+/// The intrusive count lives in the Environment itself (the interpreter is
+/// single-threaded by construction, so the count is a plain integer), and
+/// the final release hands the object back to the interpreter's EnvPool for
+/// reuse instead of freeing it.
+class EnvPtr {
+ public:
+  EnvPtr() = default;
+  EnvPtr(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  explicit EnvPtr(Environment* env);
+  EnvPtr(const EnvPtr& other);
+  EnvPtr(EnvPtr&& other) noexcept : env_(other.env_) { other.env_ = nullptr; }
+  EnvPtr& operator=(const EnvPtr& other) {
+    EnvPtr(other).swap(*this);
+    return *this;
+  }
+  EnvPtr& operator=(EnvPtr&& other) noexcept {
+    EnvPtr(std::move(other)).swap(*this);
+    return *this;
+  }
+  ~EnvPtr();
+
+  void swap(EnvPtr& other) noexcept { std::swap(env_, other.env_); }
+  void reset() { EnvPtr().swap(*this); }
+  [[nodiscard]] Environment* get() const { return env_; }
+  Environment* operator->() const { return env_; }
+  Environment& operator*() const { return *env_; }
+  [[nodiscard]] explicit operator bool() const { return env_ != nullptr; }
+  friend bool operator==(const EnvPtr& a, const EnvPtr& b) { return a.env_ == b.env_; }
+  friend bool operator==(const EnvPtr& a, std::nullptr_t) { return a.env_ == nullptr; }
+
+ private:
+  Environment* env_ = nullptr;
+};
 
 /// A function-scope environment record. JavaScript (ES5) has *function*
 /// scoping: one environment is created per call, holding the parameters and
@@ -20,10 +59,14 @@ using EnvPtr = std::shared_ptr<Environment>;
 /// textually. This is exactly the semantics the paper's Fig. 6 relies on
 /// (`var p` inside a loop body is one binding shared by all iterations).
 ///
-/// Bindings are keyed by interned atoms (js::Atom): name maps reuse the
-/// atom's precomputed hash, and the slot index assigned to a name never
-/// changes, so statically resolved references (js::SlotRef) index `slots_`
-/// directly without touching the map at all.
+/// Bindings are keyed by interned atoms (js::Atom) in a flat name vector
+/// parallel to the slot vector (index == slot). Function scopes hold a
+/// handful of names, so a linear scan of pointer-identity compares beats a
+/// hash map — and unlike map nodes, the vectors' capacity survives
+/// clear_for_reuse(), which is what makes pooled activations allocation-free
+/// in steady state. Statically resolved references (js::SlotRef) index
+/// `slots_` directly without touching the names at all; the scan only runs
+/// on declare and on the dynamic-resolution fallback.
 ///
 /// Each environment carries a process-unique id; the dependence analyzer
 /// stamps the id with the loop-characterization stack current at creation.
@@ -32,28 +75,44 @@ class Environment {
   Environment(std::uint64_t id, EnvPtr parent)
       : id_(id), parent_(std::move(parent)) {}
 
+  /// Rebind a recycled environment to a new activation. The name and slot
+  /// vectors keep their capacity across reuse — the whole point of pooling
+  /// (see EnvPool).
+  void rebind(std::uint64_t id, EnvPtr parent) {
+    id_ = id;
+    parent_ = std::move(parent);
+  }
+
+  /// Drop activation state before the environment parks in the free list,
+  /// so captured objects and parent scopes are released promptly.
+  void clear_for_reuse() {
+    names_.clear();   // keeps capacity
+    slots_.clear();   // keeps capacity
+    parent_.reset();  // may recursively recycle the parent chain
+    this_val_ = Value();
+    has_this_ = false;
+  }
+
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] const EnvPtr& parent() const { return parent_; }
 
   /// Declare (or re-declare, reusing the slot) a binding in this environment.
   void declare(js::Atom name, Value value) {
-    const auto it = names_.find(name);
-    if (it != names_.end()) {
-      slots_[it->second] = std::move(value);
+    const std::int64_t index = find(name);
+    if (index >= 0) {
+      slots_[std::size_t(index)] = std::move(value);
       return;
     }
-    names_.emplace(name, std::uint32_t(slots_.size()));
+    names_.push_back(name);
     slots_.push_back(std::move(value));
   }
 
-  [[nodiscard]] bool has_own(js::Atom name) const {
-    return names_.find(name) != names_.end();
-  }
+  [[nodiscard]] bool has_own(js::Atom name) const { return find(name) >= 0; }
 
   /// Slot of an own binding, or nullptr.
   [[nodiscard]] Value* own_slot(js::Atom name) {
-    const auto it = names_.find(name);
-    return it == names_.end() ? nullptr : &slots_[it->second];
+    const std::int64_t index = find(name);
+    return index < 0 ? nullptr : &slots_[std::size_t(index)];
   }
   /// String-keyed convenience for hosts/tests: a name that was never
   /// interned cannot be bound.
@@ -65,10 +124,7 @@ class Environment {
   /// Slot index of an own binding, or -1. Indices are stable for the
   /// lifetime of the environment (bindings are never removed), which is what
   /// makes the interpreter's global-reference cache sound.
-  [[nodiscard]] std::int64_t slot_index(js::Atom name) const {
-    const auto it = names_.find(name);
-    return it == names_.end() ? -1 : std::int64_t(it->second);
-  }
+  [[nodiscard]] std::int64_t slot_index(js::Atom name) const { return find(name); }
 
   /// Direct slot access for statically resolved references.
   [[nodiscard]] Value* slot_at(std::uint32_t index) { return &slots_[index]; }
@@ -120,12 +176,111 @@ class Environment {
   }
 
  private:
+  friend class EnvPtr;
+  friend class EnvPool;
+
+  void add_ref() { ++refs_; }
+  void drop_ref();  // recycles via pool_ on last release (defined below)
+
+  /// Index of `name`, or -1. Pointer-identity compares over a flat array.
+  [[nodiscard]] std::int64_t find(js::Atom name) const {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return std::int64_t(i);
+    }
+    return -1;
+  }
+
   std::uint64_t id_;
   EnvPtr parent_;
-  std::unordered_map<js::Atom, std::uint32_t> names_;
+  std::vector<js::Atom> names_;  // names_[i] owns slots_[i]
   std::vector<Value> slots_;
   Value this_val_;
   bool has_this_ = false;
+  std::uint32_t refs_ = 0;
+  EnvPool* pool_ = nullptr;
 };
+
+/// Per-interpreter free list of activation environments.
+///
+/// acquire() reuses a parked environment — rebinding it instead of paying
+/// make_shared + fresh hash-map + fresh slot vector per call — and release()
+/// parks up to kMaxFree of them. Environments can outlive their interpreter
+/// (a test may hold a function Value whose closure chain roots here), so the
+/// pool is detach-then-self-delete: the interpreter detaches in its
+/// destructor, after which stragglers are freed instead of parked and the
+/// pool deletes itself once the last one goes.
+class EnvPool {
+ public:
+  /// Environments parked for reuse; beyond this, release() just frees.
+  static constexpr std::size_t kMaxFree = 256;
+
+  EnvPool() = default;
+  EnvPool(const EnvPool&) = delete;
+  EnvPool& operator=(const EnvPool&) = delete;
+
+  /// A recycled-or-new environment bound to (id, parent), owned by the
+  /// returned handle.
+  EnvPtr acquire(std::uint64_t id, EnvPtr parent) {
+    ++live_;
+    Environment* env;
+    if (!free_.empty()) {
+      env = free_.back();
+      free_.pop_back();
+      env->rebind(id, std::move(parent));
+    } else {
+      env = new Environment(id, std::move(parent));
+      env->pool_ = this;
+    }
+    return EnvPtr(env);
+  }
+
+  /// Owner (the interpreter) is going away: free the parked list, stop
+  /// caching, and self-delete once the last live environment releases.
+  void detach() {
+    detached_ = true;
+    for (Environment* env : free_) delete env;
+    free_.clear();
+    if (live_ == 0) delete this;
+  }
+
+ private:
+  friend class Environment;
+
+  void recycle(Environment* env) {
+    // Parking (clear_for_reuse) and freeing both release the environment's
+    // parent chain, re-entering recycle for ancestors. The depth counter
+    // keeps the detached-pool self-delete at the OUTERMOST frame only:
+    // without it, an inner frame that drives live_ to 0 would free the pool
+    // while outer frames still hold `this`.
+    ++recycle_depth_;
+    --live_;
+    if (!detached_ && free_.size() < kMaxFree) {
+      env->clear_for_reuse();
+      free_.push_back(env);
+    } else {
+      delete env;
+    }
+    --recycle_depth_;
+    if (detached_ && live_ == 0 && recycle_depth_ == 0) delete this;
+  }
+
+  std::vector<Environment*> free_;
+  std::size_t live_ = 0;
+  int recycle_depth_ = 0;
+  bool detached_ = false;
+};
+
+inline EnvPtr::EnvPtr(Environment* env) : env_(env) {
+  if (env_ != nullptr) env_->add_ref();
+}
+inline EnvPtr::EnvPtr(const EnvPtr& other) : env_(other.env_) {
+  if (env_ != nullptr) env_->add_ref();
+}
+inline EnvPtr::~EnvPtr() {
+  if (env_ != nullptr) env_->drop_ref();
+}
+inline void Environment::drop_ref() {
+  if (--refs_ == 0) pool_->recycle(this);
+}
 
 }  // namespace jsceres::interp

@@ -78,7 +78,19 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
   write_ics_.resize(program.ic_count);
   global_ref_cache_.assign(program.global_ref_count, -1);
 
-  global_env_ = std::make_shared<Environment>(next_env_id_++, nullptr);
+  env_pool_ = new EnvPool();
+  // If the rest of the constructor throws, ~Interpreter never runs; this
+  // guard detaches the pool first (local destructors run before member
+  // destructors during ctor unwinding), so released members free their
+  // environments through the detached pool and it self-deletes cleanly.
+  struct DetachGuard {
+    EnvPool* pool;
+    ~DetachGuard() {
+      if (pool != nullptr) pool->detach();
+    }
+  } pool_guard{env_pool_};
+
+  global_env_ = make_env(nullptr);
   if (hooks_ != nullptr) hooks_->on_env_created(global_env_->id());
 
   object_proto_ = std::make_shared<JSObject>(next_obj_id_++);
@@ -92,9 +104,14 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
   define_global("Infinity", Value::number(std::numeric_limits<double>::infinity()));
 
   install_stdlib(*this);
+  pool_guard.pool = nullptr;  // construction succeeded: dtor owns detach
 }
 
-Interpreter::~Interpreter() = default;
+Interpreter::~Interpreter() {
+  // Detach (not delete): environments captured by closures a caller still
+  // holds keep the pool alive until the last of them releases.
+  env_pool_->detach();
+}
 
 void Interpreter::flush_ticks_on_unwind() noexcept {
   // Exception-path flush: charge pending ticks so caller-owned clocks stay
@@ -545,7 +562,7 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
     throw_error("RangeError", "maximum call stack size exceeded");
   }
 
-  auto env = std::make_shared<Environment>(next_env_id_++, fn.closure);
+  EnvPtr env = make_env(fn.closure);
   env->reserve(node.params.size() + node.hoisted_vars.size());
   for (std::size_t i = 0; i < node.params.size(); ++i) {
     env->declare(node.params[i], i < args.size() ? args[i] : Value::undefined());
@@ -672,7 +689,7 @@ Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& en
         completion = exec(*node.try_block, env);
       } catch (const JSException& ex) {
         if (node.catch_block) {
-          auto catch_env = std::make_shared<Environment>(next_env_id_++, env);
+          EnvPtr catch_env = make_env(env);
           catch_env->declare(node.catch_param, ex.value);
           if (hooks_ != nullptr) hooks_->on_env_created(catch_env->id());
           completion = exec(*node.catch_block, catch_env);

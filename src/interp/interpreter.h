@@ -226,12 +226,20 @@ class Interpreter {
 
   BaseProvenance provenance_of(const js::Expr& base_expr, const EnvPtr& env);
 
+  /// Pooled activation-environment allocation (see EnvPool). The raw
+  /// pointer is intentional: the pool detach-then-self-deletes so closures
+  /// that outlive the interpreter stay valid.
+  EnvPtr make_env(EnvPtr parent) {
+    return env_pool_->acquire(next_env_id_++, std::move(parent));
+  }
+
   const js::Program& program_;
   VirtualClock* clock_;
   ExecutionHooks* hooks_;
   Config config_;
   Rng rng_;
 
+  EnvPool* env_pool_ = nullptr;
   EnvPtr global_env_;
   ObjPtr object_proto_;
   ObjPtr array_proto_;

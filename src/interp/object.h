@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "interp/environment.h"
 #include "interp/hooks.h"
 #include "interp/shape.h"
 #include "interp/value.h"
@@ -19,8 +20,6 @@ struct FunctionNode;
 namespace jsceres::interp {
 
 class Interpreter;
-class Environment;
-using EnvPtr = std::shared_ptr<Environment>;
 
 /// Signature of C++-implemented builtins and substrate bindings.
 using NativeFn =

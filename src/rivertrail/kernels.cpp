@@ -200,7 +200,7 @@ void fluid_diffuse_seq(const std::vector<double>& src, std::vector<double>& dst,
 
 void fluid_diffuse_par(ThreadPool& pool, const std::vector<double>& src,
                        std::vector<double>& dst, int n, double a,
-                       Schedule schedule) {
+                       Schedule schedule, std::int64_t grain) {
   // Copy only the boundary ring; the interior is fully overwritten by the
   // sweep (avoids a serial full-grid memcpy ahead of the parallel region).
   const int stride = n + 2;
@@ -215,7 +215,7 @@ void fluid_diffuse_par(ThreadPool& pool, const std::vector<double>& src,
   parallel_for(
       pool, 1, std::int64_t(n) + 1,
       [&](std::int64_t lo, std::int64_t hi) { fluid_row_range(src, dst, n, a, lo, hi); },
-      schedule);
+      schedule, grain);
 }
 
 void raytrace_seq(const RayScene& scene, std::vector<std::uint8_t>& rgba) {
@@ -224,12 +224,13 @@ void raytrace_seq(const RayScene& scene, std::vector<std::uint8_t>& rgba) {
 }
 
 void raytrace_par(ThreadPool& pool, const RayScene& scene,
-                  std::vector<std::uint8_t>& rgba, Schedule schedule) {
+                  std::vector<std::uint8_t>& rgba, Schedule schedule,
+                  std::int64_t grain) {
   rgba.assign(std::size_t(scene.width) * std::size_t(scene.height) * 4, 0);
   parallel_for(
       pool, 0, scene.height,
       [&](std::int64_t lo, std::int64_t hi) { raytrace_rows(scene, rgba, lo, hi); },
-      schedule, /*grain=*/1);
+      schedule, grain);
 }
 
 void normal_map_seq(const std::vector<double>& height, int w, int h, double lx,
@@ -286,7 +287,9 @@ CenterOfMass nbody_step_seq(std::vector<Body>& bodies, double dt) {
 CenterOfMass nbody_step_par(ThreadPool& pool, std::vector<Body>& bodies, double dt) {
   // Fused map + reduction: the paper's flow dependence (com) becomes
   // per-chunk partials combined in chunk order (deterministic), computed in
-  // the same pass as the integration map.
+  // the same pass as the integration map. parallel_chunks keeps the chunk
+  // boundaries fixed regardless of scheduling, so the combine order — and
+  // the floating-point result — is reproducible run to run.
   const auto workers = std::int64_t(pool.size());
   const std::int64_t n = std::int64_t(bodies.size());
   const std::int64_t chunks = std::max<std::int64_t>(1, std::min(workers, n));
@@ -294,27 +297,22 @@ CenterOfMass nbody_step_par(ThreadPool& pool, std::vector<Body>& bodies, double 
     double m = 0, x = 0, y = 0;
   };
   std::vector<Partial> partials{std::size_t(chunks)};
-  CompletionGate gate{int(chunks)};
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::int64_t lo = n * c / chunks;
-    const std::int64_t hi = n * (c + 1) / chunks;
-    pool.submit([&bodies, &partials, &gate, lo, hi, c, dt] {
-      Partial acc;
-      for (std::int64_t i = lo; i < hi; ++i) {
-        Body& b = bodies[std::size_t(i)];
-        b.vx += b.fx / b.m * dt;
-        b.vy += b.fy / b.m * dt;
-        b.x += b.vx * dt;
-        b.y += b.vy * dt;
-        acc.m += b.m;
-        acc.x += b.x * b.m;
-        acc.y += b.y * b.m;
-      }
-      partials[std::size_t(c)] = acc;
-      gate.arrive();
-    });
-  }
-  gate.wait();
+  parallel_chunks(pool, n, chunks,
+                  [&bodies, &partials, dt](std::int64_t c, std::int64_t lo,
+                                           std::int64_t hi) {
+                    Partial acc;
+                    for (std::int64_t i = lo; i < hi; ++i) {
+                      Body& b = bodies[std::size_t(i)];
+                      b.vx += b.fx / b.m * dt;
+                      b.vy += b.fy / b.m * dt;
+                      b.x += b.vx * dt;
+                      b.y += b.vy * dt;
+                      acc.m += b.m;
+                      acc.x += b.x * b.m;
+                      acc.y += b.y * b.m;
+                    }
+                    partials[std::size_t(c)] = acc;
+                  });
   CenterOfMass com;
   for (const Partial& p : partials) {
     com.m += p.m;

@@ -27,7 +27,8 @@ void fluid_diffuse_seq(const std::vector<double>& src, std::vector<double>& dst,
                        int n, double a);
 void fluid_diffuse_par(ThreadPool& pool, const std::vector<double>& src,
                        std::vector<double>& dst, int n, double a,
-                       Schedule schedule = Schedule::Static);
+                       Schedule schedule = Schedule::Static,
+                       std::int64_t grain = 0);
 
 // --- Raytracing: sphere scene, variable-depth reflections ------------------
 struct RayScene {
@@ -38,7 +39,7 @@ struct RayScene {
 void raytrace_seq(const RayScene& scene, std::vector<std::uint8_t>& rgba);
 void raytrace_par(ThreadPool& pool, const RayScene& scene,
                   std::vector<std::uint8_t>& rgba,
-                  Schedule schedule = Schedule::Dynamic);
+                  Schedule schedule = Schedule::Static, std::int64_t grain = 1);
 
 // --- Normal mapping: per-pixel lighting from a height field ----------------
 void normal_map_seq(const std::vector<double>& height, int w, int h, double lx,

@@ -3,46 +3,170 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <exception>
 #include <mutex>
 #include <vector>
 
+#include "rivertrail/schedule.h"
+#include "rivertrail/task.h"
 #include "rivertrail/thread_pool.h"
 
 namespace jsceres::rivertrail {
 
-/// Scheduling policy for parallel_for. Uniform kernels (pixel filters)
-/// favour Static; divergent kernels (the raytracer's variable-depth
-/// recursion — exactly the control-flow-divergence issue of Table 3)
-/// favour Dynamic.
-enum class Schedule { Static, Dynamic };
-
 /// Blocking completion latch (std::latch-alike; kept local so the pool stays
-/// task-agnostic).
+/// task-agnostic). Counts down by arbitrary amounts so range tasks can
+/// retire whole spans of iterations at once.
+///
+/// Destruction protocol: `done()` is an advisory lock-free peek (help loops
+/// poll it to decide whether to keep running tasks) — it may become true
+/// while the final arriver is still inside the mutex/cv members. Anyone
+/// about to DESTROY the gate must return through `wait()`, whose predicate
+/// is the `completed_` flag written under the mutex: that handshake
+/// guarantees the last arriver has fully left the gate (POSIX permits
+/// destroying a mutex immediately after it is unlocked).
 class CompletionGate {
  public:
-  explicit CompletionGate(int count) : remaining_(count) {}
-  void arrive() {
-    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  explicit CompletionGate(std::int64_t count)
+      : remaining_(count), completed_(count <= 0) {}
+  void arrive(std::int64_t n = 1) {
+    if (remaining_.fetch_sub(n, std::memory_order_acq_rel) == n) {
       const std::lock_guard lock(mutex_);
+      completed_ = true;
       cv_.notify_all();
     }
   }
+  /// Advisory: true once every count has been retired. NOT sufficient to
+  /// destroy the gate — see class comment.
+  [[nodiscard]] bool done() const {
+    return remaining_.load(std::memory_order_acquire) <= 0;
+  }
   void wait() {
     std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return remaining_.load(std::memory_order_acquire) == 0; });
+    cv_.wait(lock, [this] { return completed_; });
   }
 
  private:
-  std::atomic<int> remaining_;
+  std::atomic<std::int64_t> remaining_;
+  bool completed_;  // guarded by mutex_: the destruction-safe signal
   std::mutex mutex_;
   std::condition_variable cv_;
 };
 
+namespace detail {
+
+/// First-exception-wins capture shared by every loop descriptor. Bodies run
+/// on whichever thread claimed the span; the winning exception is rethrown
+/// on the calling thread once the loop quiesces, later ones are swallowed.
+struct ErrorSlot {
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::exception_ptr error;
+
+  void capture() noexcept {
+    const std::lock_guard lock(mutex);
+    if (!failed.exchange(true, std::memory_order_relaxed)) {
+      error = std::current_exception();
+    }
+  }
+  /// Fast pre-check so remaining spans are skipped after a failure.
+  [[nodiscard]] bool has_failed() const {
+    return failed.load(std::memory_order_relaxed);
+  }
+  void rethrow_if_failed() {
+    if (failed.load(std::memory_order_acquire)) std::rethrow_exception(error);
+  }
+};
+
+/// Help-first join: run pool tasks while the gate is pending, then block.
+/// Waiting threads contribute cycles instead of sleeping (the caller-runs
+/// half of the low dispatch latency), and a worker blocked at a nested
+/// parallel_for keeps draining its own deque — which is what makes nesting
+/// deadlock-free.
+inline void help_until(ThreadPool& pool, CompletionGate& gate) {
+  int misses = 0;
+  while (!gate.done()) {
+    if (pool.try_run_one()) {
+      misses = 0;
+      continue;
+    }
+    // After a few empty scans the remaining spans are executing on other
+    // threads; stop spinning and block.
+    if (++misses >= 3) break;
+    cpu_relax();
+  }
+  // Callers destroy the gate right after this returns; wait() (not the
+  // advisory done()) is the handshake that lets them (see CompletionGate).
+  gate.wait();
+}
+
+/// Shared state of one parallel_for invocation, on the calling thread's
+/// stack; the gate's final arrive is the lifetime fence (every task touches
+/// the descriptor strictly before its last arrive, and the caller cannot
+/// return from wait before that).
+template <typename Body>
+struct LoopDesc {
+  ThreadPool* pool;
+  const Body* body;
+  CompletionGate* gate;
+  std::int64_t min_grain;  // never split below this many iterations
+  std::int64_t leaf_cap;   // longest indivisible span handed to `body`
+  ErrorSlot error;
+};
+
+/// Execute [lo, hi): split off the upper half onto the local deque while a
+/// thief is hungry, and run the remainder in leaf_cap-bounded spans so a
+/// range that started with no thieves in sight can still shed work when one
+/// shows up mid-flight. The body region is wrapped so the gate always
+/// retires every iteration of the range, exception or not.
+template <typename Body>
+void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
+  ThreadPool& pool = *desc.pool;
+  CompletionGate& gate = *desc.gate;
+  const bool on_worker = pool.on_worker_thread();
+  while (lo < hi) {
+    while (hi - lo > desc.min_grain && pool.has_hungry_thief()) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      LoopDesc<Body>* desc_ptr = &desc;
+      const std::int64_t split_lo = mid;
+      const std::int64_t split_hi = hi;
+      const auto split_fn = [desc_ptr, split_lo, split_hi] {
+        run_range(*desc_ptr, split_lo, split_hi);
+      };
+      if (on_worker) {
+        if (!pool.try_push_local(split_fn)) break;  // deque/slab full: keep it
+      } else {
+        // A non-worker caller (the external-dispatch root 0) has no deque;
+        // shed through the injection ring instead so a heavy leading range
+        // cannot stay pinned to the calling thread while workers starve.
+        // Only shed spans a hungry worker can meaningfully re-split.
+        if (hi - lo <= desc.leaf_cap) break;
+        pool.inject(Task::inline_of(split_fn));
+      }
+      hi = mid;
+    }
+    const std::int64_t span_hi = std::min(hi, lo + desc.leaf_cap);
+    if (!desc.error.has_failed()) {
+      try {
+        (*desc.body)(lo, span_hi);
+      } catch (...) {
+        desc.error.capture();
+      }
+    }
+    gate.arrive(span_hi - lo);  // last touch of desc for this span
+    lo = span_hi;
+  }
+}
+
+}  // namespace detail
+
 /// Run body(begin, end) over [begin, end) chunks in parallel and wait.
 /// `body` must be data-race free across disjoint ranges — which is precisely
 /// the property the dependence analyzer certifies for "easy" loop nests.
+/// The first exception a body region throws is rethrown here after every
+/// iteration has been retired (no deadlock, no dangling captures).
+///
+/// `grain` is the smallest range the Static splitter will divide (and the
+/// Dynamic chunk size). 0 picks a default from n and the worker count.
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body body,
                   Schedule schedule = Schedule::Static, std::int64_t grain = 0) {
@@ -55,20 +179,41 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
   }
 
   if (schedule == Schedule::Static) {
-    const std::int64_t chunks = std::min<std::int64_t>(workers, n);
-    CompletionGate gate{int(chunks)};
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(std::size_t(chunks));
-    for (std::int64_t c = 0; c < chunks; ++c) {
-      const std::int64_t lo = begin + n * c / chunks;
-      const std::int64_t hi = begin + n * (c + 1) / chunks;
-      tasks.push_back([&body, &gate, lo, hi] {
-        body(lo, hi);
-        gate.arrive();
-      });
+    if (grain <= 0) grain = std::max<std::int64_t>(1, n / (workers * 32));
+    CompletionGate gate{n};
+    detail::LoopDesc<Body> desc{&pool, &body, &gate, grain,
+                                std::max<std::int64_t>(grain, n / (workers * 8))};
+    // One root per worker; the caller keeps the first range for itself
+    // (running it beats waking a worker for small kernels) and helps until
+    // the gate closes. Each root retires its own iterations, so the gate
+    // cannot close while any root is still queued — descriptor lifetime is
+    // safe.
+    const std::int64_t roots = std::min<std::int64_t>(workers, n);
+    detail::LoopDesc<Body>* desc_ptr = &desc;
+    if (pool.on_worker_thread()) {
+      // Nested: feed our own deque so siblings can steal, then join.
+      for (std::int64_t c = 1; c < roots; ++c) {
+        const std::int64_t lo = begin + n * c / roots;
+        const std::int64_t hi = begin + n * (c + 1) / roots;
+        if (!pool.try_push_local(
+                [desc_ptr, lo, hi] { detail::run_range(*desc_ptr, lo, hi); })) {
+          detail::run_range(desc, lo, hi);
+        }
+      }
+    } else {
+      std::vector<Task> injected;
+      injected.reserve(std::size_t(roots) - 1);
+      for (std::int64_t c = 1; c < roots; ++c) {
+        const std::int64_t lo = begin + n * c / roots;
+        const std::int64_t hi = begin + n * (c + 1) / roots;
+        injected.push_back(Task::inline_of(
+            [desc_ptr, lo, hi] { detail::run_range(*desc_ptr, lo, hi); }));
+      }
+      pool.inject_bulk(injected.data(), injected.size());
     }
-    pool.submit_bulk(std::move(tasks));
-    gate.wait();
+    detail::run_range(desc, begin, begin + n / roots);
+    detail::help_until(pool, gate);
+    desc.error.rethrow_if_failed();
     return;
   }
 
@@ -81,24 +226,95 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
   if (grain <= 0) {
     grain = std::max(kMinDynamicGrain, n / (workers * 8));
   }
-  const std::int64_t tasks_needed =
-      std::min<std::int64_t>(workers, (n + grain - 1) / grain);
-  auto next = std::make_shared<std::atomic<std::int64_t>>(begin);
-  CompletionGate gate{int(tasks_needed)};
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(std::size_t(tasks_needed));
-  for (std::int64_t w = 0; w < tasks_needed; ++w) {
-    tasks.push_back([&body, &gate, next, end, grain] {
-      while (true) {
-        const std::int64_t lo = next->fetch_add(grain, std::memory_order_relaxed);
-        if (lo >= end) break;
-        body(lo, std::min(lo + grain, end));
+  // The gate counts DRAIN TASKS, not iterations: helper tasks share one
+  // counter, so a straggler that wakes to an already-empty counter must
+  // still be awaited — it touches the descriptor, and the caller's frame
+  // owns the descriptor. (The caller helps run stragglers, so the wait is
+  // short.)
+  const std::int64_t helper_tasks =
+      std::max<std::int64_t>(0, std::min<std::int64_t>(
+                                    workers - 1, (n + grain - 1) / grain - 1));
+  struct DynDesc {
+    std::atomic<std::int64_t> next;
+    std::int64_t end;
+    std::int64_t grain;
+    const Body* body;
+    CompletionGate* gate;
+    detail::ErrorSlot error;
+  };
+  CompletionGate gate{helper_tasks + 1};
+  DynDesc desc{{begin}, end, grain, &body, &gate};
+  DynDesc* desc_ptr = &desc;
+  const auto drain = [](DynDesc& d) {
+    while (true) {
+      const std::int64_t lo = d.next.fetch_add(d.grain, std::memory_order_relaxed);
+      if (lo >= d.end) break;
+      const std::int64_t hi = std::min(lo + d.grain, d.end);
+      if (!d.error.has_failed()) {
+        try {
+          (*d.body)(lo, hi);
+        } catch (...) {
+          d.error.capture();
+        }
       }
-      gate.arrive();
-    });
+    }
+    d.gate->arrive();  // always runs, exception or not: last touch of d
+  };
+  std::vector<Task> injected;
+  injected.reserve(std::size_t(helper_tasks));
+  for (std::int64_t w = 0; w < helper_tasks; ++w) {
+    injected.push_back(Task::inline_of([desc_ptr, drain] { drain(*desc_ptr); }));
   }
-  pool.submit_bulk(std::move(tasks));
-  gate.wait();
+  pool.inject_bulk(injected.data(), injected.size());
+  drain(desc);  // caller participates
+  detail::help_until(pool, gate);
+  desc.error.rethrow_if_failed();
+}
+
+/// Run `fn(c, lo, hi)` for chunks c in [0, chunks) with the deterministic
+/// equal-split boundaries lo = n*c/chunks. The fixed boundaries are the
+/// point: par_reduce and other order-sensitive combines need partials whose
+/// extents never depend on scheduling. Launched as inline tasks through the
+/// batched injection path; the caller runs chunk 0 and helps.
+template <typename ChunkFn>
+void parallel_chunks(ThreadPool& pool, std::int64_t n, std::int64_t chunks,
+                     const ChunkFn& fn) {
+  if (n <= 0 || chunks <= 0) return;
+  struct ChunkDesc {
+    const ChunkFn* fn;
+    CompletionGate* gate;
+    std::int64_t n;
+    std::int64_t chunks;
+    detail::ErrorSlot error;
+  };
+  CompletionGate gate{chunks};
+  ChunkDesc desc{&fn, &gate, n, chunks};
+  ChunkDesc* desc_ptr = &desc;
+  const auto run_chunk = [](ChunkDesc& d, std::int64_t c) {
+    CompletionGate& g = *d.gate;
+    if (!d.error.has_failed()) {
+      try {
+        (*d.fn)(c, d.n * c / d.chunks, d.n * (c + 1) / d.chunks);
+      } catch (...) {
+        d.error.capture();
+      }
+    }
+    g.arrive();  // last touch of d for this chunk
+  };
+  if (pool.size() <= 1 || chunks == 1) {
+    for (std::int64_t c = 0; c < chunks; ++c) run_chunk(desc, c);
+  } else {
+    std::vector<Task> injected;
+    injected.reserve(std::size_t(chunks) - 1);
+    for (std::int64_t c = 1; c < chunks; ++c) {
+      injected.push_back(
+          Task::inline_of([desc_ptr, run_chunk, c] { run_chunk(*desc_ptr, c); }));
+    }
+    pool.inject_bulk(injected.data(), injected.size());
+    run_chunk(desc, 0);
+    detail::help_until(pool, gate);
+  }
+  desc.error.rethrow_if_failed();
 }
 
 /// River-Trail-style data-parallel map: out[i] = fn(in[i]).
@@ -115,9 +331,9 @@ void par_map(ThreadPool& pool, const std::vector<T>& in, std::vector<U>& out, Fn
 }
 
 /// Deterministic parallel reduction: per-chunk partials combined in chunk
-/// order. Floating-point results are reproducible run-to-run for a fixed
-/// worker count (partials are combined in index order, not completion
-/// order).
+/// order. Chunk boundaries come from parallel_chunks' fixed formula — NOT
+/// from the adaptive splitter — so floating-point results are reproducible
+/// run-to-run for a fixed worker count regardless of how steals landed.
 template <typename T, typename Acc, typename Transform, typename Combine>
 Acc par_reduce(ThreadPool& pool, const std::vector<T>& in, Acc identity,
                Transform transform, Combine combine) {
@@ -126,20 +342,14 @@ Acc par_reduce(ThreadPool& pool, const std::vector<T>& in, Acc identity,
   if (n == 0) return identity;
   const std::int64_t chunks = std::min<std::int64_t>(std::max<std::int64_t>(workers, 1), n);
   std::vector<Acc> partials(std::size_t(chunks), identity);
-  CompletionGate gate{int(chunks)};
-  for (std::int64_t c = 0; c < chunks; ++c) {
-    const std::int64_t lo = n * c / chunks;
-    const std::int64_t hi = n * (c + 1) / chunks;
-    pool.submit([&, lo, hi, c] {
-      Acc acc = identity;
-      for (std::int64_t i = lo; i < hi; ++i) {
-        acc = combine(acc, transform(in[std::size_t(i)]));
-      }
-      partials[std::size_t(c)] = acc;
-      gate.arrive();
-    });
-  }
-  gate.wait();
+  parallel_chunks(pool, n, chunks,
+                  [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                    Acc acc = identity;
+                    for (std::int64_t i = lo; i < hi; ++i) {
+                      acc = combine(acc, transform(in[std::size_t(i)]));
+                    }
+                    partials[std::size_t(c)] = acc;
+                  });
   Acc result = identity;
   for (const Acc& partial : partials) result = combine(result, partial);
   return result;

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+
+namespace jsceres::rivertrail {
+
+/// A schedulable unit with a fixed 48-byte footprint: one thunk pointer plus
+/// 40 bytes of inline payload. Small trivially-copyable callables (the
+/// parallel_for range tasks: a descriptor pointer and two indices) are
+/// stored inline, so the dispatch hot path never touches the heap — this is
+/// the allocation the old `std::function` queue paid per chunk. Larger or
+/// non-trivial callables (the generic `submit(std::function)` path) fall
+/// back to a heap box.
+///
+/// Tasks are trivially copyable and destructible so they can live in the
+/// lock-free deque's atomic cells (as pointers into per-worker slabs) and be
+/// copied by value through the injection rings. Ownership discipline: a task
+/// is run exactly once; boxed tasks free their box when run.
+class Task {
+ public:
+  static constexpr std::size_t kInlineBytes = 40;
+
+  Task() = default;
+
+  /// Wrap a small trivially-copyable callable inline.
+  template <typename F>
+  static Task inline_of(F fn) {
+    static_assert(sizeof(F) <= kInlineBytes, "callable too large for inline task");
+    static_assert(std::is_trivially_copyable_v<F> && std::is_trivially_destructible_v<F>,
+                  "inline tasks must be trivially copyable");
+    Task task;
+    task.invoke_ = [](Task& self) {
+      std::array<unsigned char, sizeof(F)> bytes;
+      std::memcpy(bytes.data(), self.storage_, sizeof(F));
+      std::bit_cast<F>(bytes)();
+    };
+    std::memcpy(task.storage_, &fn, sizeof(F));
+    return task;
+  }
+
+  /// Wrap an arbitrary callable behind one heap allocation (cold path:
+  /// external fire-and-forget submission).
+  static Task boxed(std::function<void()> fn) {
+    auto* box = new std::function<void()>(std::move(fn));
+    Task task;
+    task.invoke_ = [](Task& self) {
+      std::function<void()>* owned = nullptr;
+      std::memcpy(&owned, self.storage_, sizeof(owned));
+      (*owned)();
+      delete owned;
+    };
+    std::memcpy(task.storage_, &box, sizeof(box));
+    return task;
+  }
+
+  void run() { invoke_(*this); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  using InvokeFn = void (*)(Task&);
+
+  InvokeFn invoke_ = nullptr;
+  alignas(void*) unsigned char storage_[kInlineBytes];
+};
+
+static_assert(sizeof(Task) == 48, "Task is sized to stay allocation-free");
+static_assert(std::is_trivially_copyable_v<Task>);
+static_assert(std::is_trivially_destructible_v<Task>);
+
+}  // namespace jsceres::rivertrail

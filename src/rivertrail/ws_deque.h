@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rivertrail/task.h"
+
+namespace jsceres::rivertrail {
+
+/// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; memory orderings
+/// after Lê/Pop/Cohen/Nardelli, PPoPP'13). The owning worker pushes and pops
+/// at the bottom; thieves steal from the top with a compare-exchange.
+///
+/// Differences from the textbook version, both deliberate:
+///
+/// 1. Cells hold `Task*` in `std::atomic` cells instead of multi-word values.
+///    A stale thief may read a cell the owner is concurrently republishing —
+///    with atomic pointer cells that read is merely stale (and is discarded
+///    when the top CAS fails), never torn, and ThreadSanitizer agrees.
+/// 2. The buffer is a fixed-capacity ring and `push` fails when full instead
+///    of growing. Capacity equals the owner's task-slab capacity, so a full
+///    deque just means "stop splitting" — and the no-grow rule is what makes
+///    (1) sound: a cell can only be overwritten after `top` has advanced
+///    past it (push refuses while `bottom - top >= capacity`), and `top`
+///    advancing is exactly what makes the racing thief's CAS fail.
+/// 3. Where the PPoPP'13 version uses standalone seq_cst fences we put the
+///    ordering on the `top`/`bottom` operations themselves: the owner's
+///    bottom store in `pop` and the subsequent top load are both seq_cst,
+///    giving the StoreLoad ordering the algorithm needs while staying inside
+///    the memory model TSan instruments precisely.
+///
+/// Correctness sketch for the steal path: the cell is loaded *before* the
+/// claiming CAS. If the CAS succeeds, `top` was still `t` at claim time; the
+/// owner can only have overwritten cell `t % capacity` after observing
+/// `top > t` (full-guard in push), which would have made this CAS fail.
+/// Publication of the task payload itself rides the release store of
+/// `bottom` in push paired with the acquire load of `bottom` in steal.
+class WsDeque {
+ public:
+  /// `capacity` is rounded up to a power of two (the ring index is a mask).
+  explicit WsDeque(std::size_t capacity)
+      : cells_(std::bit_ceil(capacity)), mask_(std::bit_ceil(capacity) - 1) {
+    for (auto& cell : cells_) cell.store(nullptr, std::memory_order_relaxed);
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner only. False when the ring is full (caller keeps the task).
+  bool push(Task* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= std::int64_t(cells_.size())) return false;
+    cells_[std::size_t(b) & mask_].store(task, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. LIFO pop from the bottom; nullptr when empty.
+  Task* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      return cells_[std::size_t(b) & mask_].load(std::memory_order_relaxed);
+    }
+    Task* task = nullptr;
+    if (t == b) {
+      // Last element: race the thieves for it.
+      task = cells_[std::size_t(b) & mask_].load(std::memory_order_relaxed);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Any thread. FIFO steal from the top; nullptr when empty or when the
+  /// claiming CAS loses a race (callers just move to the next victim).
+  Task* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Task* task = cells_[std::size_t(t) & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::atomic<Task*>> cells_;
+  std::size_t mask_;
+  // Owner and thieves hammer different indices; keep them on separate lines.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace jsceres::rivertrail

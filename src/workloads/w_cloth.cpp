@@ -37,6 +37,11 @@ Workload make_cloth() {
   w.canvas_w = 160;
   w.canvas_h = 120;
   w.dependence_scale = 0.5;
+  // Verlet integration is uniform per particle except for pinned points
+  // (early-continue): Static with the default grain degenerates to equal
+  // chunks when nobody is hungry, which is the right call here.
+  w.kernel_schedule = rivertrail::Schedule::Static;
+  w.kernel_grain = 0;
   w.nest_markers = {"for (ci = 0; ci < constraints.length"};
   w.events = cloth_events();
   w.source = R"JS(

@@ -35,6 +35,11 @@ Workload make_fluid() {
   w.canvas_w = 80;
   w.canvas_h = 80;
   w.dependence_scale = 0.5;
+  // Jacobi rows are near-uniform, but the grid edge rows are cheaper than
+  // interior ones; a modest fixed grain keeps spans cache-friendly while
+  // still letting hungry thieves peel bands off a lagging worker.
+  w.kernel_schedule = rivertrail::Schedule::Static;
+  w.kernel_grain = 4;
   w.nest_markers = {"for (j = 1; j <= N; j++) { // lin_solve"};
   w.events = fluid_events();
   w.source = R"JS(

@@ -27,6 +27,11 @@ Workload make_raytrace() {
   // suspensions land inside open loops (Table 2: In-Loops 26 s > Active 19 s).
   w.preempt_interval_ticks = 40'000;
   w.preempt_block_ns = 140'000'000;
+  // Divergent kernel (variable-depth reflection recursion): grain 1 lets
+  // the adaptive splitter hand out single rows once thieves go hungry, so
+  // the reflective band does not pin one worker.
+  w.kernel_schedule = rivertrail::Schedule::Static;
+  w.kernel_grain = 1;
   w.nest_markers = {"for (y = y0; y < y1; y++) { // render rows"};
   w.events = {};
   w.source = R"JS(

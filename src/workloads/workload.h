@@ -5,6 +5,11 @@
 #include <vector>
 
 #include "dom/event_loop.h"
+#include "rivertrail/schedule.h"
+
+namespace jsceres::rivertrail {
+class ThreadPool;
+}
 
 namespace jsceres::workloads {
 
@@ -51,8 +56,32 @@ struct Workload {
   std::int64_t preempt_interval_ticks = 0;
   std::int64_t preempt_block_ns = 0;
 
+  /// Rivertrail schedule knobs for this workload's certified kernel port
+  /// (src/rivertrail/kernels.*), consumed by run_certified_kernel. Uniform
+  /// kernels keep the defaults; divergent ones (raytrace's variable-depth
+  /// recursion, fluid's banded rows) pick the schedule/grain that lets the
+  /// work-stealing runtime rebalance them. `kernel_grain` 0 = runtime
+  /// default.
+  rivertrail::Schedule kernel_schedule = rivertrail::Schedule::Static;
+  std::int64_t kernel_grain = 0;
+
   PaperTable2Row paper;
 };
+
+/// Outcome of running a workload's certified kernel port under its schedule
+/// knobs. `ran` is false for workloads without a kernel port (their hot
+/// loops are DOM-bound or "hard" in Table 3).
+struct KernelRun {
+  bool ran = false;
+  bool outputs_match = false;  // parallel output == sequential reference
+  double par_ms = 0;
+};
+
+/// Execute the kernel port matching `workload` (by name) on `pool`, using
+/// the workload's kernel_schedule / kernel_grain, and validate the output
+/// against the sequential reference.
+KernelRun run_certified_kernel(const Workload& workload,
+                               rivertrail::ThreadPool& pool);
 
 /// Line number (1-based) of the first occurrence of `marker` in `source`,
 /// or 0 when absent.

@@ -91,6 +91,56 @@ TEST(Interp, ClosuresCaptureEnvironment) {
       3);
 }
 
+// Environment pooling: thousands of calls cycle activations through the
+// free list; recycled environments must not leak bindings into later calls,
+// and environments still referenced by a live closure must not be recycled.
+TEST(Interp, PooledEnvironmentsDoNotLeakAcrossCalls) {
+  EXPECT_DOUBLE_EQ(
+      run_number("function leaf(x) { var local = x * 2; return local; }\n"
+                 "function mid(x) { var a = leaf(x); var b = leaf(x + 1); return a + b; }\n"
+                 "var total = 0;\n"
+                 "for (var i = 0; i < 2000; i++) { total += mid(i % 7); }\n"
+                 "var result = total;"),
+      // sum over i of (2*(i%7) + 2*((i%7)+1)); i%7 cycles 0..6 evenly plus
+      // 2000%7=5 leftovers of 0..4: 285*(2*21+2*28) + (2*10+2*15).
+      285 * (2 * 21 + 2 * 28) + (2 * 10 + 2 * 15));
+}
+
+TEST(Interp, ClosureKeepsEnvironmentOutOfPool) {
+  // Each counter() call's activation is captured by the returned closure;
+  // interleaved calls must keep distinct states even as sibling activations
+  // recycle.
+  EXPECT_DOUBLE_EQ(
+      run_number("function counter() { var n = 0; return function () { n++; return n; }; }\n"
+                 "var a = counter();\n"
+                 "var b = counter();\n"
+                 "function churn(k) { var t = 0; for (var i = 0; i < k; i++) { t += i; } return t; }\n"
+                 "a(); churn(50); b(); a(); churn(50); b(); b();\n"
+                 "var result = a() * 10 + b();  // a: 3rd call, b: 4th call"),
+      34);
+}
+
+TEST(Interp, ClosureValueSurvivesInterpreterDestruction) {
+  // The env pool detaches when the interpreter dies; a Value holding the
+  // closure (and thus the environment chain) must stay usable to destroy
+  // afterwards without touching freed pool memory.
+  Value survivor;
+  {
+    static js::Program program = js::parse(
+        "function make() { var payload = 'alive'; return function () { return payload; }; }\n"
+        "var keep = make();");
+    VirtualClock clock;
+    Interpreter interp(program, clock);
+    interp.run();
+    survivor = interp.global("keep");
+    EXPECT_TRUE(survivor.is_object());
+  }
+  // Interpreter and pool owner are gone; dropping the last reference walks
+  // the closure's environment chain through the detached pool.
+  survivor = Value();
+  SUCCEED();
+}
+
 TEST(Interp, WhileAndDoWhile) {
   EXPECT_DOUBLE_EQ(run_number("var i = 0; while (i < 5) { i++; } var result = i;"), 5);
   EXPECT_DOUBLE_EQ(run_number("var i = 9; do { i++; } while (false); var result = i;"), 10);
