@@ -37,20 +37,24 @@ double host_ms(workloads::Mode mode, const workloads::Workload& workload,
 
 int main() {
   std::printf("instrumentation overhead per mode (host ms; virtual CPU s)\n");
-  std::printf("%-20s %12s %12s %12s\n", "workload", "mode1-light", "mode2-loops",
-              "mode3-deps");
+  std::printf("%-20s %12s %12s %12s %12s\n", "workload", "mode0-none",
+              "mode1-light", "mode2-loops", "mode3-deps");
   for (const char* name : {"CamanJS", "fluidSim", "Tear-able Cloth"}) {
     const auto& workload = workloads::workload_by_name(name);
+    double v0 = 0;
     double v1 = 0;
     double v2 = 0;
     double v3 = 0;
+    const double m0 = host_ms(workloads::Mode::Uninstrumented, workload, &v0);
     const double m1 = host_ms(workloads::Mode::Lightweight, workload, &v1);
     const double m2 = host_ms(workloads::Mode::LoopProfile, workload, &v2);
     const double m3 = host_ms(workloads::Mode::Dependence, workload, &v3);
-    std::printf("%-20s %9.0fms %9.0fms %9.0fms   (x%.1f / x%.1f over mode 1)\n",
-                name, m1, m2, m3, m2 / m1, m3 / m1);
-    std::printf("%-20s virtual CPU: %.2fs / %.2fs / %.2fs %s\n", "", v1, v2, v3,
-                v1 == v2 ? "(modes 1-2 bias-free)" : "(WARNING: virtual drift)");
+    std::printf("%-20s %9.0fms %9.0fms %9.0fms %9.0fms   (mode3: x%.1f over mode 1, x%.1f over mode 0)\n",
+                name, m0, m1, m2, m3, m3 / m1, m3 / m0);
+    std::printf("%-20s virtual CPU: %.2fs / %.2fs / %.2fs / %.2fs %s\n", "", v0,
+                v1, v2, v3,
+                v0 == v1 && v1 == v2 ? "(modes 0-2 bias-free)"
+                                     : "(WARNING: virtual drift)");
   }
 
   std::printf("\nsampling-profiler artifact sweep (400k-iteration single-function loop)\n");

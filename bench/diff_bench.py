@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Bench regression guard: diff a fresh microbench JSON run against a
+committed BENCH_*_baseline.json snapshot and fail on regressions beyond a
+noise threshold.
+
+Absolute times are machine-dependent (the baselines were recorded on the
+study container, CI runs elsewhere), so the comparison is on RATIOS: each
+benchmark's time is normalized by an anchor benchmark from the SAME run,
+and compared against the baseline's after-times normalized the same way. A
+benchmark regresses when
+
+    (measured[b] / measured[anchor]) / (baseline[b] / baseline[anchor])
+        > threshold
+
+The default threshold is deliberately generous (CI smoke runs are
+single-repetition): this catches order-of-magnitude slips — an inline cache
+that stopped hitting, a fast path that fell off — not single-digit noise.
+
+Usage:
+    diff_bench.py measured.json baseline.json [--threshold 2.5]
+
+measured.json: google-benchmark --benchmark_format=json output.
+baseline.json: this repo's snapshot format ({"benchmarks": {name:
+{"after_ms"|"after_ns": ...}}}, optional "anchor": name).
+"""
+
+import argparse
+import json
+import sys
+
+
+def baseline_time(entry):
+    """Baseline after-time in ns, or None for non-time entries."""
+    if "after_ns" in entry:
+        return float(entry["after_ns"])
+    if "after_ms" in entry:
+        return float(entry["after_ms"]) * 1e6
+    return None
+
+
+def measured_times(doc):
+    """name -> real_time in ns from a google-benchmark JSON document."""
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate" and bench.get(
+                "aggregate_name") != "median":
+            continue
+        name = bench["name"]
+        for suffix in ("_median", "_mean"):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[name] = float(bench["real_time"]) * scale
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=2.5)
+    args = parser.parse_args()
+
+    with open(args.measured) as f:
+        measured = measured_times(json.load(f))
+    with open(args.baseline) as f:
+        baseline_doc = json.load(f)
+
+    baseline = {}
+    for name, entry in baseline_doc.get("benchmarks", {}).items():
+        time_ns = baseline_time(entry)
+        if time_ns is not None:
+            baseline[name] = time_ns
+
+    common = [name for name in baseline if name in measured]
+    if len(common) < 2:
+        print(f"diff_bench: <2 common benchmarks between {args.measured} and "
+              f"{args.baseline}; nothing to compare", file=sys.stderr)
+        return 0
+
+    anchor = baseline_doc.get("anchor")
+    if anchor not in measured or anchor not in baseline:
+        anchor = sorted(common)[0]
+
+    failures = []
+    print(f"bench guard: {args.baseline} (anchor {anchor}, "
+          f"threshold {args.threshold:.2f}x)")
+    for name in sorted(common):
+        if name == anchor:
+            continue
+        measured_rel = measured[name] / measured[anchor]
+        baseline_rel = baseline[name] / baseline[anchor]
+        ratio = measured_rel / baseline_rel
+        status = "ok"
+        if ratio > args.threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        elif ratio < 1.0 / args.threshold:
+            status = "improved (consider refreshing the baseline)"
+        print(f"  {name}: rel {measured_rel:.3f} vs baseline {baseline_rel:.3f} "
+              f"-> x{ratio:.2f} {status}")
+
+    if failures:
+        print(f"diff_bench: {len(failures)} regression(s) beyond "
+              f"x{args.threshold:.2f}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "ceres/char_stack.h"
+#include "ceres/dependence_analyzer.h"
 #include "dom/canvas.h"
 #include "interp/interpreter.h"
 #include "js/lexer.h"
@@ -64,6 +65,29 @@ void BM_InterpretCalls(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InterpretCalls);
+
+// Call-dominated with a wide activation: 2 params + 10 hoisted vars per
+// call. The per-call declare scan is quadratic in the name count, which is
+// what the resolver's activation-layout template (stamped name vector +
+// direct slot stores) removes.
+void BM_InterpretCallsLocals(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "function mix(a, b) {\n"
+      "  var c = a + b; var d = a - b; var e = a * 2; var f = b * 2;\n"
+      "  var g = c + d; var h = e + f; var i2 = g - h; var j = g + h;\n"
+      "  var k = i2 * j; var l = k & 1023;\n"
+      "  return l;\n"
+      "}\n"
+      "var total = 0;\n"
+      "for (var i = 0; i < 4000; i++) { total += mix(i, i + 1); }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_InterpretCallsLocals);
 
 void BM_InterpretPropertyAccess(benchmark::State& state) {
   const js::Program program = js::parse(
@@ -138,6 +162,154 @@ void BM_CharacterizeCreation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CharacterizeCreation);
+
+// ---------------------------------------------------------------------------
+// Mode-3 dependence-analysis hot path (BENCH_ceres_baseline.json). These
+// drive DependenceAnalyzer's hook interface directly — the cost of event
+// processing (stamping, characterization, last-write tables), isolated from
+// tree-walking the program — which is exactly the overhead the paper calls
+// "very high" in §3.3.
+// ---------------------------------------------------------------------------
+
+// A tiny program whose loop table provides ids 1 (while) and 2.. (nested
+// fors) for synthesized events; depth-8 nest for BM_CharacterizeDepth.
+const js::Program& dependence_bench_program() {
+  static const js::Program program = js::parse(
+      "while (0) {\n"
+      "  for (var a = 0; a < 0; a++) {\n"
+      "    for (var b = 0; b < 0; b++) {\n"
+      "      for (var c = 0; c < 0; c++) {\n"
+      "        for (var d = 0; d < 0; d++) {\n"
+      "          for (var e = 0; e < 0; e++) {\n"
+      "            for (var f = 0; f < 0; f++) {\n"
+      "              for (var g = 0; g < 0; g++) { }\n"
+      "            }\n"
+      "          }\n"
+      "        }\n"
+      "      }\n"
+      "    }\n"
+      "  }\n"
+      "}\n");
+  return program;
+}
+
+interp::LoopEvent bench_loop(int loop_id) { return interp::LoopEvent{loop_id, 1, 0}; }
+
+// The dominant mode-3 traffic shape: a function called per iteration creates
+// an activation and writes its locals ("ok ok" private accesses), plus one
+// write to a loop-invariant env per iteration (deduplicated warning).
+void BM_DependenceVarWrites(benchmark::State& state) {
+  const js::Program& program = dependence_bench_program();
+  const js::Atom local = js::Atom::intern("p");
+  const js::Atom shared = js::Atom::intern("total");
+  const std::int64_t kIters = 512;
+  for (auto _ : state) {
+    ceres::DependenceAnalyzer analyzer(program);
+    std::uint64_t env_id = 1;
+    analyzer.on_env_created(env_id);  // pre-loop env: writes to it are shared
+    analyzer.on_loop_enter(bench_loop(1));
+    for (std::int64_t i = 0; i < kIters; ++i) {
+      analyzer.on_loop_iteration(bench_loop(1));
+      const std::uint64_t activation = ++env_id;
+      analyzer.on_env_created(activation);
+      for (int w = 0; w < 7; ++w) analyzer.on_var_write(activation, local, 5);
+      analyzer.on_var_write(1, shared, 9);
+    }
+    analyzer.on_loop_exit(bench_loop(1));
+    benchmark::DoNotOptimize(analyzer.warnings().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kIters * 8);
+}
+BENCHMARK(BM_DependenceVarWrites);
+
+// Property traffic: per iteration a fresh object takes private field writes
+// and reads, and one shared (pre-loop) object takes a write + flow read —
+// exercising creation stamps, the per-(object, property) last-write table,
+// and flow characterization.
+void BM_DependencePropWrites(benchmark::State& state) {
+  const js::Program& program = dependence_bench_program();
+  const js::Atom kx = js::Atom::intern("x");
+  const js::Atom ky = js::Atom::intern("y");
+  const js::Atom ksum = js::Atom::intern("sum");
+  const interp::BaseProvenance obj_base{interp::BaseProvenance::Kind::Object, 0};
+  const std::int64_t kIters = 512;
+  for (auto _ : state) {
+    ceres::DependenceAnalyzer analyzer(program);
+    std::uint64_t obj_id = 1;
+    analyzer.on_object_created(obj_id, 1);  // pre-loop shared accumulator
+    analyzer.on_loop_enter(bench_loop(1));
+    for (std::int64_t i = 0; i < kIters; ++i) {
+      analyzer.on_loop_iteration(bench_loop(1));
+      const std::uint64_t fresh = ++obj_id;
+      analyzer.on_object_created(fresh, 5);
+      for (int w = 0; w < 3; ++w) {
+        analyzer.on_prop_write(fresh, kx, 6, obj_base);
+        analyzer.on_prop_read(fresh, kx, 7, obj_base);
+        analyzer.on_prop_write(fresh, ky, 6, obj_base);
+      }
+      analyzer.on_prop_read(1, ksum, 8, obj_base);
+      analyzer.on_prop_write(1, ksum, 8, obj_base);
+    }
+    analyzer.on_loop_exit(bench_loop(1));
+    benchmark::DoNotOptimize(analyzer.warnings().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kIters * 11);
+}
+BENCHMARK(BM_DependencePropWrites);
+
+// Characterization cost against nesting depth: all eight loops of the nest
+// open, private writes to an activation created at full depth plus shared
+// writes to a pre-nest env — the per-level diff the stamp representation
+// must make cheap.
+void BM_CharacterizeDepth(benchmark::State& state) {
+  const js::Program& program = dependence_bench_program();
+  const js::Atom local = js::Atom::intern("q");
+  const js::Atom shared = js::Atom::intern("acc");
+  const int depth = int(state.range(0));
+  const std::int64_t kIters = 256;
+  for (auto _ : state) {
+    ceres::DependenceAnalyzer analyzer(program);
+    analyzer.on_env_created(1);
+    for (int l = 1; l <= depth; ++l) {
+      analyzer.on_loop_enter(bench_loop(l));
+      analyzer.on_loop_iteration(bench_loop(l));
+    }
+    for (std::int64_t i = 0; i < kIters; ++i) {
+      analyzer.on_loop_iteration(bench_loop(depth));
+      analyzer.on_env_created(100 + std::uint64_t(i));
+      for (int w = 0; w < 4; ++w) {
+        analyzer.on_var_write(100 + std::uint64_t(i), local, 5);
+      }
+      analyzer.on_var_write(1, shared, 9);
+    }
+    for (int l = depth; l >= 1; --l) analyzer.on_loop_exit(bench_loop(l));
+    benchmark::DoNotOptimize(analyzer.warnings().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kIters * 5);
+}
+BENCHMARK(BM_CharacterizeDepth)->Arg(2)->Arg(8);
+
+// End-to-end mode-3 run of a reduction-shaped program: what a user pays for
+// dependence analysis including the interpreter's event emission.
+void BM_DependenceEndToEnd(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "var acc = {sum: 0};\n"
+      "var data = [];\n"
+      "for (var i0 = 0; i0 < 64; i0++) { data.push(i0); }\n"
+      "function stepSum(i) { var v = data[i] * 2; acc.sum = acc.sum + v; return v; }\n"
+      "for (var r = 0; r < 40; r++) {\n"
+      "  for (var i = 0; i < data.length; i++) { stepSum(i); }\n"
+      "}\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    ceres::DependenceAnalyzer analyzer(program);
+    interp::Interpreter interp(program, clock, &analyzer);
+    interp.run();
+    benchmark::DoNotOptimize(analyzer.warnings().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 64);
+}
+BENCHMARK(BM_DependenceEndToEnd);
 
 // Dispatch latency: what a parallel_for of a near-empty body costs end to
 // end. This is the number the work-stealing runtime targets — for small

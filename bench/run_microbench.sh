@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Regenerate microbenchmark snapshots.
 #
-#   bench/run_microbench.sh [--smoke] [--rivertrail|--interp|--all] [build-dir] [output.json]
+#   bench/run_microbench.sh [--smoke] [--rivertrail|--interp|--ceres|--all] [build-dir] [output.json]
 #
 # --interp (default): the interpreter hot-path set backing
 #   BENCH_interp_baseline.json.
 # --rivertrail: the parallel-runtime set backing BENCH_rivertrail_baseline.json
 #   (dispatch latency, divergent-balance, scaling).
-# --all: both.
+# --ceres: the mode-3 dependence-analysis set backing BENCH_ceres_baseline.json
+#   (var/prop event processing, characterization depth sweep, end-to-end).
+# --all: everything.
 # --smoke: single fast pass (CI wiring check, not a measurement).
 #
 # Requires google-benchmark (the microbench target is skipped by CMake when it
@@ -16,6 +18,7 @@ set -euo pipefail
 
 FILTER_INTERP='BM_Lex|BM_Parse|BM_Interpret|BM_Resolve|BM_PropertyAccess'
 FILTER_RIVERTRAIL='BM_ParallelFor|BM_NBodyStepPar'
+FILTER_CERES='BM_Dependence|BM_Characterize'
 
 FILTER="${FILTER_INTERP}"
 MIN_TIME=0.3
@@ -38,8 +41,12 @@ while [[ $# -gt 0 ]]; do
       FILTER="${FILTER_INTERP}"
       shift
       ;;
+    --ceres)
+      FILTER="${FILTER_CERES}"
+      shift
+      ;;
     --all)
-      FILTER="${FILTER_INTERP}|${FILTER_RIVERTRAIL}"
+      FILTER="${FILTER_INTERP}|${FILTER_RIVERTRAIL}|${FILTER_CERES}"
       shift
       ;;
     *)

@@ -21,7 +21,32 @@ struct LoopFrame {
 
 /// A snapshot of the characterization stack, stamped onto environments and
 /// objects at creation time and onto (object, property) pairs at write time.
+/// This is the *materialized* form used by the reference algebra and tests;
+/// the mode-3 hot path stores interned StampIds instead (see below).
 using Stamp = std::vector<LoopFrame>;
+
+/// Interned handle to one characterization-stack state. Stamping a datum is
+/// a single 32-bit store; id 0 is the root ("no loops open"), so a table
+/// miss and an out-of-loop creation mean the same thing.
+using StampId = std::uint32_t;
+inline constexpr StampId kEmptyStampId = 0;
+/// Sentinel distinct from every interned id ("current state not interned
+/// yet" — see CharStack::current_id_if_interned).
+inline constexpr StampId kNoStampId = 0xffffffffu;
+
+/// One node of the hash-consed stamp tree: a stack state is its parent state
+/// plus one (loop, instance, iteration) frame. States are immutable and
+/// never repeat — the per-loop instance counter makes every (loop_id,
+/// instance) pair globally unique — so the tree is append-only and sharing
+/// is maximal by construction: every stamp taken under a common prefix of
+/// loop frames references the same prefix nodes.
+struct StampNode {
+  StampId parent = kEmptyStampId;
+  std::uint32_t depth = 0;  // frames on the path; the root has depth 0
+  int loop_id = 0;
+  std::int64_t instance = 0;
+  std::int64_t iteration = 0;
+};
 
 /// Per-loop-level dependence flags. The paper renders a triple per loop:
 /// "<loop> <instance-flag> <iteration-flag>", where "ok" means each
@@ -60,6 +85,21 @@ struct Characterization {
   bool operator==(const Characterization&) const = default;
 };
 
+/// Compact characterization produced by the stamp-id hot path. Both §3.3
+/// algorithms share one shape: every level above the outermost divergent
+/// level is "ok ok", the divergent level itself is "ok dependence" (or
+/// "dependence dependence" when the loop instance differs), and every level
+/// below it is fully shared. So the whole per-level flag vector is
+/// determined by (div_level, instance_at_div) — no allocation needed until
+/// a warning is actually recorded.
+struct CharDelta {
+  static constexpr std::uint32_t kPrivate = 0xffffffffu;
+  std::uint32_t div_level = kPrivate;  // index into the current stack
+  bool instance_at_div = false;
+
+  [[nodiscard]] bool problematic() const { return div_level != kPrivate; }
+};
+
 /// Characterize a *creation-stamped* datum accessed under `current`:
 /// environments (type (a) variable writes) and objects (type (b) property
 /// writes). A level present in both stamp and current with equal
@@ -85,45 +125,218 @@ std::string render_characterization(const Characterization& chr,
 /// enter/iteration/exit events; detects loop re-entry through recursion
 /// (paper §3.3: the stack would otherwise grow without bound; JS-CERES
 /// raises a warning and discards results for the affected nest).
+///
+/// The stack doubles as the intern point of the stamp tree: the current
+/// state's id is materialized lazily (a state that no stamp ever references
+/// costs nothing), and the characterization algorithms run directly on
+/// (StampId, live stack) pairs with O(1) fast paths for the two dominant
+/// cases — the stamp IS the current state ("ok ok" private access) and the
+/// stamp is a prefix of the current state (datum pre-dates the inner loop).
 class CharStack {
  public:
+  CharStack() { nodes_.emplace_back(); }  // nodes_[0] = root (depth 0)
+
   void on_enter(int loop_id) {
-    for (const auto& frame : stack_) {
-      if (frame.loop_id == loop_id) {
-        recursive_loops_.insert({loop_id, true});
-        break;
-      }
-    }
-    stack_.push_back(LoopFrame{loop_id, instance_counters_[loop_id]++, 0});
+    const std::size_t index = counter_index(loop_id);
+    if (open_counts_[index] > 0) recursive_loops_.insert({loop_id, true});
+    ++open_counts_[index];
+    stack_.push_back(LoopFrame{loop_id, instance_counters_[index]++, 0});
+    frame_ids_.push_back(kNoStampId);
+    path_ids_.push_back(intern_path(current_path_id_, loop_id));
+    current_path_id_ = path_ids_.back();
   }
 
   void on_iteration(int loop_id) {
     if (!stack_.empty() && stack_.back().loop_id == loop_id) {
       ++stack_.back().iteration;
+      // The top frame's state changed: its interned id (if any) is stale.
+      if (interned_depth_ == stack_.size()) --interned_depth_;
     }
   }
 
   void on_exit(int loop_id) {
     if (!stack_.empty() && stack_.back().loop_id == loop_id) {
+      --open_counts_[counter_index(loop_id)];
       stack_.pop_back();
+      frame_ids_.pop_back();
+      path_ids_.pop_back();
+      current_path_id_ = path_ids_.empty() ? 0 : path_ids_.back();
+      if (interned_depth_ > stack_.size()) interned_depth_ = stack_.size();
     }
   }
 
   [[nodiscard]] const Stamp& current() const { return stack_; }
   [[nodiscard]] bool any_open() const { return !stack_.empty(); }
   [[nodiscard]] bool is_open(int loop_id) const {
-    for (const auto& frame : stack_) {
-      if (frame.loop_id == loop_id) return true;
-    }
-    return false;
+    return std::size_t(loop_id) < open_counts_.size() &&
+           open_counts_[std::size_t(loop_id)] > 0;
   }
   [[nodiscard]] const std::unordered_map<int, bool>& recursive_loops() const {
     return recursive_loops_;
   }
 
+  // -- stamp-tree interface --------------------------------------------------
+
+  /// Intern (if needed) and return the current state's id. Amortized O(1):
+  /// each enter/iteration creates at most one node, and only when a stamp is
+  /// actually taken under that state.
+  StampId current_id() {
+    while (interned_depth_ < stack_.size()) {
+      const std::size_t k = interned_depth_;
+      StampNode node;
+      node.parent = k == 0 ? kEmptyStampId : frame_ids_[k - 1];
+      node.depth = std::uint32_t(k + 1);
+      node.loop_id = stack_[k].loop_id;
+      node.instance = stack_[k].instance;
+      node.iteration = stack_[k].iteration;
+      frame_ids_[k] = StampId(nodes_.size());
+      nodes_.push_back(node);
+      ++interned_depth_;
+    }
+    return stack_.empty() ? kEmptyStampId : frame_ids_.back();
+  }
+
+  /// The current state's id if it has been interned, else kNoStampId.
+  /// States never repeat, so `stamp == current_id_if_interned()` is an exact
+  /// "stamped under this very state" test without forcing interning.
+  [[nodiscard]] StampId current_id_if_interned() const {
+    if (stack_.empty()) return kEmptyStampId;
+    return interned_depth_ == stack_.size() ? frame_ids_.back() : kNoStampId;
+  }
+
+  [[nodiscard]] const StampNode& node(StampId id) const { return nodes_[id]; }
+  /// Stamp-tree size (diagnostics / growth tests). Grows with the number of
+  /// *referenced* states, never with raw iteration count.
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Dense id of the current loop-id path (instances/iterations ignored).
+  /// Two accesses have equal characterization-level loop ids iff their path
+  /// ids are equal — the warning-dedup key the analyzer needs.
+  [[nodiscard]] std::uint32_t current_path_id() const { return current_path_id_; }
+
+  /// Id-based §3.3 creation characterization of `stamp` against the current
+  /// stack (see characterize_creation for the semantics).
+  [[nodiscard]] CharDelta characterize_creation_id(StampId stamp) const {
+    CharDelta delta;
+    const std::size_t depth = stack_.size();
+    if (stamp == current_id_if_interned()) return delta;  // "ok ok" everywhere
+    const std::uint32_t stamp_depth = nodes_[stamp].depth;
+    // Stamp is a strict interned prefix of the current state: the datum
+    // pre-dates the loop at level stamp_depth within the current containing
+    // iteration — "ok dependence" there, fully shared deeper.
+    if (stamp_depth < depth && stamp_depth <= interned_depth_ &&
+        (stamp_depth == 0 ? stamp == kEmptyStampId
+                          : frame_ids_[stamp_depth - 1] == stamp)) {
+      delta.div_level = stamp_depth;
+      return delta;
+    }
+    fill_scratch(stamp);
+    for (std::size_t k = 0; k < depth; ++k) {
+      if (k >= scratch_.size()) {
+        delta.div_level = std::uint32_t(k);
+        return delta;
+      }
+      const StampNode& frame = nodes_[scratch_[k]];
+      if (frame.loop_id != stack_[k].loop_id ||
+          frame.instance != stack_[k].instance) {
+        delta.div_level = std::uint32_t(k);
+        delta.instance_at_div = true;
+        return delta;
+      }
+      if (frame.iteration != stack_[k].iteration) {
+        delta.div_level = std::uint32_t(k);
+        return delta;
+      }
+    }
+    return delta;
+  }
+
+  /// Id-based §3.3 flow characterization of a write stamp against the
+  /// current stack (see characterize_flow for the semantics).
+  [[nodiscard]] CharDelta characterize_flow_id(StampId write) const {
+    CharDelta delta;
+    const std::size_t depth = stack_.size();
+    if (write == current_id_if_interned()) return delta;  // same iteration
+    const std::uint32_t write_depth = nodes_[write].depth;
+    // Write under a (strict or equal-depth) interned prefix: the value was
+    // written before every open loop began — loop-invariant input.
+    if (write_depth <= depth && write_depth <= interned_depth_ &&
+        (write_depth == 0 ? write == kEmptyStampId
+                          : frame_ids_[write_depth - 1] == write)) {
+      return delta;
+    }
+    fill_scratch(write);
+    for (std::size_t k = 0; k < depth; ++k) {
+      if (k >= scratch_.size()) return delta;  // written before this loop
+      const StampNode& frame = nodes_[scratch_[k]];
+      if (frame.loop_id != stack_[k].loop_id ||
+          frame.instance != stack_[k].instance) {
+        return delta;  // already-closed instance: plain input
+      }
+      if (frame.iteration != stack_[k].iteration) {
+        delta.div_level = std::uint32_t(k);
+        return delta;
+      }
+    }
+    return delta;
+  }
+
+  /// Expand a CharDelta into the reference Characterization (for recording
+  /// a warning; allocation happens only here).
+  [[nodiscard]] Characterization materialize(const CharDelta& delta) const {
+    Characterization out;
+    out.levels.reserve(stack_.size());
+    for (std::size_t k = 0; k < stack_.size(); ++k) {
+      LevelFlags flags;
+      flags.loop_id = stack_[k].loop_id;
+      if (delta.problematic() && k >= delta.div_level) {
+        flags.iteration_dep = true;
+        flags.instance_dep =
+            k > delta.div_level || (k == delta.div_level && delta.instance_at_div);
+      }
+      out.levels.push_back(flags);
+    }
+    return out;
+  }
+
  private:
+  [[nodiscard]] std::size_t counter_index(int loop_id) {
+    const auto index = std::size_t(loop_id);
+    if (index >= instance_counters_.size()) {
+      instance_counters_.resize(index + 1, 0);
+      open_counts_.resize(index + 1, 0);
+    }
+    return index;
+  }
+
+  std::uint32_t intern_path(std::uint32_t parent, int loop_id) {
+    const std::uint64_t key =
+        (std::uint64_t(parent) << 32) | std::uint64_t(std::uint32_t(loop_id));
+    const auto it = path_intern_.find(key);
+    if (it != path_intern_.end()) return it->second;
+    const auto id = std::uint32_t(path_intern_.size() + 1);  // 0 = empty path
+    path_intern_.emplace(key, id);
+    return id;
+  }
+
+  /// Materialize `stamp`'s frame ids outermost-first into scratch_.
+  void fill_scratch(StampId stamp) const {
+    scratch_.resize(nodes_[stamp].depth);
+    for (StampId id = stamp; id != kEmptyStampId; id = nodes_[id].parent) {
+      scratch_[nodes_[id].depth - 1] = id;
+    }
+  }
+
   Stamp stack_;
-  std::unordered_map<int, std::int64_t> instance_counters_;
+  std::vector<StampId> frame_ids_;     // frame_ids_[k] valid for k < interned_depth_
+  std::vector<std::uint32_t> path_ids_;  // loop-path id per open frame
+  std::size_t interned_depth_ = 0;
+  std::uint32_t current_path_id_ = 0;
+  std::vector<StampNode> nodes_;
+  mutable std::vector<StampId> scratch_;
+  std::unordered_map<std::uint64_t, std::uint32_t> path_intern_;
+  std::vector<std::int64_t> instance_counters_;  // indexed by loop_id
+  std::vector<std::int32_t> open_counts_;        // indexed by loop_id
   std::unordered_map<int, bool> recursive_loops_;
 };
 

@@ -4,10 +4,10 @@
 
 namespace jsceres::ceres {
 
-const Stamp DependenceAnalyzer::kEmptyStamp;
-
 DependenceAnalyzer::DependenceAnalyzer(const js::Program& program, Options options)
-    : program_(program), options_(options) {}
+    : program_(program), options_(options) {
+  summaries_.resize(std::size_t(program.loop_count()) + 1);
+}
 
 std::string DependenceWarning::render(const js::Program& program) const {
   std::string out;
@@ -24,10 +24,18 @@ std::string DependenceWarning::render(const js::Program& program) const {
   return out;
 }
 
+LoopDependenceSummary& DependenceAnalyzer::summary_slot(int loop_id) {
+  if (std::size_t(loop_id) >= summaries_.size()) {
+    summaries_.resize(std::size_t(loop_id) + 1);
+  }
+  LoopDependenceSummary& summary = summaries_[std::size_t(loop_id)];
+  summary.loop_id = loop_id;
+  return summary;
+}
+
 void DependenceAnalyzer::on_loop_enter(const interp::LoopEvent& e) {
   chars_.on_enter(e.loop_id);
-  auto& summary = summaries_[e.loop_id];
-  summary.loop_id = e.loop_id;
+  LoopDependenceSummary& summary = summary_slot(e.loop_id);
   if (chars_.recursive_loops().count(e.loop_id) > 0) {
     summary.recursion_detected = true;
   }
@@ -47,9 +55,7 @@ void DependenceAnalyzer::on_function_enter(int fn_id, const std::string&) {
       if (open_fn == fn_id) {
         // Recursive call under an open loop: iteration work is unbounded.
         for (const LoopFrame& frame : chars_.current()) {
-          auto& summary = summaries_[frame.loop_id];
-          summary.loop_id = frame.loop_id;
-          summary.recursion_detected = true;
+          summary_slot(frame.loop_id).recursion_detected = true;
         }
         break;
       }
@@ -64,11 +70,11 @@ void DependenceAnalyzer::on_function_exit(int) {
 
 void DependenceAnalyzer::on_env_created(std::uint64_t env_id) {
   if (global_env_id_ == 0) global_env_id_ = env_id;  // first env == global
-  if (chars_.any_open()) env_stamps_[env_id] = chars_.current();
+  if (chars_.any_open()) env_stamps_.put(env_id, 0, chars_.current_id());
 }
 
 void DependenceAnalyzer::on_object_created(std::uint64_t obj_id, int) {
-  if (chars_.any_open()) obj_stamps_[obj_id] = chars_.current();
+  if (chars_.any_open()) obj_stamps_.put(obj_id, 0, chars_.current_id());
 }
 
 bool DependenceAnalyzer::in_focus() const {
@@ -77,23 +83,21 @@ bool DependenceAnalyzer::in_focus() const {
   return chars_.is_open(options_.focus_loop_id);
 }
 
-const Stamp& DependenceAnalyzer::base_stamp(
-    std::uint64_t obj_id, const interp::BaseProvenance& base) const {
+StampId DependenceAnalyzer::base_stamp(std::uint64_t obj_id,
+                                       const interp::BaseProvenance& base) const {
   using Kind = interp::BaseProvenance::Kind;
   if (base.kind == Kind::Binding || base.kind == Kind::This) {
-    const auto it = env_stamps_.find(base.env_id);
-    return it == env_stamps_.end() ? kEmptyStamp : it->second;
+    return env_stamps_.get(base.env_id, 0);
   }
-  const auto it = obj_stamps_.find(obj_id);
-  return it == obj_stamps_.end() ? kEmptyStamp : it->second;
+  return obj_stamps_.get(obj_id, 0);
 }
 
-void DependenceAnalyzer::bump_summary_counters(const Characterization& chr,
-                                               AccessKind kind) {
-  for (const LevelFlags& level : chr.levels) {
-    if (!level.instance_dep && !level.iteration_dep) continue;
-    auto& summary = summaries_[level.loop_id];
-    summary.loop_id = level.loop_id;
+void DependenceAnalyzer::bump_shared_counters(const CharDelta& delta,
+                                              AccessKind kind) {
+  // Every level at or below the divergence carries a dependence.
+  const Stamp& stack = chars_.current();
+  for (std::size_t k = delta.div_level; k < stack.size(); ++k) {
+    LoopDependenceSummary& summary = summary_slot(stack[k].loop_id);
     switch (kind) {
       case AccessKind::VarWrite: ++summary.shared_var_writes; break;
       case AccessKind::PropWrite: ++summary.shared_prop_writes; break;
@@ -102,19 +106,24 @@ void DependenceAnalyzer::bump_summary_counters(const Characterization& chr,
   }
 }
 
-void DependenceAnalyzer::record(AccessKind kind, DepClass dep,
-                                const std::string& name, int line,
-                                Characterization chr) {
-  bump_summary_counters(chr, kind);
-
-  // Dedup by (kind, line, name, rendered flags).
-  std::string flags_key;
-  for (const auto& level : chr.levels) {
-    flags_key += std::to_string(level.loop_id);
-    flags_key += level.instance_dep ? 'D' : 'o';
-    flags_key += level.iteration_dep ? 'D' : 'o';
+void DependenceAnalyzer::bump_private_writes() {
+  for (const LoopFrame& frame : chars_.current()) {
+    ++summaries_[std::size_t(frame.loop_id)].private_writes;
   }
-  const auto key = std::make_tuple(int(kind), line, name, flags_key);
+}
+
+void DependenceAnalyzer::record(AccessKind kind, DepClass dep, js::Atom name,
+                                int line, const CharDelta& delta,
+                                bool global_binding) {
+  bump_shared_counters(delta, kind);
+
+  WarnKey key;
+  key.kind_and_flags =
+      std::uint32_t(kind) | (delta.instance_at_div ? 0x100u : 0u);
+  key.line = line;
+  key.atom_id = name.id();
+  key.path_id = chars_.current_path_id();
+  key.div_level = delta.div_level;
   const auto it = warning_index_.find(key);
   if (it != warning_index_.end()) {
     ++warnings_[it->second].count;
@@ -127,10 +136,11 @@ void DependenceAnalyzer::record(AccessKind kind, DepClass dep,
   DependenceWarning warning;
   warning.kind = kind;
   warning.dep = dep;
-  warning.name = name;
+  warning.name = name.str();
   warning.line = line;
-  warning.characterization = std::move(chr);
+  warning.characterization = chars_.materialize(delta);
   warning.count = 1;
+  warning.global_binding = global_binding;
   warning_index_.emplace(key, warnings_.size());
   warnings_.push_back(std::move(warning));
 }
@@ -138,122 +148,101 @@ void DependenceAnalyzer::record(AccessKind kind, DepClass dep,
 void DependenceAnalyzer::on_var_write(std::uint64_t env_id, js::Atom name,
                                       int line) {
   if (!in_focus()) return;
-  const auto it = env_stamps_.find(env_id);
-  const Stamp& stamp = it == env_stamps_.end() ? kEmptyStamp : it->second;
-  Characterization chr = characterize_creation(stamp, chars_.current());
-  if (chr.problematic()) {
-    const std::size_t index = warnings_.size();
-    record(AccessKind::VarWrite, DepClass::Output, name, line, std::move(chr));
-    if (warnings_.size() > index) {
-      warnings_.back().global_binding = env_id == global_env_id_;
-    }
+  const StampId stamp = env_stamps_.get(env_id, 0);
+  const CharDelta delta = chars_.characterize_creation_id(stamp);
+  if (delta.problematic()) {
+    record(AccessKind::VarWrite, DepClass::Output, name, line, delta,
+           env_id == global_env_id_);
   } else {
-    for (const auto& level : chars_.current()) {
-      ++summaries_[level.loop_id].private_writes;
-      (void)level;
-    }
+    bump_private_writes();
   }
   if (options_.variable_flow) {
-    var_writes_[env_id][name] = chars_.current();
+    var_writes_.put(env_id, name.id(), chars_.current_id());
   }
 }
 
 void DependenceAnalyzer::on_var_read(std::uint64_t env_id, js::Atom name,
                                      int line) {
   if (!in_focus()) return;
-  const auto it = env_stamps_.find(env_id);
-  const Stamp& stamp = it == env_stamps_.end() ? kEmptyStamp : it->second;
-  const Characterization chr = characterize_creation(stamp, chars_.current());
+  const StampId stamp = env_stamps_.get(env_id, 0);
+  const CharDelta delta = chars_.characterize_creation_id(stamp);
   // Reads of data from outside the loop are not warnings, but Table 3's
   // "accesses to shared memory" assessment counts them.
-  for (const LevelFlags& level : chr.levels) {
-    if (level.instance_dep || level.iteration_dep) {
-      ++summaries_[level.loop_id].shared_reads;
+  if (delta.problematic()) {
+    const Stamp& stack = chars_.current();
+    for (std::size_t k = delta.div_level; k < stack.size(); ++k) {
+      ++summary_slot(stack[k].loop_id).shared_reads;
     }
   }
   if (options_.variable_flow) {
-    const auto env_it = var_writes_.find(env_id);
-    if (env_it != var_writes_.end()) {
-      const auto write_it = env_it->second.find(name);
-      if (write_it != env_it->second.end()) {
-        Characterization flow = characterize_flow(write_it->second, chars_.current());
-        if (flow.problematic()) {
-          record(AccessKind::PropRead, DepClass::Flow, name, line, std::move(flow));
-        }
+    if (const StampId* write = var_writes_.find(env_id, name.id())) {
+      const CharDelta flow = chars_.characterize_flow_id(*write);
+      if (flow.problematic()) {
+        record(AccessKind::PropRead, DepClass::Flow, name, line, flow, false);
       }
     }
   }
 }
 
-void DependenceAnalyzer::on_prop_write(std::uint64_t obj_id, const std::string& key,
+void DependenceAnalyzer::on_prop_write(std::uint64_t obj_id, js::Atom key,
                                        int line, const interp::BaseProvenance& base) {
   if (!in_focus()) {
     // Still remember the snapshot: a read inside the focused loop must see
     // writes that happened before/outside it to judge flow correctly.
-    writes_[obj_id][key] = chars_.current();
+    writes_.put(obj_id, key.id(), chars_.current_id());
     return;
   }
   // Cross-iteration write/write conflicts on the same field (true output
-  // dependence, independent of how the base was reached).
-  auto& object_writes = writes_[obj_id];
-  const auto prev = object_writes.find(key);
-  bool same_field_conflict = false;
-  if (prev != object_writes.end()) {
-    const Characterization conflict = characterize_flow(prev->second, chars_.current());
-    same_field_conflict = conflict.problematic();
-  }
-
-  // Attribute same-field conflicts only to the loop levels actually carrying
-  // the write-write dependence (a pixel rewritten every *frame* conflicts at
-  // the frame loop, not at the row loop inside one frame).
-  if (same_field_conflict) {
-    const Characterization conflict =
-        characterize_flow(prev->second, chars_.current());
-    for (const LevelFlags& level : conflict.levels) {
-      if (!level.instance_dep && !level.iteration_dep) continue;
-      auto& summary = summaries_[level.loop_id];
-      summary.loop_id = level.loop_id;
-      ++summary.conflicting_write_sites;
-    }
-  }
-
-  Characterization chr = characterize_creation(base_stamp(obj_id, base), chars_.current());
-  if (chr.problematic()) {
-    record(AccessKind::PropWrite, DepClass::Output, key, line, std::move(chr));
-  } else {
-    for (const auto& level : chars_.current()) {
-      ++summaries_[level.loop_id].private_writes;
-    }
-  }
-  object_writes[key] = chars_.current();
-}
-
-void DependenceAnalyzer::on_prop_read(std::uint64_t obj_id, const std::string& key,
-                                      int line, const interp::BaseProvenance& base) {
-  if (!in_focus()) return;
-  const auto obj_it = writes_.find(obj_id);
-  if (obj_it != writes_.end()) {
-    const auto write_it = obj_it->second.find(key);
-    if (write_it != obj_it->second.end()) {
-      Characterization flow = characterize_flow(write_it->second, chars_.current());
-      if (flow.problematic()) {
-        record(AccessKind::PropRead, DepClass::Flow, key, line, std::move(flow));
-        return;
+  // dependence, independent of how the base was reached). Attributed only
+  // to the loop levels actually carrying the write-write dependence (a
+  // pixel rewritten every *frame* conflicts at the frame loop, not at the
+  // row loop inside one frame).
+  if (const StampId* prev = writes_.find(obj_id, key.id())) {
+    const CharDelta conflict = chars_.characterize_flow_id(*prev);
+    if (conflict.problematic()) {
+      const Stamp& stack = chars_.current();
+      for (std::size_t k = conflict.div_level; k < stack.size(); ++k) {
+        ++summary_slot(stack[k].loop_id).conflicting_write_sites;
       }
     }
   }
+
+  const CharDelta delta =
+      chars_.characterize_creation_id(base_stamp(obj_id, base));
+  if (delta.problematic()) {
+    record(AccessKind::PropWrite, DepClass::Output, key, line, delta, false);
+  } else {
+    bump_private_writes();
+  }
+  writes_.put(obj_id, key.id(), chars_.current_id());
+}
+
+void DependenceAnalyzer::on_prop_read(std::uint64_t obj_id, js::Atom key,
+                                      int line, const interp::BaseProvenance& base) {
+  if (!in_focus()) return;
+  if (const StampId* write = writes_.find(obj_id, key.id())) {
+    const CharDelta flow = chars_.characterize_flow_id(*write);
+    if (flow.problematic()) {
+      record(AccessKind::PropRead, DepClass::Flow, key, line, flow, false);
+      return;
+    }
+  }
   // Not a flow dependence; count shared-memory reads for the summary.
-  const Characterization chr =
-      characterize_creation(base_stamp(obj_id, base), chars_.current());
-  for (const LevelFlags& level : chr.levels) {
-    if (level.instance_dep || level.iteration_dep) {
-      ++summaries_[level.loop_id].shared_reads;
+  const CharDelta delta =
+      chars_.characterize_creation_id(base_stamp(obj_id, base));
+  if (delta.problematic()) {
+    const Stamp& stack = chars_.current();
+    for (std::size_t k = delta.div_level; k < stack.size(); ++k) {
+      ++summary_slot(stack[k].loop_id).shared_reads;
     }
   }
 }
 
 std::map<int, LoopDependenceSummary> DependenceAnalyzer::summaries() const {
-  auto out = summaries_;
+  std::map<int, LoopDependenceSummary> out;
+  for (const LoopDependenceSummary& summary : summaries_) {
+    if (summary.loop_id != 0) out[summary.loop_id] = summary;
+  }
   for (const auto& [loop_id, flag] : chars_.recursive_loops()) {
     (void)flag;
     out[loop_id].loop_id = loop_id;

@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ceres/char_stack.h"
@@ -53,6 +54,101 @@ struct LoopDependenceSummary {
   bool recursion_detected = false;      // results for this nest are suspect
 };
 
+namespace detail {
+
+/// Flat open-addressing stamp table: (owner id, interned key id) -> StampId.
+/// This replaces the seed's nested string-keyed unordered_maps on the mode-3
+/// hot path — one linear-probe lookup over 16-byte entries, the hash mixed
+/// from the owner id and the key's dense atom id (interning already paid any
+/// string hashing, exactly once per distinct key), no per-entry heap nodes
+/// and no string copies. Owner ids start at 1, so owner == 0 marks empty
+/// slots; entries are never removed.
+class StampMap {
+ public:
+  StampMap() : entries_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+
+  /// Insert or overwrite.
+  void put(std::uint64_t owner, std::uint32_t key, StampId stamp) {
+    Entry& entry = slot(owner, key);
+    if (entry.owner == 0) {
+      entry.owner = owner;
+      entry.key = key;
+      entry.stamp = stamp;
+      ++size_;
+      if (size_ * 10 >= entries_.size() * 7) grow();
+      return;
+    }
+    entry.stamp = stamp;
+  }
+
+  /// Stored stamp, or kEmptyStampId when absent (a datum created outside
+  /// every loop carries the empty stamp — a miss means the same thing).
+  [[nodiscard]] StampId get(std::uint64_t owner, std::uint32_t key) const {
+    const Entry& entry = slot(owner, key);
+    return entry.owner == 0 ? kEmptyStampId : entry.stamp;
+  }
+
+  /// Stored stamp, or nullptr when never stored ("was written at all" —
+  /// the flow analysis distinguishes never-written from written-outside).
+  /// One probe sequence; prefer this over get() on the hot path.
+  [[nodiscard]] const StampId* find(std::uint64_t owner, std::uint32_t key) const {
+    const Entry& entry = slot(owner, key);
+    return entry.owner == 0 ? nullptr : &entry.stamp;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    std::uint64_t owner = 0;
+    std::uint32_t key = 0;
+    StampId stamp = kEmptyStampId;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 64;  // power of two
+
+  static std::size_t mix(std::uint64_t owner, std::uint32_t key) {
+    std::uint64_t h = owner * 0x9e3779b97f4a7c15ull ^
+                      (std::uint64_t(key) * 0xff51afd7ed558ccdull);
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 29;
+    return std::size_t(h);
+  }
+
+  [[nodiscard]] const Entry& slot(std::uint64_t owner, std::uint32_t key) const {
+    std::size_t index = mix(owner, key) & mask_;
+    while (true) {
+      const Entry& entry = entries_[index];
+      if (entry.owner == 0 || (entry.owner == owner && entry.key == key)) {
+        return entry;
+      }
+      index = (index + 1) & mask_;
+    }
+  }
+  [[nodiscard]] Entry& slot(std::uint64_t owner, std::uint32_t key) {
+    return const_cast<Entry&>(std::as_const(*this).slot(owner, key));
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(old.size() * 2, Entry{});
+    mask_ = entries_.size() - 1;
+    for (const Entry& entry : old) {
+      if (entry.owner == 0) continue;
+      std::size_t index = mix(entry.owner, entry.key) & mask_;
+      while (entries_[index].owner != 0) index = (index + 1) & mask_;
+      entries_[index] = entry;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
 /// Instrumentation mode 3 (paper §3.3): runtime dependence analysis.
 ///
 /// Maintains the characterization stack; stamps every environment and object
@@ -67,6 +163,11 @@ struct LoopDependenceSummary {
 ///       dependence,
 ///   (c) reads of fields last written in a different iteration -> flow
 ///       dependence.
+///
+/// All snapshots are interned StampIds into the CharStack's hash-consed
+/// stamp tree: stamping is a 32-bit store, characterization is an id walk
+/// with an O(1) fast path for the dominant "ok ok" private access, and a
+/// Characterization vector is only materialized when a warning is recorded.
 ///
 /// Like JS-CERES, the analysis can focus on one loop to bound the (very
 /// high) overhead; only accesses while the focused loop is open are
@@ -98,14 +199,16 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
   void on_function_exit(int fn_id) override;
   void on_env_created(std::uint64_t env_id) override;
   void on_object_created(std::uint64_t obj_id, int line) override;
-  // Variable accesses arrive with the interned atom: the last-write tables
-  // key on atom identity (pointer compare + precomputed hash) and warning
-  // text reads the atom's string lazily.
+  // Memory accesses arrive with interned keys: variable names are always
+  // atoms (identifiers), and property events now carry the key atom
+  // end-to-end (the interpreter interns statically-known keys at parse
+  // time and computed keys on first use), so every table below keys on
+  // (id, atom) with precomputed hashes — no string copies on this path.
   void on_var_write(std::uint64_t env_id, js::Atom name, int line) override;
   void on_var_read(std::uint64_t env_id, js::Atom name, int line) override;
-  void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,
+  void on_prop_write(std::uint64_t obj_id, js::Atom key, int line,
                      const interp::BaseProvenance& base) override;
-  void on_prop_read(std::uint64_t obj_id, const std::string& key, int line,
+  void on_prop_read(std::uint64_t obj_id, js::Atom key, int line,
                     const interp::BaseProvenance& base) override;
 
   // -- results --
@@ -116,32 +219,64 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
   [[nodiscard]] const CharStack& char_stack() const { return chars_; }
   [[nodiscard]] bool truncated() const { return truncated_; }
 
+  /// Sizes of the stamp tables (diagnostics / growth tests).
+  [[nodiscard]] std::size_t stamped_envs() const { return env_stamps_.size(); }
+  [[nodiscard]] std::size_t stamped_objects() const { return obj_stamps_.size(); }
+  [[nodiscard]] std::size_t tracked_writes() const { return writes_.size(); }
+
   /// Full human-readable report (all warnings, paper format).
   [[nodiscard]] std::string report() const;
 
  private:
+  /// Warning-site identity: the seed keyed dedup on (kind, line, name,
+  /// rendered per-level flags). With compact deltas that is exactly (kind,
+  /// line, atom, loop-path id, divergence level, instance flag) — a POD key,
+  /// no string building per problematic access.
+  struct WarnKey {
+    std::uint32_t kind_and_flags = 0;  // kind | (instance_at_div << 8)
+    int line = 0;
+    std::uint32_t atom_id = 0;
+    std::uint32_t path_id = 0;
+    std::uint32_t div_level = 0;
+
+    bool operator==(const WarnKey&) const = default;
+  };
+  struct WarnKeyHash {
+    std::size_t operator()(const WarnKey& k) const {
+      std::uint64_t h = k.kind_and_flags;
+      h = h * 0x9e3779b97f4a7c15ull ^ std::uint64_t(std::uint32_t(k.line));
+      h = h * 0x9e3779b97f4a7c15ull ^ k.atom_id;
+      h = h * 0x9e3779b97f4a7c15ull ^ k.path_id;
+      h = h * 0x9e3779b97f4a7c15ull ^ k.div_level;
+      h ^= h >> 29;
+      return std::size_t(h);
+    }
+  };
+
   /// Stamp of the base through which a property was reached.
-  [[nodiscard]] const Stamp& base_stamp(std::uint64_t obj_id,
-                                        const interp::BaseProvenance& base) const;
+  [[nodiscard]] StampId base_stamp(std::uint64_t obj_id,
+                                   const interp::BaseProvenance& base) const;
   [[nodiscard]] bool in_focus() const;
-  void record(AccessKind kind, DepClass dep, const std::string& name, int line,
-              Characterization chr);
-  void bump_summary_counters(const Characterization& chr, AccessKind kind);
+  void record(AccessKind kind, DepClass dep, js::Atom name, int line,
+              const CharDelta& delta, bool global_binding);
+  void bump_shared_counters(const CharDelta& delta, AccessKind kind);
+  void bump_private_writes();
+  [[nodiscard]] LoopDependenceSummary& summary_slot(int loop_id);
 
   const js::Program& program_;
   Options options_;
   CharStack chars_;
 
-  // Creation stamps. Empty stamps (creation outside any loop) are implicit —
-  // a map miss means "empty" — keeping memory proportional to in-loop
-  // allocations only.
-  std::unordered_map<std::uint64_t, Stamp> env_stamps_;
-  std::unordered_map<std::uint64_t, Stamp> obj_stamps_;
+  // Creation stamps (interned ids). Empty stamps (creation outside any
+  // loop) are implicit — a map miss means "empty" — keeping memory
+  // proportional to in-loop allocations only.
+  detail::StampMap env_stamps_;
+  detail::StampMap obj_stamps_;
   /// Last-write snapshot per (object, property).
-  std::unordered_map<std::uint64_t, std::unordered_map<std::string, Stamp>> writes_;
+  detail::StampMap writes_;
   /// Last-write snapshot per (environment, variable) for the variable_flow
-  /// extension — atom-keyed (variable names are always interned).
-  std::unordered_map<std::uint64_t, std::unordered_map<js::Atom, Stamp>> var_writes_;
+  /// extension.
+  detail::StampMap var_writes_;
 
   // Active JS call stack (fn ids); recursion inside an open loop makes the
   // loop's iteration work unbounded (paper §3.3's recursion guard, extended
@@ -149,15 +284,13 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
   std::vector<int> fn_stack_;
 
   // Warning dedup: site key -> index into warnings_.
-  std::map<std::tuple<int, int, std::string, std::string>, std::size_t> warning_index_;
+  std::unordered_map<WarnKey, std::size_t, WarnKeyHash> warning_index_;
   std::vector<DependenceWarning> warnings_;
   bool truncated_ = false;
   std::uint64_t global_env_id_ = 0;
 
-  // Per-loop counters (keyed by loop id).
-  std::map<int, LoopDependenceSummary> summaries_;
-
-  static const Stamp kEmptyStamp;
+  // Per-loop counters, indexed by loop id (dense; loop ids are small).
+  std::vector<LoopDependenceSummary> summaries_;
 };
 
 }  // namespace jsceres::ceres

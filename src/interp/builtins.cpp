@@ -26,7 +26,7 @@ double num_arg(Interpreter& interp, const std::vector<Value>& args, std::size_t 
 /// internals).
 void note_write(Interpreter& interp, const ObjPtr& obj, const std::string& key) {
   if (interp.hooks() != nullptr && interp.hooks()->wants_memory_events()) {
-    interp.hooks()->on_prop_write(obj->id(), key, 0,
+    interp.hooks()->on_prop_write(obj->id(), js::Atom::intern(key), 0,
                                   BaseProvenance{BaseProvenance::Kind::Object, 0});
   }
 }

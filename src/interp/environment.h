@@ -96,6 +96,17 @@ class Environment {
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] const EnvPtr& parent() const { return parent_; }
 
+  /// Stamp this (fresh or recycled) activation from a pre-resolved layout:
+  /// the name vector is copied wholesale and every slot starts undefined —
+  /// no per-name duplicate scan. Callers then store parameters and hoisted
+  /// functions directly via slot_at (js::ActivationLayout). The vector
+  /// assignments reuse the pooled environment's capacity, so a steady-state
+  /// call allocates nothing.
+  void adopt_layout(const std::vector<js::Atom>& names) {
+    names_ = names;
+    slots_.assign(names.size(), Value());
+  }
+
   /// Declare (or re-declare, reusing the slot) a binding in this environment.
   void declare(js::Atom name, Value value) {
     const std::int64_t index = find(name);

@@ -68,17 +68,20 @@ class ExecutionHooks {
   virtual void on_object_created(std::uint64_t /*obj_id*/, int /*line*/) {}
 
   // --- memory accesses ---
-  // Variable names are always interned (they are identifiers), so these
-  // carry the atom: implementations can key their tables on atom identity
-  // and still read the text via js::Atom's implicit string conversion.
-  // Property keys may be computed at runtime and stay string-based.
+  // All memory events carry interned atoms: variable names are identifiers
+  // (interned by the lexer), and property keys are interned by the emitter —
+  // statically-known keys at parse time, computed keys on first use. This
+  // lets implementations key their tables on atom identity (pointer compare
+  // + precomputed hash) and still read the text via js::Atom's implicit
+  // string conversion. Interpreters only pay the computed-key interning when
+  // a hook actually wants memory events (mode 3).
   virtual void on_var_write(std::uint64_t /*env_id*/, js::Atom /*name*/,
                             int /*line*/) {}
   virtual void on_var_read(std::uint64_t /*env_id*/, js::Atom /*name*/,
                            int /*line*/) {}
-  virtual void on_prop_write(std::uint64_t /*obj_id*/, const std::string& /*key*/,
+  virtual void on_prop_write(std::uint64_t /*obj_id*/, js::Atom /*key*/,
                              int /*line*/, const BaseProvenance&) {}
-  virtual void on_prop_read(std::uint64_t /*obj_id*/, const std::string& /*key*/,
+  virtual void on_prop_read(std::uint64_t /*obj_id*/, js::Atom /*key*/,
                             int /*line*/, const BaseProvenance&) {}
 
   // --- substrate ---
@@ -99,7 +102,12 @@ class ExecutionHooks {
 class HookList final : public ExecutionHooks {
  public:
   void add(ExecutionHooks* hooks) {
-    if (hooks != nullptr) hooks_.push_back(hooks);
+    if (hooks == nullptr) return;
+    hooks_.push_back(hooks);
+    // Cache the memory-events fan-out at add() time: the interpreter and
+    // builtins query this per access site, and re-walking the observer list
+    // on every query made the cheap modes pay for the expensive one.
+    wants_memory_ = wants_memory_ || hooks->wants_memory_events();
   }
 
   void on_loop_enter(const LoopEvent& e) override {
@@ -129,11 +137,11 @@ class HookList final : public ExecutionHooks {
   void on_var_read(std::uint64_t env_id, js::Atom name, int line) override {
     for (auto* h : hooks_) h->on_var_read(env_id, name, line);
   }
-  void on_prop_write(std::uint64_t obj_id, const std::string& key, int line,
+  void on_prop_write(std::uint64_t obj_id, js::Atom key, int line,
                      const BaseProvenance& base) override {
     for (auto* h : hooks_) h->on_prop_write(obj_id, key, line, base);
   }
-  void on_prop_read(std::uint64_t obj_id, const std::string& key, int line,
+  void on_prop_read(std::uint64_t obj_id, js::Atom key, int line,
                     const BaseProvenance& base) override {
     for (auto* h : hooks_) h->on_prop_read(obj_id, key, line, base);
   }
@@ -144,14 +152,12 @@ class HookList final : public ExecutionHooks {
     for (auto* h : hooks_) h->on_clock_advance(fn_id);
   }
   [[nodiscard]] bool wants_memory_events() const override {
-    for (auto* h : hooks_) {
-      if (h->wants_memory_events()) return true;
-    }
-    return false;
+    return wants_memory_;
   }
 
  private:
   std::vector<ExecutionHooks*> hooks_;
+  bool wants_memory_ = false;
 };
 
 }  // namespace jsceres::interp

@@ -367,12 +367,17 @@ Value Interpreter::property_get(const Value& base, const std::string& key, int l
     if (key == "length") return Value::number(double(obj->elements().size()));
     std::size_t index = 0;
     if (index_from_string(key, &index)) {
-      if (memory_events_) hooks_->on_prop_read(obj->id(), key, line, prov);
+      // Computed keys are interned on first use; only mode 3 pays for it.
+      if (memory_events_) {
+        hooks_->on_prop_read(obj->id(), js::Atom::intern(key), line, prov);
+      }
       return index < obj->elements().size() ? obj->elements()[index]
                                             : Value::undefined();
     }
   }
-  if (memory_events_) hooks_->on_prop_read(obj->id(), key, line, prov);
+  if (memory_events_) {
+    hooks_->on_prop_read(obj->id(), js::Atom::intern(key), line, prov);
+  }
   for (const JSObject* walk = obj.get(); walk != nullptr;
        walk = walk->prototype().get()) {
     if (const Value* found = walk->own_property(key)) return *found;
@@ -390,7 +395,9 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
   if (obj->host() != nullptr) {
     note_host_access(obj->host()->category(), key.c_str());
   }
-  if (memory_events_) hooks_->on_prop_write(obj->id(), key, line, prov);
+  if (memory_events_) {
+    hooks_->on_prop_write(obj->id(), js::Atom::intern(key), line, prov);
+  }
 
   if (obj->is_array()) {
     if (key == "length") {
@@ -563,11 +570,29 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
   }
 
   EnvPtr env = make_env(fn.closure);
-  env->reserve(node.params.size() + node.hoisted_vars.size());
-  for (std::size_t i = 0; i < node.params.size(); ++i) {
-    env->declare(node.params[i], i < args.size() ? args[i] : Value::undefined());
+  // Stamp the activation from the resolver's template when the function has
+  // enough names for the per-call declare scan (quadratic in the name
+  // count) to matter; for tiny activations a handful of pointer compares
+  // beats the template's double slot write.
+  if (node.layout != nullptr && node.layout->names.size() > 4) {
+    const js::ActivationLayout& layout = *node.layout;
+    env->adopt_layout(layout.names);
+    for (std::size_t i = 0; i < node.params.size(); ++i) {
+      *env->slot_at(layout.param_slots[i]) =
+          i < args.size() ? args[i] : Value::undefined();
+    }
+    for (std::size_t j = 0; j < node.hoisted_functions.size(); ++j) {
+      *env->slot_at(layout.fn_slots[j]) = Value::object(
+          make_function_from_node(*node.hoisted_functions[j]->fn, env));
+    }
+  } else {
+    // Synthesized AST that never went through resolve_scopes.
+    env->reserve(node.params.size() + node.hoisted_vars.size());
+    for (std::size_t i = 0; i < node.params.size(); ++i) {
+      env->declare(node.params[i], i < args.size() ? args[i] : Value::undefined());
+    }
+    hoist_into(*env, node.hoisted_vars, node.hoisted_functions, env);
   }
-  hoist_into(*env, node.hoisted_vars, node.hoisted_functions, env);
   env->set_this(this_val);
   if (hooks_ != nullptr) hooks_->on_env_created(env->id());
 
@@ -868,7 +893,8 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       for (std::size_t i = 0; i < lit.elements.size(); ++i) {
         arr->elements().push_back(eval(*lit.elements[i], env));
         if (memory_events_) {
-          hooks_->on_prop_write(arr->id(), number_to_string(double(i)), expr.line, prov);
+          hooks_->on_prop_write(arr->id(), js::Atom::intern(number_to_string(double(i))),
+                                expr.line, prov);
         }
       }
       return Value::object(arr);
@@ -881,7 +907,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
       for (const auto& [key, value_expr] : lit.properties) {
         obj->set_property(key, eval(*value_expr, env));
-        if (memory_events_) hooks_->on_prop_write(obj->id(), key.str(), expr.line, prov);
+        if (memory_events_) hooks_->on_prop_write(obj->id(), key, expr.line, prov);
       }
       return Value::object(obj);
     }
@@ -1010,7 +1036,7 @@ Value Interpreter::eval_member_named(const Value& base, const js::Member& member
       return Value::number(double(obj.elements().size()));
     }
     if (memory_events_) {
-      hooks_->on_prop_read(obj.id(), key.str(), member.line,
+      hooks_->on_prop_read(obj.id(), key, member.line,
                            provenance_of(*member.object, env));
     }
     const Shape* shape = obj.shape();
@@ -1071,7 +1097,7 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
     note_host_access(obj.host()->category(), key.str().c_str());
   }
   if (memory_events_) {
-    hooks_->on_prop_write(obj.id(), key.str(), member.line,
+    hooks_->on_prop_write(obj.id(), key, member.line,
                           provenance_of(*member.object, env));
   }
   if (obj.is_array() && key == atom_length_) {

@@ -150,6 +150,20 @@ struct ObjectLit : Expr {
 
 struct FunctionExpr;  // below, shares FunctionNode
 
+/// Pre-computed activation layout of a function scope, filled in by
+/// `resolve_scopes` from the same declaration simulation that assigns
+/// (hops, slot) coordinates. The interpreter stamps a fresh activation from
+/// this template — one vector copy — instead of re-running the
+/// per-name declare scan (params, hoisted vars, hoisted functions) on every
+/// call. `names` is the final slot order; `param_slots[i]` / `fn_slots[j]`
+/// say where parameter i / hoisted function j land (duplicates share their
+/// first slot, mirroring Environment::declare).
+struct ActivationLayout {
+  std::vector<Atom> names;
+  std::vector<std::uint32_t> param_slots;
+  std::vector<std::uint32_t> fn_slots;
+};
+
 /// A function body shared by declarations and expressions. The parser
 /// pre-computes the `var`-hoisted local names (JavaScript has function
 /// scoping, which is load-bearing for the paper's dependence analysis: a
@@ -164,6 +178,9 @@ struct FunctionNode {
   StmtPtr body;  // always a Block
   int fn_id = 0;
   int line = 0;
+  /// Activation template (null on ASTs synthesized without resolve_scopes;
+  /// the interpreter then falls back to the per-call declare scan).
+  std::unique_ptr<ActivationLayout> layout;
 };
 
 struct FunctionExpr : Expr {

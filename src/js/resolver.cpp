@@ -72,11 +72,24 @@ class Resolver {
 
   void walk_function(FunctionNode& fn) {
     Scope scope{Scope::Function, {}};
-    for (const Atom& param : fn.params) scope.declare(param);
-    for (const Atom& var : fn.hoisted_vars) scope.declare(var);
-    for (const FunctionDecl* decl : fn.hoisted_functions) {
-      scope.declare(decl->fn->name);
+    auto layout = std::make_unique<ActivationLayout>();
+    layout->param_slots.reserve(fn.params.size());
+    for (const Atom& param : fn.params) {
+      layout->param_slots.push_back(scope.declare(param));
     }
+    for (const Atom& var : fn.hoisted_vars) scope.declare(var);
+    layout->fn_slots.reserve(fn.hoisted_functions.size());
+    for (const FunctionDecl* decl : fn.hoisted_functions) {
+      layout->fn_slots.push_back(scope.declare(decl->fn->name));
+    }
+    // Invert the scope map into slot order: the activation template the
+    // interpreter stamps per call (resolve_scopes is idempotent, so a
+    // re-resolution after an AST rewrite just rebuilds it).
+    layout->names.resize(scope.slots.size());
+    for (const auto& [name, slot] : scope.slots) {
+      layout->names[slot] = name;
+    }
+    fn.layout = std::move(layout);
     scopes_.push_back(std::move(scope));
     walk_stmt(*fn.body);
     scopes_.pop_back();

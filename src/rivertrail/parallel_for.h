@@ -113,18 +113,25 @@ struct LoopDesc {
   ErrorSlot error;
 };
 
-/// Execute [lo, hi): split off the upper half onto the local deque while a
-/// thief is hungry, and run the remainder in leaf_cap-bounded spans so a
-/// range that started with no thieves in sight can still shed work when one
-/// shows up mid-flight. The body region is wrapped so the gate always
-/// retires every iteration of the range, exception or not.
+/// Execute [lo, hi): steal-half discipline. When a thief is hungry the
+/// owner sheds the top half of its remaining range as ONE task — at most
+/// once per leaf span — and the thief re-splits its stolen half locally for
+/// whoever is still hungry. Distribution therefore fans out exponentially
+/// across thieves while the victim pays a single push (and a single
+/// signal_work) per shed, instead of the old cascade that shed 1/2, 1/4,
+/// 1/8, ... from one victim while a thief was mid-scan (the ROADMAP
+/// steal-half item: deep splits used to multiply steal traffic at the
+/// victim). Running the remainder in leaf_cap-bounded spans keeps the
+/// hungry check fresh, so a range that started with no thieves in sight
+/// still sheds when one shows up mid-flight. The body region is wrapped so
+/// the gate always retires every iteration of the range, exception or not.
 template <typename Body>
 void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
   ThreadPool& pool = *desc.pool;
   CompletionGate& gate = *desc.gate;
   const bool on_worker = pool.on_worker_thread();
   while (lo < hi) {
-    while (hi - lo > desc.min_grain && pool.has_hungry_thief()) {
+    if (hi - lo > desc.min_grain && pool.has_hungry_thief()) {
       const std::int64_t mid = lo + (hi - lo) / 2;
       LoopDesc<Body>* desc_ptr = &desc;
       const std::int64_t split_lo = mid;
@@ -133,16 +140,16 @@ void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
         run_range(*desc_ptr, split_lo, split_hi);
       };
       if (on_worker) {
-        if (!pool.try_push_local(split_fn)) break;  // deque/slab full: keep it
-      } else {
+        // Deque/slab full: keep the range and run it inline.
+        if (pool.try_push_local(split_fn)) hi = mid;
+      } else if (hi - lo > desc.leaf_cap) {
         // A non-worker caller (the external-dispatch root 0) has no deque;
         // shed through the injection ring instead so a heavy leading range
         // cannot stay pinned to the calling thread while workers starve.
         // Only shed spans a hungry worker can meaningfully re-split.
-        if (hi - lo <= desc.leaf_cap) break;
         pool.inject(Task::inline_of(split_fn));
+        hi = mid;
       }
-      hi = mid;
     }
     const std::int64_t span_hi = std::min(hi, lo + desc.leaf_cap);
     if (!desc.error.has_failed()) {

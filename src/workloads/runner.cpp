@@ -61,8 +61,12 @@ InstrumentedRun run_workload(const Workload& workload, Mode mode,
   interp::InterpreterConfig config;
   config.preempt_interval_ticks = workload.preempt_interval_ticks;
   config.preempt_block_ns = workload.preempt_block_ns;
+  // Mode 0: hand the interpreter a null hook pointer so even the per-event
+  // virtual dispatch disappears — the engine-only baseline.
+  interp::ExecutionHooks* hooks =
+      mode == Mode::Uninstrumented ? nullptr : run.hooks.get();
   run.interp = std::make_unique<interp::Interpreter>(run.program, run.clock,
-                                                     run.hooks.get(), config);
+                                                     hooks, config);
   run.interp->define_global("SCALE", interp::Value::number(scale));
 
   run.page = std::make_unique<dom::Page>(*run.interp);

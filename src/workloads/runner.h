@@ -38,9 +38,11 @@ struct InstrumentedRun {
   [[nodiscard]] LightweightResult table2_row() const;
 };
 
-/// The three staged instrumentation modes of the paper (§3), plus Combined
-/// for tests that want everything from a single run.
-enum class Mode { Lightweight, LoopProfile, Dependence, Combined };
+/// The three staged instrumentation modes of the paper (§3), plus
+/// Uninstrumented (mode 0: no hooks at all — the engine-only baseline the
+/// ablation bench divides by) and Combined for tests that want everything
+/// from a single run.
+enum class Mode { Uninstrumented, Lightweight, LoopProfile, Dependence, Combined };
 
 /// Parse, instrument, run to completion (init + event script + session
 /// horizon). `scale_override` > 0 forces the SCALE global (otherwise 1.0

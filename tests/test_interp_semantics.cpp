@@ -231,9 +231,9 @@ class CountingHooks final : public ExecutionHooks {
   void on_var_write(std::uint64_t, js::Atom name, int) override {
     ++var_writes[name];
   }
-  void on_prop_write(std::uint64_t, const std::string& key, int,
+  void on_prop_write(std::uint64_t, js::Atom key, int,
                      const BaseProvenance& base) override {
-    ++prop_writes[key];
+    ++prop_writes[key.str()];
     last_base = base.kind;
   }
   void on_object_created(std::uint64_t, int) override { ++objects; }

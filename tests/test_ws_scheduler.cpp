@@ -145,6 +145,38 @@ TEST_P(WorkStealingPoolTest, StealStressEveryIndexExactlyOnce) {
   }
 }
 
+// Deep-split steal-half stress: grain 1 over a large range whose heavy band
+// sits at the FRONT, so the first owner keeps hitting the shed check while
+// thieves are hungry. Under the steal-half discipline each shed hands off
+// the whole top half of the victim's remaining range and the thief
+// re-splits it locally; exactly-once execution must survive arbitrarily
+// deep shed/re-split cascades, repeatedly on a warm pool.
+TEST_P(WorkStealingPoolTest, StealHalfDeepSplitStress) {
+  ThreadPool pool(GetParam());
+  constexpr std::int64_t kN = 100000;
+  constexpr int kRounds = 3;
+  std::vector<std::atomic<int>> hits(kN);
+  for (int round = 0; round < kRounds; ++round) {
+    parallel_for(
+        pool, 0, kN,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            // Heavy head: the leading ranges are the expensive ones, so
+            // sheds happen while the victim still owns most of the range.
+            if (i < kN / 8 && i % 97 == 0) {
+              volatile double sink = 0;
+              for (int r = 0; r < 400; ++r) sink = sink + double(r);
+            }
+            hits[std::size_t(i)].fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        Schedule::Static, /*grain=*/1);
+  }
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[std::size_t(i)].load(), kRounds) << "index " << i;
+  }
+}
+
 TEST_P(WorkStealingPoolTest, RepeatedSmallDispatches) {
   ThreadPool pool(GetParam());
   for (int round = 0; round < 200; ++round) {
