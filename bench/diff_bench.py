@@ -84,6 +84,7 @@ def main():
         anchor = sorted(common)[0]
 
     failures = []
+    improved = []
     print(f"bench guard: {args.baseline} (anchor {anchor}, "
           f"threshold {args.threshold:.2f}x)")
     for name in sorted(common):
@@ -98,8 +99,23 @@ def main():
             failures.append(name)
         elif ratio < 1.0 / args.threshold:
             status = "improved (consider refreshing the baseline)"
+            improved.append(name)
         print(f"  {name}: rel {measured_rel:.3f} vs baseline {baseline_rel:.3f} "
               f"-> x{ratio:.2f} {status}")
+
+    if improved:
+        # Non-fatal baseline-refresh reminder. A benchmark running far ahead
+        # of its snapshot means the snapshot no longer anchors the guard: a
+        # later regression back to the recorded level would pass silently.
+        # The ::notice:: line renders as a GitHub Actions annotation on the
+        # workflow run (and is harmless noise locally).
+        names = ", ".join(improved)
+        print(f"diff_bench: {len(improved)} benchmark(s) ran >= "
+              f"{args.threshold:.2f}x ahead of {args.baseline}: {names}")
+        print(f"::notice title=bench baseline refresh suggested::"
+              f"{names} outran {args.baseline} by >= {args.threshold:.2f}x; "
+              f"regenerate the snapshot (bench/run_microbench.sh) so the "
+              f"regression guard re-anchors at the new level.")
 
     if failures:
         print(f"diff_bench: {len(failures)} regression(s) beyond "

@@ -17,6 +17,8 @@
 #include "js/parser.h"
 #include "rivertrail/kernels.h"
 #include "rivertrail/parallel_for.h"
+#include "rivertrail/parallel_pipeline.h"
+#include "rivertrail/task_graph.h"
 
 namespace {
 
@@ -311,6 +313,30 @@ void BM_DependenceEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_DependenceEndToEnd);
 
+// Same program, but with the analyzer behind a HookList — the exact hook
+// topology workloads::run_workload builds for mode 3 (fan-out composite).
+void BM_DependenceEndToEndHooked(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "var acc = {sum: 0};\n"
+      "var data = [];\n"
+      "for (var i0 = 0; i0 < 64; i0++) { data.push(i0); }\n"
+      "function stepSum(i) { var v = data[i] * 2; acc.sum = acc.sum + v; return v; }\n"
+      "for (var r = 0; r < 40; r++) {\n"
+      "  for (var i = 0; i < data.length; i++) { stepSum(i); }\n"
+      "}\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    ceres::DependenceAnalyzer analyzer(program);
+    interp::HookList hooks;
+    hooks.add(&analyzer);
+    interp::Interpreter interp(program, clock, &hooks);
+    interp.run();
+    benchmark::DoNotOptimize(analyzer.warnings().size());
+  }
+  state.SetItemsProcessed(state.iterations() * 40 * 64);
+}
+BENCHMARK(BM_DependenceEndToEndHooked);
+
 // Dispatch latency: what a parallel_for of a near-empty body costs end to
 // end. This is the number the work-stealing runtime targets — for small
 // kernels the old mutex-queue pool spends its time on std::function heap
@@ -417,6 +443,84 @@ void BM_ParallelFor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * std::int64_t(data.size()));
 }
 BENCHMARK(BM_ParallelFor)->Arg(12)->Arg(16)->Arg(20);
+
+// ---------------------------------------------------------------------------
+// Task-graph / pipeline set (BENCH_pipeline_baseline.json): the scheduling
+// cost of the frame-graph primitives, isolated from stage bodies.
+// ---------------------------------------------------------------------------
+
+// End-to-end cost of pushing n near-empty tokens through a 3-stage
+// serial-in / parallel / serial-out pipeline: per-token turnstile locks,
+// task spawns and the retire/spawn chain — the frame-graph dispatch price.
+void BM_PipelineDispatch(benchmark::State& state) {
+  rivertrail::ThreadPool pool(4);
+  const std::size_t n = std::size_t(state.range(0));
+  std::atomic<std::int64_t> sink{0};
+  for (auto _ : state) {
+    rivertrail::parallel_pipeline(
+        pool, n, 4,
+        rivertrail::serial_stage([&](std::size_t t) { sink.fetch_add(std::int64_t(t), std::memory_order_relaxed); }),
+        rivertrail::parallel_stage([&](std::size_t) { sink.fetch_add(1, std::memory_order_relaxed); }),
+        rivertrail::serial_stage([&](std::size_t) { sink.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * std::int64_t(n));
+}
+BENCHMARK(BM_PipelineDispatch)->Arg(16)->Arg(256);
+
+// Pipeline with frame-shaped stage costs (upload ~ kernel): measures that
+// token hand-off keeps up when stages do real work. Wall-clock here is
+// roughly the serialized sum on the 1-core container; the overlap metric
+// lives in bench_fig5_pipeline's makespan lower bound.
+void BM_PipelineFrameShaped(benchmark::State& state) {
+  rivertrail::ThreadPool pool(2);
+  constexpr std::size_t kTokens = 32;
+  std::atomic<std::int64_t> sink{0};
+  // volatile accumulator: the stage cost must not fold away, or this
+  // degenerates into a second dispatch benchmark.
+  const auto spin = [](std::int64_t units) {
+    volatile double acc = 1.0;
+    for (std::int64_t u = 0; u < units; ++u) acc = acc * 1.0000001 + 1e-9;
+    return std::int64_t(acc);
+  };
+  for (auto _ : state) {
+    rivertrail::parallel_pipeline(
+        pool, kTokens, 2,
+        rivertrail::serial_stage([&](std::size_t) { sink.fetch_add(spin(2000), std::memory_order_relaxed); }),
+        rivertrail::parallel_stage([&](std::size_t) { sink.fetch_add(spin(1600), std::memory_order_relaxed); }),
+        rivertrail::serial_stage([&](std::size_t) { sink.fetch_add(spin(200), std::memory_order_relaxed); }));
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * kTokens);
+}
+BENCHMARK(BM_PipelineFrameShaped);
+
+// Build-once/run-many diamond lattice: dependency-counter retirement and
+// help-first successor scheduling, re-armed every run (the reusable
+// frame-graph shape). 2 + 2*depth nodes, all bodies empty.
+void BM_TaskGraphDiamondChain(benchmark::State& state) {
+  rivertrail::ThreadPool pool(4);
+  rivertrail::TaskGraph graph(pool);
+  const int depth = int(state.range(0));
+  std::atomic<std::int64_t> sink{0};
+  auto head = graph.add([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+  for (int d = 0; d < depth; ++d) {
+    const auto left = graph.add([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    const auto right = graph.add([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    const auto join = graph.add([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+    graph.depend(head, left);
+    graph.depend(head, right);
+    graph.depend(left, join);
+    graph.depend(right, join);
+    head = join;
+  }
+  for (auto _ : state) {
+    graph.run();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * std::int64_t(graph.node_count()));
+}
+BENCHMARK(BM_TaskGraphDiamondChain)->Arg(4)->Arg(32);
 
 void BM_NBodyStepPar(benchmark::State& state) {
   rivertrail::ThreadPool pool;

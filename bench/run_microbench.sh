@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate microbenchmark snapshots.
 #
-#   bench/run_microbench.sh [--smoke] [--rivertrail|--interp|--ceres|--all] [build-dir] [output.json]
+#   bench/run_microbench.sh [--smoke] [--rivertrail|--interp|--ceres|--pipeline|--all] [build-dir] [output.json]
 #
 # --interp (default): the interpreter hot-path set backing
 #   BENCH_interp_baseline.json.
@@ -9,6 +9,9 @@
 #   (dispatch latency, divergent-balance, scaling).
 # --ceres: the mode-3 dependence-analysis set backing BENCH_ceres_baseline.json
 #   (var/prop event processing, characterization depth sweep, end-to-end).
+# --pipeline: the task-graph / parallel_pipeline set backing
+#   BENCH_pipeline_baseline.json (pipeline dispatch, frame-shaped stages,
+#   diamond-graph retirement).
 # --all: everything.
 # --smoke: single fast pass (CI wiring check, not a measurement).
 #
@@ -19,6 +22,7 @@ set -euo pipefail
 FILTER_INTERP='BM_Lex|BM_Parse|BM_Interpret|BM_Resolve|BM_PropertyAccess'
 FILTER_RIVERTRAIL='BM_ParallelFor|BM_NBodyStepPar'
 FILTER_CERES='BM_Dependence|BM_Characterize'
+FILTER_PIPELINE='BM_Pipeline|BM_TaskGraph'
 
 FILTER="${FILTER_INTERP}"
 MIN_TIME=0.3
@@ -45,8 +49,12 @@ while [[ $# -gt 0 ]]; do
       FILTER="${FILTER_CERES}"
       shift
       ;;
+    --pipeline)
+      FILTER="${FILTER_PIPELINE}"
+      shift
+      ;;
     --all)
-      FILTER="${FILTER_INTERP}|${FILTER_RIVERTRAIL}|${FILTER_CERES}"
+      FILTER="${FILTER_INTERP}|${FILTER_RIVERTRAIL}|${FILTER_CERES}|${FILTER_PIPELINE}"
       shift
       ;;
     *)

@@ -238,6 +238,30 @@ void DependenceAnalyzer::on_prop_read(std::uint64_t obj_id, js::Atom key,
   }
 }
 
+void DependenceAnalyzer::on_memory_batch(const interp::MemoryEvent* events,
+                                         std::size_t count) {
+  // Qualified calls: devirtualized dispatch per event — the whole point of
+  // the batch path (the interpreter already paid the one virtual hop for
+  // the batch itself).
+  for (std::size_t i = 0; i < count; ++i) {
+    const interp::MemoryEvent& e = events[i];
+    switch (e.kind) {
+      case interp::MemoryEvent::Kind::VarWrite:
+        DependenceAnalyzer::on_var_write(e.id, e.name, e.line);
+        break;
+      case interp::MemoryEvent::Kind::VarRead:
+        DependenceAnalyzer::on_var_read(e.id, e.name, e.line);
+        break;
+      case interp::MemoryEvent::Kind::PropWrite:
+        DependenceAnalyzer::on_prop_write(e.id, e.name, e.line, e.base);
+        break;
+      case interp::MemoryEvent::Kind::PropRead:
+        DependenceAnalyzer::on_prop_read(e.id, e.name, e.line, e.base);
+        break;
+    }
+  }
+}
+
 std::map<int, LoopDependenceSummary> DependenceAnalyzer::summaries() const {
   std::map<int, LoopDependenceSummary> out;
   for (const LoopDependenceSummary& summary : summaries_) {

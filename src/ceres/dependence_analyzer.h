@@ -210,6 +210,11 @@ class DependenceAnalyzer final : public interp::ExecutionHooks {
                      const interp::BaseProvenance& base) override;
   void on_prop_read(std::uint64_t obj_id, js::Atom key, int line,
                     const interp::BaseProvenance& base) override;
+  /// Native batch path: the interpreter delivers each statement's memory
+  /// events in one call (the mode-3 emission cost BM_DependenceEndToEnd is
+  /// bounded by); the loop below dispatches them with direct calls instead
+  /// of one virtual hop per event. Event order is program order.
+  void on_memory_batch(const interp::MemoryEvent* events, std::size_t count) override;
 
   // -- results --
   [[nodiscard]] const std::vector<DependenceWarning>& warnings() const {

@@ -142,6 +142,18 @@ std::vector<std::uint8_t> CanvasContext::get_image_data(int x, int y, int w,
   return out;
 }
 
+std::vector<std::uint8_t> CanvasContext::snapshot_rgba() const {
+  std::vector<std::uint8_t> out(std::size_t(width_) * std::size_t(height_) * 4);
+  std::size_t i = 0;
+  for (const Rgba c : pixels_) {
+    out[i++] = c.r;
+    out[i++] = c.g;
+    out[i++] = c.b;
+    out[i++] = c.a;
+  }
+  return out;
+}
+
 void CanvasContext::put_image_data(const std::vector<std::uint8_t>& rgba, int x,
                                    int y, int w, int h) {
   std::size_t i = 0;

@@ -75,6 +75,12 @@ class CanvasContext final : public interp::HostData {
   /// Copy out a region as packed RGBA bytes (row-major).
   [[nodiscard]] std::vector<std::uint8_t> get_image_data(int x, int y, int w,
                                                          int h) const;
+  /// Cost-neutral full-surface copy for the event loop's frame-graph upload
+  /// stage: the compositor reads the presented frame on its own thread, so
+  /// unlike get_image_data it must NOT charge the app's cost ledger (the
+  /// pending cpu/block costs drain into the interpreter clock at the next
+  /// JS canvas call, which would skew virtual time).
+  [[nodiscard]] std::vector<std::uint8_t> snapshot_rgba() const;
   /// Write a packed RGBA region back.
   void put_image_data(const std::vector<std::uint8_t>& rgba, int x, int y, int w,
                       int h);

@@ -1,11 +1,38 @@
 #include "dom/event_loop.h"
 
 #include <algorithm>
+#include <bit>
+#include <ctime>
 #include <limits>
+
+#include "dom/canvas.h"
+#include "rivertrail/parallel_pipeline.h"
 
 namespace jsceres::dom {
 
 using interp::Value;
+
+namespace {
+
+/// Real per-thread CPU time: the span metric frame-graph stats report.
+/// Thread-CPU (not wall) so the numbers are meaningful on the single-core
+/// study container, where overlapping stages timeshare one core.
+std::int64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return std::int64_t(ts.tv_sec) * 1'000'000'000 + std::int64_t(ts.tv_nsec);
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
 
 std::uint64_t EventLoop::set_timeout(Value callback, std::int64_t delay_ms) {
   const std::int64_t due = interp_->clock().wall_ns() + delay_ms * 1'000'000;
@@ -67,9 +94,113 @@ void EventLoop::dispatch_user_event(const UserEvent& event) {
   }
 }
 
+void EventLoop::enable_frame_graph(rivertrail::ThreadPool& pool,
+                                   CanvasContext* canvas, std::size_t depth) {
+  frame_pool_ = &pool;
+  frame_canvas_ = canvas;
+  frame_depth_ = std::max<std::size_t>(depth, 1);
+}
+
+FrameGraphStats EventLoop::frame_graph_stats() const {
+  FrameGraphStats stats;
+  stats.frames = frames_committed_;
+  stats.kernel_ns = kernel_ns_;
+  stats.upload_ns = upload_ns_.load(std::memory_order_relaxed);
+  stats.commit_ns = commit_ns_;
+  return stats;
+}
+
+bool EventLoop::next_dispatch_is_raf(std::int64_t horizon_ns) const {
+  if (tasks_.empty() || !tasks_.begin()->second.is_raf) return false;
+  const std::int64_t task_due = tasks_.begin()->first.first;
+  if (task_due > horizon_ns) return false;
+  // Ties go to the task, exactly as in the serial dispatch loop below.
+  if (next_user_event_ < user_events_.size() &&
+      user_events_[next_user_event_].t_ms * 1'000'000 < task_due) {
+    return false;
+  }
+  return true;
+}
+
+void EventLoop::run_frame_graph_burst(std::int64_t horizon_ns) {
+  // Bound the burst: the pipeline primitive flushes unproduced tickets as
+  // cheap bubbles, so the cap trades a little bubble overhead for bounded
+  // per-burst state. The outer run() loop re-enters immediately when more
+  // frames are pending.
+  constexpr std::size_t kMaxBurstFrames = 32;
+
+  struct FrameSlot {
+    std::int64_t seq = 0;
+    std::vector<std::uint8_t> pixels;
+    std::uint64_t checksum = 0;
+  };
+  // Ring of in-flight frame snapshots. The commit stage is the (serial)
+  // last stage, so tokens retire in ticket order and ticket t only spawns
+  // after t - depth retired: slot reuse is race-free by construction.
+  std::vector<FrameSlot> slots(std::bit_ceil(frame_depth_));
+  const std::size_t slot_mask = slots.size() - 1;
+
+  // Serial-in "kernel": dispatch every rAF callback of the next frame
+  // boundary — identical order, clock charges and hook traffic as the
+  // serial loop — then snapshot the canvas for the downstream stages.
+  auto kernel = rivertrail::serial_stage([&](std::size_t token) -> bool {
+    if (!next_dispatch_is_raf(horizon_ns)) return false;
+    const std::int64_t due = tasks_.begin()->first.first;
+    advance_wall_to(due);
+    const std::int64_t t0 = thread_cpu_ns();
+    while (!tasks_.empty() && tasks_.begin()->second.is_raf &&
+           tasks_.begin()->first.first == due) {
+      Task task = std::move(tasks_.begin()->second);
+      tasks_.erase(tasks_.begin());
+      ++tasks_dispatched_;
+      const Value arg = Value::number(double(interp_->clock().wall_ns()) / 1e6);
+      interp_->call(task.callback, Value::undefined(), {arg});
+    }
+    FrameSlot& slot = slots[token & slot_mask];
+    slot.seq = next_frame_seq_++;
+    slot.pixels = frame_canvas_ != nullptr ? frame_canvas_->snapshot_rgba()
+                                           : std::vector<std::uint8_t>{};
+    kernel_ns_ += thread_cpu_ns() - t0;
+    return true;
+  });
+
+  // Parallel "canvas upload": the compositor-side walk of the presented
+  // frame (checksum over the snapshot — real CPU work proportional to the
+  // pixels, running on a worker while the kernel stage computes the NEXT
+  // frame). Touches only this token's snapshot, never the live canvas.
+  auto upload = rivertrail::parallel_stage([&](std::size_t token) {
+    const std::int64_t t0 = thread_cpu_ns();
+    FrameSlot& slot = slots[token & slot_mask];
+    slot.checksum = fnv1a(slot.pixels);
+    upload_ns_.fetch_add(thread_cpu_ns() - t0, std::memory_order_relaxed);
+  });
+
+  // Serial-out "commit": present frames strictly in frame order — the
+  // byte-deterministic log the acceptance tests compare across runs.
+  auto commit = rivertrail::serial_stage([&](std::size_t token) {
+    const std::int64_t t0 = thread_cpu_ns();
+    const FrameSlot& slot = slots[token & slot_mask];
+    frame_log_.emplace_back(slot.seq, slot.checksum);
+    ++frames_committed_;
+    commit_ns_ += thread_cpu_ns() - t0;
+  });
+
+  std::vector<rivertrail::PipelineStage> stages;
+  stages.push_back(std::move(kernel));
+  stages.push_back(std::move(upload));
+  stages.push_back(std::move(commit));
+  rivertrail::run_pipeline(*frame_pool_, kMaxBurstFrames, frame_depth_,
+                           std::move(stages));
+}
+
 void EventLoop::run(std::int64_t horizon_ms) {
   const std::int64_t horizon_ns = horizon_ms * 1'000'000;
   while (true) {
+    if (frame_pool_ != nullptr && next_dispatch_is_raf(horizon_ns)) {
+      run_frame_graph_burst(horizon_ns);
+      continue;
+    }
+
     const bool has_task = !tasks_.empty();
     const bool has_event = next_user_event_ < user_events_.size();
     if (!has_task && !has_event) break;

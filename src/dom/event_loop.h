@@ -1,14 +1,22 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "interp/interpreter.h"
 
+namespace jsceres::rivertrail {
+class ThreadPool;
+}
+
 namespace jsceres::dom {
+
+class CanvasContext;
 
 /// A synthetic user interaction, replayed by the event loop at a virtual
 /// timestamp — the reproduction of the paper's step 4 ("the user interacts
@@ -22,10 +30,35 @@ struct UserEvent {
   std::string key;
 };
 
+/// Observability of the frame-graph mode: committed frame count and the
+/// accumulated real (thread-CPU) span of each pipeline stage. On a
+/// single-core host the spans are makespan lower-bound inputs, not
+/// wall-clock speedups (BENCH_rivertrail_baseline.json conventions).
+struct FrameGraphStats {
+  std::int64_t frames = 0;
+  std::int64_t kernel_ns = 0;
+  std::int64_t upload_ns = 0;
+  std::int64_t commit_ns = 0;
+};
+
 /// Virtual-time browser event loop: setTimeout tasks, requestAnimationFrame
 /// at 60 Hz frame boundaries, and user-event replay. Idle gaps between tasks
 /// advance wall-clock only (the CPU-active clock stands still), which is what
 /// separates "Total" from "Active" in Table 2.
+///
+/// Frame-graph mode (enable_frame_graph) is the reproduction's answer to the
+/// In-Loops > Active gap of Table 2: a requestAnimationFrame tick is
+/// decomposed into kernel -> canvas-upload -> commit pipeline stages over
+/// the work-stealing pool (rivertrail/parallel_pipeline.h), so the next
+/// frame's kernel overlaps the previous frame's upload instead of
+/// serializing behind it. The kernel stage is serial-in (the interpreter is
+/// single-threaded; the pipeline's ticket turnstile confines it to one
+/// worker at a time, in frame order), uploads are parallel over frame
+/// snapshots, and the commit stage is serial-out — the frame log is
+/// byte-deterministic run to run. Virtual-clock accounting is unchanged:
+/// callbacks run in exactly the order and with exactly the charges of the
+/// serial loop, so Table 2 numbers and mode-3 golden reports are identical
+/// with the mode on or off.
 class EventLoop {
  public:
   explicit EventLoop(interp::Interpreter& interp) : interp_(&interp) {}
@@ -49,6 +82,23 @@ class EventLoop {
   /// requestAnimationFrame chains never drain on their own).
   void run(std::int64_t horizon_ms);
 
+  /// Decompose requestAnimationFrame ticks into kernel -> canvas-upload ->
+  /// commit pipeline stages on `pool` (see class comment). `canvas` is the
+  /// surface whose pixels the upload stage snapshots (nullptr: upload
+  /// degenerates to frame bookkeeping); `depth` bounds frames in flight
+  /// (2 = classic double buffering: one frame uploading while the next
+  /// computes).
+  void enable_frame_graph(rivertrail::ThreadPool& pool,
+                          CanvasContext* canvas = nullptr, std::size_t depth = 2);
+  [[nodiscard]] bool frame_graph_enabled() const { return frame_pool_ != nullptr; }
+  [[nodiscard]] FrameGraphStats frame_graph_stats() const;
+  /// Commit-order (frame seq, canvas checksum) pairs — the serial-out
+  /// stage's output, asserted byte-deterministic by tests and fig5.
+  [[nodiscard]] const std::vector<std::pair<std::int64_t, std::uint64_t>>&
+  frame_log() const {
+    return frame_log_;
+  }
+
   [[nodiscard]] std::int64_t tasks_dispatched() const { return tasks_dispatched_; }
   [[nodiscard]] std::int64_t events_dispatched() const { return events_dispatched_; }
 
@@ -61,6 +111,13 @@ class EventLoop {
 
   void dispatch_user_event(const UserEvent& event);
   void advance_wall_to(std::int64_t target_ns);
+  /// True when the next thing the serial loop would dispatch is a
+  /// requestAnimationFrame task due within the horizon — the gate into a
+  /// frame-graph burst.
+  [[nodiscard]] bool next_dispatch_is_raf(std::int64_t horizon_ns) const;
+  /// Pipeline consecutive rAF frame boundaries until the stream breaks (a
+  /// timer or user event interleaves, the horizon hits, or the burst cap).
+  void run_frame_graph_burst(std::int64_t horizon_ns);
 
   interp::Interpreter* interp_;
   // (due_ns, seq) -> task; the multimap keeps FIFO order within a timestamp.
@@ -72,6 +129,19 @@ class EventLoop {
   std::uint64_t next_seq_ = 1;
   std::int64_t tasks_dispatched_ = 0;
   std::int64_t events_dispatched_ = 0;
+
+  // Frame-graph mode state. The serial counters are only touched inside
+  // serial pipeline stages (turnstile-ordered) or after the pipeline join;
+  // upload_ns_ is the one counter parallel stages bump.
+  rivertrail::ThreadPool* frame_pool_ = nullptr;
+  CanvasContext* frame_canvas_ = nullptr;
+  std::size_t frame_depth_ = 2;
+  std::int64_t next_frame_seq_ = 0;
+  std::int64_t frames_committed_ = 0;
+  std::int64_t kernel_ns_ = 0;
+  std::int64_t commit_ns_ = 0;
+  std::atomic<std::int64_t> upload_ns_{0};
+  std::vector<std::pair<std::int64_t, std::uint64_t>> frame_log_;
 };
 
 }  // namespace jsceres::dom

@@ -54,6 +54,14 @@ class Page {
     return it == contexts_.end() ? nullptr : it->second;
   }
 
+  /// Canvas context of the element with `id`, if the page has one and the
+  /// app already called getContext on it. Used to wire the event loop's
+  /// frame-graph upload stage to the workload's render surface.
+  [[nodiscard]] std::shared_ptr<CanvasContext> canvas_context(const std::string& id) const {
+    const auto node = document_.by_id(id);
+    return node == nullptr ? nullptr : context_of(node.get());
+  }
+
   /// Convenience used by workloads and tests: a canvas element with the
   /// given id appended to <body>.
   interp::Value add_canvas(const std::string& id, int width, int height);

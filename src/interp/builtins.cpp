@@ -25,9 +25,9 @@ double num_arg(Interpreter& interp, const std::vector<Value>& args, std::size_t 
 /// analyzer (the stand-in for the paper's Proxy trapping Array.prototype
 /// internals).
 void note_write(Interpreter& interp, const ObjPtr& obj, const std::string& key) {
-  if (interp.hooks() != nullptr && interp.hooks()->wants_memory_events()) {
-    interp.hooks()->on_prop_write(obj->id(), js::Atom::intern(key), 0,
-                                  BaseProvenance{BaseProvenance::Kind::Object, 0});
+  if (interp.wants_memory_events()) {
+    interp.note_prop_write(obj->id(), js::Atom::intern(key), 0,
+                           BaseProvenance{BaseProvenance::Kind::Object, 0});
   }
 }
 

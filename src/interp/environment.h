@@ -97,14 +97,20 @@ class Environment {
   [[nodiscard]] const EnvPtr& parent() const { return parent_; }
 
   /// Stamp this (fresh or recycled) activation from a pre-resolved layout:
-  /// the name vector is copied wholesale and every slot starts undefined —
-  /// no per-name duplicate scan. Callers then store parameters and hoisted
-  /// functions directly via slot_at (js::ActivationLayout). The vector
-  /// assignments reuse the pooled environment's capacity, so a steady-state
-  /// call allocates nothing.
-  void adopt_layout(const std::vector<js::Atom>& names) {
+  /// the name vector is copied wholesale and each slot is constructed
+  /// exactly once from `init_at(slot)` — no per-name duplicate scan, and no
+  /// zero-then-overwrite for slots the resolver proved are written at entry
+  /// (parameters, hoisted functions; see js::ActivationLayout::inits). The
+  /// vector assignments reuse the pooled environment's capacity, so a
+  /// steady-state call allocates nothing.
+  template <typename InitAt>
+  void adopt_layout(const std::vector<js::Atom>& names, InitAt&& init_at) {
     names_ = names;
-    slots_.assign(names.size(), Value());
+    slots_.clear();  // keeps capacity
+    slots_.reserve(names.size());
+    for (std::size_t slot = 0; slot < names.size(); ++slot) {
+      slots_.push_back(init_at(slot));
+    }
   }
 
   /// Declare (or re-declare, reusing the slot) a binding in this environment.

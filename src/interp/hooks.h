@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,6 +31,18 @@ struct BaseProvenance {
   };
   Kind kind = Kind::Object;
   std::uint64_t env_id = 0;  // valid for Binding / This
+};
+
+/// One buffered memory-access event (see ExecutionHooks::on_memory_batch).
+/// `id` is the environment id for Var* kinds and the object id for Prop*
+/// kinds; `base` is meaningful for Prop* kinds only.
+struct MemoryEvent {
+  enum class Kind : std::uint8_t { VarWrite, VarRead, PropWrite, PropRead };
+  Kind kind = Kind::VarWrite;
+  int line = 0;
+  std::uint64_t id = 0;
+  js::Atom name;
+  BaseProvenance base;
 };
 
 /// Category of host (browser-substrate) API touched by a native call.
@@ -84,6 +97,35 @@ class ExecutionHooks {
   virtual void on_prop_read(std::uint64_t /*obj_id*/, js::Atom /*key*/,
                             int /*line*/, const BaseProvenance&) {}
 
+  /// Batched delivery of the four memory-access callbacks above. The
+  /// interpreter buffers mode-3 memory events per statement and flushes the
+  /// run in ONE virtual call (BM_DependenceEndToEnd is bounded by event
+  /// *emission*, not analysis — the per-event double virtual dispatch was
+  /// the remaining cost). Events arrive in exact program order, and the
+  /// interpreter flushes the buffer before emitting any non-memory event,
+  /// so an implementation that overrides only the per-event callbacks (via
+  /// this default unpacking loop) observes a stream identical to eager
+  /// delivery.
+  virtual void on_memory_batch(const MemoryEvent* events, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const MemoryEvent& e = events[i];
+      switch (e.kind) {
+        case MemoryEvent::Kind::VarWrite:
+          on_var_write(e.id, e.name, e.line);
+          break;
+        case MemoryEvent::Kind::VarRead:
+          on_var_read(e.id, e.name, e.line);
+          break;
+        case MemoryEvent::Kind::PropWrite:
+          on_prop_write(e.id, e.name, e.line, e.base);
+          break;
+        case MemoryEvent::Kind::PropRead:
+          on_prop_read(e.id, e.name, e.line, e.base);
+          break;
+      }
+    }
+  }
+
   // --- substrate ---
   virtual void on_host_access(HostAccess, const char* /*api_name*/) {}
 
@@ -95,6 +137,12 @@ class ExecutionHooks {
   /// checks this once per access site; returning false keeps the lightweight
   /// and loop-profiling modes cheap (the paper's reason for staging modes).
   [[nodiscard]] virtual bool wants_memory_events() const { return false; }
+
+  /// The object memory-event batches should be delivered to. A composite
+  /// with exactly ONE member that wants memory events returns that member,
+  /// letting the interpreter skip the fan-out layer on every flush (the
+  /// common mode-3 topology: a HookList holding one DependenceAnalyzer).
+  [[nodiscard]] virtual ExecutionHooks* memory_event_sink() { return this; }
 };
 
 /// Fan-out composite so several observers (e.g. loop profiler + sampling
@@ -145,6 +193,12 @@ class HookList final : public ExecutionHooks {
                     const BaseProvenance& base) override {
     for (auto* h : hooks_) h->on_prop_read(obj_id, key, line, base);
   }
+  void on_memory_batch(const MemoryEvent* events, std::size_t count) override {
+    // Whole-batch fan-out: each observer sees its own events in order (an
+    // observer-local stream is all the hook contract promises); observers
+    // with a native batch path (DependenceAnalyzer) process it directly.
+    for (auto* h : hooks_) h->on_memory_batch(events, count);
+  }
   void on_host_access(HostAccess access, const char* api_name) override {
     for (auto* h : hooks_) h->on_host_access(access, api_name);
   }
@@ -153,6 +207,15 @@ class HookList final : public ExecutionHooks {
   }
   [[nodiscard]] bool wants_memory_events() const override {
     return wants_memory_;
+  }
+  [[nodiscard]] ExecutionHooks* memory_event_sink() override {
+    ExecutionHooks* sole = nullptr;
+    for (auto* h : hooks_) {
+      if (!h->wants_memory_events()) continue;
+      if (sole != nullptr) return this;  // several consumers: keep fan-out
+      sole = h->memory_event_sink();
+    }
+    return sole != nullptr ? sole : this;
   }
 
  private:

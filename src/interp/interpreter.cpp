@@ -34,19 +34,20 @@ bool number_as_index(double d, std::size_t* out) {
 /// exception unwinds through C++ frames.
 class FunctionFrame {
  public:
-  FunctionFrame(ExecutionHooks* hooks, std::vector<int>& stack, int fn_id,
+  FunctionFrame(Interpreter& interp, std::vector<int>& stack, int fn_id,
                 const std::string& name)
-      : hooks_(hooks), stack_(stack), fn_id_(fn_id) {
+      : interp_(interp), stack_(stack), fn_id_(fn_id) {
     stack_.push_back(fn_id_);
-    if (hooks_ != nullptr) hooks_->on_function_enter(fn_id_, name);
+    if (interp_.hooks() != nullptr) interp_.sync_hooks()->on_function_enter(fn_id_, name);
   }
   ~FunctionFrame() {
     stack_.pop_back();
-    if (hooks_ != nullptr) hooks_->on_function_exit(fn_id_);
+    // sync_hooks: memory events buffered by the body flush before the exit.
+    if (interp_.hooks() != nullptr) interp_.sync_hooks()->on_function_exit(fn_id_);
   }
 
  private:
-  ExecutionHooks* hooks_;
+  Interpreter& interp_;
   std::vector<int>& stack_;
   int fn_id_;
 };
@@ -61,6 +62,8 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
       config_(config),
       rng_(config.random_seed) {
   memory_events_ = hooks_ != nullptr && hooks_->wants_memory_events();
+  if (hooks_ != nullptr) memory_sink_ = hooks_->memory_event_sink();
+  if (memory_events_) memory_batch_.reserve(256);
 
   atom_length_ = js::Atom::intern("length");
   atom_prototype_ = js::Atom::intern("prototype");
@@ -91,7 +94,7 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
   } pool_guard{env_pool_};
 
   global_env_ = make_env(nullptr);
-  if (hooks_ != nullptr) hooks_->on_env_created(global_env_->id());
+  if (hooks_ != nullptr) sync_hooks()->on_env_created(global_env_->id());
 
   object_proto_ = std::make_shared<JSObject>(next_obj_id_++);
   array_proto_ = std::make_shared<JSObject>(next_obj_id_++);
@@ -128,6 +131,10 @@ void Interpreter::flush_ticks() {
   // (sampling probe, budget check, simulated preemption). The probe cadence
   // (every ~64 ticks) and all totals are identical to charging per node;
   // only the store into the clock is amortized over the batch.
+  // Drain the memory-event buffer even when no ticks are pending: every
+  // external observation point (clock(), end of run()/call(), unwinding)
+  // funnels through here, so observers never see a stale event stream.
+  if (!memory_batch_.empty()) flush_memory_events();
   const std::int64_t pending = ticks_pending_;
   if (pending == 0) return;
   ticks_pending_ = 0;
@@ -135,7 +142,7 @@ void Interpreter::flush_ticks() {
   ticks_since_probe_ += pending;
   if (ticks_since_probe_ >= 64) {
     ticks_since_probe_ = 0;
-    if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
+    if (hooks_ != nullptr) sync_hooks()->on_clock_advance(current_fn_id());
     if (config_.max_ticks >= 0 && clock_->cpu_ns() > config_.max_ticks * VirtualClock::kTickNs) {
       throw EngineError("tick budget exceeded");
     }
@@ -154,7 +161,7 @@ void Interpreter::charge(std::int64_t ticks) { tick(ticks); }
 void Interpreter::block(std::int64_t ns) {
   flush_ticks();
   clock_->block_ns(ns);
-  if (hooks_ != nullptr) hooks_->on_clock_advance(current_fn_id());
+  if (hooks_ != nullptr) sync_hooks()->on_clock_advance(current_fn_id());
 }
 
 void Interpreter::console_write(const std::string& text) {
@@ -170,7 +177,7 @@ void Interpreter::console_write(const std::string& text) {
 ObjPtr Interpreter::make_object() {
   auto obj = std::make_shared<JSObject>(next_obj_id_++);
   obj->set_prototype(object_proto_);
-  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), 0);
+  if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), 0);
   return obj;
 }
 
@@ -178,7 +185,7 @@ ObjPtr Interpreter::make_array(std::size_t reserve) {
   auto obj = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
   obj->set_prototype(array_proto_);
   if (reserve > 0) obj->elements().reserve(reserve);
-  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), 0);
+  if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), 0);
   return obj;
 }
 
@@ -207,7 +214,7 @@ ObjPtr Interpreter::make_function_from_node(const js::FunctionNode& node,
   proto->set_prototype(object_proto_);
   proto->set_property(atom_constructor_, Value::object(obj));
   obj->set_property(atom_prototype_, Value::object(proto));
-  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), node.line);
+  if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), node.line);
   return obj;
 }
 
@@ -369,14 +376,14 @@ Value Interpreter::property_get(const Value& base, const std::string& key, int l
     if (index_from_string(key, &index)) {
       // Computed keys are interned on first use; only mode 3 pays for it.
       if (memory_events_) {
-        hooks_->on_prop_read(obj->id(), js::Atom::intern(key), line, prov);
+        buffer_memory_event(MemoryEvent::Kind::PropRead, obj->id(), js::Atom::intern(key), line, prov);
       }
       return index < obj->elements().size() ? obj->elements()[index]
                                             : Value::undefined();
     }
   }
   if (memory_events_) {
-    hooks_->on_prop_read(obj->id(), js::Atom::intern(key), line, prov);
+    buffer_memory_event(MemoryEvent::Kind::PropRead, obj->id(), js::Atom::intern(key), line, prov);
   }
   for (const JSObject* walk = obj.get(); walk != nullptr;
        walk = walk->prototype().get()) {
@@ -396,7 +403,7 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
     note_host_access(obj->host()->category(), key.c_str());
   }
   if (memory_events_) {
-    hooks_->on_prop_write(obj->id(), js::Atom::intern(key), line, prov);
+    buffer_memory_event(MemoryEvent::Kind::PropWrite, obj->id(), js::Atom::intern(key), line, prov);
   }
 
   if (obj->is_array()) {
@@ -573,17 +580,33 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
   // Stamp the activation from the resolver's template when the function has
   // enough names for the per-call declare scan (quadratic in the name
   // count) to matter; for tiny activations a handful of pointer compares
-  // beats the template's double slot write.
+  // beats the template stamp. Each slot is written exactly once: the
+  // resolver's per-slot init provenance replaces the old fill-undefined-
+  // then-store-params double write (entry-written slots skip the zero-fill).
   if (node.layout != nullptr && node.layout->names.size() > 4) {
     const js::ActivationLayout& layout = *node.layout;
-    env->adopt_layout(layout.names);
-    for (std::size_t i = 0; i < node.params.size(); ++i) {
-      *env->slot_at(layout.param_slots[i]) =
-          i < args.size() ? args[i] : Value::undefined();
-    }
-    for (std::size_t j = 0; j < node.hoisted_functions.size(); ++j) {
-      *env->slot_at(layout.fn_slots[j]) = Value::object(
-          make_function_from_node(*node.hoisted_functions[j]->fn, env));
+    using SlotInit = js::ActivationLayout::SlotInit;
+    env->adopt_layout(layout.names, [&](std::size_t slot) -> Value {
+      const js::ActivationLayout::SlotSource& src = layout.inits[slot];
+      switch (src.kind) {
+        case SlotInit::Param:
+          return src.index < args.size() ? args[src.index] : Value::undefined();
+        case SlotInit::Fn:
+          return Value::object(
+              make_function_from_node(*node.hoisted_functions[src.index]->fn, env));
+        case SlotInit::Zero:
+        default:
+          return Value::undefined();
+      }
+    });
+    if (!layout.fns_in_slot_order) {
+      // Degenerate shadowing (a function re-binding a parameter or an
+      // earlier function): store in declaration order so closure-object
+      // creation order matches the declare-scan path exactly.
+      for (std::size_t j = 0; j < node.hoisted_functions.size(); ++j) {
+        *env->slot_at(layout.fn_slots[j]) = Value::object(
+            make_function_from_node(*node.hoisted_functions[j]->fn, env));
+      }
     }
   } else {
     // Synthesized AST that never went through resolve_scopes.
@@ -594,9 +617,9 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
     hoist_into(*env, node.hoisted_vars, node.hoisted_functions, env);
   }
   env->set_this(this_val);
-  if (hooks_ != nullptr) hooks_->on_env_created(env->id());
+  if (hooks_ != nullptr) sync_hooks()->on_env_created(env->id());
 
-  FunctionFrame frame(hooks_, fn_stack_, node.fn_id,
+  FunctionFrame frame(*this, fn_stack_, node.fn_id,
                       fn.name.empty() ? "<anonymous>" : fn.name);
   tick(3);
   Value result;
@@ -671,7 +694,7 @@ Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& en
         Value value = eval(*d.init, env);
         Environment* owner = nullptr;
         Value* slot = lookup_for_write(d.name, d.ref, env, &owner);
-        if (memory_events_) hooks_->on_var_write(owner->id(), d.name, stmt.line);
+        if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarWrite, owner->id(), d.name, stmt.line);
         *slot = std::move(value);
       }
       return {};
@@ -716,7 +739,7 @@ Interpreter::Completion Interpreter::exec(const js::Stmt& stmt, const EnvPtr& en
         if (node.catch_block) {
           EnvPtr catch_env = make_env(env);
           catch_env->declare(node.catch_param, ex.value);
-          if (hooks_ != nullptr) hooks_->on_env_created(catch_env->id());
+          if (hooks_ != nullptr) sync_hooks()->on_env_created(catch_env->id());
           completion = exec(*node.catch_block, catch_env);
         } else {
           if (node.finally_block) exec(*node.finally_block, env);
@@ -747,11 +770,11 @@ LoopEvent loop_event(int loop_id, int line, js::LoopKind kind) {
 Interpreter::Completion Interpreter::exec_for(const js::For& node, const EnvPtr& env) {
   if (node.init) exec(*node.init, env);
   const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::For);
-  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_enter(event);
   Completion result;
   while (true) {
     if (node.condition && !eval_condition(*node.condition, env)) break;
-    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    if (hooks_ != nullptr) sync_hooks()->on_loop_iteration(event);
     Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
@@ -760,17 +783,17 @@ Interpreter::Completion Interpreter::exec_for(const js::For& node, const EnvPtr&
     }
     if (node.update) eval(*node.update, env);
   }
-  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_exit(event);
   return result;
 }
 
 Interpreter::Completion Interpreter::exec_while(const js::While& node,
                                                 const EnvPtr& env) {
   const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::While);
-  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_enter(event);
   Completion result;
   while (eval_condition(*node.condition, env)) {
-    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    if (hooks_ != nullptr) sync_hooks()->on_loop_iteration(event);
     Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
@@ -778,17 +801,17 @@ Interpreter::Completion Interpreter::exec_while(const js::While& node,
       break;
     }
   }
-  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_exit(event);
   return result;
 }
 
 Interpreter::Completion Interpreter::exec_do_while(const js::DoWhile& node,
                                                    const EnvPtr& env) {
   const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::DoWhile);
-  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_enter(event);
   Completion result;
   do {
-    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    if (hooks_ != nullptr) sync_hooks()->on_loop_iteration(event);
     Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
@@ -796,7 +819,7 @@ Interpreter::Completion Interpreter::exec_do_while(const js::DoWhile& node,
       break;
     }
   } while (eval_condition(*node.condition, env));
-  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_exit(event);
   return result;
 }
 
@@ -804,7 +827,7 @@ Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
                                                  const EnvPtr& env) {
   const Value object = eval(*node.object, env);
   const LoopEvent event = loop_event(node.loop_id, node.line, js::LoopKind::ForIn);
-  if (hooks_ != nullptr) hooks_->on_loop_enter(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_enter(event);
   Completion result;
 
   std::vector<Value> keys;
@@ -822,9 +845,9 @@ Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
   for (auto& key : keys) {
     Environment* owner = nullptr;
     Value* slot = lookup_for_write(node.var_name, node.var_ref, env, &owner);
-    if (memory_events_) hooks_->on_var_write(owner->id(), node.var_name, node.line);
+    if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarWrite, owner->id(), node.var_name, node.line);
     *slot = std::move(key);
-    if (hooks_ != nullptr) hooks_->on_loop_iteration(event);
+    if (hooks_ != nullptr) sync_hooks()->on_loop_iteration(event);
     Completion completion = exec(*node.body, env);
     if (completion.type == Completion::Type::Break) break;
     if (completion.type == Completion::Type::Return) {
@@ -832,7 +855,7 @@ Interpreter::Completion Interpreter::exec_for_in(const js::ForIn& node,
       break;
     }
   }
-  if (hooks_ != nullptr) hooks_->on_loop_exit(event);
+  if (hooks_ != nullptr) sync_hooks()->on_loop_exit(event);
   return result;
 }
 
@@ -876,7 +899,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       if (slot == nullptr) {
         throw_error("ReferenceError", ident.name.str() + " is not defined");
       }
-      if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, expr.line);
+      if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarRead, owner->id(), ident.name, expr.line);
       return *slot;
     }
     case js::NodeKind::ThisExpr: {
@@ -887,13 +910,13 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       const auto& lit = static_cast<const js::ArrayLit&>(expr);
       auto arr = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
       arr->set_prototype(array_proto_);
-      if (hooks_ != nullptr) hooks_->on_object_created(arr->id(), expr.line);
+      if (hooks_ != nullptr) sync_hooks()->on_object_created(arr->id(), expr.line);
       arr->elements().reserve(lit.elements.size());
       const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
       for (std::size_t i = 0; i < lit.elements.size(); ++i) {
         arr->elements().push_back(eval(*lit.elements[i], env));
         if (memory_events_) {
-          hooks_->on_prop_write(arr->id(), js::Atom::intern(number_to_string(double(i))),
+          buffer_memory_event(MemoryEvent::Kind::PropWrite, arr->id(), js::Atom::intern(number_to_string(double(i))),
                                 expr.line, prov);
         }
       }
@@ -903,11 +926,11 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       const auto& lit = static_cast<const js::ObjectLit&>(expr);
       auto obj = std::make_shared<JSObject>(next_obj_id_++);
       obj->set_prototype(object_proto_);
-      if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), expr.line);
+      if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), expr.line);
       const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
       for (const auto& [key, value_expr] : lit.properties) {
         obj->set_property(key, eval(*value_expr, env));
-        if (memory_events_) hooks_->on_prop_write(obj->id(), key, expr.line, prov);
+        if (memory_events_) buffer_memory_event(MemoryEvent::Kind::PropWrite, obj->id(), key, expr.line, prov);
       }
       return Value::object(obj);
     }
@@ -1036,7 +1059,7 @@ Value Interpreter::eval_member_named(const Value& base, const js::Member& member
       return Value::number(double(obj.elements().size()));
     }
     if (memory_events_) {
-      hooks_->on_prop_read(obj.id(), key, member.line,
+      buffer_memory_event(MemoryEvent::Kind::PropRead, obj.id(), key, member.line,
                            provenance_of(*member.object, env));
     }
     const Shape* shape = obj.shape();
@@ -1097,7 +1120,7 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
     note_host_access(obj.host()->category(), key.str().c_str());
   }
   if (memory_events_) {
-    hooks_->on_prop_write(obj.id(), key, member.line,
+    buffer_memory_event(MemoryEvent::Kind::PropWrite, obj.id(), key, member.line,
                           provenance_of(*member.object, env));
   }
   if (obj.is_array() && key == atom_length_) {
@@ -1142,7 +1165,7 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
       if (pre == nullptr) {
         throw_error("ReferenceError", ident.name.str() + " is not defined");
       }
-      if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, assign.line);
+      if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarRead, owner->id(), ident.name, assign.line);
       // Copy before evaluating the RHS: the RHS may declare new bindings,
       // which can reallocate the slot storage behind `pre`.
       const Value current = *pre;
@@ -1151,7 +1174,7 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
     }
     Environment* owner = nullptr;
     Value* slot = lookup_for_write(ident.name, ident.ref, env, &owner);
-    if (memory_events_) hooks_->on_var_write(owner->id(), ident.name, assign.line);
+    if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarWrite, owner->id(), ident.name, assign.line);
     *slot = value;
     return value;
   }
@@ -1207,7 +1230,7 @@ Value Interpreter::eval_update(const js::Update& update, const EnvPtr& env) {
       throw_error("ReferenceError", ident.name.str() + " is not defined");
     }
     const double before = to_number(*slot);
-    if (memory_events_) hooks_->on_var_write(owner->id(), ident.name, update.line);
+    if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarWrite, owner->id(), ident.name, update.line);
     *slot = Value::number(before + delta);
     return Value::number(update.prefix ? before + delta : before);
   }
@@ -1267,7 +1290,7 @@ Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
   } else {
     obj->set_prototype(object_proto_);
   }
-  if (hooks_ != nullptr) hooks_->on_object_created(obj->id(), node.line);
+  if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), node.line);
 
   std::vector<Value> args;
   args.reserve(node.args.size());
@@ -1289,7 +1312,7 @@ inline Value Interpreter::eval_leaf(const js::Expr& expr, const EnvPtr& env) {
     if (slot == nullptr) {
       throw_error("ReferenceError", ident.name.str() + " is not defined");
     }
-    if (memory_events_) hooks_->on_var_read(owner->id(), ident.name, expr.line);
+    if (memory_events_) buffer_memory_event(MemoryEvent::Kind::VarRead, owner->id(), ident.name, expr.line);
     return *slot;
   }
   return eval(expr, env);

@@ -103,6 +103,14 @@ class Interpreter {
     return *clock_;
   }
   [[nodiscard]] ExecutionHooks* hooks() { return hooks_; }
+  /// hooks(), with any buffered mode-3 memory events flushed first. Every
+  /// non-memory hook emission (loops, calls, creations, host accesses,
+  /// clock probes) goes through this so observers see all event kinds in
+  /// exact program order despite the memory-event batching.
+  ExecutionHooks* sync_hooks() {
+    if (!memory_batch_.empty()) flush_memory_events();
+    return hooks_;
+  }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const js::Program& program() const { return program_; }
   [[nodiscard]] const std::string& console_output() const { return console_; }
@@ -113,7 +121,18 @@ class Interpreter {
   }
   /// Report a host API touch to the active instrumentation.
   void note_host_access(HostAccess access, const char* api_name) {
-    if (hooks_ != nullptr) hooks_->on_host_access(access, api_name);
+    if (hooks_ != nullptr) sync_hooks()->on_host_access(access, api_name);
+  }
+  /// Whether the attached hooks want memory-access events (mode 3).
+  [[nodiscard]] bool wants_memory_events() const { return memory_events_; }
+  /// Native-initiated property write (the builtins' stand-in for a Proxy
+  /// trapping Array internals). Buffered with interpreter-emitted memory
+  /// events so observers see one stream in program order.
+  void note_prop_write(std::uint64_t obj_id, js::Atom key, int line,
+                       const BaseProvenance& prov) {
+    if (memory_events_) {
+      buffer_memory_event(MemoryEvent::Kind::PropWrite, obj_id, key, line, prov);
+    }
   }
   /// Charge `ticks` cost-model ticks (used by substrate bindings to model
   /// non-trivial native work, e.g. canvas raster fills).
@@ -226,6 +245,22 @@ class Interpreter {
 
   BaseProvenance provenance_of(const js::Expr& base_expr, const EnvPtr& env);
 
+  // --- mode-3 memory-event batching (see ExecutionHooks::on_memory_batch) -
+  // Every memory-access event is appended here instead of paying the
+  // double virtual dispatch (HookList fan-out + observer) per event; the
+  // buffer drains to the hooks in one call at each statement boundary and
+  // before ANY non-memory hook event, so observers see exactly the eager
+  // event order. All emission sites below are already gated on
+  // memory_events_, so modes 0-2 never touch the buffer.
+  void buffer_memory_event(MemoryEvent::Kind kind, std::uint64_t id, js::Atom name,
+                           int line, const BaseProvenance& base = BaseProvenance{}) {
+    memory_batch_.push_back(MemoryEvent{kind, line, id, name, base});
+  }
+  void flush_memory_events() {
+    memory_sink_->on_memory_batch(memory_batch_.data(), memory_batch_.size());
+    memory_batch_.clear();
+  }
+
   /// Pooled activation-environment allocation (see EnvPool). The raw
   /// pointer is intentional: the pool detach-then-self-deletes so closures
   /// that outlive the interpreter stay valid.
@@ -268,6 +303,11 @@ class Interpreter {
   std::int64_t ticks_since_probe_ = 0;
   std::int64_t ticks_since_preempt_ = 0;
   bool memory_events_ = false;
+  /// Where memory-event batches land: hooks_->memory_event_sink(), cached
+  /// at construction (a HookList with one mode-3 consumer resolves to that
+  /// consumer, skipping the fan-out layer per flush). Null iff hooks_ is.
+  ExecutionHooks* memory_sink_ = nullptr;
+  std::vector<MemoryEvent> memory_batch_;
   std::string console_;
 };
 

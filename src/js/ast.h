@@ -159,9 +159,30 @@ struct FunctionExpr;  // below, shares FunctionNode
 /// say where parameter i / hoisted function j land (duplicates share their
 /// first slot, mirroring Environment::declare).
 struct ActivationLayout {
+  /// Provenance of each slot's entry value, proved by the resolver's
+  /// declaration simulation. Param and Fn slots are written at function
+  /// entry strictly before any body statement can read them — so stamping
+  /// an activation can materialize their entry value directly and skip the
+  /// undefined zero-fill (the ROADMAP "written before read" lever). Zero
+  /// slots (plain hoisted vars) genuinely need the undefined fill: `var x`
+  /// is readable before its first assignment.
+  enum class SlotInit : std::uint8_t { Zero, Param, Fn };
+  struct SlotSource {
+    SlotInit kind = SlotInit::Zero;
+    std::uint32_t index = 0;  // param index / hoisted-function index
+  };
+
   std::vector<Atom> names;
   std::vector<std::uint32_t> param_slots;
   std::vector<std::uint32_t> fn_slots;
+  /// Parallel to `names`: how the interpreter initializes each slot.
+  std::vector<SlotSource> inits;
+  /// False when hoisted-function slots are not strictly increasing (a
+  /// function re-binds a parameter or an earlier function's name): the
+  /// interpreter then stores functions with the legacy ordered loop so
+  /// object-creation order (ids, hook events, cost ticks) is bit-identical
+  /// to the declare-scan path.
+  bool fns_in_slot_order = true;
 };
 
 /// A function body shared by declarations and expressions. The parser

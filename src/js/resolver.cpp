@@ -89,6 +89,30 @@ class Resolver {
     for (const auto& [name, slot] : scope.slots) {
       layout->names[slot] = name;
     }
+    // Entry-value provenance per slot. Later writers win, mirroring the
+    // declare sequence (params in order, then hoisted functions): a
+    // duplicate parameter name keeps the LAST argument, a function
+    // re-binding a parameter shadows it at entry.
+    layout->inits.assign(layout->names.size(), ActivationLayout::SlotSource{});
+    for (std::uint32_t i = 0; i < layout->param_slots.size(); ++i) {
+      layout->inits[layout->param_slots[i]] = {ActivationLayout::SlotInit::Param, i};
+    }
+    for (std::uint32_t j = 0; j < layout->fn_slots.size(); ++j) {
+      layout->inits[layout->fn_slots[j]] = {ActivationLayout::SlotInit::Fn, j};
+      // Inline function materialization only when slot order == declaration
+      // order, so closure-object creation order is unchanged.
+      if (j > 0 && layout->fn_slots[j] <= layout->fn_slots[j - 1]) {
+        layout->fns_in_slot_order = false;
+      }
+    }
+    if (!layout->fns_in_slot_order) {
+      // Fall back: functions stored by the interpreter's ordered loop; their
+      // slots revert to the undefined fill so the loop's operator= sees a
+      // constructed value.
+      for (const std::uint32_t slot : layout->fn_slots) {
+        layout->inits[slot] = ActivationLayout::SlotSource{};
+      }
+    }
     fn.layout = std::move(layout);
     scopes_.push_back(std::move(scope));
     walk_stmt(*fn.body);

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rivertrail/parallel_for.h"
+#include "rivertrail/thread_pool.h"
+
+namespace jsceres::rivertrail {
+
+/// Explicit dependence graph over the work-stealing pool: the primitive the
+/// event loop's frame-graph mode and `parallel_pipeline` are built from.
+///
+/// Nodes carry an arbitrary body (type-erased once, at build time — the
+/// cold path) plus an atomic dependency counter; the unit the *scheduler*
+/// moves is still the 48-byte inline Task ({graph, node id} fits the inline
+/// payload), so running a graph allocates nothing on the dispatch path.
+///
+/// Edge retirement is help-first: when a node finishes, the finishing
+/// worker decrements every successor's counter, pushes all newly-ready
+/// successors but one onto its own deque (stealable by hungry thieves) and
+/// continues into the remaining one itself — the same caller-runs
+/// discipline parallel_for's joins use, so a chain of nodes runs as a loop
+/// on one cache-warm worker while genuine fan-out spreads through steals.
+///
+/// Exception semantics match parallel_for's gate: the first body to throw
+/// wins, every remaining body is skipped, but every node still *retires*
+/// (counters decrement, the gate closes), and the exception is rethrown at
+/// the `run()` join — the graph never deadlocks and never leaks inflight
+/// tasks into a destroyed frame.
+///
+/// A graph is reusable: `run()` re-arms the dependency counters from the
+/// recorded edge counts, so a per-frame graph can be built once and run
+/// every frame.
+class TaskGraph {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kInvalidNode = ~NodeId(0);
+
+  explicit TaskGraph(ThreadPool& pool) : pool_(&pool) {}
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Add a node. Bodies may themselves use the pool (nested parallel_for
+  /// inside a node is supported by the help-first join).
+  NodeId add(std::function<void()> body);
+
+  /// Declare that `after` must not start until `before` has finished.
+  void depend(NodeId before, NodeId after);
+
+  /// Execute the whole graph and wait; rethrows the first node exception
+  /// after every node has retired. Throws std::logic_error on a cyclic
+  /// graph (checked up front — a cycle would otherwise hang the join).
+  void run();
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::function<void()> body;
+    std::vector<NodeId> successors;
+    std::int32_t initial_pending = 0;
+    std::atomic<std::int32_t> pending{0};
+  };
+
+  /// Run node `id`, retire its out-edges, and loop into one newly-ready
+  /// successor (help-first: the others go to the local deque for thieves).
+  void execute(NodeId id);
+  void spawn(NodeId id);
+  void check_acyclic() const;
+
+  ThreadPool* pool_;
+  std::deque<Node> nodes_;  // deque: stable addresses, Node is not movable
+  detail::ErrorSlot error_;
+  CompletionGate* gate_ = nullptr;  // live only inside run()
+  /// Cycle check already passed for the current edge set (cleared by
+  /// depend(); adding an edge-less node cannot create a cycle).
+  bool topology_validated_ = true;
+};
+
+}  // namespace jsceres::rivertrail

@@ -76,6 +76,19 @@ InstrumentedRun run_workload(const Workload& workload, Mode mode,
 
   run.interp->run();
   run.page->event_loop().push_user_events(workload.events);
+  if (workload.pipeline_schedule == rivertrail::PipelineSchedule::FrameGraph) {
+    // Frame-graph mode: rAF ticks pipeline kernel -> canvas-upload ->
+    // commit over a small worker pool so adjacent frames overlap. Two
+    // workers suffice for the 3-stage graph at depth 2; on the single-core
+    // study container they timeshare, and the overlap shows up in the
+    // per-stage span accounting rather than wall clock. Virtual-time
+    // results are unchanged by construction (the kernel stage is
+    // serial-in), so every instrumentation mode can keep the knob on.
+    run.pool = std::make_unique<rivertrail::ThreadPool>(2);
+    run.page->event_loop().enable_frame_graph(
+        *run.pool, run.page->canvas_context(workload.canvas_id).get(),
+        workload.pipeline_depth);
+  }
   run.page->event_loop().run(workload.session_ms);
   if (run.sampler != nullptr) run.sampler->finish();
 

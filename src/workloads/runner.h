@@ -8,6 +8,7 @@
 #include "ceres/sampling_profiler.h"
 #include "dom/page.h"
 #include "js/parser.h"
+#include "rivertrail/thread_pool.h"
 #include "workloads/workload.h"
 
 namespace jsceres::workloads {
@@ -31,6 +32,11 @@ struct InstrumentedRun {
   std::unique_ptr<ceres::DependenceAnalyzer> dependence;
   std::unique_ptr<interp::Interpreter> interp;
   std::unique_ptr<dom::Page> page;
+  /// Worker pool backing the event loop's frame-graph mode; non-null only
+  /// when the workload's pipeline_schedule is FrameGraph. Declared after
+  /// `page` so the pool outlives nothing that could still reference it
+  /// (the pipeline is always joined before run_workload returns).
+  std::unique_ptr<rivertrail::ThreadPool> pool;
 
   /// Loop ids of the workload's reported nests (resolved nest_markers).
   std::vector<int> nest_roots;

@@ -42,6 +42,8 @@ Workload make_cloth() {
   // chunks when nobody is hungry, which is the right call here.
   w.kernel_schedule = rivertrail::Schedule::Static;
   w.kernel_grain = 0;
+  // Canvas redraw dominates the tail of each tick: frame-graph the session.
+  w.pipeline_schedule = rivertrail::PipelineSchedule::FrameGraph;
   w.nest_markers = {"for (ci = 0; ci < constraints.length"};
   w.events = cloth_events();
   w.source = R"JS(

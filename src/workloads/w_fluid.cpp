@@ -40,6 +40,8 @@ Workload make_fluid() {
   // still letting hungry thieves peel bands off a lagging worker.
   w.kernel_schedule = rivertrail::Schedule::Static;
   w.kernel_grain = 4;
+  // Density field re-uploaded every rAF tick: frame-graph the session.
+  w.pipeline_schedule = rivertrail::PipelineSchedule::FrameGraph;
   w.nest_markers = {"for (j = 1; j <= N; j++) { // lin_solve"};
   w.events = fluid_events();
   w.source = R"JS(

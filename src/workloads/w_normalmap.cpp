@@ -21,6 +21,9 @@ Workload make_normalmap() {
   w.canvas_w = 48;
   w.canvas_h = 48;
   w.dependence_scale = 0.5;
+  // Per-pixel shading + full-surface putImageData every rAF tick — the
+  // canonical upload-bound frame: frame-graph the session.
+  w.pipeline_schedule = rivertrail::PipelineSchedule::FrameGraph;
   w.nest_markers = {"for (p = 0; p < total; p++) { // shade pixels"};
   w.events = {};
   w.source = R"JS(

@@ -32,6 +32,9 @@ Workload make_raytrace() {
   // the reflective band does not pin one worker.
   w.kernel_schedule = rivertrail::Schedule::Static;
   w.kernel_grain = 1;
+  // rAF-driven render loop over a canvas: pipeline each tick so frame t's
+  // canvas upload overlaps frame t+1's kernel (the In-Loops > Active gap).
+  w.pipeline_schedule = rivertrail::PipelineSchedule::FrameGraph;
   w.nest_markers = {"for (y = y0; y < y1; y++) { // render rows"};
   w.events = {};
   w.source = R"JS(

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -64,6 +65,15 @@ struct Workload {
   /// default.
   rivertrail::Schedule kernel_schedule = rivertrail::Schedule::Static;
   std::int64_t kernel_grain = 0;
+
+  /// Frame-pipeline knob consumed by workloads::run_workload: FrameGraph
+  /// runs the session's requestAnimationFrame ticks through the event
+  /// loop's kernel -> canvas-upload -> commit pipeline (overlapping
+  /// adjacent frames); Serial is the browser-faithful baseline. Only the
+  /// rAF-driven canvas workloads opt in.
+  rivertrail::PipelineSchedule pipeline_schedule = rivertrail::PipelineSchedule::Serial;
+  /// Frames in flight for FrameGraph (2 = double buffering).
+  std::size_t pipeline_depth = 2;
 
   PaperTable2Row paper;
 };

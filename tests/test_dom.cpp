@@ -1,7 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "dom/page.h"
 #include "js/parser.h"
+#include "rivertrail/thread_pool.h"
 
 namespace jsceres::dom {
 namespace {
@@ -220,6 +226,93 @@ TEST(EventLoop, UserEventsDispatchToListeners) {
   f.page.event_loop().run(100);
   EXPECT_DOUBLE_EQ(f.interp.global("moves").as_number(), 2);
   EXPECT_DOUBLE_EQ(f.interp.global("lastX").as_number(), 110);
+}
+
+// Frame-graph mode must leave every virtual-time observable bit-identical
+// to the serial dispatch loop (the kernel stage is serial-in), while
+// committing each frame through the kernel -> upload -> commit pipeline in
+// deterministic frame order.
+TEST(EventLoop, FrameGraphPreservesVirtualTimeAndCommitsDeterministically) {
+  const std::string source =
+      "var frames = 0;\n"
+      "var ctx = document.getElementById('stage').getContext('2d');\n"
+      "function tick() {\n"
+      "  frames++;\n"
+      "  ctx.fillStyle = 'rgb(' + (frames % 255) + ',0,0)';\n"
+      "  ctx.fillRect(0, 0, 8, 8);\n"
+      "  requestAnimationFrame(tick);\n"
+      "}\n"
+      "requestAnimationFrame(tick);\n";
+
+  struct Run {
+    double frames = 0;
+    std::int64_t wall = 0;
+    std::int64_t cpu = 0;
+    std::int64_t dispatched = 0;
+    std::vector<std::pair<std::int64_t, std::uint64_t>> log;
+  };
+  const auto run_once = [&](bool frame_graph) {
+    Fixture f(source);
+    f.page.add_canvas("stage", 8, 8);
+    f.interp.run();
+    rivertrail::ThreadPool pool(2);
+    if (frame_graph) {
+      f.page.event_loop().enable_frame_graph(
+          pool, f.page.canvas_context("stage").get(), 2);
+    }
+    f.page.event_loop().run(500);
+    Run out;
+    out.frames = f.interp.global("frames").as_number();
+    out.wall = f.clock.wall_ns();
+    out.cpu = f.clock.cpu_ns();
+    out.dispatched = f.page.event_loop().tasks_dispatched();
+    out.log = f.page.event_loop().frame_log();
+    return out;
+  };
+
+  const Run serial = run_once(false);
+  const Run piped_a = run_once(true);
+  const Run piped_b = run_once(true);
+
+  // Virtual time identical with the mode on or off.
+  EXPECT_EQ(serial.frames, piped_a.frames);
+  EXPECT_EQ(serial.wall, piped_a.wall);
+  EXPECT_EQ(serial.cpu, piped_a.cpu);
+  EXPECT_EQ(serial.dispatched, piped_a.dispatched);
+  EXPECT_TRUE(serial.log.empty());
+
+  // Every frame committed, in frame order, byte-deterministically.
+  ASSERT_EQ(std::int64_t(piped_a.log.size()), piped_a.dispatched);
+  for (std::size_t i = 0; i < piped_a.log.size(); ++i) {
+    EXPECT_EQ(piped_a.log[i].first, std::int64_t(i));
+  }
+  EXPECT_EQ(piped_a.log, piped_b.log);
+}
+
+TEST(EventLoop, FrameGraphInterleavesUserEventsInOrder) {
+  const std::string source =
+      "var sequence = '';\n"
+      "function tick() { sequence += 'F'; requestAnimationFrame(tick); }\n"
+      "addEventListener('mousemove', function (e) { sequence += 'E'; });\n"
+      "requestAnimationFrame(tick);\n";
+  const auto run_once = [&](bool frame_graph) {
+    Fixture f(source);
+    f.interp.run();
+    rivertrail::ThreadPool pool(2);
+    if (frame_graph) f.page.event_loop().enable_frame_graph(pool, nullptr, 2);
+    f.page.event_loop().push_user_events({
+        UserEvent{5, "mousemove", 1, 1, ""},
+        UserEvent{40, "mousemove", 2, 2, ""},
+        UserEvent{41, "mousemove", 3, 3, ""},
+    });
+    f.page.event_loop().run(120);
+    return f.interp.global("sequence").as_string();
+  };
+  const std::string serial = run_once(false);
+  const std::string piped = run_once(true);
+  EXPECT_EQ(serial, piped);
+  EXPECT_NE(serial.find('E'), std::string::npos);
+  EXPECT_NE(serial.find('F'), std::string::npos);
 }
 
 TEST(EventLoop, IdleAdvancesWallButNotCpu) {

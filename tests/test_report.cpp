@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "report/pipeline.h"
 #include "report/result_store.h"
 #include "report/tables.h"
 
@@ -80,6 +81,26 @@ TEST(ResultStore, StoresAndIndexesSnapshots) {
                       std::istreambuf_iterator<char>());
   EXPECT_EQ(content, "hello world\n");
   EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / "index.md"));
+  std::filesystem::remove_all(dir);
+}
+
+// End-to-end Fig. 5 report flow (instrument -> exercise -> interpret ->
+// version into the store). This was previously exercised only by the old
+// fig5 bench binary; now that bench measures the frame pipeline, the
+// coverage lives here.
+TEST(Pipeline, RunPipelineFilesACompleteReport) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "jsceres-pipeline-test").string();
+  std::filesystem::remove_all(dir);
+  ResultStore store(dir);
+  const workloads::Workload& workload = workloads::workload_by_name("HAAR.js");
+  const PipelineResult result = run_pipeline(workload, store);
+  EXPECT_TRUE(std::filesystem::exists(result.stored_path));
+  EXPECT_NE(result.report.find("# JS-CERES report: HAAR.js"), std::string::npos);
+  EXPECT_NE(result.report.find("## running time (mode 1)"), std::string::npos);
+  EXPECT_NE(result.report.find("## loop nests (modes 2+3)"), std::string::npos);
+  EXPECT_NE(result.report.find("## dependence warnings (mode 3"), std::string::npos);
+  EXPECT_NE(result.report.find("## speculation advice"), std::string::npos);
   std::filesystem::remove_all(dir);
 }
 

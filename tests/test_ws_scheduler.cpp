@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "rivertrail/parallel_for.h"
+#include "rivertrail/parallel_pipeline.h"
 #include "rivertrail/task.h"
+#include "rivertrail/task_graph.h"
 #include "rivertrail/thread_pool.h"
 #include "rivertrail/ws_deque.h"
 
@@ -377,6 +379,246 @@ TEST(ThreadPoolInjection, RoundRobinReachesAllWorkersUnderLoad) {
   }
   gate.wait();
   EXPECT_EQ(counter.load(), kTasks);
+}
+
+// ---------------------------------------------------------------------------
+// Task graph: dependency-counter retirement, exception gating, nesting.
+// ---------------------------------------------------------------------------
+
+TEST(TaskGraph, DiamondRespectsDependenciesAndRunsEveryNode) {
+  ThreadPool pool(4);
+  TaskGraph graph(pool);
+  std::atomic<int> order{0};
+  std::atomic<int> at_a{-1}, at_b{-1}, at_c{-1}, at_d{-1};
+  const auto a = graph.add([&] { at_a = order.fetch_add(1); });
+  const auto b = graph.add([&] { at_b = order.fetch_add(1); });
+  const auto c = graph.add([&] { at_c = order.fetch_add(1); });
+  const auto d = graph.add([&] { at_d = order.fetch_add(1); });
+  graph.depend(a, b);
+  graph.depend(a, c);
+  graph.depend(b, d);
+  graph.depend(c, d);
+  graph.run();
+  EXPECT_EQ(order.load(), 4);
+  EXPECT_LT(at_a.load(), at_b.load());
+  EXPECT_LT(at_a.load(), at_c.load());
+  EXPECT_LT(at_b.load(), at_d.load());
+  EXPECT_LT(at_c.load(), at_d.load());
+}
+
+TEST(TaskGraph, WideFanInRetiresExactlyOnce) {
+  ThreadPool pool(4);
+  TaskGraph graph(pool);
+  constexpr int kFeeders = 64;
+  std::atomic<int> fed{0};
+  std::atomic<int> sink_runs{0};
+  int observed_at_sink = -1;
+  const auto sink = graph.add([&] {
+    observed_at_sink = fed.load(std::memory_order_relaxed);
+    sink_runs.fetch_add(1);
+  });
+  for (int i = 0; i < kFeeders; ++i) {
+    const auto feeder = graph.add([&] { fed.fetch_add(1, std::memory_order_relaxed); });
+    graph.depend(feeder, sink);
+  }
+  graph.run();
+  EXPECT_EQ(sink_runs.load(), 1);
+  // The final dependency decrement is acq_rel: the sink sees every feeder.
+  EXPECT_EQ(observed_at_sink, kFeeders);
+}
+
+TEST(TaskGraph, ReusedGraphReArmsCountersEachRun) {
+  ThreadPool pool(2);
+  TaskGraph graph(pool);
+  std::atomic<int> runs{0};
+  const auto a = graph.add([&] { runs.fetch_add(1); });
+  const auto b = graph.add([&] { runs.fetch_add(1); });
+  graph.depend(a, b);
+  for (int rep = 0; rep < 50; ++rep) graph.run();
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(TaskGraph, ExceptionRetiresWholeGraphAndRethrowsAtJoin) {
+  ThreadPool pool(4);
+  TaskGraph graph(pool);
+  std::atomic<int> ran{0};
+  const auto a = graph.add([&] { ran.fetch_add(1); });
+  const auto boom = graph.add([&]() -> void {
+    ran.fetch_add(1);
+    throw std::runtime_error("node failed");
+  });
+  const auto after = graph.add([&] { ran.fetch_add(1); });
+  const auto last = graph.add([&] { ran.fetch_add(1); });
+  graph.depend(a, boom);
+  graph.depend(boom, after);
+  graph.depend(after, last);
+  EXPECT_THROW(graph.run(), std::runtime_error);
+  // Downstream bodies are skipped once the failure latches, but the join
+  // returned — every counter retired, nothing dangles or deadlocks.
+  EXPECT_GE(ran.load(), 2);
+  // The graph is reusable after a failure (counters and error slot re-arm);
+  // the same body throws again.
+  EXPECT_THROW(graph.run(), std::runtime_error);
+}
+
+TEST(TaskGraph, CycleIsRejectedUpFront) {
+  ThreadPool pool(2);
+  TaskGraph graph(pool);
+  const auto a = graph.add([] {});
+  const auto b = graph.add([] {});
+  graph.depend(a, b);
+  graph.depend(b, a);
+  EXPECT_THROW(graph.run(), std::logic_error);
+}
+
+TEST(TaskGraph, NestedParallelForInsideNodeStress) {
+  ThreadPool pool(4);
+  TaskGraph graph(pool);
+  constexpr int kNodes = 8;
+  constexpr std::int64_t kN = 2048;
+  std::vector<std::vector<int>> outputs(kNodes, std::vector<int>(kN, 0));
+  std::vector<TaskGraph::NodeId> kernels;
+  for (int node = 0; node < kNodes; ++node) {
+    auto& out = outputs[std::size_t(node)];
+    kernels.push_back(graph.add([&out, &pool] {
+      parallel_for(pool, 0, kN, [&out](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) out[std::size_t(i)] += 1;
+      });
+    }));
+  }
+  std::atomic<int> joined{0};
+  const auto join = graph.add([&] { joined.fetch_add(1); });
+  for (const auto kernel : kernels) graph.depend(kernel, join);
+  graph.run();
+  EXPECT_EQ(joined.load(), 1);
+  for (const auto& out : outputs) {
+    for (const int v : out) ASSERT_EQ(v, 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_pipeline: token ordering, backpressure, exceptions, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelPipeline, SerialOutStageSeesTicketsInOrder) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTokens = 500;
+  std::vector<std::size_t> committed;
+  std::atomic<int> middle_runs{0};
+  const std::size_t produced = parallel_pipeline(
+      pool, kTokens, 4,
+      serial_stage([](std::size_t) {}),
+      parallel_stage([&](std::size_t token) {
+        // Jitter the middle stage so tokens genuinely race to the exit.
+        volatile int spin = int(token % 7) * 50;
+        while (spin > 0) spin = spin - 1;
+        middle_runs.fetch_add(1, std::memory_order_relaxed);
+      }),
+      serial_stage([&](std::size_t token) { committed.push_back(token); }));
+  EXPECT_EQ(produced, kTokens);
+  EXPECT_EQ(middle_runs.load(), int(kTokens));
+  ASSERT_EQ(committed.size(), kTokens);
+  for (std::size_t i = 0; i < kTokens; ++i) EXPECT_EQ(committed[i], i);
+}
+
+TEST(ParallelPipeline, CommitOrderIsDeterministicAcrossRuns) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTokens = 200;
+  std::vector<std::uint64_t> logs[2];
+  for (auto& log : logs) {
+    std::vector<std::uint64_t> values(kTokens, 0);
+    parallel_pipeline(
+        pool, kTokens, 6,
+        serial_stage([&](std::size_t token) { values[token] = token * 2654435761u; }),
+        parallel_stage([&](std::size_t token) { values[token] ^= values[token] >> 13; }),
+        serial_stage([&](std::size_t token) { log.push_back(values[token]); }));
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(ParallelPipeline, BoundedTokensApplyBackpressure) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTokens = 300;
+  constexpr std::size_t kInFlight = 3;
+  std::atomic<int> in_flight{0};
+  std::atomic<int> peak{0};
+  const auto track = [&](int delta) {
+    const int now = in_flight.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int prev = peak.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  };
+  parallel_pipeline(
+      pool, kTokens, kInFlight,
+      serial_stage([&](std::size_t) { track(+1); }),
+      parallel_stage([](std::size_t token) {
+        volatile int spin = int(token % 5) * 40;
+        while (spin > 0) spin = spin - 1;
+      }),
+      serial_stage([&](std::size_t) { track(-1); }));
+  EXPECT_EQ(in_flight.load(), 0);
+  EXPECT_LE(peak.load(), int(kInFlight));
+}
+
+TEST(ParallelPipeline, InputStageEndsStreamEarly) {
+  ThreadPool pool(4);
+  constexpr std::size_t kProduce = 37;
+  std::atomic<int> uploaded{0};
+  std::vector<std::size_t> committed;
+  const std::size_t produced = parallel_pipeline(
+      pool, 10'000, 4,
+      serial_stage([&](std::size_t token) -> bool { return token < kProduce; }),
+      parallel_stage([&](std::size_t) { uploaded.fetch_add(1, std::memory_order_relaxed); }),
+      serial_stage([&](std::size_t token) { committed.push_back(token); }));
+  EXPECT_EQ(produced, kProduce);
+  EXPECT_EQ(uploaded.load(), int(kProduce));
+  ASSERT_EQ(committed.size(), kProduce);
+  for (std::size_t i = 0; i < kProduce; ++i) EXPECT_EQ(committed[i], i);
+}
+
+TEST(ParallelPipeline, MidStageExceptionPropagatesAfterQuiescing) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTokens = 100;
+  std::atomic<int> committed{0};
+  bool threw = false;
+  try {
+    parallel_pipeline(
+        pool, kTokens, 4,
+        serial_stage([](std::size_t) {}),
+        parallel_stage([](std::size_t token) {
+          if (token == 13) throw std::runtime_error("upload failed");
+        }),
+        serial_stage([&](std::size_t) { committed.fetch_add(1); }));
+  } catch (const std::runtime_error& error) {
+    threw = true;
+    EXPECT_STREQ(error.what(), "upload failed");
+  }
+  EXPECT_TRUE(threw);
+  // Tokens before the failure may have committed; everything after is
+  // skipped — but the join returned, so the stream fully quiesced.
+  EXPECT_LE(committed.load(), int(kTokens));
+}
+
+TEST(ParallelPipeline, NestedParallelForInsidePipelineStage) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTokens = 24;
+  constexpr std::int64_t kN = 512;
+  std::vector<std::int64_t> sums(kTokens, 0);
+  parallel_pipeline(
+      pool, kTokens, 4,
+      serial_stage([](std::size_t) {}),
+      parallel_stage([&](std::size_t token) {
+        std::atomic<std::int64_t> sum{0};
+        parallel_for(pool, 0, kN, [&](std::int64_t lo, std::int64_t hi) {
+          std::int64_t local = 0;
+          for (std::int64_t i = lo; i < hi; ++i) local += i;
+          sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        sums[token] = sum.load();
+      }),
+      serial_stage([](std::size_t) {}));
+  for (const std::int64_t sum : sums) EXPECT_EQ(sum, kN * (kN - 1) / 2);
 }
 
 }  // namespace
