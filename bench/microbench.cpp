@@ -146,6 +146,90 @@ void BM_PropertyAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_PropertyAccess);
 
+// Shape-polymorphic member sites: ten read/write sites each see N distinct
+// receiver shapes in rotation (the `a`/`x` slot indices differ per shape,
+// so a stale hit would corrupt `s`). A monomorphic cache thrashes — every
+// access is a miss — while a polymorphic cache holds all N ways. Arg(1) is
+// the monomorphic control: the *thrash cost* of an IC design is the /2 or
+// /4 time minus the /1 time (end-to-end time is dominated by tree-walking
+// dispatch, which alternation does not change).
+void BM_InterpretPolymorphicProps(benchmark::State& state) {
+  const int nshapes = int(state.range(0));
+  std::string source =
+      "function mk(k) {\n"
+      "  if (k === 0) { return {a: 1, x: 2}; }\n"
+      "  if (k === 1) { return {b: 1, a: 2, x: 3}; }\n"
+      "  if (k === 2) { return {c: 1, b: 2, a: 3, x: 4}; }\n"
+      "  return {d: 1, c: 2, b: 3, a: 4, x: 5};\n"
+      "}\n"
+      "var objs = [];\n"
+      "for (var i = 0; i < " + std::to_string(nshapes) + "; i++) { objs.push(mk(i)); }\n"
+      "var s = 0;\n"
+      "for (var i = 0; i < 4000; i++) {\n"
+      "  var o = objs[i & " + std::to_string(nshapes - 1) + "];\n"
+      "  s += o.a + o.x + o.a + o.x + o.a + o.x + o.a + o.x;\n"
+      "  o.x = i & 7;\n"
+      "  o.a = i;\n"
+      "}\n";
+  const js::Program program = js::parse(source);
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000 * 10);
+}
+BENCHMARK(BM_InterpretPolymorphicProps)->Arg(1)->Arg(2)->Arg(4);
+
+// Shape growth: build an object with N properties, then read them all back.
+// The property names are freshened every benchmark iteration (the `prefix`
+// global changes), so each iteration creates a brand-new shape-transition
+// chain — the regime where transitions that copy the parent's full slot
+// table cost O(N^2) allocations per object built. Note the atom table and
+// shape tree are process-lifetime arenas, so this benchmark intentionally
+// grows them; that is the measured scenario, not a leak.
+void BM_InterpretManyProps(benchmark::State& state) {
+  const int nprops = int(state.range(0));
+  const std::string n = std::to_string(nprops);
+  const js::Program program = js::parse(
+      "var o = {};\n"
+      "for (var i = 0; i < " + n + "; i++) { o[prefix + i] = i; }\n"
+      "var s = 0;\n"
+      "for (var j = 0; j < " + n + "; j++) { s += o[prefix + j]; }\n");
+  // `fresh` must never repeat a prefix — not across repetitions and not
+  // across google-benchmark's calibration runs — or the chains already
+  // exist and the benchmark silently degrades to steady-state probing.
+  static std::uint64_t fresh = 0;
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.define_global(
+        "prefix", interp::Value::str("p" + std::to_string(fresh++) + "_"));
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * nprops * 2);
+}
+BENCHMARK(BM_InterpretManyProps)->Arg(32)->Arg(128);
+
+// Argument-passing cost in call-dominated code: a 4-argument callee invoked
+// from a loop, including a nested call in argument position. Isolates the
+// per-call arguments vector (one heap allocation per call in the seed
+// convention) from activation-environment cost, which EnvPool already pools.
+void BM_InterpretCallsArgs(benchmark::State& state) {
+  const js::Program program = js::parse(
+      "function sum4(a, b, c, d) { return a + b + c + d; }\n"
+      "function twice(x) { return x + x; }\n"
+      "var t = 0;\n"
+      "for (var i = 0; i < 5000; i++) { t += sum4(i, twice(i), i + 2, i + 3); }\n");
+  for (auto _ : state) {
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock);
+    interp.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 5000 * 2);
+}
+BENCHMARK(BM_InterpretCallsArgs);
+
 void BM_CanvasFillRect(benchmark::State& state) {
   dom::CanvasContext ctx(256, 256);
   ctx.set_fill_color(dom::Rgba{10, 20, 30, 255});

@@ -4,6 +4,7 @@
 
 namespace jsceres::dom {
 
+using interp::Args;
 using interp::HostAccess;
 using interp::Interpreter;
 using interp::ObjPtr;
@@ -98,7 +99,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
 
   Page* page = this;
   define(*interp_, obj, "appendChild",
-         [page](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value& self, const Args& args) {
            const auto parent = node_of(in, self);
            const auto child = node_of(in, args.empty() ? Value::undefined() : args[0]);
            parent->append_child(child);
@@ -108,7 +109,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
            return args[0];
          });
   define(*interp_, obj, "removeChild",
-         [page](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value& self, const Args& args) {
            const auto parent = node_of(in, self);
            const auto child = node_of(in, args.empty() ? Value::undefined() : args[0]);
            parent->remove_child(child.get());
@@ -117,7 +118,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
            return args[0];
          });
   define(*interp_, obj, "setAttribute",
-         [page](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value& self, const Args& args) {
            const auto node = node_of(in, self);
            const std::string name =
                in.to_string_value(args.empty() ? Value::undefined() : args[0]);
@@ -133,14 +134,14 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
            return Value::undefined();
          });
   define(*interp_, obj, "getAttribute",
-         [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+         [](Interpreter& in, const Value& self, const Args& args) {
            const auto node = node_of(in, self);
            in.note_host_access(HostAccess::Dom, "getAttribute");
            return Value::str(node->attribute(
                in.to_string_value(args.empty() ? Value::undefined() : args[0])));
          });
   define(*interp_, obj, "getContext",
-         [page](Interpreter& in, const Value& self, const std::vector<Value>&) {
+         [page](Interpreter& in, const Value& self, const Args&) {
            const auto node = node_of(in, self);
            auto& ctx = page->contexts_[node.get()];
            if (ctx == nullptr) {
@@ -156,7 +157,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
            ctx_obj->set_property("canvas", self);
 
            define(in, ctx_obj, "fillRect",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     const auto c = ctx_of(i2, s2);
                     sync_styles(i2, s2, c);
                     c->fill_rect(int(i2.to_number(a2[0])), int(i2.to_number(a2[1])),
@@ -166,7 +167,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
                     return Value::undefined();
                   });
            define(in, ctx_obj, "clearRect",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     const auto c = ctx_of(i2, s2);
                     c->clear_rect(int(i2.to_number(a2[0])), int(i2.to_number(a2[1])),
                                   int(i2.to_number(a2[2])), int(i2.to_number(a2[3])));
@@ -175,28 +176,28 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
                     return Value::undefined();
                   });
            define(in, ctx_obj, "beginPath",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>&) {
+                  [](Interpreter& i2, const Value& s2, const Args&) {
                     ctx_of(i2, s2)->begin_path();
                     return Value::undefined();
                   });
            define(in, ctx_obj, "moveTo",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     ctx_of(i2, s2)->move_to(i2.to_number(a2[0]), i2.to_number(a2[1]));
                     return Value::undefined();
                   });
            define(in, ctx_obj, "lineTo",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     ctx_of(i2, s2)->line_to(i2.to_number(a2[0]), i2.to_number(a2[1]));
                     return Value::undefined();
                   });
            define(in, ctx_obj, "arc",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     ctx_of(i2, s2)->arc(i2.to_number(a2[0]), i2.to_number(a2[1]),
                                         i2.to_number(a2[2]));
                     return Value::undefined();
                   });
            define(in, ctx_obj, "stroke",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>&) {
+                  [](Interpreter& i2, const Value& s2, const Args&) {
                     const auto c = ctx_of(i2, s2);
                     sync_styles(i2, s2, c);
                     c->stroke_path();
@@ -205,7 +206,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
                     return Value::undefined();
                   });
            define(in, ctx_obj, "fill",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>&) {
+                  [](Interpreter& i2, const Value& s2, const Args&) {
                     const auto c = ctx_of(i2, s2);
                     sync_styles(i2, s2, c);
                     c->fill_path();
@@ -214,7 +215,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
                     return Value::undefined();
                   });
            define(in, ctx_obj, "getImageData",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     const auto c = ctx_of(i2, s2);
                     const int x = int(i2.to_number(a2[0]));
                     const int y = int(i2.to_number(a2[1]));
@@ -234,7 +235,7 @@ Value Page::wrap(const std::shared_ptr<DomNode>& node) {
                     return Value::object(img);
                   });
            define(in, ctx_obj, "putImageData",
-                  [](Interpreter& i2, const Value& s2, const std::vector<Value>& a2) {
+                  [](Interpreter& i2, const Value& s2, const Args& a2) {
                     const auto c = ctx_of(i2, s2);
                     if (a2.empty() || !a2[0].is_object()) {
                       i2.throw_error("TypeError", "putImageData expects ImageData");
@@ -282,7 +283,7 @@ void Page::install_document() {
   doc->set_host(std::make_shared<MarkerHost>(HostAccess::Dom));
   Page* page = this;
   define(*interp_, doc, "getElementById",
-         [page](Interpreter& in, const Value&, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value&, const Args& args) {
            const std::string id =
                in.to_string_value(args.empty() ? Value::undefined() : args[0]);
            in.note_host_access(HostAccess::Dom, "getElementById");
@@ -291,7 +292,7 @@ void Page::install_document() {
            return page->wrap(node);
          });
   define(*interp_, doc, "createElement",
-         [page](Interpreter& in, const Value&, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value&, const Args& args) {
            const std::string tag =
                in.to_string_value(args.empty() ? Value::undefined() : args[0]);
            in.note_host_access(HostAccess::Dom, "createElement");
@@ -310,24 +311,24 @@ void Page::install_window() {
 
   Page* page = this;
   const auto set_timeout = [page](Interpreter& in, const Value&,
-                                  const std::vector<Value>& args) {
+                                  const Args& args) {
     const Value cb = args.empty() ? Value::undefined() : args[0];
     const auto delay =
         std::int64_t(args.size() > 1 ? in.to_number(args[1]) : 0);
     return Value::number(double(page->event_loop_.set_timeout(cb, delay)));
   };
   const auto clear_timeout = [page](Interpreter& in, const Value&,
-                                    const std::vector<Value>& args) {
+                                    const Args& args) {
     page->event_loop_.clear_timeout(
         std::uint64_t(args.empty() ? 0 : in.to_number(args[0])));
     return Value::undefined();
   };
-  const auto raf = [page](Interpreter&, const Value&, const std::vector<Value>& args) {
+  const auto raf = [page](Interpreter&, const Value&, const Args& args) {
     const Value cb = args.empty() ? Value::undefined() : args[0];
     return Value::number(double(page->event_loop_.request_animation_frame(cb)));
   };
   const auto add_listener = [page](Interpreter& in, const Value&,
-                                   const std::vector<Value>& args) {
+                                   const Args& args) {
     const std::string type =
         in.to_string_value(args.empty() ? Value::undefined() : args[0]);
     page->event_loop_.add_listener(type, args.size() > 1 ? args[1] : Value::undefined());
@@ -339,7 +340,7 @@ void Page::install_window() {
   // (paper Fig. 2: "resource loading" is the top bottleneck, and it is
   // wall-clock, not compute).
   const auto load_resource = [page](Interpreter& in, const Value&,
-                                    const std::vector<Value>& args) {
+                                    const Args& args) {
     const double kb = args.size() > 1 ? in.to_number(args[1]) : 0;
     const Value cb = args.size() > 2 ? args[2] : Value::undefined();
     const auto delay_ms = std::int64_t(double(page->config_.net_latency_ms) +
@@ -370,7 +371,7 @@ void Page::install_storage() {
   storage->set_host(std::make_shared<MarkerHost>(HostAccess::Storage));
   Page* page = this;
   define(*interp_, storage, "setItem",
-         [page](Interpreter& in, const Value&, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value&, const Args& args) {
            const std::string key =
                in.to_string_value(args.empty() ? Value::undefined() : args[0]);
            page->storage_[key] =
@@ -380,7 +381,7 @@ void Page::install_storage() {
            return Value::undefined();
          });
   define(*interp_, storage, "getItem",
-         [page](Interpreter& in, const Value&, const std::vector<Value>& args) {
+         [page](Interpreter& in, const Value&, const Args& args) {
            const std::string key =
                in.to_string_value(args.empty() ? Value::undefined() : args[0]);
            in.note_host_access(HostAccess::Storage, "getItem");

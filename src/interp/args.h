@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace jsceres::interp {
+
+/// Read-only view of a call's argument list — the builtin/native call
+/// convention. Implicitly constructible from a `std::vector<Value>` or a
+/// braced list, so host call sites read naturally; the interpreter's own
+/// Call evaluation points it at a frame on the reused ArgStack, which is
+/// what makes steady-state JS→JS and JS→native calls allocation-free.
+///
+/// An Args is a borrow: it never owns the Values and must not outlive the
+/// storage it was built over (for natives: the duration of the call).
+class Args {
+ public:
+  Args() = default;
+  Args(const Value* data, std::size_t size) : data_(data), size_(size) {}
+  Args(const std::vector<Value>& values)  // NOLINT(google-explicit-constructor)
+      : data_(values.data()), size_(values.size()) {}
+  // The braced-list form is safe for the supported pattern — passing `{a,
+  // b}` directly to a call(), where the backing array outlives the full
+  // expression — which is exactly the case GCC's lifetime warning cannot
+  // see. Binding a braced list to a *named* Args would dangle; don't.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+  Args(std::initializer_list<Value> values)  // NOLINT(google-explicit-constructor)
+      : data_(values.begin()), size_(values.size()) {}
+#pragma GCC diagnostic pop
+
+  [[nodiscard]] const Value* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  const Value& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const Value* begin() const { return data_; }
+  [[nodiscard]] const Value* end() const { return data_ + size_; }
+
+ private:
+  const Value* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Per-interpreter reused argument stack. Call argument evaluation used to
+/// build one heap `std::vector<Value>` per call; this replaces it with
+/// frames pushed onto segmented storage that survives across calls, so a
+/// steady-state call allocates nothing.
+///
+/// Frames are strictly LIFO and each frame's slots are contiguous (a Call
+/// knows its argument count up front, reserves the span, then fills it —
+/// nested calls evaluated in argument position push their own frames above
+/// the reservation). Segments never reallocate their slot storage, so a
+/// frame's `Value*` span stays valid across nested push/pop pairs even when
+/// the segment directory grows.
+class ArgStack {
+ public:
+  static constexpr std::size_t kSegmentSlots = 64;
+
+  ArgStack() = default;
+  ArgStack(const ArgStack&) = delete;
+  ArgStack& operator=(const ArgStack&) = delete;
+
+  struct Mark {
+    std::uint32_t segment = 0;
+    std::uint32_t used = 0;
+  };
+
+  /// Reserve `n` contiguous slots (default-constructed Values) on top of
+  /// the stack. `mark` receives the state `pop` needs to restore.
+  Value* push(std::size_t n, Mark* mark) {
+    if (segments_.empty()) segments_.emplace_back(std::max(kSegmentSlots, n));
+    mark->segment = current_;
+    mark->used = segments_[current_].used;
+    Segment* seg = &segments_[current_];
+    if (seg->slots.size() - seg->used < n) {
+      // The frame needs contiguity: advance to (or create) a segment with
+      // room. Segments past `current_` are always fully popped.
+      ++current_;
+      if (current_ == segments_.size()) {
+        segments_.emplace_back(std::max(kSegmentSlots, n));
+      } else if (segments_[current_].slots.size() < n) {
+        segments_[current_] = Segment(std::max(kSegmentSlots, n));
+      }
+      seg = &segments_[current_];
+    }
+    Value* out = seg->slots.data() + seg->used;
+    seg->used += std::uint32_t(n);
+    return out;
+  }
+
+  /// Pop the top frame (LIFO). Clears the frame's slots so object/string
+  /// references are released promptly, then rewinds to `mark`.
+  void pop(const Mark& mark, Value* slots, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) slots[i] = Value();
+    if (current_ != mark.segment) {
+      segments_[current_].used = 0;
+      current_ = mark.segment;
+    }
+    segments_[current_].used = mark.used;
+  }
+
+  /// Slots currently reserved across all segments (test introspection; 0
+  /// once every frame has unwound).
+  [[nodiscard]] std::size_t in_use() const {
+    std::size_t total = 0;
+    for (const Segment& seg : segments_) total += seg.used;
+    return total;
+  }
+
+ private:
+  struct Segment {
+    explicit Segment(std::size_t n) : slots(n) {}
+    std::vector<Value> slots;
+    std::uint32_t used = 0;
+  };
+
+  std::vector<Segment> segments_;
+  std::uint32_t current_ = 0;
+};
+
+/// RAII frame on an ArgStack: reserves on construction, pops (and clears)
+/// on destruction — including when a JSException unwinds mid-argument-
+/// evaluation.
+class ArgFrame {
+ public:
+  ArgFrame(ArgStack& stack, std::size_t n) : stack_(stack), n_(n) {
+    data_ = stack_.push(n, &mark_);
+  }
+  ~ArgFrame() { stack_.pop(mark_, data_, n_); }
+  ArgFrame(const ArgFrame&) = delete;
+  ArgFrame& operator=(const ArgFrame&) = delete;
+
+  [[nodiscard]] Value* data() { return data_; }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Args args() const { return Args(data_, n_); }
+
+ private:
+  ArgStack& stack_;
+  Value* data_;
+  std::size_t n_;
+  ArgStack::Mark mark_;
+};
+
+}  // namespace jsceres::interp

@@ -12,21 +12,22 @@ namespace {
 /// Reference into `args` (or the shared undefined) — callers that only
 /// inspect the argument avoid copying a Value (two shared_ptr refcount
 /// bumps) per access.
-const Value& arg_or_undefined(const std::vector<Value>& args, std::size_t i) {
+const Value& arg_or_undefined(const Args& args, std::size_t i) {
   static const Value kUndefined;
   return i < args.size() ? args[i] : kUndefined;
 }
 
-double num_arg(Interpreter& interp, const std::vector<Value>& args, std::size_t i) {
+double num_arg(Interpreter& interp, const Args& args, std::size_t i) {
   return interp.to_number(arg_or_undefined(args, i));
 }
 
-/// Report a native-initiated element/property write to the dependence
-/// analyzer (the stand-in for the paper's Proxy trapping Array.prototype
-/// internals).
-void note_write(Interpreter& interp, const ObjPtr& obj, const std::string& key) {
+/// Report a native-initiated element write to the dependence analyzer (the
+/// stand-in for the paper's Proxy trapping Array.prototype internals). The
+/// key atom comes from the interpreter's index cache, and nothing — not
+/// even the decimal spelling of the index — is materialized outside mode 3.
+void note_index_write(Interpreter& interp, const ObjPtr& obj, std::size_t index) {
   if (interp.wants_memory_events()) {
-    interp.note_prop_write(obj->id(), js::Atom::intern(key), 0,
+    interp.note_prop_write(obj->id(), interp.index_atom(index), 0,
                            BaseProvenance{BaseProvenance::Kind::Object, 0});
   }
 }
@@ -69,7 +70,7 @@ void install_math(Interpreter& interp) {
 
   const auto unary = [&](const std::string& name, double (*fn)(double)) {
     define_method(interp, math, name,
-                  [fn](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  [fn](Interpreter& in, const Value&, const Args& args) {
                     in.charge(1);
                     return Value::number(fn(num_arg(in, args, 0)));
                   });
@@ -87,34 +88,34 @@ void install_math(Interpreter& interp) {
   unary("exp", std::exp);
   unary("log", std::log);
   define_method(interp, math, "round",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   // JS rounds half-up (towards +inf), unlike C's round.
                   return Value::number(std::floor(num_arg(in, args, 0) + 0.5));
                 });
   define_method(interp, math, "atan2",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   return Value::number(
                       std::atan2(num_arg(in, args, 0), num_arg(in, args, 1)));
                 });
   define_method(interp, math, "pow",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   return Value::number(
                       std::pow(num_arg(in, args, 0), num_arg(in, args, 1)));
                 });
   define_method(interp, math, "min",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   double best = std::numeric_limits<double>::infinity();
                   for (const auto& a : args) best = std::min(best, in.to_number(a));
                   return Value::number(best);
                 });
   define_method(interp, math, "max",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   double best = -std::numeric_limits<double>::infinity();
                   for (const auto& a : args) best = std::max(best, in.to_number(a));
                   return Value::number(best);
                 });
   define_method(interp, math, "random",
-                [](Interpreter& in, const Value&, const std::vector<Value>&) {
+                [](Interpreter& in, const Value&, const Args&) {
                   return Value::number(in.rng().next_double());
                 });
   interp.define_global("Math", Value::object(math));
@@ -128,38 +129,36 @@ void install_array(Interpreter& interp) {
   const ObjPtr& proto = interp.array_prototype();
 
   define_method(interp, proto, "push",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "push");
                   for (const auto& a : args) {
-                    note_write(in, arr, Interpreter::number_to_string(
-                                            double(arr->elements().size())));
+                    note_index_write(in, arr, arr->elements().size());
                     arr->elements().push_back(a);
                   }
                   in.charge(std::int64_t(args.size()));
                   return Value::number(double(arr->elements().size()));
                 });
   define_method(interp, proto, "pop",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   const ObjPtr arr = require_array(in, self, "pop");
                   if (arr->elements().empty()) return Value::undefined();
                   Value last = arr->elements().back();
-                  note_write(in, arr, Interpreter::number_to_string(
-                                          double(arr->elements().size() - 1)));
+                  note_index_write(in, arr, arr->elements().size() - 1);
                   arr->elements().pop_back();
                   return last;
                 });
   define_method(interp, proto, "shift",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   const ObjPtr arr = require_array(in, self, "shift");
                   if (arr->elements().empty()) return Value::undefined();
                   Value first = arr->elements().front();
                   arr->elements().erase(arr->elements().begin());
                   in.charge(std::int64_t(arr->elements().size()));
-                  note_write(in, arr, "0");
+                  note_index_write(in, arr, 0);
                   return first;
                 });
   define_method(interp, proto, "indexOf",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "indexOf");
                   const Value& needle = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
@@ -178,7 +177,7 @@ void install_array(Interpreter& interp) {
                   return Value::number(-1);
                 });
   define_method(interp, proto, "join",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "join");
                   const std::string sep = args.empty() ? "," : in.to_string_value(args[0]);
                   std::string out;
@@ -191,7 +190,7 @@ void install_array(Interpreter& interp) {
                   return Value::str(std::move(out));
                 });
   define_method(interp, proto, "slice",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "slice");
                   const auto size = std::int64_t(arr->elements().size());
                   std::int64_t begin = args.empty() ? 0 : std::int64_t(num_arg(in, args, 0));
@@ -208,7 +207,7 @@ void install_array(Interpreter& interp) {
                   return Value::object(out);
                 });
   define_method(interp, proto, "concat",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "concat");
                   ObjPtr out = in.make_array(arr->elements().size());
                   out->elements() = arr->elements();
@@ -225,25 +224,25 @@ void install_array(Interpreter& interp) {
                   return Value::object(out);
                 });
   define_method(interp, proto, "reverse",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   const ObjPtr arr = require_array(in, self, "reverse");
                   std::reverse(arr->elements().begin(), arr->elements().end());
                   in.charge(std::int64_t(arr->elements().size()));
                   return self;
                 });
   define_method(interp, proto, "fill",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "fill");
                   const Value& fill = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
-                    note_write(in, arr, Interpreter::number_to_string(double(i)));
+                    note_index_write(in, arr, i);
                     arr->elements()[i] = fill;
                   }
                   in.charge(std::int64_t(arr->elements().size()));
                   return self;
                 });
   define_method(interp, proto, "splice",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "splice");
                   const auto size = std::int64_t(arr->elements().size());
                   std::int64_t begin = args.empty() ? 0 : std::int64_t(num_arg(in, args, 0));
@@ -262,12 +261,12 @@ void install_array(Interpreter& interp) {
                   for (std::size_t i = 2; i < args.size(); ++i) {
                     elems.insert(elems.begin() + begin + std::int64_t(i) - 2, args[i]);
                   }
-                  note_write(in, arr, Interpreter::number_to_string(double(begin)));
+                  note_index_write(in, arr, std::size_t(begin));
                   in.charge(size);
                   return Value::object(removed);
                 });
   define_method(interp, proto, "sort",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "sort");
                   auto& elems = arr->elements();
                   const Value& comparator = arg_or_undefined(args, 0);
@@ -283,7 +282,7 @@ void install_array(Interpreter& interp) {
                                        return in.to_string_value(a) < in.to_string_value(b);
                                      });
                   }
-                  note_write(in, arr, "0");
+                  note_index_write(in, arr, 0);
                   in.charge(std::int64_t(elems.size()));
                   return self;
                 });
@@ -292,7 +291,7 @@ void install_array(Interpreter& interp) {
   // Each callback invocation creates a fresh activation environment, which is
   // exactly why the paper's forEach rewrite removes the `var p` dependence.
   define_method(interp, proto, "forEach",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "forEach");
                   const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
@@ -302,7 +301,7 @@ void install_array(Interpreter& interp) {
                   return Value::undefined();
                 });
   define_method(interp, proto, "map",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "map");
                   const Value& callback = arg_or_undefined(args, 0);
                   ObjPtr out = in.make_array(arr->elements().size());
@@ -314,7 +313,7 @@ void install_array(Interpreter& interp) {
                   return Value::object(out);
                 });
   define_method(interp, proto, "filter",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "filter");
                   const Value& callback = arg_or_undefined(args, 0);
                   ObjPtr out = in.make_array(0);
@@ -329,7 +328,7 @@ void install_array(Interpreter& interp) {
                   return Value::object(out);
                 });
   define_method(interp, proto, "reduce",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "reduce");
                   const Value& callback = arg_or_undefined(args, 0);
                   std::size_t i = 0;
@@ -350,7 +349,7 @@ void install_array(Interpreter& interp) {
                   return acc;
                 });
   define_method(interp, proto, "every",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "every");
                   const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
@@ -362,7 +361,7 @@ void install_array(Interpreter& interp) {
                   return Value::boolean(true);
                 });
   define_method(interp, proto, "some",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "some");
                   const Value& callback = arg_or_undefined(args, 0);
                   for (std::size_t i = 0; i < arr->elements().size(); ++i) {
@@ -376,7 +375,7 @@ void install_array(Interpreter& interp) {
 
   // Array constructor: Array(n) pre-sizes, Array(a, b, c) packs.
   ObjPtr array_ctor = interp.make_native_function(
-      "Array", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+      "Array", [](Interpreter& in, const Value&, const Args& args) {
         if (args.size() == 1 && args[0].is_number()) {
           ObjPtr out = in.make_array(0);
           out->elements().resize(std::size_t(args[0].as_number()));
@@ -389,7 +388,7 @@ void install_array(Interpreter& interp) {
   array_ctor->set_property("isArray",
                            Value::object(interp.make_native_function(
                                "isArray",
-                               [](Interpreter&, const Value&, const std::vector<Value>& args) {
+                               [](Interpreter&, const Value&, const Args& args) {
                                  const Value& v = arg_or_undefined(args, 0);
                                  return Value::boolean(v.is_object() &&
                                                        v.as_object()->is_array());
@@ -406,14 +405,14 @@ void install_string(Interpreter& interp) {
   const ObjPtr& proto = interp.string_prototype();
 
   define_method(interp, proto, "charAt",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "charAt");
                   const auto i = std::int64_t(num_arg(in, args, 0));
                   if (i < 0 || i >= std::int64_t(s.size())) return Value::str("");
                   return Value::str(std::string(1, s[std::size_t(i)]));
                 });
   define_method(interp, proto, "charCodeAt",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "charCodeAt");
                   const auto i = args.empty() ? 0 : std::int64_t(num_arg(in, args, 0));
                   if (i < 0 || i >= std::int64_t(s.size())) {
@@ -422,21 +421,21 @@ void install_string(Interpreter& interp) {
                   return Value::number(double(static_cast<unsigned char>(s[std::size_t(i)])));
                 });
   define_method(interp, proto, "indexOf",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "indexOf");
                   const std::string needle = in.to_string_value(arg_or_undefined(args, 0));
                   const std::size_t pos = s.find(needle);
                   return Value::number(pos == std::string::npos ? -1 : double(pos));
                 });
   define_method(interp, proto, "lastIndexOf",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "lastIndexOf");
                   const std::string needle = in.to_string_value(arg_or_undefined(args, 0));
                   const std::size_t pos = s.rfind(needle);
                   return Value::number(pos == std::string::npos ? -1 : double(pos));
                 });
   define_method(interp, proto, "substring",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "substring");
                   auto begin = std::int64_t(num_arg(in, args, 0));
                   auto end = args.size() < 2 ? std::int64_t(s.size())
@@ -447,7 +446,7 @@ void install_string(Interpreter& interp) {
                   return Value::str(s.substr(std::size_t(begin), std::size_t(end - begin)));
                 });
   define_method(interp, proto, "slice",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "slice");
                   const auto size = std::int64_t(s.size());
                   auto begin = args.empty() ? 0 : std::int64_t(num_arg(in, args, 0));
@@ -460,7 +459,7 @@ void install_string(Interpreter& interp) {
                   return Value::str(s.substr(std::size_t(begin), std::size_t(end - begin)));
                 });
   define_method(interp, proto, "split",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const std::string& s = require_string(in, self, "split");
                   const std::string sep = in.to_string_value(arg_or_undefined(args, 0));
                   ObjPtr out = in.make_array(0);
@@ -483,21 +482,21 @@ void install_string(Interpreter& interp) {
                   return Value::object(out);
                 });
   define_method(interp, proto, "toLowerCase",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   std::string s = require_string(in, self, "toLowerCase");
                   std::transform(s.begin(), s.end(), s.begin(),
                                  [](unsigned char c) { return char(std::tolower(c)); });
                   return Value::str(std::move(s));
                 });
   define_method(interp, proto, "toUpperCase",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   std::string s = require_string(in, self, "toUpperCase");
                   std::transform(s.begin(), s.end(), s.begin(),
                                  [](unsigned char c) { return char(std::toupper(c)); });
                   return Value::str(std::move(s));
                 });
   define_method(interp, proto, "trim",
-                [](Interpreter& in, const Value& self, const std::vector<Value>&) {
+                [](Interpreter& in, const Value& self, const Args&) {
                   const std::string& s = require_string(in, self, "trim");
                   std::size_t begin = 0;
                   std::size_t end = s.size();
@@ -506,7 +505,7 @@ void install_string(Interpreter& interp) {
                   return Value::str(s.substr(begin, end - begin));
                 });
   define_method(interp, proto, "replace",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   // First-occurrence, string-pattern replace (no regex in the
                   // engine subset).
                   const std::string& s = require_string(in, self, "replace");
@@ -521,7 +520,7 @@ void install_string(Interpreter& interp) {
   // Number.prototype.toFixed lives here too; property_get routes number
   // method lookups through the same prototype (documented simplification).
   define_method(interp, proto, "toFixed",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   if (!self.is_number()) {
                     in.throw_error("TypeError", "toFixed called on a non-number");
                   }
@@ -532,13 +531,13 @@ void install_string(Interpreter& interp) {
                 });
 
   ObjPtr string_ctor = interp.make_native_function(
-      "String", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+      "String", [](Interpreter& in, const Value&, const Args& args) {
         return Value::str(args.empty() ? "" : in.to_string_value(args[0]));
       });
   string_ctor->set_property(
       "fromCharCode",
       Value::object(interp.make_native_function(
-          "fromCharCode", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+          "fromCharCode", [](Interpreter& in, const Value&, const Args& args) {
             std::string out;
             for (const auto& a : args) out += char(int(in.to_number(a)) & 0xff);
             return Value::str(std::move(out));
@@ -553,12 +552,12 @@ void install_string(Interpreter& interp) {
 
 void install_object(Interpreter& interp) {
   ObjPtr object_ctor = interp.make_native_function(
-      "Object", [](Interpreter& in, const Value&, const std::vector<Value>&) {
+      "Object", [](Interpreter& in, const Value&, const Args&) {
         return Value::object(in.make_object());
       });
   object_ctor->set_property(
       "keys", Value::object(interp.make_native_function(
-                  "keys", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                  "keys", [](Interpreter& in, const Value&, const Args& args) {
                     const Value& v = arg_or_undefined(args, 0);
                     ObjPtr out = in.make_array(0);
                     if (v.is_object()) {
@@ -577,7 +576,7 @@ void install_object(Interpreter& interp) {
                   })));
   object_ctor->set_property(
       "create", Value::object(interp.make_native_function(
-                    "create", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                    "create", [](Interpreter& in, const Value&, const Args& args) {
                       ObjPtr obj = in.make_object();
                       const Value& proto = arg_or_undefined(args, 0);
                       if (proto.is_object()) obj->set_prototype(proto.as_object());
@@ -589,14 +588,19 @@ void install_object(Interpreter& interp) {
 
   const ObjPtr& fn_proto = interp.function_prototype();
   define_method(interp, fn_proto, "call",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const Value& this_arg = arg_or_undefined(args, 0);
-                  std::vector<Value> rest(args.begin() + (args.empty() ? 0 : 1), args.end());
+                  // Forward the tail of the caller's argument span directly;
+                  // the storage outlives the inner call by construction.
+                  const Args rest = args.empty() ? Args()
+                                                 : Args(args.data() + 1, args.size() - 1);
                   return in.call(self, this_arg, rest);
                 });
   define_method(interp, fn_proto, "apply",
-                [](Interpreter& in, const Value& self, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value& self, const Args& args) {
                   const Value& this_arg = arg_or_undefined(args, 0);
+                  // Copy out of the array: the callee may mutate it while
+                  // the call is in flight.
                   std::vector<Value> rest;
                   const Value& arg_list = arg_or_undefined(args, 1);
                   if (arg_list.is_object() && arg_list.as_object()->is_array()) {
@@ -664,7 +668,7 @@ std::string json_stringify(Interpreter& interp, const Value& v, int depth) {
 void install_misc(Interpreter& interp) {
   ObjPtr console = std::make_shared<JSObject>(0);
   define_method(interp, console, "log",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   std::string line;
                   for (std::size_t i = 0; i < args.size(); ++i) {
                     if (i > 0) line += " ";
@@ -679,14 +683,14 @@ void install_misc(Interpreter& interp) {
 
   ObjPtr json = std::make_shared<JSObject>(0);
   define_method(interp, json, "stringify",
-                [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                [](Interpreter& in, const Value&, const Args& args) {
                   return Value::str(json_stringify(in, arg_or_undefined(args, 0), 0));
                 });
   interp.define_global("JSON", Value::object(json));
 
   interp.define_global(
       "parseInt", Value::object(interp.make_native_function(
-                      "parseInt", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                      "parseInt", [](Interpreter& in, const Value&, const Args& args) {
                         const std::string s = in.to_string_value(arg_or_undefined(args, 0));
                         const int radix = args.size() >= 2 ? int(in.to_number(args[1])) : 10;
                         const long long v = std::strtoll(s.c_str(), nullptr,
@@ -698,28 +702,28 @@ void install_misc(Interpreter& interp) {
                       })));
   interp.define_global(
       "parseFloat", Value::object(interp.make_native_function(
-                        "parseFloat", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                        "parseFloat", [](Interpreter& in, const Value&, const Args& args) {
                           const std::string s = in.to_string_value(arg_or_undefined(args, 0));
                           return Value::number(std::strtod(s.c_str(), nullptr));
                         })));
   interp.define_global(
       "isNaN", Value::object(interp.make_native_function(
-                   "isNaN", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                   "isNaN", [](Interpreter& in, const Value&, const Args& args) {
                      return Value::boolean(std::isnan(num_arg(in, args, 0)));
                    })));
   interp.define_global(
       "isFinite", Value::object(interp.make_native_function(
-                      "isFinite", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                      "isFinite", [](Interpreter& in, const Value&, const Args& args) {
                         return Value::boolean(std::isfinite(num_arg(in, args, 0)));
                       })));
   interp.define_global(
       "Number", Value::object(interp.make_native_function(
-                    "Number", [](Interpreter& in, const Value&, const std::vector<Value>& args) {
+                    "Number", [](Interpreter& in, const Value&, const Args& args) {
                       return Value::number(args.empty() ? 0 : in.to_number(args[0]));
                     })));
   interp.define_global(
       "Boolean", Value::object(interp.make_native_function(
-                     "Boolean", [](Interpreter&, const Value&, const std::vector<Value>& args) {
+                     "Boolean", [](Interpreter&, const Value&, const Args& args) {
                        return Value::boolean(!args.empty() &&
                                              Interpreter::to_boolean(args[0]));
                      })));
@@ -727,19 +731,19 @@ void install_misc(Interpreter& interp) {
   // Time sources read the deterministic virtual clock ([4] in the paper:
   // the JavaScript high-resolution timer).
   ObjPtr date = interp.make_native_function(
-      "Date", [](Interpreter& in, const Value&, const std::vector<Value>&) {
+      "Date", [](Interpreter& in, const Value&, const Args&) {
         return Value::number(double(in.clock().wall_ns() / 1000000));
       });
   date->set_property("now",
                      Value::object(interp.make_native_function(
-                         "now", [](Interpreter& in, const Value&, const std::vector<Value>&) {
+                         "now", [](Interpreter& in, const Value&, const Args&) {
                            return Value::number(double(in.clock().wall_ns() / 1000000));
                          })));
   interp.define_global("Date", Value::object(date));
 
   ObjPtr performance = std::make_shared<JSObject>(0);
   define_method(interp, performance, "now",
-                [](Interpreter& in, const Value&, const std::vector<Value>&) {
+                [](Interpreter& in, const Value&, const Args&) {
                   return Value::number(double(in.clock().wall_ns()) / 1e6);
                 });
   interp.define_global("performance", Value::object(performance));

@@ -374,9 +374,10 @@ Value Interpreter::property_get(const Value& base, const std::string& key, int l
     if (key == "length") return Value::number(double(obj->elements().size()));
     std::size_t index = 0;
     if (index_from_string(key, &index)) {
-      // Computed keys are interned on first use; only mode 3 pays for it.
+      // Only mode 3 needs an atom for the key, and it comes from the
+      // per-interpreter index cache — no atom-table lock in hot loops.
       if (memory_events_) {
-        buffer_memory_event(MemoryEvent::Kind::PropRead, obj->id(), js::Atom::intern(key), line, prov);
+        buffer_memory_event(MemoryEvent::Kind::PropRead, obj->id(), index_atom(index), line, prov);
       }
       return index < obj->elements().size() ? obj->elements()[index]
                                             : Value::undefined();
@@ -402,8 +403,11 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
   if (obj->host() != nullptr) {
     note_host_access(obj->host()->category(), key.c_str());
   }
+  std::size_t index = 0;
+  const bool is_index = obj->is_array() && index_from_string(key, &index);
   if (memory_events_) {
-    buffer_memory_event(MemoryEvent::Kind::PropWrite, obj->id(), js::Atom::intern(key), line, prov);
+    buffer_memory_event(MemoryEvent::Kind::PropWrite, obj->id(),
+                        is_index ? index_atom(index) : js::Atom::intern(key), line, prov);
   }
 
   if (obj->is_array()) {
@@ -412,8 +416,7 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
       if (number_as_index(to_number(value), &n)) obj->elements().resize(n);
       return;
     }
-    std::size_t index = 0;
-    if (index_from_string(key, &index)) {
+    if (is_index) {
       if (index >= obj->elements().size()) obj->elements().resize(index + 1);
       obj->elements()[index] = std::move(value);
       return;
@@ -545,8 +548,7 @@ void Interpreter::hoist_into(Environment& env, const std::vector<js::Atom>& vars
   }
 }
 
-Value Interpreter::call(const Value& callee, const Value& this_val,
-                        const std::vector<Value>& args) {
+Value Interpreter::call(const Value& callee, const Value& this_val, Args args) {
   if (!callee.is_object() || !callee.as_object()->is_function()) {
     throw_error("TypeError", to_string_value(callee) + " is not a function");
   }
@@ -558,7 +560,7 @@ Value Interpreter::call(const Value& callee, const Value& this_val,
   }
   Value result;
   try {
-    result = call_js_function(fn_obj, this_val, args);
+    result = call_js_function(fn_obj, this_val, args.data(), args.size());
   } catch (...) {
     if (call_depth_ == 0) flush_ticks_on_unwind();
     throw;
@@ -568,7 +570,7 @@ Value Interpreter::call(const Value& callee, const Value& this_val,
 }
 
 Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
-                                    const std::vector<Value>& args) {
+                                    const Value* argv, std::size_t argc) {
   FunctionData& fn = *fn_obj.function();
   const js::FunctionNode& node = *fn.decl;
   if (++call_depth_ > config_.max_call_depth) {
@@ -590,7 +592,7 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
       const js::ActivationLayout::SlotSource& src = layout.inits[slot];
       switch (src.kind) {
         case SlotInit::Param:
-          return src.index < args.size() ? args[src.index] : Value::undefined();
+          return src.index < argc ? argv[src.index] : Value::undefined();
         case SlotInit::Fn:
           return Value::object(
               make_function_from_node(*node.hoisted_functions[src.index]->fn, env));
@@ -612,7 +614,7 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
     // Synthesized AST that never went through resolve_scopes.
     env->reserve(node.params.size() + node.hoisted_vars.size());
     for (std::size_t i = 0; i < node.params.size(); ++i) {
-      env->declare(node.params[i], i < args.size() ? args[i] : Value::undefined());
+      env->declare(node.params[i], i < argc ? argv[i] : Value::undefined());
     }
     hoist_into(*env, node.hoisted_vars, node.hoisted_functions, env);
   }
@@ -916,7 +918,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       for (std::size_t i = 0; i < lit.elements.size(); ++i) {
         arr->elements().push_back(eval(*lit.elements[i], env));
         if (memory_events_) {
-          buffer_memory_event(MemoryEvent::Kind::PropWrite, arr->id(), js::Atom::intern(number_to_string(double(i))),
+          buffer_memory_event(MemoryEvent::Kind::PropWrite, arr->id(), index_atom(i),
                                 expr.line, prov);
         }
       }
@@ -1029,12 +1031,20 @@ Value Interpreter::eval_member(const js::Member& member, const EnvPtr& env) {
   const Value base = eval_leaf(*member.object, env);
   if (member.computed) {
     const Value key = eval_leaf(*member.index, env);
-    // Fast path: numeric index into a dense array, no instrumentation.
-    if (!memory_events_ && base.is_object() && base.as_object()->is_array() &&
-        key.is_number()) {
+    // Fast path: numeric index into a dense array. Mode 3 takes it too —
+    // the element-read event's key atom comes from the per-interpreter
+    // index cache instead of interning a freshly formatted string, so hot
+    // array loops never touch the process-wide atom-table lock.
+    if (base.is_object() && base.as_object()->is_array() && key.is_number() &&
+        base.as_object()->host() == nullptr) {
       std::size_t index = 0;
       if (number_as_index(key.as_number(), &index)) {
-        const auto& elements = base.as_object()->elements();
+        JSObject& obj = *base.as_object();
+        if (memory_events_) {
+          buffer_memory_event(MemoryEvent::Kind::PropRead, obj.id(), index_atom(index),
+                              member.line, provenance_of(*member.object, env));
+        }
+        const auto& elements = obj.elements();
         return index < elements.size() ? elements[index] : Value::undefined();
       }
     }
@@ -1045,8 +1055,9 @@ Value Interpreter::eval_member(const js::Member& member, const EnvPtr& env) {
   return eval_member_named(base, member, env);
 }
 
-/// Named (non-computed) property read with a monomorphic shape inline cache:
-/// steady state is one shape pointer compare plus one indexed load.
+/// Named (non-computed) property read with a polymorphic shape inline
+/// cache: steady state is a linear probe of up to four (shape, slot) ways —
+/// one pointer compare per way — plus one indexed load.
 Value Interpreter::eval_member_named(const Value& base, const js::Member& member,
                                      const EnvPtr& env) {
   const js::Atom key = member.property;
@@ -1065,35 +1076,17 @@ Value Interpreter::eval_member_named(const Value& base, const js::Member& member
     const Shape* shape = obj.shape();
     if (shape != nullptr && member.ic_id != js::kNoCacheId) {
       ReadIC& ic = read_ics_[member.ic_id];
-      if (ic.shape == shape) {
-        if (ic.holder == nullptr) return *obj.prop_slot(ic.slot);
-        if (obj.prototype().get() == ic.holder &&
-            ic.holder->shape() == ic.holder_shape) {
-          return *ic.holder->prop_slot(ic.slot);
+      for (std::uint8_t i = 0; i < ic.count; ++i) {
+        const ReadIC::Way& way = ic.ways[i];
+        if (way.shape != shape) continue;
+        if (way.holder == nullptr) return *obj.prop_slot(way.slot);
+        if (obj.prototype().get() == way.holder &&
+            way.holder->shape() == way.holder_shape) {
+          return *way.holder->prop_slot(way.slot);
         }
+        break;  // receiver matched but the holder moved: re-resolve
       }
-      // Miss: resolve, then (re)fill the cache for this receiver shape.
-      const std::int32_t own = shape->slot_of(key);
-      if (own >= 0) {
-        ic = ReadIC{shape, std::uint32_t(own), nullptr, nullptr};
-        return *obj.prop_slot(std::uint32_t(own));
-      }
-      JSObject* proto = obj.prototype().get();
-      if (proto != nullptr) {
-        if (const Shape* proto_shape = proto->shape()) {
-          const std::int32_t slot = proto_shape->slot_of(key);
-          if (slot >= 0) {
-            ic = ReadIC{shape, std::uint32_t(slot), proto, proto_shape};
-            return *proto->prop_slot(std::uint32_t(slot));
-          }
-        }
-        // Deeper or dictionary-mode holders: generic walk, no caching.
-        for (const JSObject* walk = proto; walk != nullptr;
-             walk = walk->prototype().get()) {
-          if (const Value* found = walk->own_property(key)) return *found;
-        }
-      }
-      return Value::undefined();
+      return read_ic_miss(ic, obj, shape, key);
     }
     for (const JSObject* walk = &obj; walk != nullptr;
          walk = walk->prototype().get()) {
@@ -1104,6 +1097,67 @@ Value Interpreter::eval_member_named(const Value& base, const js::Member& member
   // Non-object bases (string/number/nullish): one implementation lives in
   // the generic string-keyed path.
   return property_get(base, key.str(), member.line, BaseProvenance{});
+}
+
+namespace {
+
+/// Rotate `way` into the front of a PIC's way array: an existing way for
+/// the same shape is overwritten in place (holder revalidation); otherwise
+/// ways shift down one slot and the oldest falls off the end. Returns false
+/// when the cache was full and a way was evicted (a megamorphic signal).
+template <typename IC, typename Way>
+bool pic_insert(IC& ic, const Way& way) {
+  for (std::uint8_t i = 0; i < ic.count; ++i) {
+    if (ic.ways[i].shape == way.shape) {
+      ic.ways[i] = way;
+      return true;
+    }
+  }
+  const bool evicted = ic.count == IC::kWays;
+  const std::uint8_t tail = evicted ? IC::kWays - 1 : ic.count++;
+  for (std::uint8_t i = tail; i > 0; --i) ic.ways[i] = ic.ways[i - 1];
+  ic.ways[0] = way;
+  return !evicted;
+}
+
+}  // namespace
+
+Value Interpreter::read_ic_miss(ReadIC& ic, JSObject& obj, const Shape* shape,
+                                js::Atom key) {
+  const std::int32_t own = shape->slot_of(key);
+  if (own >= 0) {
+    if (!ic.megamorphic &&
+        !pic_insert(ic, ReadIC::Way{shape, std::uint32_t(own), nullptr, nullptr}) &&
+        ++ic.misses >= ReadIC::kMegamorphicMisses) {
+      ic.megamorphic = true;
+      ic.count = 0;  // stop probing stale ways; all accesses go generic
+    }
+    return *obj.prop_slot(std::uint32_t(own));
+  }
+  if (!ic.megamorphic) {
+    JSObject* proto = obj.prototype().get();
+    if (proto != nullptr) {
+      if (const Shape* proto_shape = proto->shape()) {
+        const std::int32_t slot = proto_shape->slot_of(key);
+        if (slot >= 0) {
+          if (!pic_insert(ic, ReadIC::Way{shape, std::uint32_t(slot), proto,
+                                          proto_shape}) &&
+              ++ic.misses >= ReadIC::kMegamorphicMisses) {
+            ic.megamorphic = true;
+            ic.count = 0;
+          }
+          return *proto->prop_slot(std::uint32_t(slot));
+        }
+      }
+    }
+  }
+  // Megamorphic site, or a deeper/dictionary-mode holder: generic prototype
+  // walk with no cache churn (`own` above already settled the receiver).
+  for (const JSObject* walk = obj.prototype().get(); walk != nullptr;
+       walk = walk->prototype().get()) {
+    if (const Value* found = walk->own_property(key)) return *found;
+  }
+  return Value::undefined();
 }
 
 /// Named property write with a store inline cache: an in-place slot store or
@@ -1131,26 +1185,46 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
   const Shape* shape = obj.shape();
   if (shape != nullptr && member.ic_id != js::kNoCacheId) {
     WriteIC& ic = write_ics_[member.ic_id];
-    if (ic.shape == shape) {
-      if (ic.new_shape == nullptr) {
-        *obj.prop_slot(ic.slot) = std::move(value);
+    for (std::uint8_t i = 0; i < ic.count; ++i) {
+      const WriteIC::Way& way = ic.ways[i];
+      if (way.shape != shape) continue;
+      if (way.new_shape == nullptr) {
+        *obj.prop_slot(way.slot) = std::move(value);
       } else {
-        obj.append_prop(ic.new_shape, std::move(value));
+        // Cached property-add transition: append without consulting the
+        // shape tree (no transition-map mutex on the steady-state path).
+        obj.append_prop(way.new_shape, std::move(value));
       }
       return;
     }
-    const std::int32_t own = shape->slot_of(key);
-    if (own >= 0) {
-      ic = WriteIC{shape, std::uint32_t(own), nullptr};
-      *obj.prop_slot(std::uint32_t(own)) = std::move(value);
-      return;
-    }
-    const Shape* next = shape->transition(key);
-    ic = WriteIC{shape, shape->slot_count(), next};
-    obj.append_prop(next, std::move(value));
+    write_ic_miss(ic, obj, shape, key, std::move(value));
     return;
   }
   obj.set_property(key, std::move(value));
+}
+
+void Interpreter::write_ic_miss(WriteIC& ic, JSObject& obj, const Shape* shape,
+                                js::Atom key, Value value) {
+  if (ic.megamorphic) {
+    obj.set_property(key, std::move(value));
+    return;
+  }
+  const std::int32_t own = shape->slot_of(key);
+  WriteIC::Way way;
+  if (own >= 0) {
+    way = WriteIC::Way{shape, std::uint32_t(own), nullptr};
+  } else {
+    way = WriteIC::Way{shape, shape->slot_count(), shape->transition(key)};
+  }
+  if (!pic_insert(ic, way) && ++ic.misses >= WriteIC::kMegamorphicMisses) {
+    ic.megamorphic = true;
+    ic.count = 0;
+  }
+  if (way.new_shape == nullptr) {
+    *obj.prop_slot(way.slot) = std::move(value);
+  } else {
+    obj.append_prop(way.new_shape, std::move(value));
+  }
 }
 
 Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
@@ -1195,7 +1269,40 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
     return value;
   }
 
-  std::string key = property_key(eval_leaf(*member.index, env));
+  const Value key_val = eval_leaf(*member.index, env);
+  // Fast path mirror of eval_member: numeric index into a dense array, in
+  // every mode — mode 3 buffers its events with index-cache atoms.
+  if (base.is_object() && base.as_object()->is_array() && key_val.is_number() &&
+      base.as_object()->host() == nullptr) {
+    std::size_t index = 0;
+    if (number_as_index(key_val.as_number(), &index)) {
+      JSObject& obj = *base.as_object();
+      const BaseProvenance prov = memory_events_ ? provenance_of(*member.object, env)
+                                                 : BaseProvenance{};
+      Value value;
+      if (assign.op == js::AssignOp::None) {
+        value = eval(*assign.value, env);
+      } else {
+        if (memory_events_) {
+          buffer_memory_event(MemoryEvent::Kind::PropRead, obj.id(), index_atom(index),
+                              assign.line, prov);
+        }
+        const Value current = index < obj.elements().size() ? obj.elements()[index]
+                                                            : Value::undefined();
+        value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
+                             current, eval(*assign.value, env), assign.line);
+      }
+      if (memory_events_) {
+        buffer_memory_event(MemoryEvent::Kind::PropWrite, obj.id(), index_atom(index),
+                            assign.line, prov);
+      }
+      auto& elements = obj.elements();
+      if (index >= elements.size()) elements.resize(index + 1);
+      elements[index] = value;
+      return value;
+    }
+  }
+  std::string key = property_key(key_val);
   const BaseProvenance prov = memory_events_ ? provenance_of(*member.object, env)
                                              : BaseProvenance{};
   Value value;
@@ -1205,16 +1312,6 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
     const Value current = property_get(base, key, assign.line, prov);
     value = apply_binary(js::BinaryOp(int(assign.op) - 1 + int(js::BinaryOp::Add)),
                          current, eval(*assign.value, env), assign.line);
-  }
-  // Fast path mirror of eval_member.
-  if (!memory_events_ && base.is_object() && base.as_object()->is_array()) {
-    std::size_t index = 0;
-    if (index_from_string(key, &index)) {
-      auto& elements = base.as_object()->elements();
-      if (index >= elements.size()) elements.resize(index + 1);
-      elements[index] = value;
-      return value;
-    }
   }
   property_set(base, key, value, assign.line, prov);
   return value;
@@ -1272,10 +1369,15 @@ Value Interpreter::eval_call(const js::Call& call, const EnvPtr& env) {
   } else {
     callee = eval(*call.callee, env);
   }
-  std::vector<Value> args;
-  args.reserve(call.args.size());
-  for (const auto& arg : call.args) args.push_back(eval_leaf(*arg, env));
-  return this->call(callee, this_val, args);
+  // Argument values live in a frame on the reused per-interpreter stack:
+  // the span is reserved up front (nested calls in argument position push
+  // above it), filled left to right, and released by the frame's destructor
+  // even when an argument's evaluation throws.
+  const std::size_t argc = call.args.size();
+  ArgFrame frame(arg_stack_, argc);
+  Value* argv = frame.data();
+  for (std::size_t i = 0; i < argc; ++i) argv[i] = eval_leaf(*call.args[i], env);
+  return this->call(callee, this_val, frame.args());
 }
 
 Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
@@ -1292,10 +1394,11 @@ Value Interpreter::eval_new(const js::New& node, const EnvPtr& env) {
   }
   if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), node.line);
 
-  std::vector<Value> args;
-  args.reserve(node.args.size());
-  for (const auto& arg : node.args) args.push_back(eval(*arg, env));
-  const Value result = call(callee, Value::object(obj), args);
+  const std::size_t argc = node.args.size();
+  ArgFrame frame(arg_stack_, argc);
+  Value* argv = frame.data();
+  for (std::size_t i = 0; i < argc; ++i) argv[i] = eval(*node.args[i], env);
+  const Value result = call(callee, Value::object(obj), frame.args());
   return result.is_object() ? result : Value::object(obj);
 }
 
@@ -1479,6 +1582,27 @@ Value Interpreter::apply_binary(js::BinaryOp op, const Value& lhs, const Value& 
   }
   (void)line;
   throw EngineError("unexpected binary operator");
+}
+
+Interpreter::ReadICDebug Interpreter::debug_read_ic(std::uint32_t ic_id) const {
+  const ReadIC& ic = read_ics_.at(ic_id);
+  ReadICDebug out;
+  out.ways = ic.count;
+  out.megamorphic = ic.megamorphic;
+  for (std::uint8_t i = 0; i < ic.count; ++i) out.shapes[i] = ic.ways[i].shape;
+  return out;
+}
+
+Interpreter::WriteICDebug Interpreter::debug_write_ic(std::uint32_t ic_id) const {
+  const WriteIC& ic = write_ics_.at(ic_id);
+  WriteICDebug out;
+  out.ways = ic.count;
+  out.megamorphic = ic.megamorphic;
+  for (std::uint8_t i = 0; i < ic.count; ++i) {
+    out.shapes[i] = ic.ways[i].shape;
+    out.is_transition[i] = ic.ways[i].new_shape != nullptr;
+  }
+  return out;
 }
 
 }  // namespace jsceres::interp

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "interp/args.h"
 #include "interp/environment.h"
 #include "interp/hooks.h"
 #include "interp/object.h"
@@ -65,8 +66,8 @@ class Interpreter {
   void run();
 
   /// Invoke a callable value (used by builtins, the event loop, tests).
-  Value call(const Value& callee, const Value& this_val,
-             const std::vector<Value>& args);
+  /// `args` is a borrowed view; vectors and braced lists convert implicitly.
+  Value call(const Value& callee, const Value& this_val, Args args);
 
   // --- globals ---
   void define_global(const std::string& name, Value value);
@@ -145,6 +146,39 @@ class Interpreter {
   [[nodiscard]] const ObjPtr& string_prototype() const { return string_proto_; }
   [[nodiscard]] const ObjPtr& function_prototype() const { return function_proto_; }
 
+  /// Atom spelling a small array index ("0", "1", ...), served from a
+  /// per-interpreter cache so mode-3 instrumentation of hot array loops
+  /// stops taking the process-wide atom-table lock per element access.
+  /// Indices beyond the cache cap fall back to a plain intern.
+  [[nodiscard]] js::Atom index_atom(std::size_t index) {
+    if (index >= kIndexAtomCacheCap) {
+      return js::Atom::intern(number_to_string(double(index)));
+    }
+    if (index >= index_atom_cache_.size()) index_atom_cache_.resize(index + 1);
+    js::Atom& slot = index_atom_cache_[index];
+    if (slot.empty()) slot = js::Atom::intern(number_to_string(double(index)));
+    return slot;
+  }
+
+  // --- test/debug introspection (tests/test_interp_hotpath.cpp) ---
+  struct ReadICDebug {
+    int ways = 0;
+    bool megamorphic = false;
+    const Shape* shapes[4] = {nullptr, nullptr, nullptr, nullptr};
+  };
+  struct WriteICDebug {
+    int ways = 0;
+    bool megamorphic = false;
+    const Shape* shapes[4] = {nullptr, nullptr, nullptr, nullptr};
+    bool is_transition[4] = {false, false, false, false};
+  };
+  [[nodiscard]] ReadICDebug debug_read_ic(std::uint32_t ic_id) const;
+  [[nodiscard]] WriteICDebug debug_write_ic(std::uint32_t ic_id) const;
+  /// Argument-stack slots currently reserved (0 whenever no call is live).
+  [[nodiscard]] std::size_t debug_arg_stack_in_use() const {
+    return arg_stack_.in_use();
+  }
+
  private:
   struct Completion {
     enum class Type : std::uint8_t { Normal, Return, Break, Continue };
@@ -152,23 +186,45 @@ class Interpreter {
     Value value;
   };
 
-  /// Monomorphic inline cache for one named property *read* site. A hit is
-  /// `receiver->shape() == shape` (own property at `slot`), optionally
-  /// chained through the direct prototype (`holder` + `holder_shape` checks)
-  /// for method lookups like `arr.push`.
+  /// Polymorphic (up to kWays-way) inline cache for one named property
+  /// *read* site. Ways are probed linearly; a hit is `receiver->shape() ==
+  /// way.shape` (own property at `slot`), optionally chained through the
+  /// direct prototype (`holder` + `holder_shape` checks) for method lookups
+  /// like `arr.push`. On a miss the resolved way is inserted at the front
+  /// and the oldest way rotates out; once a full cache keeps missing
+  /// (kMegamorphicMisses rotations) the site goes megamorphic and falls
+  /// back to `Shape::slot_of` with no further cache writes.
   struct ReadIC {
-    const Shape* shape = nullptr;
-    std::uint32_t slot = 0;
-    JSObject* holder = nullptr;        // non-null: prototype hit
-    const Shape* holder_shape = nullptr;
+    static constexpr std::uint8_t kWays = 4;
+    static constexpr std::uint8_t kMegamorphicMisses = 8;
+    struct Way {
+      const Shape* shape = nullptr;
+      std::uint32_t slot = 0;
+      JSObject* holder = nullptr;  // non-null: prototype hit
+      const Shape* holder_shape = nullptr;
+    };
+    Way ways[kWays];
+    std::uint8_t count = 0;   // filled ways (probe bound)
+    std::uint8_t misses = 0;  // full-cache misses; saturates into megamorphic
+    bool megamorphic = false;
   };
-  /// Inline cache for one named property *write* site: either an in-place
-  /// store to `slot`, or (when `new_shape` is set) the property-add
-  /// transition `shape -> new_shape` appending at `slot`.
+  /// Polymorphic inline cache for one named property *write* site: each way
+  /// is either an in-place store to `slot`, or (when `new_shape` is set) the
+  /// cached property-add transition `shape -> new_shape` appending at
+  /// `slot`. Caching the transition target means repeated object-literal /
+  /// constructor shapes append without touching the shape tree's mutex.
   struct WriteIC {
-    const Shape* shape = nullptr;
-    std::uint32_t slot = 0;
-    const Shape* new_shape = nullptr;
+    static constexpr std::uint8_t kWays = 4;
+    static constexpr std::uint8_t kMegamorphicMisses = 8;
+    struct Way {
+      const Shape* shape = nullptr;
+      std::uint32_t slot = 0;
+      const Shape* new_shape = nullptr;
+    };
+    Way ways[kWays];
+    std::uint8_t count = 0;
+    std::uint8_t misses = 0;
+    bool megamorphic = false;
   };
 
   // Statement / expression evaluation.
@@ -194,6 +250,13 @@ class Interpreter {
   /// Inline-cached named property read/write (non-computed member sites).
   Value eval_member_named(const Value& base, const js::Member& member,
                           const EnvPtr& env);
+
+  /// PIC miss paths: resolve the access, then rotate the resolved way into
+  /// the cache (or trip the site megamorphic). Out of line to keep the hit
+  /// path small.
+  Value read_ic_miss(ReadIC& ic, JSObject& obj, const Shape* shape, js::Atom key);
+  void write_ic_miss(WriteIC& ic, JSObject& obj, const Shape* shape, js::Atom key,
+                     Value value);
 
   /// Inline-dispatched evaluation of the two dominant expression leaves
   /// (number literals, identifier reads); everything else forwards to eval.
@@ -221,7 +284,7 @@ class Interpreter {
                           const EnvPtr& env, Environment** owner);
 
   Value call_js_function(JSObject& fn_obj, const Value& this_val,
-                         const std::vector<Value>& args);
+                         const Value* argv, std::size_t argc);
 
   ObjPtr make_function_from_node(const js::FunctionNode& node, const EnvPtr& env);
   void hoist_into(Environment& env, const std::vector<js::Atom>& vars,
@@ -286,6 +349,12 @@ class Interpreter {
   std::vector<ReadIC> read_ics_;
   std::vector<WriteIC> write_ics_;
   std::vector<std::int32_t> global_ref_cache_;  // -1: not yet resolved
+
+  /// Reused argument storage for Call/New evaluation (see ArgStack).
+  ArgStack arg_stack_;
+  /// index → atom cache for computed numeric property keys (mode 3).
+  static constexpr std::size_t kIndexAtomCacheCap = 4096;
+  std::vector<js::Atom> index_atom_cache_;
 
   // Pre-interned hot atoms.
   js::Atom atom_length_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "interp/args.h"
 #include "interp/environment.h"
 #include "interp/hooks.h"
 #include "interp/shape.h"
@@ -21,9 +22,11 @@ namespace jsceres::interp {
 
 class Interpreter;
 
-/// Signature of C++-implemented builtins and substrate bindings.
+/// Signature of C++-implemented builtins and substrate bindings. `args` is
+/// a borrowed view (see Args): for interpreter-originated calls it points
+/// into the reused argument stack, so no per-call vector is materialized.
 using NativeFn =
-    std::function<Value(Interpreter&, const Value& this_val, const std::vector<Value>& args)>;
+    std::function<Value(Interpreter&, const Value& this_val, const Args& args)>;
 
 /// Payload attached to objects that front a host-substrate entity (DOM
 /// element, canvas context, ...). The DOM module subclasses this. Property

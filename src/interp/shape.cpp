@@ -2,10 +2,31 @@
 
 namespace jsceres::interp {
 
-Shape::Shape(const Shape& parent, js::Atom key)
-    : slot_map_(parent.slot_map_), keys_(parent.keys_) {
-  slot_map_.emplace(key, std::uint32_t(keys_.size()));
-  keys_.push_back(key);
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void Shape::FlatTable::insert(js::Atom key, std::int32_t slot) {
+  std::size_t i = key.hash() & mask;
+  while (table[i].slot >= 0) {
+    if (table[i].key == key) return;  // duplicate key: first slot wins
+    i = (i + 1) & mask;
+  }
+  table[i] = Entry{key, slot};
+}
+
+void Shape::FlatTable::rehash(std::size_t capacity) {
+  table.assign(capacity, Entry{});
+  mask = std::uint32_t(capacity - 1);
+  for (std::size_t slot = 0; slot < keys.size(); ++slot) {
+    insert(keys[slot], std::int32_t(slot));
+  }
 }
 
 const Shape* Shape::root() {
@@ -16,8 +37,58 @@ const Shape* Shape::root() {
 const Shape* Shape::transition(js::Atom key) const {
   const std::lock_guard lock(transitions_mutex_);
   auto& slot = transitions_[key];
-  if (!slot) slot.reset(new Shape(*this, key));
+  if (!slot) slot.reset(new Shape(this, key));
   return slot.get();
+}
+
+std::int32_t Shape::slot_of_slow(js::Atom key) const {
+  const auto lookups =
+      std::uint16_t(lookups_.fetch_add(1, std::memory_order_relaxed) + 1);
+  const std::uint16_t threshold = depth_ > kDeepChain ? 2 : kHotFlattenLookups;
+  if (lookups >= threshold) return ensure_flat()->find(key);
+  // Ancestor walk: pointer-identity compares link by link; a flattened
+  // ancestor answers for the whole prefix below it in one probe.
+  for (const Shape* s = this; s->parent_ != nullptr; s = s->parent_) {
+    if (s->key_ == key) return std::int32_t(s->slot_);
+    const FlatTable* flat = s->parent_->flat_.load(std::memory_order_acquire);
+    if (flat != nullptr) return flat->find(key);
+  }
+  return -1;
+}
+
+const Shape::FlatTable* Shape::ensure_flat() const {
+  const FlatTable* existing = flat_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+
+  auto fresh = std::make_unique<FlatTable>();
+  // Collect the suffix links down to the nearest flattened ancestor; its
+  // table is copied wholesale (vector memcpy) instead of re-walking and
+  // re-hashing the entire chain.
+  std::vector<const Shape*> suffix;
+  const FlatTable* base = nullptr;
+  for (const Shape* s = this; s->parent_ != nullptr; s = s->parent_) {
+    suffix.push_back(s);
+    base = s->parent_->flat_.load(std::memory_order_acquire);
+    if (base != nullptr) break;
+  }
+  if (base != nullptr) *fresh = *base;
+  fresh->keys.reserve(depth_);
+  const std::size_t capacity = next_pow2(std::size_t(depth_) * 2);
+  if (fresh->table.size() < capacity) {
+    fresh->rehash(capacity);
+  }
+  for (auto it = suffix.rbegin(); it != suffix.rend(); ++it) {
+    fresh->keys.push_back((*it)->key_);
+    fresh->insert((*it)->key_, std::int32_t((*it)->slot_));
+  }
+
+  const FlatTable* expected = nullptr;
+  if (flat_.compare_exchange_strong(expected, fresh.get(),
+                                    std::memory_order_release,
+                                    std::memory_order_acquire)) {
+    return fresh.release();
+  }
+  return expected;  // another thread won the install; ours is discarded
 }
 
 }  // namespace jsceres::interp

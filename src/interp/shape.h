@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -18,13 +19,33 @@ namespace jsceres::interp {
 /// is what lets a property-access site cache (shape, slot) once and then
 /// validate a hit with a single pointer compare.
 ///
-/// Shapes are immutable after construction except for the transition map,
-/// which is guarded by a per-shape mutex (interpreters on different threads
-/// may grow the tree concurrently; steady-state reads never take the lock).
-/// The tree lives for the process lifetime — shapes are never reclaimed, so
+/// Storage is *incremental*: a transition stores only its own (key, slot)
+/// pair plus a parent pointer, so creating a child shape is O(1) — the old
+/// representation copied the parent's full slot table into every child,
+/// an O(props²) cost in time and memory across a chain. `slot_of` walks the
+/// ancestor chain; once a shape is hot (kHotFlattenLookups misses resolved
+/// through it) or deep (> kDeepChain links, flattened on its second lookup
+/// so one-shot chain builds stay copy-free), a flattened table is
+/// materialized lazily: a dense open-addressed vector keyed by the atoms'
+/// precomputed hashes (no std::unordered_map probe on the hot path) plus the
+/// insertion-ordered key list for enumeration.
+///
+/// Shapes are immutable after construction except for the transition map
+/// (guarded by a per-shape mutex) and the lazily installed flat table
+/// (atomic pointer, installed at most once via CAS; losers discard their
+/// candidate). Interpreters on different threads may grow the tree and
+/// flatten shapes concurrently; steady-state reads never take a lock. The
+/// tree lives for the process lifetime — shapes are never reclaimed, so
 /// cached `const Shape*` values can never dangle.
 class Shape {
  public:
+  /// Chains longer than this flatten on their second lookup (the first
+  /// lookup already paid the walk; flattening on the first would make
+  /// one-shot chain builds quadratic in copies again).
+  static constexpr std::uint32_t kDeepChain = 8;
+  /// Shallow shapes flatten after this many chain-walk lookups.
+  static constexpr std::uint16_t kHotFlattenLookups = 8;
+
   /// The process-wide empty shape (no properties).
   static const Shape* root();
 
@@ -33,22 +54,64 @@ class Shape {
 
   /// Slot index of `key`, or -1 when this shape has no such property.
   [[nodiscard]] std::int32_t slot_of(js::Atom key) const {
-    const auto it = slot_map_.find(key);
-    return it == slot_map_.end() ? -1 : std::int32_t(it->second);
+    const FlatTable* flat = flat_.load(std::memory_order_acquire);
+    if (flat != nullptr) return flat->find(key);
+    return slot_of_slow(key);
   }
 
-  /// Property keys in insertion order.
-  [[nodiscard]] const std::vector<js::Atom>& keys() const { return keys_; }
-  [[nodiscard]] std::uint32_t slot_count() const {
-    return std::uint32_t(keys_.size());
+  /// Property keys in insertion order. Materializes the flat table (callers
+  /// are enumeration-shaped: for-in, Object.keys, dictionary conversion).
+  [[nodiscard]] const std::vector<js::Atom>& keys() const {
+    return ensure_flat()->keys;
   }
+  [[nodiscard]] std::uint32_t slot_count() const { return depth_; }
+
+  /// Test introspection: whether the flat table has been materialized.
+  [[nodiscard]] bool flattened_for_test() const {
+    return flat_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  ~Shape() { delete flat_.load(std::memory_order_acquire); }
 
  private:
-  Shape() = default;
-  Shape(const Shape& parent, js::Atom key);
+  /// Materialized slot table: `keys` in insertion (slot) order for
+  /// enumeration, `table` an open-addressed power-of-two probe array over
+  /// the atoms' precomputed hashes for O(1) key → slot.
+  struct FlatTable {
+    struct Entry {
+      js::Atom key;
+      std::int32_t slot = -1;  // -1: empty probe slot
+    };
 
-  std::unordered_map<js::Atom, std::uint32_t> slot_map_;
-  std::vector<js::Atom> keys_;
+    std::vector<js::Atom> keys;
+    std::vector<Entry> table;
+    std::uint32_t mask = 0;
+
+    [[nodiscard]] std::int32_t find(js::Atom key) const {
+      std::size_t i = key.hash() & mask;
+      while (table[i].slot >= 0) {
+        if (table[i].key == key) return table[i].slot;
+        i = (i + 1) & mask;
+      }
+      return -1;
+    }
+    void insert(js::Atom key, std::int32_t slot);
+    void rehash(std::size_t capacity);
+  };
+
+  Shape() = default;
+  Shape(const Shape* parent, js::Atom key)
+      : key_(key), slot_(parent->depth_), depth_(parent->depth_ + 1), parent_(parent) {}
+
+  std::int32_t slot_of_slow(js::Atom key) const;
+  const FlatTable* ensure_flat() const;
+
+  js::Atom key_;             // the property this link appends (root: unused)
+  std::uint32_t slot_ = 0;   // key_'s slot index (== parent->depth_)
+  std::uint32_t depth_ = 0;  // == slot_count()
+  const Shape* parent_ = nullptr;
+  mutable std::atomic<const FlatTable*> flat_{nullptr};
+  mutable std::atomic<std::uint16_t> lookups_{0};
   mutable std::mutex transitions_mutex_;
   mutable std::unordered_map<js::Atom, std::unique_ptr<Shape>> transitions_;
 };

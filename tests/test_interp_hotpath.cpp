@@ -1,0 +1,454 @@
+// Hot-path machinery introduced by the PIC / incremental-shape / arg-stack
+// overhaul: the polymorphic inline-cache state machine, lazy shape
+// flattening, argument-stack re-entrancy, and the zero-allocation guarantee
+// for steady-state calls.
+//
+// This binary replaces the global allocator with a counting shim (see the
+// bottom of the file) so the allocation test can assert an exact zero; the
+// shim is pass-through malloc and affects no other behavior.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "interp/shape.h"
+#include "js/parser.h"
+#include "support/clock.h"
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+}  // namespace
+
+namespace jsceres::interp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Polymorphic inline-cache state machine. The probe programs have exactly
+// one named member site, so its cache id is 0 (the resolver assigns ids in
+// AST traversal order).
+// ---------------------------------------------------------------------------
+
+ObjPtr object_with_keys(Interpreter& interp, std::initializer_list<const char*> keys) {
+  ObjPtr obj = interp.make_object();
+  double v = 1;
+  for (const char* key : keys) obj->set_property(key, Value::number(v++));
+  return obj;
+}
+
+TEST(PolymorphicIC, ReadSiteGrowsMonoToPolyAndHits) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  // Four shapes, all carrying `p` at different slot indices.
+  const ObjPtr a = object_with_keys(interp, {"p"});
+  const ObjPtr b = object_with_keys(interp, {"q", "p"});
+  const ObjPtr c = object_with_keys(interp, {"q", "r", "p"});
+  const ObjPtr d = object_with_keys(interp, {"q", "r", "s", "p"});
+
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(a)}).as_number(), 1);
+  auto dbg = interp.debug_read_ic(0);
+  EXPECT_EQ(dbg.ways, 1);
+  EXPECT_FALSE(dbg.megamorphic);
+  EXPECT_EQ(dbg.shapes[0], a->shape());
+
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(b)}).as_number(), 2);
+  dbg = interp.debug_read_ic(0);
+  EXPECT_EQ(dbg.ways, 2);
+  EXPECT_EQ(dbg.shapes[0], b->shape());  // newest way rotates to the front
+  EXPECT_EQ(dbg.shapes[1], a->shape());
+
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(c)}).as_number(), 3);
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(d)}).as_number(), 4);
+  dbg = interp.debug_read_ic(0);
+  EXPECT_EQ(dbg.ways, 4);
+  EXPECT_FALSE(dbg.megamorphic);
+
+  // All four shapes now hit without changing the cache contents.
+  const Shape* front = interp.debug_read_ic(0).shapes[0];
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(a)}).as_number(), 1);
+    EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(d)}).as_number(), 4);
+  }
+  dbg = interp.debug_read_ic(0);
+  EXPECT_EQ(dbg.ways, 4);
+  EXPECT_EQ(dbg.shapes[0], front);
+}
+
+TEST(PolymorphicIC, LruRotationEvictsOldestWay) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  const ObjPtr a = object_with_keys(interp, {"p"});
+  const ObjPtr b = object_with_keys(interp, {"b1", "p"});
+  const ObjPtr c = object_with_keys(interp, {"c1", "c2", "p"});
+  const ObjPtr d = object_with_keys(interp, {"d1", "d2", "d3", "p"});
+  const ObjPtr e = object_with_keys(interp, {"e1", "e2", "e3", "e4", "p"});
+  for (const ObjPtr& o : {a, b, c, d}) {
+    interp.call(get, Value::undefined(), {Value::object(o)});
+  }
+  // Cache full: [d, c, b, a]. A fifth shape rotates the oldest (a) out.
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(e)}).as_number(), 5);
+  const auto dbg = interp.debug_read_ic(0);
+  EXPECT_EQ(dbg.ways, 4);
+  EXPECT_EQ(dbg.shapes[0], e->shape());
+  EXPECT_EQ(dbg.shapes[1], d->shape());
+  EXPECT_EQ(dbg.shapes[2], c->shape());
+  EXPECT_EQ(dbg.shapes[3], b->shape());
+}
+
+TEST(PolymorphicIC, SustainedThrashGoesMegamorphicAndStaysCorrect) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr obj = interp.make_object();
+    for (int pad = 0; pad < i; ++pad) {
+      obj->set_property("mega_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                        Value::number(0));
+    }
+    obj->set_property("p", Value::number(i));
+    objs.push_back(std::move(obj));
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(
+        interp.call(get, Value::undefined(), {Value::object(objs[std::size_t(i)])}).as_number(), i);
+  }
+  const auto dbg = interp.debug_read_ic(0);
+  EXPECT_TRUE(dbg.megamorphic);
+  EXPECT_EQ(dbg.ways, 0);  // probes stop; every access resolves generically
+  // Megamorphic reads remain correct, including back on the earliest shapes.
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(objs[0])}).as_number(), 0);
+  EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(objs[7])}).as_number(), 7);
+  EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+}
+
+TEST(PolymorphicIC, WriteSiteCachesTransitionTarget) {
+  static js::Program program = js::parse("function put(o, v) { o.q = v; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value put = interp.global("put");
+
+  const ObjPtr o1 = object_with_keys(interp, {"base"});
+  const ObjPtr o2 = object_with_keys(interp, {"base"});
+  ASSERT_EQ(o1->shape(), o2->shape());
+
+  interp.call(put, Value::undefined(), {Value::object(o1), Value::number(10)});
+  auto dbg = interp.debug_write_ic(0);
+  EXPECT_EQ(dbg.ways, 1);
+  EXPECT_TRUE(dbg.is_transition[0]);  // property-add way caches the target
+
+  // Same starting shape: the cached transition appends without resolving,
+  // and both objects land on the identical (deduplicated) shape.
+  interp.call(put, Value::undefined(), {Value::object(o2), Value::number(20)});
+  EXPECT_EQ(interp.debug_write_ic(0).ways, 1);
+  EXPECT_EQ(o1->shape(), o2->shape());
+  EXPECT_DOUBLE_EQ(o1->own_property(std::string("q"))->as_number(), 10);
+  EXPECT_DOUBLE_EQ(o2->own_property(std::string("q"))->as_number(), 20);
+
+  // o1 now owns `q`: the same site sees the post-transition shape and adds
+  // an in-place-store way next to the transition way.
+  interp.call(put, Value::undefined(), {Value::object(o1), Value::number(30)});
+  dbg = interp.debug_write_ic(0);
+  EXPECT_EQ(dbg.ways, 2);
+  EXPECT_FALSE(dbg.is_transition[0]);
+  EXPECT_EQ(dbg.shapes[0], o1->shape());
+  EXPECT_DOUBLE_EQ(o1->own_property(std::string("q"))->as_number(), 30);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental shapes: slots must be stable across lazy flattening, deep
+// chains must flatten on their second lookup, and concurrent growth of one
+// transition subtree must be race-free (this test runs under TSan in CI).
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalShape, SlotsStableAcrossLazyFlattening) {
+  const Shape* shape = Shape::root();
+  std::vector<js::Atom> atoms;
+  for (int i = 0; i < 12; ++i) {
+    atoms.push_back(js::Atom::intern("ishape_a_" + std::to_string(i)));
+    shape = shape->transition(atoms.back());
+  }
+  EXPECT_EQ(shape->slot_count(), 12u);
+  EXPECT_FALSE(shape->flattened_for_test());
+
+  std::vector<std::int32_t> before;
+  for (const js::Atom& atom : atoms) before.push_back(shape->slot_of(atom));
+  // Depth 12 > kDeepChain: the second round of lookups runs flattened.
+  EXPECT_TRUE(shape->flattened_for_test());
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    EXPECT_EQ(before[i], std::int32_t(i));
+    EXPECT_EQ(shape->slot_of(atoms[i]), std::int32_t(i));
+  }
+  EXPECT_EQ(shape->slot_of(js::Atom::intern("ishape_a_missing")), -1);
+  // Enumeration order is insertion order.
+  ASSERT_EQ(shape->keys().size(), atoms.size());
+  for (std::size_t i = 0; i < atoms.size(); ++i) EXPECT_EQ(shape->keys()[i], atoms[i]);
+}
+
+TEST(IncrementalShape, DeepChainFlattensOnSecondLookupOnly) {
+  const Shape* shape = Shape::root();
+  js::Atom first = js::Atom::intern("ishape_b_0");
+  shape = shape->transition(first);
+  for (int i = 1; i < 10; ++i) {
+    shape = shape->transition(js::Atom::intern("ishape_b_" + std::to_string(i)));
+  }
+  EXPECT_EQ(shape->slot_of(first), 0);  // first lookup: plain chain walk
+  EXPECT_FALSE(shape->flattened_for_test());
+  EXPECT_EQ(shape->slot_of(first), 0);  // second lookup materializes
+  EXPECT_TRUE(shape->flattened_for_test());
+}
+
+TEST(IncrementalShape, ShallowChainFlattensWhenHot) {
+  const Shape* shape = Shape::root()
+                           ->transition(js::Atom::intern("ishape_c_0"))
+                           ->transition(js::Atom::intern("ishape_c_1"));
+  const js::Atom probe = js::Atom::intern("ishape_c_0");
+  for (int i = 0; i < int(Shape::kHotFlattenLookups) - 1; ++i) {
+    EXPECT_EQ(shape->slot_of(probe), 0);
+    EXPECT_FALSE(shape->flattened_for_test());
+  }
+  EXPECT_EQ(shape->slot_of(probe), 0);
+  EXPECT_TRUE(shape->flattened_for_test());
+}
+
+TEST(IncrementalShape, ConcurrentTransitionGrowthIsRaceFreeAndDeduplicated) {
+  constexpr int kThreads = 8;
+  constexpr int kDepth = 24;
+  // Pre-intern so the threads race on the shape tree, not the atom table.
+  std::vector<js::Atom> shared_keys;
+  for (int i = 0; i < kDepth; ++i) {
+    shared_keys.push_back(js::Atom::intern("ishape_d_" + std::to_string(i)));
+  }
+  std::vector<const Shape*> results(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &shared_keys, &results] {
+      // Every thread builds the same chain (racing on each link's
+      // transition map) and probes/flattens while others still build.
+      const Shape* shape = Shape::root();
+      for (int i = 0; i < kDepth; ++i) {
+        shape = shape->transition(shared_keys[std::size_t(i)]);
+        EXPECT_EQ(shape->slot_of(shared_keys[0]), 0);
+      }
+      // Private divergence at the tip must not disturb the shared chain.
+      const Shape* tip =
+          shape->transition(js::Atom::intern("ishape_d_tip_" + std::to_string(t)));
+      EXPECT_EQ(tip->slot_count(), kDepth + 1u);
+      EXPECT_EQ(std::size_t(tip->keys().size()), std::size_t(kDepth) + 1);
+      results[std::size_t(t)] = shape;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[0], results[std::size_t(t)]);  // one tree, shared nodes
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_EQ(results[0]->slot_of(shared_keys[std::size_t(i)]), i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Argument-stack re-entrancy.
+// ---------------------------------------------------------------------------
+
+Value run_and_get(Interpreter& interp, const char* name) {
+  interp.run();
+  return interp.global(name);
+}
+
+TEST(ArgStack, NestedCallsInArgumentPosition) {
+  static js::Program program = js::parse(
+      "function add4(a, b, c, d) { return a + b * 10 + c * 100 + d * 1000; }\n"
+      "function inc(x) { return x + 1; }\n"
+      "function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n"
+      "var result = add4(inc(0), add4(inc(1), 0, 0, fib(5)), inc(2), fib(6));\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  const Value result = run_and_get(interp, "result");
+  // add4(1, 2 + 5000, 3, 8) = 1 + 50020 + 300 + 8000
+  EXPECT_DOUBLE_EQ(result.as_number(), 1 + 5002 * 10 + 3 * 100 + 8 * 1000);
+  EXPECT_EQ(interp.debug_arg_stack_in_use(), 0u);
+}
+
+TEST(ArgStack, DeepRecursionWithWideFrames) {
+  static js::Program program = js::parse(
+      "function deep(n, a, b, c, d, e, f, g) {\n"
+      "  if (n === 0) { return a + b + c + d + e + f + g; }\n"
+      "  return deep(n - 1, a + 1, b, c, d, e, f, g);\n"
+      "}\n"
+      "var result = deep(100, 0, 1, 2, 3, 4, 5, 6);\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  const Value result = run_and_get(interp, "result");
+  EXPECT_DOUBLE_EQ(result.as_number(), 100 + 1 + 2 + 3 + 4 + 5 + 6);
+  EXPECT_EQ(interp.debug_arg_stack_in_use(), 0u);
+}
+
+TEST(ArgStack, ExceptionUnwindingMidArgumentEvaluation) {
+  static js::Program program = js::parse(
+      "function boom() { throw {name: 'E', message: 'mid-args'}; }\n"
+      "function id(x) { return x; }\n"
+      "function f3(a, b, c) { return a + b + c; }\n"
+      "var caught = 0;\n"
+      "var after = 0;\n"
+      "function tryIt(depth) {\n"
+      "  if (depth > 0) { return tryIt(depth - 1) + 1; }\n"
+      "  try {\n"
+      "    f3(id(1), f3(id(2), boom(), id(3)), id(4));\n"
+      "  } catch (e) {\n"
+      "    caught = caught + 1;\n"
+      "  }\n"
+      "  return 0;\n"
+      "}\n"
+      "tryIt(5);\n"
+      "tryIt(0);\n"
+      "after = f3(10, id(20), 30);\n"  // the stack must still be balanced
+      "var result = caught * 1000 + after;\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  const Value result = run_and_get(interp, "result");
+  EXPECT_DOUBLE_EQ(result.as_number(), 2 * 1000 + 60);
+  EXPECT_EQ(interp.debug_arg_stack_in_use(), 0u);
+}
+
+TEST(ArgStack, FunctionCallForwardsArgumentTail) {
+  static js::Program program = js::parse(
+      "function weigh(a, b, c) { return a + b * 10 + c * 100; }\n"
+      "var result = weigh.call(null, 1, 2, 3) + weigh.apply(null, [4, 5, 6]);\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  const Value result = run_and_get(interp, "result");
+  EXPECT_DOUBLE_EQ(result.as_number(), (1 + 20 + 300) + (4 + 50 + 600));
+  EXPECT_EQ(interp.debug_arg_stack_in_use(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state: after warmup, a call-dominated loop must
+// perform no heap allocation at all — activations come from EnvPool,
+// argument frames from the ArgStack, and ticks batch into a counter.
+// ---------------------------------------------------------------------------
+
+TEST(ArgStackAllocation, SteadyStateCallsAllocateNothing) {
+  static js::Program program = js::parse(
+      "function add3(a, b, c) { return a + b + c; }\n"
+      "function driver(n) {\n"
+      "  var t = 0;\n"
+      "  for (var i = 0; i < n; i++) { t += add3(i, i + 1, add3(i, 1, 2)); }\n"
+      "  return t;\n"
+      "}\n"
+      "var warm = driver(64);\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();  // warms pools, segment storage, caches
+  interp.call(interp.global("driver"), Value::undefined(), {Value::number(32)});
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  const Value result =
+      interp.call(interp.global("driver"), Value::undefined(), {Value::number(512)});
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_TRUE(result.is_number());
+  // sum over i < 512 of add3(i, i+1, i+3) = 3i + 4.
+  EXPECT_DOUBLE_EQ(result.as_number(), 3.0 * (511.0 * 512 / 2) + 4.0 * 512);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0)
+      << "steady-state calls must not touch the heap";
+}
+
+// ---------------------------------------------------------------------------
+// Mode-3 index-atom gate: element accesses in instrumented runs must emit
+// the same canonical key spellings as interning did, via the cache.
+// ---------------------------------------------------------------------------
+
+struct RecordingHooks final : ExecutionHooks {
+  struct Prop {
+    bool write = false;
+    std::uint64_t obj_id = 0;
+    std::string key;
+  };
+  std::vector<Prop> props;
+  [[nodiscard]] bool wants_memory_events() const override { return true; }
+  void on_prop_write(std::uint64_t obj_id, js::Atom key, int,
+                     const BaseProvenance&) override {
+    props.push_back({true, obj_id, key.str()});
+  }
+  void on_prop_read(std::uint64_t obj_id, js::Atom key, int,
+                    const BaseProvenance&) override {
+    props.push_back({false, obj_id, key.str()});
+  }
+};
+
+TEST(IndexAtomGate, ArrayLoopEventsCarryCanonicalIndexKeys) {
+  static js::Program program = js::parse(
+      "var a = [5, 6, 7];\n"
+      "var s = 0;\n"
+      "for (var i = 0; i < 3; i++) { s += a[i]; a[i] = s; }\n"
+      "a.push(9);\n");
+  VirtualClock clock;
+  RecordingHooks hooks;
+  Interpreter interp(program, clock, &hooks);
+  interp.run();
+  // Literal writes 0,1,2; per iteration read i + write i; then the `push`
+  // method lookup (a property read) and the element write it performs.
+  std::vector<std::string> expected_keys = {"0", "1", "2", "0", "0",    "1",
+                                            "1", "2", "2", "push", "3"};
+  std::vector<bool> expected_writes = {true,  true, true,  false, true, false,
+                                       true,  false, true, false, true};
+  ASSERT_EQ(hooks.props.size(), expected_keys.size());
+  for (std::size_t i = 0; i < expected_keys.size(); ++i) {
+    EXPECT_EQ(hooks.props[i].key, expected_keys[i]) << "event " << i;
+    EXPECT_EQ(hooks.props[i].write, expected_writes[i]) << "event " << i;
+    EXPECT_EQ(hooks.props[i].obj_id, hooks.props[0].obj_id);
+  }
+}
+
+}  // namespace
+}  // namespace jsceres::interp
+
+// ---------------------------------------------------------------------------
+// Counting allocator shim (whole-binary): pass-through malloc that bumps a
+// counter while a test has switched counting on.
+// ---------------------------------------------------------------------------
+
+namespace {
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
