@@ -1,0 +1,340 @@
+#include "fuzz/generator.h"
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace jsceres::fuzz {
+
+namespace {
+
+/// Recursive-descent program builder. Termination is structural: loops use
+/// dedicated counter variables (never in the assignable pool) with literal
+/// bounds, functions may only call lower-numbered functions, and `throw`
+/// only appears under a `try`. Within those constraints the generator
+/// leans into what the sandbox and the instrumentation care about: shape
+/// transitions (object literals + later property adds), dictionary-mode
+/// objects, computed property keys, array growth through pushes and
+/// out-of-bounds stores, string accumulation, closures, and try/catch
+/// control flow.
+class ProgramBuilder {
+ public:
+  ProgramBuilder(std::uint64_t seed, const GenOptions& options)
+      : rng_(seed), options_(options) {}
+
+  std::string build() {
+    emit("var sink = 0;");
+    const int scalars = 2 + int(rng_.next_below(3));
+    for (int i = 0; i < scalars; ++i) {
+      scalars_.push_back("a" + std::to_string(i));
+      emit("var " + scalars_.back() + " = " + small_number() + ";");
+    }
+    const int arrays = 1 + int(rng_.next_below(2));
+    for (int i = 0; i < arrays; ++i) {
+      arrays_.push_back("arr" + std::to_string(i));
+      emit("var " + arrays_.back() + " = [" + small_number() + ", " +
+           small_number() + "];");
+    }
+    const int objects = 1 + int(rng_.next_below(2));
+    for (int i = 0; i < objects; ++i) {
+      objects_.push_back("obj" + std::to_string(i));
+      emit("var " + objects_.back() + " = {p0: 0, p1: " + small_number() +
+           ", p2: 0};");
+    }
+    emit("var str0 = \"s\";");
+
+    const int fn_count = 1 + int(rng_.next_below(std::uint64_t(
+                                 options_.max_functions > 0
+                                     ? options_.max_functions
+                                     : 1)));
+    for (int i = 0; i < fn_count; ++i) emit_function(i);
+
+    const int top = 2 + int(rng_.next_below(
+                            std::uint64_t(options_.max_block_statements)));
+    for (int i = 0; i < top; ++i) emit_statement(0);
+
+    emit_checksum_tail();
+    if (options_.use_timers) emit_timer_epilogue();
+    return out_;
+  }
+
+ private:
+  // --- expressions (always numeric-valued) ---
+
+  std::string small_number() {
+    return std::to_string(rng_.next_between(0, 9));
+  }
+
+  std::string expr(int depth) {
+    const std::uint64_t pick = rng_.next_below(depth >= 2 ? 5 : 10);
+    switch (pick) {
+      case 0:
+        return small_number();
+      case 1:
+        return scalars_[rng_.next_below(scalars_.size())];
+      case 2:
+        return counters_.empty()
+                   ? small_number()
+                   : counters_[rng_.next_below(counters_.size())];
+      case 3:
+        return arrays_[rng_.next_below(arrays_.size())] + ".length";
+      case 4:
+        return objects_[rng_.next_below(objects_.size())] + ".p" +
+               std::to_string(rng_.next_below(3));
+      case 5:
+      case 6: {
+        static const char* ops[] = {" + ", " - ", " * "};
+        return "(" + expr(depth + 1) + ops[rng_.next_below(3)] +
+               expr(depth + 1) + ")";
+      }
+      case 7:
+        // Keep values bounded: repeated multiplication otherwise overflows
+        // into Infinity and erases checksum discrimination.
+        return "(" + expr(depth + 1) + " % " +
+               std::to_string(rng_.next_between(3, 97)) + ")";
+      case 8: {
+        // Element reads may hit holes; `|| 0` keeps NaN out of checksums.
+        const std::string& arr = arrays_[rng_.next_below(arrays_.size())];
+        return "((" + arr + "[" + index_expr() + "]) || 0)";
+      }
+      default:
+        if (!functions_.empty()) {
+          const std::size_t f = rng_.next_below(functions_.size());
+          std::string call = "f" + std::to_string(f) + "(";
+          for (int a = 0; a < fn_arity_[f]; ++a) {
+            if (a > 0) call += ", ";
+            call += expr(depth + 1);
+          }
+          return call + ")";
+        }
+        return small_number();
+    }
+  }
+
+  std::string index_expr() {
+    if (!counters_.empty() && rng_.next_below(2) == 0) {
+      return "(" + counters_[rng_.next_below(counters_.size())] + " % 8)";
+    }
+    return std::to_string(rng_.next_below(8));
+  }
+
+  // --- statements ---
+
+  void emit_statement(int depth) {
+    const bool can_nest = depth < options_.max_depth;
+    const std::uint64_t pick = rng_.next_below(can_nest ? 12 : 8);
+    switch (pick) {
+      case 0:
+        emit("sink = sink + " + expr(0) + ";");
+        break;
+      case 1: {
+        const std::string& v = scalars_[rng_.next_below(scalars_.size())];
+        emit(v + (rng_.next_below(2) == 0 ? " = " : " += ") + expr(0) + ";");
+        break;
+      }
+      case 2:
+        emit(arrays_[rng_.next_below(arrays_.size())] + ".push(" + expr(0) +
+             ");");
+        break;
+      case 3:
+        emit(arrays_[rng_.next_below(arrays_.size())] + "[" + index_expr() +
+             "] = " + expr(0) + ";");
+        break;
+      case 4:
+        emit(objects_[rng_.next_below(objects_.size())] + ".p" +
+             std::to_string(rng_.next_below(3)) + " = " + expr(0) + ";");
+        break;
+      case 5:
+        // Computed key over the fixed key set: exercises computed-key
+        // interning and keeps every property numeric.
+        emit(objects_[rng_.next_below(objects_.size())] + "[\"p\" + (" +
+             index_expr() + " % 3)] = " + expr(0) + ";");
+        break;
+      case 6:
+        emit("str0 = str0 + \"" +
+             std::string(1, char('a' + rng_.next_below(26))) + "\";");
+        break;
+      case 7:
+        if (!functions_.empty()) {
+          const std::size_t f = rng_.next_below(functions_.size());
+          std::string call = "sink = sink + f" + std::to_string(f) + "(";
+          for (int a = 0; a < fn_arity_[f]; ++a) {
+            if (a > 0) call += ", ";
+            call += expr(0);
+          }
+          emit(call + ");");
+        } else {
+          emit("sink = sink + 1;");
+        }
+        break;
+      case 8:
+        emit_for(depth);
+        break;
+      case 9:
+        emit_while(depth);
+        break;
+      case 10:
+        emit_if(depth);
+        break;
+      default:
+        emit_try(depth);
+        break;
+    }
+  }
+
+  void emit_block(int depth) {
+    const int n = 1 + int(rng_.next_below(
+                          std::uint64_t(options_.max_block_statements)));
+    for (int i = 0; i < n; ++i) emit_statement(depth);
+  }
+
+  void emit_for(int depth) {
+    const std::string c = "i" + std::to_string(next_counter_++);
+    const std::string bound = std::to_string(rng_.next_between(2, 6));
+    emit("for (var " + c + " = 0; " + c + " < " + bound + "; " + c + "++) {");
+    indent_++;
+    counters_.push_back(c);
+    emit_block(depth + 1);
+    counters_.pop_back();
+    indent_--;
+    emit("}");
+  }
+
+  void emit_while(int depth) {
+    const std::string c = "w" + std::to_string(next_counter_++);
+    const std::string bound = std::to_string(rng_.next_between(2, 5));
+    emit("var " + c + " = 0;");
+    const bool do_while = rng_.next_below(3) == 0;
+    emit(do_while ? "do {" : "while (" + c + " < " + bound + ") {");
+    indent_++;
+    // Increment first so a `continue`-free body can never skip it; the
+    // counter is not in the assignable pool, so no other statement writes it.
+    emit(c + " = " + c + " + 1;");
+    counters_.push_back(c);
+    emit_block(depth + 1);
+    counters_.pop_back();
+    indent_--;
+    emit(do_while ? "} while (" + c + " < " + bound + ");" : "}");
+  }
+
+  void emit_if(int depth) {
+    emit("if (" + expr(0) + " > " + std::to_string(rng_.next_between(0, 40)) +
+         ") {");
+    indent_++;
+    emit_block(depth + 1);
+    indent_--;
+    if (rng_.next_below(2) == 0) {
+      emit("} else {");
+      indent_++;
+      emit_block(depth + 1);
+      indent_--;
+    }
+    emit("}");
+  }
+
+  void emit_try(int depth) {
+    emit("try {");
+    indent_++;
+    if (rng_.next_below(2) == 0) {
+      emit("if (" + expr(0) + " > " + std::to_string(rng_.next_between(5, 30)) +
+           ") { throw \"boom\"; }");
+    }
+    emit_block(depth + 1);
+    indent_--;
+    emit("} catch (e) {");
+    indent_++;
+    emit("sink = sink + 1;");
+    indent_--;
+    emit("}");
+  }
+
+  void emit_function(int index) {
+    const int arity = int(rng_.next_below(3));
+    std::string header = "function f" + std::to_string(index) + "(";
+    std::vector<std::string> params;
+    for (int a = 0; a < arity; ++a) {
+      params.push_back("x" + std::to_string(a));
+      if (a > 0) header += ", ";
+      header += params.back();
+    }
+    emit(header + ") {");
+    indent_++;
+    // The body sees params as extra scalars; the swap confines them (and
+    // the acyclic call rule: only already-declared functions are callable).
+    std::vector<std::string> saved_scalars = scalars_;
+    for (const std::string& p : params) scalars_.push_back(p);
+    emit("var t = " + expr(0) + ";");
+    scalars_.push_back("t");
+    const int n = 1 + int(rng_.next_below(3));
+    for (int i = 0; i < n; ++i) emit_statement(1);
+    emit("return t;");
+    scalars_ = std::move(saved_scalars);
+    indent_--;
+    emit("}");
+    functions_.push_back("f" + std::to_string(index));
+    fn_arity_.push_back(arity);
+  }
+
+  void emit_checksum_tail() {
+    emit("var ck = sink;");
+    for (const std::string& v : scalars_) emit("ck = ck + " + v + ";");
+    for (const std::string& a : arrays_) {
+      const std::string c = "c" + std::to_string(next_counter_++);
+      emit("for (var " + c + " = 0; " + c + " < " + a + ".length; " + c +
+           "++) { ck = ck + ((" + a + "[" + c + "]) || 0); }");
+    }
+    for (const std::string& o : objects_) {
+      emit("ck = ck + " + o + ".p0 + " + o + ".p1 + " + o + ".p2;");
+    }
+    emit("ck = ck + str0.length;");
+    emit("console.log(\"CK:\" + ck);");
+  }
+
+  void emit_timer_epilogue() {
+    emit("var frames = 0;");
+    emit("function onFrame() {");
+    indent_++;
+    emit("sink = sink + " + expr(0) + ";");
+    emit("frames = frames + 1;");
+    emit("if (frames < " + std::to_string(rng_.next_between(2, 5)) +
+         ") { requestAnimationFrame(onFrame); }");
+    indent_--;
+    emit("}");
+    emit("requestAnimationFrame(onFrame);");
+    const int timers = 1 + int(rng_.next_below(3));
+    for (int i = 0; i < timers; ++i) {
+      emit("setTimeout(function () { sink = sink + " + expr(0) + "; }, " +
+           std::to_string(rng_.next_between(1, 40)) + ");");
+    }
+    // Final task: re-log the checksum after every timer/frame ran so the
+    // oracles can compare post-event-loop state too.
+    emit("setTimeout(function () { console.log(\"CK2:\" + (sink + ck)); }, 90);");
+  }
+
+  void emit(const std::string& line) {
+    for (int i = 0; i < indent_; ++i) out_ += "  ";
+    out_ += line;
+    out_ += '\n';
+  }
+
+  Rng rng_;
+  GenOptions options_;
+  std::string out_;
+  int indent_ = 0;
+  int next_counter_ = 0;
+  std::vector<std::string> scalars_;
+  std::vector<std::string> arrays_;
+  std::vector<std::string> objects_;
+  std::vector<std::string> counters_;
+  std::vector<std::string> functions_;
+  std::vector<int> fn_arity_;
+};
+
+}  // namespace
+
+std::string generate_program(std::uint64_t seed, const GenOptions& options) {
+  return ProgramBuilder(seed, options).build();
+}
+
+}  // namespace jsceres::fuzz

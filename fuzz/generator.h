@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jsceres::fuzz {
+
+/// Knobs for one generated program. The defaults produce programs that run
+/// in well under a millisecond so the smoke mode can afford hundreds of
+/// them per second together with their differential re-runs.
+struct GenOptions {
+  /// Maximum statement-nesting depth (loops/ifs inside loops/ifs).
+  int max_depth = 3;
+  /// Maximum statements emitted per block.
+  int max_block_statements = 6;
+  /// Number of helper functions declared up front (each may call only
+  /// earlier ones, so generated call graphs are acyclic).
+  int max_functions = 3;
+  /// Emit the event-loop epilogue (setTimeout chains + a bounded
+  /// requestAnimationFrame loop). Programs with this set must run under a
+  /// dom::Page; without it they are plain scripts.
+  bool use_timers = false;
+};
+
+/// Generate one deterministic, terminating program of the engine's JS
+/// subset from `seed`. Every loop is bounded by a literal trip count and
+/// every `throw` sits inside a `try`, so a generated program always runs to
+/// completion and ends by logging a "CK:<checksum>" line that folds every
+/// live variable into one value — the differential oracles compare that
+/// line (plus the virtual clocks) across engine configurations.
+std::string generate_program(std::uint64_t seed, const GenOptions& options = {});
+
+}  // namespace jsceres::fuzz

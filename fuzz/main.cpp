@@ -1,0 +1,113 @@
+// Differential fuzzing driver for the engine sandbox.
+//
+//   fuzz_driver [--smoke] [--seed N] [--count N] [--corpus DIR] [--timers]
+//   fuzz_driver --hostile
+//
+// Default (and --smoke) mode: generate `count` programs from consecutive
+// seeds starting at `seed`, run the full oracle battery over each (every
+// fourth program carries the event-loop epilogue and additionally exercises
+// the serial-vs-frame-graph oracle), minimize any failure and persist it to
+// the corpus directory. Exit status is the number of failing seeds (capped
+// at 99), so CI can upload the corpus and fail the step in one go.
+//
+// --hostile runs the hostile-input demo suite: every case must trip its
+// limit with a recoverable error and leave the engine reusable.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracles.h"
+#include "fuzz/triage.h"
+
+namespace {
+
+int run_hostile_suite() {
+  int failures = 0;
+  for (const jsceres::fuzz::HostileCase& hostile :
+       jsceres::fuzz::hostile_suite()) {
+    const jsceres::fuzz::HostileReport report =
+        jsceres::fuzz::run_hostile_case(hostile);
+    std::printf("[%s] %-16s (%s): %s\n",
+                report.recovered ? "RECOVERED" : "FAILED",
+                report.name.c_str(), hostile.contained_by.c_str(),
+                report.error.c_str());
+    if (!report.recovered) ++failures;
+  }
+  std::printf("hostile suite: %d failure(s)\n", failures);
+  return failures;
+}
+
+int run_smoke(std::uint64_t base_seed, int count, const std::string& corpus,
+              bool force_timers) {
+  int failures = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base_seed + std::uint64_t(i);
+    jsceres::fuzz::GenOptions gen;
+    gen.use_timers = force_timers || (i % 4 == 3);
+    const std::string source = jsceres::fuzz::generate_program(seed, gen);
+    jsceres::fuzz::OracleOptions oracle_options;
+    oracle_options.has_timers = gen.use_timers;
+    const jsceres::fuzz::OracleOutcome outcome =
+        jsceres::fuzz::check_program(source, oracle_options);
+    if (outcome.ok) continue;
+
+    ++failures;
+    std::printf("FAIL seed=%llu oracle=%s: %s\n",
+                static_cast<unsigned long long>(seed), outcome.oracle.c_str(),
+                outcome.detail.c_str());
+    jsceres::fuzz::FailingCase failing;
+    failing.seed = seed;
+    failing.oracle = outcome.oracle;
+    failing.detail = outcome.detail;
+    failing.source = source;
+    failing.minimized = jsceres::fuzz::minimize_lines(
+        source, [&](const std::string& candidate) {
+          const jsceres::fuzz::OracleOutcome repro =
+              jsceres::fuzz::check_program(candidate, oracle_options);
+          return !repro.ok && repro.oracle == outcome.oracle;
+        });
+    const std::string path = jsceres::fuzz::save_case(corpus, failing);
+    if (!path.empty()) {
+      std::printf("  minimized repro saved to %s\n", path.c_str());
+    }
+  }
+  std::printf("fuzz smoke: %d program(s), %d failure(s)\n", count, failures);
+  return failures > 99 ? 99 : failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool hostile = false;
+  bool timers = false;
+  std::uint64_t seed = 1;
+  int count = 500;
+  std::string corpus = "fuzz-corpus";
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--hostile") == 0) {
+      hostile = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      // Default mode; the flag exists so CI invocations read clearly.
+    } else if (std::strcmp(arg, "--timers") == 0) {
+      timers = true;
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--count") == 0 && i + 1 < argc) {
+      count = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--corpus") == 0 && i + 1 < argc) {
+      corpus = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_driver [--smoke] [--hostile] [--seed N] "
+                   "[--count N] [--corpus DIR] [--timers]\n");
+      return 2;
+    }
+  }
+
+  if (hostile) return run_hostile_suite();
+  return run_smoke(seed, count, corpus, timers);
+}

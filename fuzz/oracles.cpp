@@ -1,0 +1,327 @@
+#include "fuzz/oracles.h"
+
+#include <string>
+
+#include "ceres/dependence_analyzer.h"
+#include "ceres/lightweight_profiler.h"
+#include "dom/page.h"
+#include "interp/interpreter.h"
+#include "js/lexer.h"
+#include "js/parser.h"
+#include "rivertrail/thread_pool.h"
+#include "support/clock.h"
+#include "support/limits.h"
+
+namespace jsceres::fuzz {
+
+namespace {
+
+/// Everything the oracles compare about one execution. Virtual time is part
+/// of the observable surface: the whole reproduction rests on the clocks
+/// being a pure function of the executed program, so any instrumentation or
+/// scheduling mode that shifts them is a bug even when console output agrees.
+struct RunResult {
+  bool engine_error = false;
+  std::string error;
+  std::string console;
+  std::int64_t cpu_ns = 0;
+  std::int64_t wall_ns = 0;
+};
+
+RunResult run_once(const js::Program& program, interp::ExecutionHooks* hooks,
+                   bool with_page, bool frame_graph, std::int64_t horizon_ms,
+                   const interp::InterpreterConfig& config = {}) {
+  RunResult result;
+  VirtualClock clock;
+  interp::Interpreter interp(program, clock, hooks, config);
+  try {
+    if (with_page) {
+      dom::Page page(interp);
+      if (frame_graph) {
+        rivertrail::ThreadPool pool(2);
+        page.event_loop().enable_frame_graph(pool);
+        interp.run();
+        page.event_loop().run(horizon_ms);
+      } else {
+        interp.run();
+        page.event_loop().run(horizon_ms);
+      }
+    } else {
+      interp.run();
+    }
+  } catch (const interp::EngineError& e) {
+    result.engine_error = true;
+    result.error = e.what();
+  }
+  result.console = interp.console_output();
+  result.cpu_ns = clock.cpu_ns();
+  result.wall_ns = clock.wall_ns();
+  return result;
+}
+
+/// Empty detail == the runs agree.
+std::string diff_runs(const RunResult& a, const RunResult& b) {
+  if (a.engine_error != b.engine_error || a.error != b.error) {
+    return "error divergence: [" + a.error + "] vs [" + b.error + "]";
+  }
+  if (a.console != b.console) {
+    return "console divergence: [" + a.console + "] vs [" + b.console + "]";
+  }
+  if (a.cpu_ns != b.cpu_ns) {
+    return "cpu clock divergence: " + std::to_string(a.cpu_ns) + " vs " +
+           std::to_string(b.cpu_ns) + " ns";
+  }
+  if (a.wall_ns != b.wall_ns) {
+    return "wall clock divergence: " + std::to_string(a.wall_ns) + " vs " +
+           std::to_string(b.wall_ns) + " ns";
+  }
+  return {};
+}
+
+OracleOutcome fail(std::string oracle, std::string detail) {
+  return OracleOutcome{false, std::move(oracle), std::move(detail)};
+}
+
+}  // namespace
+
+OracleOutcome check_program(const std::string& source,
+                            const OracleOptions& options) {
+  js::Program program;
+  try {
+    program = js::parse(source, "<fuzz>");
+  } catch (const js::ParseError& e) {
+    return fail("generator-validity", std::string("parse failed: ") + e.what());
+  } catch (const js::LexError& e) {
+    return fail("generator-validity", std::string("lex failed: ") + e.what());
+  }
+
+  const bool page = options.has_timers;
+  const std::int64_t horizon = options.horizon_ms;
+
+  // 1. Mode invariance: lightweight profiling must not perturb execution.
+  {
+    const RunResult plain = run_once(program, nullptr, page, false, horizon);
+    // The profiler reads the run's own clock, so this twin of run_once is
+    // built by hand around the shared VirtualClock.
+    RunResult profiled;
+    {
+      VirtualClock clock;
+      ceres::LightweightProfiler profiler(clock);
+      interp::Interpreter interp(program, clock, &profiler);
+      try {
+        if (page) {
+          dom::Page dom_page(interp);
+          interp.run();
+          dom_page.event_loop().run(horizon);
+        } else {
+          interp.run();
+        }
+      } catch (const interp::EngineError& e) {
+        profiled.engine_error = true;
+        profiled.error = e.what();
+      }
+      profiled.console = interp.console_output();
+      profiled.cpu_ns = clock.cpu_ns();
+      profiled.wall_ns = clock.wall_ns();
+      if (profiler.in_loops_ns() > clock.wall_ns()) {
+        return fail("mode-invariance", "in-loops time exceeds wall time");
+      }
+    }
+    if (const std::string detail = diff_runs(plain, profiled); !detail.empty()) {
+      return fail("mode-invariance", detail);
+    }
+  }
+
+  // 2. Dependence-analysis determinism + compact-delta shape.
+  {
+    std::string reports[2];
+    for (int round = 0; round < 2; ++round) {
+      ceres::DependenceAnalyzer analyzer(program);
+      VirtualClock clock;
+      interp::Interpreter interp(program, clock, &analyzer);
+      try {
+        interp.run();
+      } catch (const interp::EngineError&) {
+        // An uncaught JS throw is legal fuzz output; both rounds see it.
+      }
+      reports[round] = analyzer.report();
+      for (const auto& warning : analyzer.warnings()) {
+        bool seen_dep = false;
+        for (const ceres::LevelFlags& level : warning.characterization.levels) {
+          if (level.instance_dep && !level.iteration_dep) {
+            return fail("stamp-shape", "dependence-ok level in " +
+                                           warning.render(program));
+          }
+          if (seen_dep && !(level.instance_dep && level.iteration_dep)) {
+            return fail("stamp-shape", "non-monotone delta in " +
+                                           warning.render(program));
+          }
+          if (level.instance_dep || level.iteration_dep) seen_dep = true;
+        }
+      }
+    }
+    if (reports[0] != reports[1]) {
+      return fail("analyzer-determinism", "reports differ across re-runs");
+    }
+  }
+
+  // 3. Serial vs frame-graph event loop (timer programs only).
+  if (page) {
+    const RunResult serial = run_once(program, nullptr, true, false, horizon);
+    const RunResult pipelined = run_once(program, nullptr, true, true, horizon);
+    if (const std::string detail = diff_runs(serial, pipelined);
+        !detail.empty()) {
+      return fail("event-loop", detail);
+    }
+  }
+
+  // 4. Sandbox recovery: a tight-limit run either completes or trips a
+  // recoverable EngineError, and the engine object stays usable.
+  {
+    interp::InterpreterConfig config;
+    config.max_ticks = 2'000'000;
+    config.limits.max_memory_bytes = 4u << 20;
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock, nullptr, config);
+    bool tripped = false;
+    try {
+      interp.run();
+    } catch (const interp::EngineError&) {
+      tripped = true;
+    } catch (...) {
+      return fail("limit-recovery", "non-EngineError escaped a limited run");
+    }
+    if (interp.debug_arg_stack_in_use() != 0) {
+      return fail("limit-recovery",
+                  "argument stack not empty after " +
+                      std::string(tripped ? "a limit trip" : "completion"));
+    }
+    try {
+      interp.run();  // re-entry arms a fresh budget window
+    } catch (const interp::EngineError&) {
+      // A second trip is fine; crashing or corrupting state is not.
+    } catch (...) {
+      return fail("limit-recovery", "non-EngineError escaped the re-run");
+    }
+    if (interp.debug_arg_stack_in_use() != 0) {
+      return fail("limit-recovery", "argument stack not empty after re-run");
+    }
+  }
+
+  return OracleOutcome{};
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input demo suite
+// ---------------------------------------------------------------------------
+
+std::vector<HostileCase> hostile_suite() {
+  std::vector<HostileCase> cases;
+
+  HostileCase nesting;
+  nesting.name = "deep-nesting";
+  nesting.source = std::string(2000, '(') + "1" + std::string(2000, ')') + ";";
+  nesting.contained_by = "max_parse_depth";
+  nesting.expect_parse_error = true;
+  cases.push_back(std::move(nesting));
+
+  HostileCase alloc;
+  alloc.name = "alloc-loop";
+  alloc.source = "var a = []; while (true) { a.push(a.length); }";
+  alloc.contained_by = "max_memory_bytes";
+  alloc.max_memory_bytes = 4u << 20;
+  cases.push_back(std::move(alloc));
+
+  HostileCase ticks;
+  ticks.name = "runaway-ticks";
+  ticks.source = "var x = 0; while (true) { x = x + 1; }";
+  ticks.contained_by = "max_ticks";
+  ticks.max_ticks = 2'000'000;
+  cases.push_back(std::move(ticks));
+
+  HostileCase wall;
+  wall.name = "runaway-wall";
+  wall.source = "var x = 0; while (true) { x = x + 1; }";
+  wall.contained_by = "max_wall_ms";
+  wall.max_wall_ms = 150;
+  cases.push_back(std::move(wall));
+
+  HostileCase props;
+  props.name = "10k-properties";
+  props.source =
+      "var o = {}; for (var i = 0; i < 10000; i++) { o[\"k\" + i] = i; }";
+  props.contained_by = "max_memory_bytes";
+  props.max_memory_bytes = 256u << 10;
+  cases.push_back(std::move(props));
+
+  HostileCase growth;
+  growth.name = "array-growth";
+  growth.source = "var a = []; a[50000000] = 1;";
+  growth.contained_by = "max_array_length";
+  growth.max_array_length = 1'000'000;
+  cases.push_back(std::move(growth));
+
+  return cases;
+}
+
+HostileReport run_hostile_case(const HostileCase& hostile) {
+  HostileReport report;
+  report.name = hostile.name;
+
+  EngineLimits limits;
+  limits.max_memory_bytes = hostile.max_memory_bytes;
+  limits.max_array_length = hostile.max_array_length;
+  limits.max_wall_ms = hostile.max_wall_ms;
+
+  js::Program program;
+  try {
+    program = js::parse(hostile.source, "<hostile:" + hostile.name + ">",
+                        limits);
+  } catch (const js::ParseError& e) {
+    report.recovered = hostile.expect_parse_error;
+    report.error = e.what();
+    return report;
+  } catch (const js::LexError& e) {
+    report.recovered = hostile.expect_parse_error;
+    report.error = e.what();
+    return report;
+  }
+  if (hostile.expect_parse_error) {
+    report.error = "expected a front-end error, but the source parsed";
+    return report;
+  }
+
+  interp::InterpreterConfig config;
+  config.max_ticks = hostile.max_ticks;
+  config.limits = limits;
+  VirtualClock clock;
+  interp::Interpreter interp(program, clock, nullptr, config);
+  try {
+    interp.run();
+    report.error = "ran to completion without tripping a limit";
+    return report;
+  } catch (const interp::EngineError& e) {
+    report.error = e.what();
+  } catch (...) {
+    report.error = "non-EngineError escaped";
+    return report;
+  }
+
+  // Recovery proof: clean machine state, and the same engine object accepts
+  // another run (which may legitimately trip again).
+  if (interp.debug_arg_stack_in_use() != 0) {
+    report.error += " [argument stack not unwound]";
+    return report;
+  }
+  try {
+    interp.run();
+  } catch (const interp::EngineError&) {
+  } catch (...) {
+    report.error += " [re-run crashed]";
+    return report;
+  }
+  report.recovered = true;
+  return report;
+}
+
+}  // namespace jsceres::fuzz

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsceres::fuzz {
+
+/// Outcome of one oracle battery over one generated program. `ok` means
+/// every applicable oracle held; otherwise `oracle` names the first one
+/// that failed and `detail` says how the two executions diverged.
+struct OracleOutcome {
+  bool ok = true;
+  std::string oracle;
+  std::string detail;
+};
+
+struct OracleOptions {
+  /// The program ends in the event-loop epilogue (GenOptions::use_timers):
+  /// run it under a dom::Page and add the serial-vs-frame-graph oracle.
+  bool has_timers = false;
+  /// Event-loop horizon for timer programs, virtual milliseconds.
+  std::int64_t horizon_ms = 200;
+};
+
+/// Run the differential oracle battery over `source`:
+///  1. mode invariance — uninstrumented vs lightweight-profiled runs must
+///     agree on virtual CPU/wall time and console output (paper §3.1: the
+///     profiling modes observe, they must not perturb);
+///  2. analyzer determinism — two independent dependence-analysis runs must
+///     produce byte-identical reports, and every recorded characterization
+///     must have the compact-delta shape the vector algebra guarantees;
+///  3. serial vs frame-graph event loop (timer programs only) — identical
+///     console output and virtual clocks with the pipeline on or off;
+///  4. limit recovery — a run under a tight sandbox either completes or
+///     trips a recoverable EngineError, after which the interpreter's
+///     argument stack is empty and a second run still behaves.
+/// A program that fails to parse is reported as a generator defect.
+OracleOutcome check_program(const std::string& source,
+                            const OracleOptions& options = {});
+
+/// One case of the hostile-input demo suite: a program (or raw source)
+/// engineered to blow a specific resource, plus the limit configuration
+/// that must contain it.
+struct HostileCase {
+  std::string name;
+  std::string source;
+  /// Which sandbox knob contains this case (documentation; the runner
+  /// configures EngineLimits from the fields below).
+  std::string contained_by;
+  std::size_t max_memory_bytes = 0;
+  std::size_t max_array_length = 0;
+  std::int64_t max_wall_ms = 0;
+  std::int64_t max_ticks = -1;
+  bool expect_parse_error = false;
+};
+
+struct HostileReport {
+  std::string name;
+  bool recovered = false;   // tripped a recoverable error AND engine reusable
+  std::string error;        // the error message observed
+};
+
+/// The five hostile inputs named by the sandbox acceptance criteria: deep
+/// nesting, an unbounded allocation loop, a runaway while(true) (both the
+/// tick-budget and the wall-clock watchdog flavour), a 10k-property object,
+/// and pathological array growth.
+std::vector<HostileCase> hostile_suite();
+
+/// Run one hostile case under its limits; `recovered` requires the expected
+/// recoverable error type (ParseError/LexError for front-end cases,
+/// EngineError for runtime cases), a clean argument stack afterwards, and a
+/// working second run on the same engine object.
+HostileReport run_hostile_case(const HostileCase& hostile);
+
+}  // namespace jsceres::fuzz

@@ -1,0 +1,98 @@
+#include "fuzz/triage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace jsceres::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (const char c : source) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string minimize_lines(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_fails) {
+  std::vector<std::string> lines = split_lines(source);
+  // Chunked removal, halving chunk size: a dropped chunk that breaks the
+  // nesting structure simply fails to parse, the predicate rejects it, and
+  // the chunk stays — no syntax awareness needed for the common case where
+  // whole statements fit on single lines.
+  for (std::size_t chunk = lines.size() / 2; chunk >= 1; chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any) {
+      removed_any = false;
+      for (std::size_t start = 0; start + chunk <= lines.size();) {
+        std::vector<std::string> candidate;
+        candidate.reserve(lines.size() - chunk);
+        candidate.insert(candidate.end(), lines.begin(),
+                         lines.begin() + std::ptrdiff_t(start));
+        candidate.insert(candidate.end(),
+                         lines.begin() + std::ptrdiff_t(start + chunk),
+                         lines.end());
+        if (still_fails(join_lines(candidate))) {
+          lines = std::move(candidate);
+          removed_any = true;
+          // Re-test the same start index against the shifted-in lines.
+        } else {
+          start += chunk;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return join_lines(lines);
+}
+
+std::string save_case(const std::string& corpus_dir,
+                      const FailingCase& failing) {
+  std::error_code ec;
+  std::filesystem::create_directories(corpus_dir, ec);
+  if (ec) return {};
+  const std::string path = corpus_dir + "/seed" + std::to_string(failing.seed) +
+                           "_" + failing.oracle + ".js";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << "// fuzz failure\n"
+      << "// seed:   " << failing.seed << "\n"
+      << "// oracle: " << failing.oracle << "\n"
+      << "// detail: " << failing.detail << "\n"
+      << (failing.minimized.empty() ? failing.source : failing.minimized);
+  if (!failing.minimized.empty() && failing.minimized != failing.source) {
+    out << "\n// --- original (pre-minimization) ---\n";
+    std::string commented;
+    for (const char c : failing.source) {
+      if (commented.empty() || commented.back() == '\n') commented += "// ";
+      commented += c;
+    }
+    out << commented;
+  }
+  return out ? path : std::string();
+}
+
+}  // namespace jsceres::fuzz

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace jsceres::fuzz {
+
+/// A failing fuzz case ready to be persisted to the corpus.
+struct FailingCase {
+  std::uint64_t seed = 0;
+  std::string oracle;  // the oracle that flagged it
+  std::string detail;  // how the executions diverged
+  std::string source;  // generated program as-is
+  std::string minimized;
+};
+
+/// Line-granular delta minimization: repeatedly drop contiguous line chunks
+/// (halving granularity down to single lines) while `still_fails` keeps
+/// returning true for the candidate. `still_fails` must be limit-respecting
+/// (run candidates under the same sandbox as the original repro) — the
+/// predicate is called O(lines) times. Returns the smallest source found.
+std::string minimize_lines(
+    const std::string& source,
+    const std::function<bool(const std::string&)>& still_fails);
+
+/// Persist `failing` under `corpus_dir` (created on demand) as
+/// `seed<seed>_<oracle>.js` with a comment header carrying the seed, the
+/// oracle name, and the divergence detail, followed by the minimized repro.
+/// Returns the written path, or an empty string if the write failed.
+std::string save_case(const std::string& corpus_dir, const FailingCase& failing);
+
+}  // namespace jsceres::fuzz

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "js/ast.h"
+#include "support/limits.h"
 
 namespace jsceres::ceres {
 
@@ -189,8 +190,12 @@ class CharStack {
       node.loop_id = stack_[k].loop_id;
       node.instance = stack_[k].instance;
       node.iteration = stack_[k].iteration;
-      frame_ids_[k] = StampId(nodes_.size());
+      // Sandbox accounting: the stamp arena is append-only and grows one
+      // node per referenced state; charge before the append so a ledger
+      // trip leaves the tree and frame_ids_ untouched.
+      AllocationLedger::charge_current(sizeof(StampNode));
       nodes_.push_back(node);
+      frame_ids_[k] = StampId(nodes_.size() - 1);
       ++interned_depth_;
     }
     return stack_.empty() ? kEmptyStampId : frame_ids_.back();

@@ -10,6 +10,7 @@
 #include "ceres/char_stack.h"
 #include "interp/hooks.h"
 #include "js/ast.h"
+#include "support/limits.h"
 
 namespace jsceres::ceres {
 
@@ -131,6 +132,10 @@ class StampMap {
   }
 
   void grow() {
+    // Sandbox accounting: the doubled table charges the active run's
+    // ledger before allocating; on a trip the table is untouched and the
+    // map stays fully usable (just overfull until the next put retries).
+    AllocationLedger::charge_current(entries_.size() * sizeof(Entry));
     std::vector<Entry> old = std::move(entries_);
     entries_.assign(old.size() * 2, Entry{});
     mask_ = entries_.size() - 1;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "interp/value.h"
+#include "support/limits.h"
 
 namespace jsceres::interp {
 
@@ -72,19 +73,29 @@ class ArgStack {
   /// Reserve `n` contiguous slots (default-constructed Values) on top of
   /// the stack. `mark` receives the state `pop` needs to restore.
   Value* push(std::size_t n, Mark* mark) {
-    if (segments_.empty()) segments_.emplace_back(std::max(kSegmentSlots, n));
+    // Segment growth charges the active run's ledger before mutating any
+    // stack state, so a ledger trip mid-push leaves the stack exactly as the
+    // enclosing frames left it.
+    if (segments_.empty()) {
+      AllocationLedger::charge_current(std::max(kSegmentSlots, n) * sizeof(Value));
+      segments_.emplace_back(std::max(kSegmentSlots, n));
+    }
     mark->segment = current_;
     mark->used = segments_[current_].used;
     Segment* seg = &segments_[current_];
     if (seg->slots.size() - seg->used < n) {
       // The frame needs contiguity: advance to (or create) a segment with
       // room. Segments past `current_` are always fully popped.
-      ++current_;
-      if (current_ == segments_.size()) {
+      if (current_ + 1 == segments_.size()) {
+        AllocationLedger::charge_current(std::max(kSegmentSlots, n) * sizeof(Value));
         segments_.emplace_back(std::max(kSegmentSlots, n));
-      } else if (segments_[current_].slots.size() < n) {
-        segments_[current_] = Segment(std::max(kSegmentSlots, n));
+      } else if (segments_[current_ + 1].slots.size() < n) {
+        const std::size_t grown = std::max(kSegmentSlots, n);
+        AllocationLedger::charge_current(
+            (grown - segments_[current_ + 1].slots.size()) * sizeof(Value));
+        segments_[current_ + 1] = Segment(grown);
       }
+      ++current_;
       seg = &segments_[current_];
     }
     Value* out = seg->slots.data() + seg->used;
@@ -109,6 +120,17 @@ class ArgStack {
     std::size_t total = 0;
     for (const Segment& seg : segments_) total += seg.used;
     return total;
+  }
+
+  /// Recovery backstop: drop every frame and clear its slots so object and
+  /// string references release. Used after an EngineError escapes the
+  /// interpreter's outermost entry point; segment capacity is kept.
+  void unwind_all() noexcept {
+    for (Segment& seg : segments_) {
+      for (std::uint32_t i = 0; i < seg.used; ++i) seg.slots[i] = Value();
+      seg.used = 0;
+    }
+    current_ = 0;
   }
 
  private:

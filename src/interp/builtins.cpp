@@ -131,6 +131,7 @@ void install_array(Interpreter& interp) {
   define_method(interp, proto, "push",
                 [](Interpreter& in, const Value& self, const Args& args) {
                   const ObjPtr arr = require_array(in, self, "push");
+                  in.charge_elements(*arr, arr->elements().size() + args.size());
                   for (const auto& a : args) {
                     note_index_write(in, arr, arr->elements().size());
                     arr->elements().push_back(a);
@@ -211,6 +212,13 @@ void install_array(Interpreter& interp) {
                   const ObjPtr arr = require_array(in, self, "concat");
                   ObjPtr out = in.make_array(arr->elements().size());
                   out->elements() = arr->elements();
+                  std::size_t total = out->elements().size();
+                  for (const auto& a : args) {
+                    total += a.is_object() && a.as_object()->is_array()
+                                 ? a.as_object()->elements().size()
+                                 : 1;
+                  }
+                  in.charge_elements(*out, total);
                   for (const auto& a : args) {
                     if (a.is_object() && a.as_object()->is_array()) {
                       for (const auto& e : a.as_object()->elements()) {
@@ -378,7 +386,7 @@ void install_array(Interpreter& interp) {
       "Array", [](Interpreter& in, const Value&, const Args& args) {
         if (args.size() == 1 && args[0].is_number()) {
           ObjPtr out = in.make_array(0);
-          out->elements().resize(std::size_t(args[0].as_number()));
+          in.grow_elements(*out, std::size_t(args[0].as_number()));
           return Value::object(out);
         }
         ObjPtr out = in.make_array(args.size());
@@ -464,6 +472,7 @@ void install_string(Interpreter& interp) {
                   const std::string sep = in.to_string_value(arg_or_undefined(args, 0));
                   ObjPtr out = in.make_array(0);
                   if (sep.empty()) {
+                    in.charge_elements(*out, s.size());
                     for (const char c : s) {
                       out->elements().push_back(Value::str(std::string(1, c)));
                     }

@@ -7,6 +7,7 @@
 
 #include "interp/value.h"
 #include "js/atom.h"
+#include "support/limits.h"
 
 namespace jsceres::interp {
 
@@ -214,6 +215,7 @@ class Environment {
   Value this_val_;
   bool has_this_ = false;
   std::uint32_t refs_ = 0;
+  std::uint32_t pool_index_ = 0;  // position in EnvPool::all_
   EnvPool* pool_ = nullptr;
 };
 
@@ -238,25 +240,48 @@ class EnvPool {
   /// A recycled-or-new environment bound to (id, parent), owned by the
   /// returned handle.
   EnvPtr acquire(std::uint64_t id, EnvPtr parent) {
-    ++live_;
     Environment* env;
     if (!free_.empty()) {
       env = free_.back();
       free_.pop_back();
       env->rebind(id, std::move(parent));
     } else {
+      // Sandbox accounting: a fresh activation charges the active run's
+      // ledger before allocating; recycled activations were already paid
+      // for. Charge-first keeps live_ exact when the ledger trips.
+      AllocationLedger::charge_current(sizeof(Environment) + 64);
       env = new Environment(id, std::move(parent));
       env->pool_ = this;
+      env->pool_index_ = std::uint32_t(all_.size());
+      all_.push_back(env);
     }
+    ++live_;
     return EnvPtr(env);
   }
 
-  /// Owner (the interpreter) is going away: free the parked list, stop
-  /// caching, and self-delete once the last live environment releases.
+  /// Owner (the interpreter) is going away: free the parked list, sever
+  /// closure <-> activation refcount cycles, stop caching, and self-delete
+  /// once the last live environment releases.
+  ///
+  /// The cycle: a nested function declaration's FunctionData::closure holds
+  /// an EnvPtr to the activation whose slot stores the function object, so
+  /// neither refcount can reach zero and every such activation would leak.
+  /// The sweep pins every environment the pool ever handed out (so clearing
+  /// one cannot delete another mid-pass), drops their bindings, then lets
+  /// the pins drain: cycle-only environments free through recycle(), while
+  /// environments a caller still holds stay valid but emptied.
   void detach() {
     detached_ = true;
-    for (Environment* env : free_) delete env;
+    for (Environment* env : free_) forget_and_delete(env);
     free_.clear();
+    ++recycle_depth_;  // keep the self-delete out of the pin releases
+    {
+      std::vector<EnvPtr> pins;
+      pins.reserve(all_.size());
+      for (Environment* env : all_) pins.emplace_back(EnvPtr(env));
+      for (const EnvPtr& pin : pins) pin->clear_for_reuse();
+    }
+    --recycle_depth_;
     if (live_ == 0) delete this;
   }
 
@@ -275,12 +300,22 @@ class EnvPool {
       env->clear_for_reuse();
       free_.push_back(env);
     } else {
-      delete env;
+      forget_and_delete(env);
     }
     --recycle_depth_;
     if (detached_ && live_ == 0 && recycle_depth_ == 0) delete this;
   }
 
+  /// Swap-remove from the all-environments registry, then free.
+  void forget_and_delete(Environment* env) {
+    const std::uint32_t index = env->pool_index_;
+    all_[index] = all_.back();
+    all_[index]->pool_index_ = index;
+    all_.pop_back();
+    delete env;
+  }
+
+  std::vector<Environment*> all_;  // everything handed out and still alive
   std::vector<Environment*> free_;
   std::size_t live_ = 0;
   int recycle_depth_ = 0;

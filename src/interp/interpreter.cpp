@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <optional>
 
 namespace jsceres::interp {
 
@@ -60,6 +61,7 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
       clock_(&clock),
       hooks_(hooks),
       config_(config),
+      ledger_(config.limits),
       rng_(config.random_seed) {
   memory_events_ = hooks_ != nullptr && hooks_->wants_memory_events();
   if (hooks_ != nullptr) memory_sink_ = hooks_->memory_event_sink();
@@ -111,9 +113,45 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
 }
 
 Interpreter::~Interpreter() {
+  // Break the closure <-> global-environment refcount cycle: a function
+  // object stored in a global slot holds an EnvPtr to the environment that
+  // stores it, so without this the whole global graph (stdlib included)
+  // outlives every interpreter. Closures a caller still holds remain valid
+  // objects; the scope chain they lose is only usable through this engine.
+  if (global_env_ != nullptr) global_env_->clear_for_reuse();
+  // The builtin prototype web is cyclic on its own: a prototype owns its
+  // native methods, and every method's [[prototype]] link leads back into
+  // the web via Function.prototype. Sever the roots so the web unwinds.
+  for (const ObjPtr& proto :
+       {object_proto_, array_proto_, string_proto_, function_proto_}) {
+    if (proto != nullptr) proto->sever_for_teardown();
+  }
   // Detach (not delete): environments captured by closures a caller still
   // holds keep the pool alive until the last of them releases.
   env_pool_->detach();
+}
+
+void Interpreter::begin_run_window() {
+  if (config_.max_ticks >= 0) {
+    tick_budget_end_ns_ =
+        clock_->cpu_ns() + config_.max_ticks * VirtualClock::kTickNs;
+  }
+  if (config_.limits.max_wall_ms > 0) {
+    wall_deadline_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(config_.limits.max_wall_ms);
+    wall_watchdog_ = true;
+  }
+}
+
+void Interpreter::recover_after_engine_error() noexcept {
+  // The RAII frames (ArgFrame, FunctionFrame, call-depth catch blocks)
+  // unwind their own state; this clears whatever a mid-statement trip can
+  // leave half-open so the next run window starts clean.
+  call_depth_ = 0;
+  fn_stack_.clear();
+  memory_batch_.clear();
+  arg_stack_.unwind_all();
+  ticks_pending_ = 0;
 }
 
 void Interpreter::flush_ticks_on_unwind() noexcept {
@@ -143,8 +181,12 @@ void Interpreter::flush_ticks() {
   if (ticks_since_probe_ >= 64) {
     ticks_since_probe_ = 0;
     if (hooks_ != nullptr) sync_hooks()->on_clock_advance(current_fn_id());
-    if (config_.max_ticks >= 0 && clock_->cpu_ns() > config_.max_ticks * VirtualClock::kTickNs) {
+    if (tick_budget_end_ns_ >= 0 && clock_->cpu_ns() > tick_budget_end_ns_) {
       throw EngineError("tick budget exceeded");
+    }
+    if (wall_watchdog_ && std::chrono::steady_clock::now() > wall_deadline_) {
+      throw EngineError("wall-clock limit exceeded (" +
+                        std::to_string(config_.limits.max_wall_ms) + "ms)");
     }
   }
   if (config_.preempt_interval_ticks > 0) {
@@ -162,6 +204,23 @@ void Interpreter::block(std::int64_t ns) {
   flush_ticks();
   clock_->block_ns(ns);
   if (hooks_ != nullptr) sync_hooks()->on_clock_advance(current_fn_id());
+}
+
+void Interpreter::charge_elements(JSObject& obj, std::size_t new_len) {
+  const std::size_t len = obj.elements().size();
+  if (new_len <= len) return;
+  const std::size_t cap = config_.limits.max_array_length;
+  if (cap != 0 && new_len > cap) {
+    throw EngineError("array length limit exceeded: " + std::to_string(new_len) +
+                      " > " + std::to_string(cap));
+  }
+  ledger_.charge((new_len - len) * sizeof(Value));
+}
+
+void Interpreter::grow_elements(JSObject& obj, std::size_t new_len) {
+  if (new_len <= obj.elements().size()) return;
+  charge_elements(obj, new_len);
+  obj.elements().resize(new_len);
 }
 
 void Interpreter::console_write(const std::string& text) {
@@ -184,7 +243,10 @@ ObjPtr Interpreter::make_object() {
 ObjPtr Interpreter::make_array(std::size_t reserve) {
   auto obj = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
   obj->set_prototype(array_proto_);
-  if (reserve > 0) obj->elements().reserve(reserve);
+  if (reserve > 0) {
+    charge_elements(*obj, reserve);
+    obj->elements().reserve(reserve);
+  }
   if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), 0);
   return obj;
 }
@@ -212,7 +274,10 @@ ObjPtr Interpreter::make_function_from_node(const js::FunctionNode& node,
   // Constructor protocol: every function carries a fresh `prototype` object.
   auto proto = std::make_shared<JSObject>(next_obj_id_++);
   proto->set_prototype(object_proto_);
-  proto->set_property(atom_constructor_, Value::object(obj));
+  // No `proto.constructor` backref: with shared_ptr-owned objects the
+  // fn <-> prototype pair would be an uncollectable cycle leaking every
+  // closure ever instantiated. Nothing in the engine or the study corpus
+  // reads `constructor` (documented simplification).
   obj->set_property(atom_prototype_, Value::object(proto));
   if (hooks_ != nullptr) sync_hooks()->on_object_created(obj->id(), node.line);
   return obj;
@@ -413,11 +478,14 @@ void Interpreter::property_set(const Value& base, const std::string& key, Value 
   if (obj->is_array()) {
     if (key == "length") {
       std::size_t n = 0;
-      if (number_as_index(to_number(value), &n)) obj->elements().resize(n);
+      if (number_as_index(to_number(value), &n)) {
+        if (n > obj->elements().size()) grow_elements(*obj, n);
+        else obj->elements().resize(n);
+      }
       return;
     }
     if (is_index) {
-      if (index >= obj->elements().size()) obj->elements().resize(index + 1);
+      if (index >= obj->elements().size()) grow_elements(*obj, index + 1);
       obj->elements()[index] = std::move(value);
       return;
     }
@@ -558,14 +626,23 @@ Value Interpreter::call(const Value& callee, const Value& this_val, Args args) {
     tick(2);
     return fn.native(*this, this_val, args);
   }
+  const bool outermost = call_depth_ == 0;
+  std::optional<AllocationLedger::Scope> ledger_scope;
+  if (outermost) {
+    ledger_scope.emplace(&ledger_);
+    begin_run_window();
+  }
   Value result;
   try {
     result = call_js_function(fn_obj, this_val, args.data(), args.size());
   } catch (...) {
-    if (call_depth_ == 0) flush_ticks_on_unwind();
+    if (outermost) {
+      flush_ticks_on_unwind();
+      recover_after_engine_error();
+    }
     throw;
   }
-  if (call_depth_ == 0) flush_ticks();  // external observers see exact totals
+  if (outermost) flush_ticks();  // external observers see exact totals
   return result;
 }
 
@@ -641,9 +718,11 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
 // ---------------------------------------------------------------------------
 
 void Interpreter::run() {
-  hoist_into(*global_env_, program_.hoisted_vars, program_.hoisted_functions,
-             global_env_);
+  const AllocationLedger::Scope ledger_scope(&ledger_);
+  begin_run_window();
   try {
+    hoist_into(*global_env_, program_.hoisted_vars, program_.hoisted_functions,
+               global_env_);
     for (const auto& stmt : program_.statements) {
       const Completion completion = exec(*stmt, global_env_);
       if (completion.type != Completion::Type::Normal) break;
@@ -661,9 +740,11 @@ void Interpreter::run() {
         message = to_string_value(*m);
       }
     }
+    recover_after_engine_error();
     throw EngineError("uncaught " + name + ": " + message);
   } catch (...) {
     flush_ticks_on_unwind();
+    recover_after_engine_error();
     throw;
   }
 }
@@ -913,6 +994,7 @@ Value Interpreter::eval(const js::Expr& expr, const EnvPtr& env) {
       auto arr = std::make_shared<JSObject>(next_obj_id_++, JSObject::Cls::Array);
       arr->set_prototype(array_proto_);
       if (hooks_ != nullptr) sync_hooks()->on_object_created(arr->id(), expr.line);
+      charge_elements(*arr, lit.elements.size());
       arr->elements().reserve(lit.elements.size());
       const BaseProvenance prov{BaseProvenance::Kind::Object, 0};
       for (std::size_t i = 0; i < lit.elements.size(); ++i) {
@@ -1179,7 +1261,10 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
   }
   if (obj.is_array() && key == atom_length_) {
     std::size_t n = 0;
-    if (number_as_index(to_number(value), &n)) obj.elements().resize(n);
+    if (number_as_index(to_number(value), &n)) {
+      if (n > obj.elements().size()) grow_elements(obj, n);
+      else obj.elements().resize(n);
+    }
     return;
   }
   const Shape* shape = obj.shape();
@@ -1296,9 +1381,8 @@ Value Interpreter::eval_assign(const js::Assign& assign, const EnvPtr& env) {
         buffer_memory_event(MemoryEvent::Kind::PropWrite, obj.id(), index_atom(index),
                             assign.line, prov);
       }
-      auto& elements = obj.elements();
-      if (index >= elements.size()) elements.resize(index + 1);
-      elements[index] = value;
+      if (index >= obj.elements().size()) grow_elements(obj, index + 1);
+      obj.elements()[index] = value;
       return value;
     }
   }
@@ -1498,7 +1582,14 @@ Value Interpreter::apply_binary(js::BinaryOp op, const Value& lhs, const Value& 
         return Value::number(lhs.as_number() + rhs.as_number());
       }
       if (lhs.is_string() || rhs.is_string() || lhs.is_object() || rhs.is_object()) {
-        return Value::str(to_string_value(lhs) + to_string_value(rhs));
+        std::string left = to_string_value(lhs);
+        std::string right = to_string_value(rhs);
+        // Concatenation is the string-doubling amplifier (`s = s + s`):
+        // charge large results before building them. Small results are
+        // value-churn temporaries and stay off the ledger.
+        const std::size_t result_size = left.size() + right.size();
+        if (result_size >= 1024) ledger_.charge(result_size);
+        return Value::str(left + right);
       }
       return Value::number(to_number(lhs) + to_number(rhs));
     case BinaryOp::Sub:

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "interp/args.h"
 #include "interp/environment.h"
 #include "interp/hooks.h"
@@ -13,6 +15,7 @@
 #include "interp/value.h"
 #include "js/ast.h"
 #include "support/clock.h"
+#include "support/limits.h"
 #include "support/rng.h"
 
 namespace jsceres::interp {
@@ -23,12 +26,9 @@ struct JSException {
   Value value;
 };
 
-/// Host-level failure (uncaught JS exception, tick budget exceeded, call
-/// stack overflow).
-class EngineError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+// EngineError lives in support/limits.h (the sandbox layer below js/ and
+// interp/); re-exported here so interp::EngineError keeps working.
+using ::jsceres::EngineError;
 
 /// Tree-walking interpreter for the engine's JavaScript subset.
 ///
@@ -49,6 +49,13 @@ struct InterpreterConfig {
   /// time as part of the loop" — the mechanism behind In-Loops > Active.
   std::int64_t preempt_interval_ticks = 0;  // 0: disabled
   std::int64_t preempt_block_ns = 0;
+  /// Hard resource limits (memory ceiling, array-length cap, wall-clock
+  /// watchdog, allocation-failure injection). Every trip raises a
+  /// recoverable EngineError; the interpreter stays destructible and
+  /// reusable afterwards. The tick budget above and the wall-clock watchdog
+  /// are both armed per run window (each run() / top-level call()), so a
+  /// tripped interpreter gets a fresh budget on its next entry.
+  EngineLimits limits;
 };
 
 class Interpreter {
@@ -140,6 +147,19 @@ class Interpreter {
   void charge(std::int64_t ticks);
   /// Advance wall-clock only (blocking host work: decode, compositor, ...).
   void block(std::int64_t ns);
+
+  /// The per-interpreter allocation ledger (limit introspection, and
+  /// arming `fail_after_n_allocations` injection after construction so the
+  /// stdlib baseline doesn't consume injection charges).
+  [[nodiscard]] AllocationLedger& ledger() { return ledger_; }
+  /// Grow an array's dense element store to `new_len`, enforcing
+  /// `limits.max_array_length` and charging the ledger for the growth.
+  /// All engine-initiated element growth (computed stores past the end,
+  /// Array builtins, `new Array(n)`) funnels through here.
+  void grow_elements(JSObject& obj, std::size_t new_len);
+  /// The length-cap check + ledger charge of grow_elements without the
+  /// resize, for callers that append element by element.
+  void charge_elements(JSObject& obj, std::size_t new_len);
 
   [[nodiscard]] const ObjPtr& array_prototype() const { return array_proto_; }
   [[nodiscard]] const ObjPtr& object_prototype() const { return object_proto_; }
@@ -306,6 +326,16 @@ class Interpreter {
   /// Exception-safe flush used while unwinding (and by nothing else).
   void flush_ticks_on_unwind() noexcept;
 
+  /// Arm the per-window budgets (tick budget end, wall-clock deadline) at
+  /// each outermost entry — run() and depth-0 call(). Re-arming per window
+  /// is what makes the interpreter reusable after a budget trip.
+  void begin_run_window();
+  /// Backstop after an EngineError escapes an outermost entry: the RAII
+  /// frames have already unwound, but anything a mid-statement trip left
+  /// half-open (call depth, fn stack, buffered memory events, ArgStack
+  /// slots) is reset so the next run starts from a clean machine state.
+  void recover_after_engine_error() noexcept;
+
   BaseProvenance provenance_of(const js::Expr& base_expr, const EnvPtr& env);
 
   // --- mode-3 memory-event batching (see ExecutionHooks::on_memory_batch) -
@@ -335,6 +365,7 @@ class Interpreter {
   VirtualClock* clock_;
   ExecutionHooks* hooks_;
   Config config_;
+  AllocationLedger ledger_;
   Rng rng_;
 
   EnvPool* env_pool_ = nullptr;
@@ -371,6 +402,11 @@ class Interpreter {
   std::int64_t tick_flush_threshold_ = 64;
   std::int64_t ticks_since_probe_ = 0;
   std::int64_t ticks_since_preempt_ = 0;
+  /// End of the current window's tick budget in cpu_ns (<0: unlimited).
+  std::int64_t tick_budget_end_ns_ = -1;
+  /// Wall-clock watchdog deadline for the current window.
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool wall_watchdog_ = false;
   bool memory_events_ = false;
   /// Where memory-event batches land: hooks_->memory_event_sink(), cached
   /// at construction (a HookList with one mode-3 consumer resolves to that

@@ -13,6 +13,7 @@
 #include "interp/shape.h"
 #include "interp/value.h"
 #include "js/atom.h"
+#include "support/limits.h"
 
 namespace jsceres::js {
 struct FunctionNode;
@@ -60,7 +61,13 @@ class JSObject {
  public:
   enum class Cls : std::uint8_t { Plain, Array, Function };
 
-  explicit JSObject(std::uint64_t id, Cls cls = Cls::Plain) : id_(id), cls_(cls) {}
+  explicit JSObject(std::uint64_t id, Cls cls = Cls::Plain) : id_(id), cls_(cls) {
+    // Sandbox accounting: every heap object charges the active run's ledger
+    // (nullptr outside a run — prototypes and stdlib objects built during
+    // interpreter construction form an uncharged baseline). Throwing here is
+    // clean: make_shared releases the allocation and nothing was published.
+    AllocationLedger::charge_current(sizeof(JSObject) + 64);
+  }
 
   [[nodiscard]] std::uint64_t id() const { return id_; }
   [[nodiscard]] Cls cls() const { return cls_; }
@@ -91,13 +98,23 @@ class JSObject {
         prop_slots_[std::size_t(slot)] = std::move(value);
         return;
       }
-      shape_ = shape_->transition(key);
+      // Charge-before-mutate, and store the slot before publishing the new
+      // shape: a ledger trip at either point leaves shape_ and prop_slots_
+      // still consistent with each other.
+      const Shape* next = shape_->transition(key);
+      AllocationLedger::charge_current(sizeof(Value));
       prop_slots_.push_back(std::move(value));
+      shape_ = next;
       return;
     }
-    const auto [it, inserted] = dict_->map.insert_or_assign(key, std::move(value));
-    (void)it;
-    if (inserted) dict_->order.push_back(key);
+    const auto it = dict_->map.find(key);
+    if (it != dict_->map.end()) {
+      it->second = std::move(value);
+      return;
+    }
+    AllocationLedger::charge_current(sizeof(Value) + sizeof(js::Atom) + 48);
+    dict_->map.emplace(key, std::move(value));
+    dict_->order.push_back(key);
   }
   void set_property(const std::string& key, Value value) {
     set_property(js::Atom::intern(key), std::move(value));
@@ -135,8 +152,9 @@ class JSObject {
   /// Append the value for a property-add transition already computed by an
   /// inline cache: `new_shape` must be `shape()->transition(key)`.
   void append_prop(const Shape* new_shape, Value value) {
-    shape_ = new_shape;
+    AllocationLedger::charge_current(sizeof(Value));
     prop_slots_.push_back(std::move(value));
+    shape_ = new_shape;
   }
 
   // --- dense array elements ---
@@ -155,6 +173,21 @@ class JSObject {
   [[nodiscard]] const FunctionData* function() const { return fn_.get(); }
   void set_function(std::unique_ptr<FunctionData> fn) { fn_ = std::move(fn); }
 
+  /// Drop every outgoing strong edge (properties, elements, prototype link,
+  /// callable payload). The builtin prototype web is refcount-cyclic — a
+  /// prototype owns its native methods, and each method's [[prototype]] link
+  /// leads back into the web through Function.prototype — so ~Interpreter
+  /// severs the roots explicitly. Objects a caller still holds afterwards
+  /// stay valid but see an emptied prototype chain.
+  void sever_for_teardown() noexcept {
+    prop_slots_.clear();
+    dict_.reset();
+    elements_.clear();
+    prototype_.reset();
+    fn_.reset();
+    shape_ = Shape::root();
+  }
+
   // --- host payload ---
 
   [[nodiscard]] const std::shared_ptr<HostData>& host() const { return host_; }
@@ -172,6 +205,8 @@ class JSObject {
   };
 
   void to_dictionary() {
+    AllocationLedger::charge_current(shape_->keys().size() *
+                                     (sizeof(Value) + sizeof(js::Atom) + 48));
     auto dict = std::make_unique<Dict>();
     dict->order = shape_->keys();
     dict->map.reserve(dict->order.size());

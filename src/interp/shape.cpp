@@ -1,5 +1,7 @@
 #include "interp/shape.h"
 
+#include "support/limits.h"
+
 namespace jsceres::interp {
 
 namespace {
@@ -37,7 +39,14 @@ const Shape* Shape::root() {
 const Shape* Shape::transition(js::Atom key) const {
   const std::lock_guard lock(transitions_mutex_);
   auto& slot = transitions_[key];
-  if (!slot) slot.reset(new Shape(this, key));
+  if (!slot) {
+    // Shapes are process-lifetime; charge the run that forces a fresh
+    // transition (the 10k-distinct-property amplifier) through the
+    // thread-local ledger. A trip leaves the empty map slot in place —
+    // retried transitions simply fill it later.
+    AllocationLedger::charge_current(sizeof(Shape) + 64);
+    slot.reset(new Shape(this, key));
+  }
   return slot.get();
 }
 
@@ -60,6 +69,14 @@ const Shape::FlatTable* Shape::ensure_flat() const {
   const FlatTable* existing = flat_.load(std::memory_order_acquire);
   if (existing != nullptr) return existing;
 
+  // Charged before any table is built; on a trip the shape stays
+  // un-flattened (a consistent state — lookups keep walking the chain and
+  // retry the flatten later).
+  const std::size_t table_bytes =
+      sizeof(FlatTable) +
+      next_pow2(std::size_t(depth_) * 2) * sizeof(FlatTable::Entry) +
+      std::size_t(depth_) * sizeof(js::Atom);
+  AllocationLedger::charge_current(table_bytes);
   auto fresh = std::make_unique<FlatTable>();
   // Collect the suffix links down to the nearest flattened ancestor; its
   // table is copied wholesale (vector memcpy) instead of re-walking and
@@ -88,7 +105,11 @@ const Shape::FlatTable* Shape::ensure_flat() const {
                                     std::memory_order_acquire)) {
     return fresh.release();
   }
-  return expected;  // another thread won the install; ours is discarded
+  // Another thread won the install; ours is discarded — refund the charge.
+  if (AllocationLedger* ledger = AllocationLedger::current()) {
+    ledger->release(table_bytes);
+  }
+  return expected;
 }
 
 }  // namespace jsceres::interp

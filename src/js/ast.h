@@ -70,6 +70,12 @@ struct Node {
   NodeKind kind;
   int line = 0;
 
+  // Nodes are owned as ExprPtr/StmtPtr (pointers to the base class), so
+  // deletion must be virtual — without this, derived destructors never run
+  // and every child vector leaks (new-delete-type-mismatch under ASan).
+  // Dispatch stays kind-tagged; the vtable exists only for destruction.
+  virtual ~Node() = default;
+
  protected:
   explicit Node(NodeKind k) : kind(k) {}
 };

@@ -240,11 +240,26 @@ const char* tok_name(Tok kind) {
 }
 
 std::vector<Token> lex(std::string_view source) {
+  return lex(source, EngineLimits{});
+}
+
+std::vector<Token> lex(std::string_view source, const EngineLimits& limits) {
+  if (limits.max_source_bytes > 0 && source.size() > limits.max_source_bytes) {
+    throw LexError("source too large: " + std::to_string(source.size()) +
+                       " > " + std::to_string(limits.max_source_bytes) +
+                       " bytes",
+                   1);
+  }
   std::vector<Token> tokens;
   Cursor cur(source);
   while (true) {
     skip_trivia(cur);
     if (cur.at_end()) break;
+    if (limits.max_tokens > 0 && tokens.size() >= limits.max_tokens) {
+      throw LexError("token limit exceeded (" +
+                         std::to_string(limits.max_tokens) + " tokens)",
+                     cur.line());
+    }
     const char c = cur.peek();
     const int line = cur.line();
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "js/token.h"
+#include "support/limits.h"
 
 namespace jsceres::js {
 
@@ -24,5 +25,11 @@ class LexError : public std::runtime_error {
 /// Tokenize an entire source buffer. The token stream always ends with an
 /// explicit Eof token.
 std::vector<Token> lex(std::string_view source);
+
+/// lex() under explicit front-end limits: `max_source_bytes` rejects
+/// oversized buffers up front and `max_tokens` caps the token stream while
+/// it is produced. Either trip raises LexError with the offending line
+/// (line 1 for the source-size check).
+std::vector<Token> lex(std::string_view source, const EngineLimits& limits);
 
 }  // namespace jsceres::js

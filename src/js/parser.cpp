@@ -11,8 +11,8 @@ namespace {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, std::string source_name)
-      : tokens_(std::move(tokens)) {
+  Parser(std::vector<Token> tokens, std::string source_name, int max_depth)
+      : tokens_(std::move(tokens)), max_depth_(max_depth) {
     program_.source_name = std::move(source_name);
   }
 
@@ -78,9 +78,30 @@ class Parser {
   }
   [[nodiscard]] int line() const { return peek().line; }
 
+  // -- recursion cap ---------------------------------------------------------
+
+  /// Counts live recursive-descent frames. Guards sit at the three points
+  /// every recursion cycle passes through — parse_statement (blocks,
+  /// if/loop bodies), parse_unary (prefix-operator chains) and
+  /// parse_primary (parens, literals, `new` chains, function expressions) —
+  /// so crafted nesting trips a recoverable ParseError long before the
+  /// native stack runs out.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* parser) : parser(parser) {
+      if (++parser->depth_ > parser->max_depth_) {
+        throw ParseError("nesting too deep (limit " +
+                             std::to_string(parser->max_depth_) + " levels)",
+                         parser->line());
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   // -- statements ------------------------------------------------------------
 
   StmtPtr parse_statement() {
+    const DepthGuard guard(this);
     switch (peek().kind) {
       case Tok::LBrace: return parse_block();
       case Tok::KwVar: {
@@ -541,6 +562,7 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    const DepthGuard guard(this);
     UnaryOp op;
     switch (peek().kind) {
       case Tok::Minus: op = UnaryOp::Neg; break;
@@ -676,6 +698,7 @@ class Parser {
   }
 
   ExprPtr parse_primary() {
+    const DepthGuard guard(this);
     const Token& tok = peek();
     switch (tok.kind) {
       case Tok::Number: {
@@ -779,6 +802,8 @@ class Parser {
   Program program_;
   HoistScope* hoist_ = nullptr;
   int next_fn_id_ = 1;
+  int depth_ = 0;
+  int max_depth_;
 };
 
 }  // namespace
@@ -813,7 +838,14 @@ const char* loop_kind_name(LoopKind kind) {
 }
 
 Program parse(std::string_view source, std::string source_name) {
-  Parser parser(lex(source), std::move(source_name));
+  return parse(source, std::move(source_name), EngineLimits{});
+}
+
+Program parse(std::string_view source, std::string source_name,
+              const EngineLimits& limits) {
+  const int max_depth = limits.max_parse_depth > 0 ? limits.max_parse_depth
+                                                   : EngineLimits{}.max_parse_depth;
+  Parser parser(lex(source, limits), std::move(source_name), max_depth);
   Program program = parser.run();
   resolve_scopes(program);
   return program;

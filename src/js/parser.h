@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "js/ast.h"
+#include "support/limits.h"
 
 namespace jsceres::js {
 
@@ -29,5 +30,13 @@ class ParseError : public std::runtime_error {
 /// array/object literals and function expressions. Statements must be
 /// semicolon-terminated (no automatic semicolon insertion).
 Program parse(std::string_view source, std::string source_name = "<program>");
+
+/// parse() under explicit front-end limits: `max_parse_depth` bounds the
+/// recursive-descent nesting (always enforced; the two-argument overload
+/// uses EngineLimits' default), and `max_source_bytes` / `max_tokens` cap
+/// the input size during lexing (LexError). A depth trip raises a
+/// recoverable ParseError carrying the offending line.
+Program parse(std::string_view source, std::string source_name,
+              const EngineLimits& limits);
 
 }  // namespace jsceres::js

@@ -1,0 +1,20 @@
+#include "support/limits.h"
+
+namespace jsceres {
+
+namespace {
+thread_local AllocationLedger* g_current_ledger = nullptr;
+}  // namespace
+
+AllocationLedger* AllocationLedger::current() noexcept {
+  return g_current_ledger;
+}
+
+AllocationLedger::Scope::Scope(AllocationLedger* ledger) noexcept
+    : previous_(g_current_ledger) {
+  g_current_ledger = ledger;
+}
+
+AllocationLedger::Scope::~Scope() { g_current_ledger = previous_; }
+
+}  // namespace jsceres

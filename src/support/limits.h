@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jsceres {
+
+/// Host-level failure: uncaught JS exception, tick budget exceeded, call
+/// stack overflow, or any EngineLimits trip (memory ceiling, parse depth,
+/// wall-clock watchdog). Always recoverable — after catching one the engine
+/// object that threw it is unwound, destructible, and reusable.
+class EngineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Hard resource limits for one engine session (mujs-style JS_STACKSIZE /
+/// JS_ENVLIMIT discipline). A zero/negative value disables that limit; the
+/// defaults keep everything off except the parser recursion cap, which is
+/// always enforced (unbounded native recursion is never recoverable).
+///
+/// Threaded through lexer -> parser -> interpreter -> Ceres: js::parse takes
+/// the struct for the front-end caps, InterpreterConfig embeds it for the
+/// runtime caps, and the instrumentation arenas charge the interpreter's
+/// AllocationLedger through the thread-local scope installed around
+/// execution.
+struct EngineLimits {
+  /// Ceiling on ledger-charged engine allocations, in bytes. 0 = unlimited.
+  std::size_t max_memory_bytes = 0;
+  /// Parser recursion cap (statement/expression nesting depth). Always
+  /// enforced; the default sits far below native stack exhaustion
+  /// (~15 C++ frames and a few KB of stack per nesting level).
+  int max_parse_depth = 400;
+  /// Cap on the token count of one program. 0 = unlimited.
+  std::size_t max_tokens = 0;
+  /// Cap on source size in bytes, checked before lexing. 0 = unlimited.
+  std::size_t max_source_bytes = 0;
+  /// Cap on any array's length (dense elements). 0 = unlimited.
+  std::size_t max_array_length = 0;
+  /// Wall-clock watchdog over one run()/call(), in milliseconds; trips even
+  /// when virtual-time ticks are unlimited. 0 = disabled.
+  std::int64_t max_wall_ms = 0;
+  /// Fault injection: the (N+1)th ledger charge after arming throws
+  /// EngineError, exercising every recovery path without a real ceiling.
+  /// Negative = disabled.
+  std::int64_t fail_after_n_allocations = -1;
+};
+
+/// Per-interpreter accounting of engine-owned allocations. Every growth
+/// point (object slots, strings, environments, shape flat-tables, ArgStack
+/// segments, stamp-tree arenas, analyzer tables) charges the ledger BEFORE
+/// allocating/mutating, so a trip raises a recoverable EngineError while the
+/// structure it gated is still in its previous consistent state.
+///
+/// Process-lifetime structures that cannot hold an interpreter pointer
+/// (shape trees, stamp arenas) charge opportunistically through the
+/// thread-local `current()` ledger, installed by AllocationLedger::Scope for
+/// the duration of a run. Thread-locality keeps the scheme exact under TSan:
+/// a worker thread without a scope simply doesn't charge.
+class AllocationLedger {
+ public:
+  AllocationLedger() = default;
+  explicit AllocationLedger(const EngineLimits& limits)
+      : ceiling_(limits.max_memory_bytes),
+        fail_after_(limits.fail_after_n_allocations) {}
+
+  /// Account `bytes` of imminent growth. Throws EngineError (and records
+  /// nothing) when the ceiling would be exceeded or the injection counter
+  /// expires. Call before the allocation it gates.
+  void charge(std::size_t bytes) {
+    ++charges_;
+    if (fail_after_ >= 0 && charges_ > fail_after_) {
+      throw EngineError("injected allocation failure (charge #" +
+                        std::to_string(charges_) + ")");
+    }
+    if (ceiling_ != 0 && in_use_ + bytes > ceiling_) {
+      throw EngineError("memory limit exceeded: " +
+                        std::to_string(in_use_ + bytes) + " > " +
+                        std::to_string(ceiling_) + " bytes");
+    }
+    in_use_ += bytes;
+    if (in_use_ > peak_) peak_ = in_use_;
+  }
+
+  /// Return `bytes` to the budget (shrink/free of a charged structure).
+  void release(std::size_t bytes) noexcept {
+    in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+  }
+
+  [[nodiscard]] std::size_t in_use() const noexcept { return in_use_; }
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] std::int64_t charges() const noexcept { return charges_; }
+
+  /// The ledger scoped to the current thread (nullptr outside any run).
+  [[nodiscard]] static AllocationLedger* current() noexcept;
+
+  /// Charge the current thread's ledger, if any. For process-lifetime
+  /// structures (shapes, stamp arenas) that grow during interpretation but
+  /// hold no interpreter reference.
+  static void charge_current(std::size_t bytes) {
+    if (AllocationLedger* ledger = current()) ledger->charge(bytes);
+  }
+
+  /// RAII installer for `current()`; nests (restores the previous ledger).
+  class Scope {
+   public:
+    explicit Scope(AllocationLedger* ledger) noexcept;
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    AllocationLedger* previous_;
+  };
+
+ private:
+  std::size_t ceiling_ = 0;       // 0: unlimited
+  std::int64_t fail_after_ = -1;  // <0: injection disabled
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::int64_t charges_ = 0;
+};
+
+}  // namespace jsceres
