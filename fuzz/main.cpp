@@ -2,6 +2,7 @@
 //
 //   fuzz_driver [--smoke] [--seed N] [--count N] [--corpus DIR] [--timers]
 //   fuzz_driver --hostile
+//   fuzz_driver --sessions N [--seed N] [--count N]
 //
 // Default (and --smoke) mode: generate `count` programs from consecutive
 // seeds starting at `seed`, run the full oracle battery over each (every
@@ -12,14 +13,22 @@
 //
 // --hostile runs the hostile-input demo suite: every case must trip its
 // limit with a recoverable error and leave the engine reusable.
+//
+// --sessions N routes the generated programs through a real SessionSupervisor
+// in batches of N concurrent sessions over one shared pool. Every session
+// must end in a structured terminal outcome and no quarantine may be blamed
+// on the runtime itself (outcome.runtime_fault stays false).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "fuzz/generator.h"
 #include "fuzz/oracles.h"
 #include "fuzz/triage.h"
+#include "rivertrail/thread_pool.h"
+#include "support/supervisor.h"
 
 namespace {
 
@@ -77,11 +86,55 @@ int run_smoke(std::uint64_t base_seed, int count, const std::string& corpus,
   return failures > 99 ? 99 : failures;
 }
 
+int run_sessions(std::uint64_t base_seed, int count, int sessions) {
+  jsceres::rivertrail::ThreadPool pool(4);
+  jsceres::SessionSupervisor supervisor(pool);
+  int failures = 0;
+  int done = 0;
+  while (done < count) {
+    std::vector<jsceres::SessionRequest> batch;
+    for (int s = 0; s < sessions && done + s < count; ++s) {
+      const std::uint64_t seed = base_seed + std::uint64_t(done + s);
+      jsceres::fuzz::GenOptions gen;
+      gen.use_timers = (done + s) % 4 == 3;
+      jsceres::SessionRequest request;
+      request.name = "seed-" + std::to_string(seed);
+      request.source = jsceres::fuzz::generate_program(seed, gen);
+      request.limits.max_memory_bytes = 4u << 20;
+      request.max_ticks = 2'000'000;
+      request.has_timers = gen.use_timers;
+      request.horizon_ms = 200;
+      // A third of the batch gets a real wall deadline so the degradation
+      // ladder sees traffic; a deadline miss is a legal structured outcome.
+      if ((done + s) % 3 == 2) request.deadline_ms = 250;
+      batch.push_back(std::move(request));
+    }
+    const std::vector<jsceres::SessionOutcome> outcomes =
+        supervisor.run(batch);
+    for (const jsceres::SessionOutcome& outcome : outcomes) {
+      if (!outcome.runtime_fault && !outcome.history.empty()) continue;
+      if (!outcome.runtime_fault &&
+          outcome.state == jsceres::SessionState::Cancelled) {
+        continue;  // attempts may legitimately be zero for a sticky cancel
+      }
+      ++failures;
+      std::printf("FAIL %s: state=%s runtime_fault=%d error=%s\n",
+                  outcome.name.c_str(), jsceres::to_string(outcome.state),
+                  int(outcome.runtime_fault), outcome.error.c_str());
+    }
+    done += int(batch.size());
+  }
+  std::printf("session mode: %d program(s) in batches of %d, %d failure(s)\n",
+              count, sessions, failures);
+  return failures > 99 ? 99 : failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool hostile = false;
   bool timers = false;
+  int sessions = 0;
   std::uint64_t seed = 1;
   int count = 500;
   std::string corpus = "fuzz-corpus";
@@ -100,14 +153,17 @@ int main(int argc, char** argv) {
       count = int(std::strtol(argv[++i], nullptr, 10));
     } else if (std::strcmp(arg, "--corpus") == 0 && i + 1 < argc) {
       corpus = argv[++i];
+    } else if (std::strcmp(arg, "--sessions") == 0 && i + 1 < argc) {
+      sessions = int(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_driver [--smoke] [--hostile] [--seed N] "
-                   "[--count N] [--corpus DIR] [--timers]\n");
+                   "usage: fuzz_driver [--smoke] [--hostile] [--sessions N] "
+                   "[--seed N] [--count N] [--corpus DIR] [--timers]\n");
       return 2;
     }
   }
 
   if (hostile) return run_hostile_suite();
+  if (sessions > 0) return run_sessions(seed, count, sessions);
   return run_smoke(seed, count, corpus, timers);
 }

@@ -9,6 +9,7 @@
 #include "js/lexer.h"
 #include "js/parser.h"
 #include "rivertrail/thread_pool.h"
+#include "support/cancel.h"
 #include "support/clock.h"
 #include "support/limits.h"
 
@@ -205,6 +206,110 @@ OracleOutcome check_program(const std::string& source,
     }
     if (interp.debug_arg_stack_in_use() != 0) {
       return fail("limit-recovery", "argument stack not empty after re-run");
+    }
+  }
+
+  // 5. Supervision: cancellation at every flavour of trigger is contained
+  // exactly like a limit trip.
+  if (const OracleOutcome supervised = check_supervised(source, options);
+      !supervised.ok) {
+    return supervised;
+  }
+
+  return OracleOutcome{};
+}
+
+OracleOutcome check_supervised(const std::string& source,
+                               const OracleOptions& options) {
+  js::Program program;
+  try {
+    program = js::parse(source, "<fuzz>");
+  } catch (const js::ParseError& e) {
+    return fail("generator-validity", std::string("parse failed: ") + e.what());
+  } catch (const js::LexError& e) {
+    return fail("generator-validity", std::string("lex failed: ") + e.what());
+  }
+
+  // K = 0 encodes "no cancel at all"; K = -1 encodes "deadline already
+  // expired before the first tick". Positive K latches an explicit cancel at
+  // the K-th cooperative observation, so the sweep lands the cancellation on
+  // a spread of interpreter tick probes without wall-clock races. Programs
+  // that finish before the K-th observation simply complete — that is a
+  // legal outcome, not a hole in the sweep.
+  static constexpr std::int64_t kCancelPoints[] = {0,  -1, 1,  2,  4,
+                                                   8,  16, 64, 256};
+
+  for (const std::int64_t point : kCancelPoints) {
+    CancelSource cancel_source;
+    if (point < 0) {
+      cancel_source.expire_now();
+    } else if (point > 0) {
+      cancel_source.cancel_after_observations(point);
+    }
+
+    interp::InterpreterConfig config;
+    config.max_ticks = 2'000'000;
+    config.limits.max_memory_bytes = 4u << 20;
+    config.cancel = CancelToken(cancel_source);
+    VirtualClock clock;
+    interp::Interpreter interp(program, clock, nullptr, config);
+
+    const std::string where = " (cancel point " + std::to_string(point) + ")";
+    try {
+      interp.run();
+    } catch (const CancelledError&) {
+      // cancelled: the legal third outcome.
+    } catch (const interp::EngineError&) {
+      // recoverable limit trip (or uncaught JS throw): legal.
+    } catch (...) {
+      return fail("supervision", "non-EngineError escaped" + where);
+    }
+    if (interp.debug_arg_stack_in_use() != 0) {
+      return fail("supervision", "argument stack not empty" + where);
+    }
+
+    // Reuse proof: reset the source (deadline expiry clears; an explicit
+    // cancel stays latched by design) and re-enter the same engine object.
+    cancel_source.reset();
+    try {
+      interp.run();
+    } catch (const interp::EngineError&) {
+      // A second trip — including the still-latched cancel — is fine.
+    } catch (...) {
+      return fail("supervision", "non-EngineError escaped the re-run" + where);
+    }
+    if (interp.debug_arg_stack_in_use() != 0) {
+      return fail("supervision",
+                  "argument stack not empty after re-run" + where);
+    }
+  }
+
+  // Timer programs: also land cancels on the event loop's dispatch boundary.
+  if (options.has_timers) {
+    for (const std::int64_t point : {std::int64_t(1), std::int64_t(3),
+                                     std::int64_t(9)}) {
+      CancelSource cancel_source;
+      cancel_source.cancel_after_observations(point);
+      interp::InterpreterConfig config;
+      config.max_ticks = 2'000'000;
+      config.limits.max_memory_bytes = 4u << 20;
+      config.cancel = CancelToken(cancel_source);
+      VirtualClock clock;
+      interp::Interpreter interp(program, clock, nullptr, config);
+      const std::string where =
+          " (event-loop cancel point " + std::to_string(point) + ")";
+      try {
+        dom::Page page(interp);
+        interp.run();
+        page.event_loop().run(options.horizon_ms, config.cancel);
+      } catch (const interp::EngineError&) {
+        // CancelledError or a limit trip: both contained.
+      } catch (...) {
+        return fail("supervision", "non-EngineError escaped" + where);
+      }
+      if (interp.debug_arg_stack_in_use() != 0) {
+        return fail("supervision", "argument stack not empty" + where);
+      }
     }
   }
 

@@ -39,6 +39,18 @@ struct OracleOptions {
 OracleOutcome check_program(const std::string& source,
                             const OracleOptions& options = {});
 
+/// Supervision oracle: run `source` under a sweep of cancellation points and
+/// deadlines — no cancel, an already-expired deadline, and an explicit cancel
+/// latched at the K-th cooperative observation for a spread of K — under the
+/// same tight sandbox as the limit-recovery oracle. Every run must end in
+/// exactly one of {completed, recoverable EngineError, CancelledError}; the
+/// interpreter's argument stack must be empty afterwards and the same engine
+/// object must accept a re-run (which may legitimately trip or observe the
+/// still-latched cancel again). Called by check_program as oracle 5 and
+/// directly by the nightly fuzz job's session mode.
+OracleOutcome check_supervised(const std::string& source,
+                               const OracleOptions& options = {});
+
 /// One case of the hostile-input demo suite: a program (or raw source)
 /// engineered to blow a specific resource, plus the limit configuration
 /// that must contain it.

@@ -190,12 +190,18 @@ void EventLoop::run_frame_graph_burst(std::int64_t horizon_ns) {
   stages.push_back(std::move(upload));
   stages.push_back(std::move(commit));
   rivertrail::run_pipeline(*frame_pool_, kMaxBurstFrames, frame_depth_,
-                           std::move(stages));
+                           std::move(stages), cancel_);
 }
 
-void EventLoop::run(std::int64_t horizon_ms) {
+void EventLoop::run(std::int64_t horizon_ms, CancelToken cancel) {
   const std::int64_t horizon_ns = horizon_ms * 1'000'000;
+  cancel_ = cancel;
   while (true) {
+    // Cancellation is observed at the dispatch boundary (between tasks, not
+    // inside one): the loop's queues stay coherent — a later run() resumes
+    // with the undispatched remainder — and mid-callback cancellation is the
+    // interpreter tick probe's job, not ours.
+    cancel.raise_if_cancelled();
     if (frame_pool_ != nullptr && next_dispatch_is_raf(horizon_ns)) {
       run_frame_graph_burst(horizon_ns);
       continue;
@@ -230,6 +236,7 @@ void EventLoop::run(std::int64_t horizon_ms) {
   // Idle out the rest of the session: the app sits on screen until the user
   // stops interacting (paper Table 2 measures from start to results upload).
   advance_wall_to(horizon_ns);
+  cancel_ = CancelToken();  // the loop outlives the caller's CancelSource
 }
 
 }  // namespace jsceres::dom

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "interp/interpreter.h"
+#include "support/cancel.h"
 
 namespace jsceres::rivertrail {
 class ThreadPool;
@@ -80,7 +81,13 @@ class EventLoop {
   /// Run until both the task queue and the user-event queue are exhausted,
   /// or until virtual wall-clock reaches `horizon_ms` (needed because
   /// requestAnimationFrame chains never drain on their own).
-  void run(std::int64_t horizon_ms);
+  ///
+  /// `cancel` (default inert) is observed at every dispatch boundary and
+  /// threaded into frame-graph bursts; a trip raises CancelledError with the
+  /// queues intact (undispatched tasks stay queued, so a later run() can
+  /// resume or the loop can be discarded). Mid-callback cancellation is
+  /// handled by the interpreter's own tick-probe token, not the loop's.
+  void run(std::int64_t horizon_ms, CancelToken cancel = {});
 
   /// Decompose requestAnimationFrame ticks into kernel -> canvas-upload ->
   /// commit pipeline stages on `pool` (see class comment). `canvas` is the
@@ -142,6 +149,7 @@ class EventLoop {
   std::int64_t commit_ns_ = 0;
   std::atomic<std::int64_t> upload_ns_{0};
   std::vector<std::pair<std::int64_t, std::uint64_t>> frame_log_;
+  CancelToken cancel_;  // live only inside run(); threaded into bursts
 };
 
 }  // namespace jsceres::dom

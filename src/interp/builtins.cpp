@@ -608,14 +608,16 @@ void install_object(Interpreter& interp) {
   define_method(interp, fn_proto, "apply",
                 [](Interpreter& in, const Value& self, const Args& args) {
                   const Value& this_arg = arg_or_undefined(args, 0);
-                  // Copy out of the array: the callee may mutate it while
-                  // the call is in flight.
-                  std::vector<Value> rest;
                   const Value& arg_list = arg_or_undefined(args, 1);
                   if (arg_list.is_object() && arg_list.as_object()->is_array()) {
-                    rest = arg_list.as_object()->elements();
+                    // Snapshot the elements into an ArgStack frame (the
+                    // callee may mutate the array while the call is in
+                    // flight, so a borrowed span would dangle) — same
+                    // reused storage as call(), so no heap traffic.
+                    return in.call_spread(self, this_arg,
+                                          arg_list.as_object()->elements());
                   }
-                  return in.call(self, this_arg, rest);
+                  return in.call(self, this_arg, Args());
                 });
 }
 

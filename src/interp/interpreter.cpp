@@ -188,6 +188,10 @@ void Interpreter::flush_ticks() {
       throw EngineError("wall-clock limit exceeded (" +
                         std::to_string(config_.limits.max_wall_ms) + "ms)");
     }
+    // Cooperative cancellation rides the same amortized probe: a supervisor
+    // cancel or expired deadline surfaces as CancelledError (an EngineError,
+    // so the reuse/recovery contract is the limit-trip one).
+    config_.cancel.raise_if_cancelled();
   }
   if (config_.preempt_interval_ticks > 0) {
     ticks_since_preempt_ += pending;
@@ -644,6 +648,18 @@ Value Interpreter::call(const Value& callee, const Value& this_val, Args args) {
   }
   if (outermost) flush_ticks();  // external observers see exact totals
   return result;
+}
+
+Value Interpreter::call_spread(const Value& callee, const Value& this_val,
+                               const std::vector<Value>& elements) {
+  // The snapshot into a frame is required (the callee can mutate the array
+  // mid-call, and a reallocation would invalidate a borrowed span), but it
+  // goes through the reused segmented ArgStack, so steady-state apply()
+  // touches no allocator.
+  ArgFrame frame(arg_stack_, elements.size());
+  Value* slots = frame.data();
+  for (std::size_t i = 0; i < elements.size(); ++i) slots[i] = elements[i];
+  return call(callee, this_val, frame.args());
 }
 
 Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,

@@ -14,6 +14,7 @@
 #include "interp/object.h"
 #include "interp/value.h"
 #include "js/ast.h"
+#include "support/cancel.h"
 #include "support/clock.h"
 #include "support/limits.h"
 #include "support/rng.h"
@@ -56,6 +57,12 @@ struct InterpreterConfig {
   /// are both armed per run window (each run() / top-level call()), so a
   /// tripped interpreter gets a fresh budget on its next entry.
   EngineLimits limits;
+  /// Cooperative cancellation/deadline token, observed in the amortized
+  /// tick probe (every ~64 ticks, the wall-watchdog cadence). A trip raises
+  /// CancelledError — an EngineError, so the recovery/reuse contract is
+  /// identical to any other limit trip. The token's CancelSource must
+  /// outlive the interpreter's runs; default is inert.
+  CancelToken cancel;
 };
 
 class Interpreter {
@@ -75,6 +82,15 @@ class Interpreter {
   /// Invoke a callable value (used by builtins, the event loop, tests).
   /// `args` is a borrowed view; vectors and braced lists convert implicitly.
   Value call(const Value& callee, const Value& this_val, Args args);
+
+  /// call(), with the argument list copied into a frame on the reused
+  /// ArgStack first — Function.prototype.apply's path. The copy is load-
+  /// bearing (the callee may mutate `elements`' owner mid-call, and a
+  /// vector reallocation would invalidate a borrowed span), but the frame
+  /// comes from the same segmented stack as every other call, so a steady-
+  /// state apply() allocates nothing.
+  Value call_spread(const Value& callee, const Value& this_val,
+                    const std::vector<Value>& elements);
 
   // --- globals ---
   void define_global(const std::string& name, Value value);

@@ -7,9 +7,11 @@
 #include <mutex>
 #include <vector>
 
+#include "rivertrail/fault_injection.h"
 #include "rivertrail/schedule.h"
 #include "rivertrail/task.h"
 #include "rivertrail/thread_pool.h"
+#include "support/cancel.h"
 
 namespace jsceres::rivertrail {
 
@@ -116,6 +118,7 @@ struct LoopDesc {
   CompletionGate* gate;
   std::int64_t min_grain;  // never split below this many iterations
   std::int64_t leaf_cap;   // longest indivisible span handed to `body`
+  CancelToken cancel;      // observed per leaf span and at split points
   ErrorSlot error;
 };
 
@@ -131,13 +134,19 @@ struct LoopDesc {
 /// hungry check fresh, so a range that started with no thieves in sight
 /// still sheds when one shows up mid-flight. The body region is wrapped so
 /// the gate always retires every iteration of the range, exception or not.
+///
+/// Cancellation is observed here, at the split decision (a cancelled loop
+/// stops shedding new tasks) and before each leaf span (remaining spans
+/// drain as no-ops, exactly like the post-exception path): every iteration
+/// still retires the gate, so the join stays clean and the token leak-free.
 template <typename Body>
 void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
   ThreadPool& pool = *desc.pool;
   CompletionGate& gate = *desc.gate;
   const bool on_worker = pool.on_worker_thread();
   while (lo < hi) {
-    if (hi - lo > desc.min_grain && pool.has_hungry_thief()) {
+    if (hi - lo > desc.min_grain && pool.has_hungry_thief() &&
+        !desc.error.has_failed() && !desc.cancel.cancelled()) {
       const std::int64_t mid = lo + (hi - lo) / 2;
       LoopDesc<Body>* desc_ptr = &desc;
       const std::int64_t split_lo = mid;
@@ -158,8 +167,9 @@ void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
       }
     }
     const std::int64_t span_hi = std::min(hi, lo + desc.leaf_cap);
-    if (!desc.error.has_failed()) {
+    if (!desc.error.has_failed() && !desc.cancel.cancelled()) {
       try {
+        JSCERES_SCHED_EVENT();
         (*desc.body)(lo, span_hi);
       } catch (...) {
         desc.error.capture();
@@ -180,11 +190,19 @@ void run_range(LoopDesc<Body>& desc, std::int64_t lo, std::int64_t hi) {
 ///
 /// `grain` is the smallest range the Static splitter will divide (and the
 /// Dynamic chunk size). 0 picks a default from n and the worker count.
+///
+/// `cancel` (default inert) is observed cooperatively at split points and
+/// before each leaf span; a cancelled loop drains every remaining iteration
+/// as a no-op and then throws CancelledError here at the join. When a body
+/// exception and cancellation race, the exception wins (first-exception-wins
+/// discipline is unchanged).
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body body,
-                  Schedule schedule = Schedule::Static, std::int64_t grain = 0) {
+                  Schedule schedule = Schedule::Static, std::int64_t grain = 0,
+                  CancelToken cancel = {}) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
+  cancel.raise_if_cancelled();
   const auto workers = std::int64_t(pool.size());
   if (workers <= 1 || n == 1) {
     body(begin, end);
@@ -195,7 +213,8 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
     if (grain <= 0) grain = std::max<std::int64_t>(1, n / (workers * 32));
     CompletionGate gate{n};
     detail::LoopDesc<Body> desc{&pool, &body, &gate, grain,
-                                std::max<std::int64_t>(grain, n / (workers * 8))};
+                                std::max<std::int64_t>(grain, n / (workers * 8)),
+                                cancel};
     // One root per worker; the caller keeps the first range for itself
     // (running it beats waking a worker for small kernels) and helps until
     // the gate closes. Each root retires its own iterations, so the gate
@@ -227,6 +246,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
     detail::run_range(desc, begin, begin + n / roots);
     detail::help_until(pool, gate);
     desc.error.rethrow_if_failed();
+    cancel.raise_if_cancelled();
     return;
   }
 
@@ -253,18 +273,22 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
     std::int64_t grain;
     const Body* body;
     CompletionGate* gate;
+    CancelToken cancel;
     detail::ErrorSlot error;
   };
   CompletionGate gate{helper_tasks + 1};
-  DynDesc desc{{begin}, end, grain, &body, &gate};
+  DynDesc desc{{begin}, end, grain, &body, &gate, cancel};
   DynDesc* desc_ptr = &desc;
   const auto drain = [](DynDesc& d) {
     while (true) {
       const std::int64_t lo = d.next.fetch_add(d.grain, std::memory_order_relaxed);
       if (lo >= d.end) break;
       const std::int64_t hi = std::min(lo + d.grain, d.end);
-      if (!d.error.has_failed()) {
+      // A cancelled drain keeps claiming chunks so the shared counter
+      // empties fast, but skips every body: the gate still counts tasks.
+      if (!d.error.has_failed() && !d.cancel.cancelled()) {
         try {
+          JSCERES_SCHED_EVENT();
           (*d.body)(lo, hi);
         } catch (...) {
           d.error.capture();
@@ -282,6 +306,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
   drain(desc);  // caller participates
   detail::help_until(pool, gate);
   desc.error.rethrow_if_failed();
+  cancel.raise_if_cancelled();
 }
 
 /// Run `fn(c, lo, hi)` for chunks c in [0, chunks) with the deterministic
@@ -291,22 +316,24 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end, Body b
 /// batched injection path; the caller runs chunk 0 and helps.
 template <typename ChunkFn>
 void parallel_chunks(ThreadPool& pool, std::int64_t n, std::int64_t chunks,
-                     const ChunkFn& fn) {
+                     const ChunkFn& fn, CancelToken cancel = {}) {
   if (n <= 0 || chunks <= 0) return;
   struct ChunkDesc {
     const ChunkFn* fn;
     CompletionGate* gate;
     std::int64_t n;
     std::int64_t chunks;
+    CancelToken cancel;
     detail::ErrorSlot error;
   };
   CompletionGate gate{chunks};
-  ChunkDesc desc{&fn, &gate, n, chunks};
+  ChunkDesc desc{&fn, &gate, n, chunks, cancel};
   ChunkDesc* desc_ptr = &desc;
   const auto run_chunk = [](ChunkDesc& d, std::int64_t c) {
     CompletionGate& g = *d.gate;
-    if (!d.error.has_failed()) {
+    if (!d.error.has_failed() && !d.cancel.cancelled()) {
       try {
+        JSCERES_SCHED_EVENT();
         (*d.fn)(c, d.n * c / d.chunks, d.n * (c + 1) / d.chunks);
       } catch (...) {
         d.error.capture();
@@ -328,6 +355,7 @@ void parallel_chunks(ThreadPool& pool, std::int64_t n, std::int64_t chunks,
     detail::help_until(pool, gate);
   }
   desc.error.rethrow_if_failed();
+  cancel.raise_if_cancelled();
 }
 
 /// River-Trail-style data-parallel map: out[i] = fn(in[i]).

@@ -11,8 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include "rivertrail/fault_injection.h"
 #include "rivertrail/parallel_for.h"
 #include "rivertrail/thread_pool.h"
+#include "support/cancel.h"
 
 namespace jsceres::rivertrail {
 
@@ -95,6 +97,7 @@ struct PipelineRun {
   std::atomic<std::size_t> next_spawn{0};
   std::atomic<std::size_t> end_ticket{kNone};
   CompletionGate gate;
+  CancelToken cancel;  // observed per stage body; cancelled tokens -> bubbles
   detail::ErrorSlot error;
 
   PipelineRun(ThreadPool& p, std::vector<PipelineStage> s, std::size_t tokens,
@@ -115,9 +118,14 @@ struct PipelineRun {
   }
 
   void run_body(std::size_t ticket, std::size_t stage) {
-    if (error.has_failed()) return;
+    // A cancelled run turns every not-yet-executed stage body into a
+    // bubble: turnstiles keep turning, the gate keeps retiring, and the
+    // stream drains to the join with no token leaked — the same discipline
+    // as first-exception-wins, raised as CancelledError at the join.
+    if (error.has_failed() || cancel.cancelled()) return;
     if (ticket >= end_ticket.load(std::memory_order_relaxed)) return;  // bubble
     try {
+      JSCERES_SCHED_EVENT();
       if (!stages[stage].fn(ticket) && stage == 0) {
         // Input dried up at this ticket: it and everything after are
         // bubbles. min-CAS so a (misused) parallel input stage stays safe.
@@ -186,13 +194,21 @@ struct PipelineRun {
 ///
 /// The first exception thrown by any stage body is rethrown here after the
 /// stream quiesces (all tokens retired), matching parallel_for's gate.
+///
+/// `cancel` (default inert) is observed before every stage body: once
+/// cancelled, in-flight and unspawned tokens flow through as bubbles until
+/// the stream drains, then CancelledError is thrown here. A body exception
+/// racing a cancel wins, as everywhere else.
 inline std::size_t run_pipeline(ThreadPool& pool, std::size_t max_tokens,
                                 std::size_t max_in_flight,
-                                std::vector<PipelineStage> stages) {
+                                std::vector<PipelineStage> stages,
+                                CancelToken cancel = {}) {
   if (max_tokens == 0 || stages.empty()) return 0;
+  cancel.raise_if_cancelled();
   if (max_in_flight == 0) max_in_flight = 2 * std::size_t(pool.size());
   max_in_flight = std::min(std::max<std::size_t>(max_in_flight, 1), max_tokens);
   pipe_detail::PipelineRun run(pool, std::move(stages), max_tokens, max_in_flight);
+  run.cancel = cancel;
   run.next_spawn.store(max_in_flight, std::memory_order_relaxed);
   for (std::size_t ticket = 1; ticket < max_in_flight; ++ticket) {
     run.spawn(ticket, 0);
@@ -200,6 +216,7 @@ inline std::size_t run_pipeline(ThreadPool& pool, std::size_t max_tokens,
   run.advance(0, 0);  // caller-runs: ticket 0 starts on the calling thread
   detail::help_until(pool, run.gate);
   run.error.rethrow_if_failed();
+  cancel.raise_if_cancelled();
   const std::size_t end = run.end_ticket.load(std::memory_order_relaxed);
   return std::min(end, max_tokens);
 }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rivertrail/fault_injection.h"
+
 namespace jsceres::rivertrail {
 
 TaskGraph::NodeId TaskGraph::add(std::function<void()> body) {
@@ -59,8 +61,9 @@ void TaskGraph::execute(NodeId id) {
   // nodes (the common frame-graph shape) must not grow the C++ stack.
   while (true) {
     Node& node = nodes_[id];
-    if (!error_.has_failed()) {
+    if (!error_.has_failed() && !cancel_.cancelled()) {
       try {
+        JSCERES_SCHED_EVENT();
         node.body();
       } catch (...) {
         error_.capture();
@@ -84,8 +87,10 @@ void TaskGraph::execute(NodeId id) {
   }
 }
 
-void TaskGraph::run() {
+void TaskGraph::run(CancelToken cancel) {
   if (nodes_.empty()) return;
+  cancel.raise_if_cancelled();
+  cancel_ = cancel;
   // Validate only when edges changed since the last run: a re-run frame
   // graph must not pay O(V+E) plus allocations per frame.
   if (!topology_validated_) {
@@ -116,7 +121,9 @@ void TaskGraph::run() {
   execute(sources.front());
   detail::help_until(*pool_, gate);
   gate_ = nullptr;
+  cancel_ = CancelToken();  // the graph outlives the caller's source
   error_.rethrow_if_failed();
+  cancel.raise_if_cancelled();
 }
 
 }  // namespace jsceres::rivertrail

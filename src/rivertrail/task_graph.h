@@ -7,6 +7,7 @@
 
 #include "rivertrail/parallel_for.h"
 #include "rivertrail/thread_pool.h"
+#include "support/cancel.h"
 
 namespace jsceres::rivertrail {
 
@@ -54,7 +55,14 @@ class TaskGraph {
   /// Execute the whole graph and wait; rethrows the first node exception
   /// after every node has retired. Throws std::logic_error on a cyclic
   /// graph (checked up front — a cycle would otherwise hang the join).
-  void run();
+  ///
+  /// `cancel` (default inert) is observed before every node body: once
+  /// cancelled, remaining bodies are skipped but every node still retires
+  /// (counters decrement, the gate closes), then CancelledError is thrown
+  /// here. A node exception racing the cancel wins; either way the graph is
+  /// fully drained and reusable. Tests sweep the (cancel point, throwing
+  /// node) product to pin this down.
+  void run(CancelToken cancel = {});
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
@@ -75,6 +83,7 @@ class TaskGraph {
   ThreadPool* pool_;
   std::deque<Node> nodes_;  // deque: stable addresses, Node is not movable
   detail::ErrorSlot error_;
+  CancelToken cancel_;              // live only inside run()
   CompletionGate* gate_ = nullptr;  // live only inside run()
   /// Cycle check already passed for the current edge set (cleared by
   /// depend(); adding an edge-less node cannot create a cycle).

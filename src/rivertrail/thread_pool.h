@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "rivertrail/fault_injection.h"
 #include "rivertrail/task.h"
 #include "rivertrail/ws_deque.h"
 
@@ -208,7 +209,10 @@ class ThreadPool {
     hungry_.fetch_add(1, std::memory_order_relaxed);
     const bool found = find_nonlocal(scan_origin(), &task);
     hungry_.fetch_sub(1, std::memory_order_relaxed);
-    if (found) task.run();
+    if (found) {
+      JSCERES_SCHED_EVENT_NOTHROW();  // claim-by-helper scheduling event
+      task.run();
+    }
     return found;
   }
 
@@ -274,6 +278,7 @@ class ThreadPool {
       }
       hungry_.fetch_sub(1, std::memory_order_relaxed);
       if (found) {
+        JSCERES_SCHED_EVENT_NOTHROW();  // steal/inject-claim scheduling event
         task.run();
         continue;
       }
@@ -287,6 +292,7 @@ class ThreadPool {
   void run_owned(Worker& self, Task* task) {
     Task local = *task;
     self.slab.release(task);
+    JSCERES_SCHED_EVENT_NOTHROW();  // own-deque pop scheduling event
     local.run();
   }
 

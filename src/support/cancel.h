@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "support/limits.h"
+
+namespace jsceres {
+
+/// Why a CancelToken reports cancelled. Latched into the source the first
+/// time it is observed, so classification at a session boundary is stable
+/// even when an explicit cancel and a deadline expiry race.
+enum class CancelReason : std::uint8_t {
+  None = 0,
+  Cancelled,        // explicit request_cancel()
+  DeadlineExpired,  // the source's deadline passed (or expire_now())
+};
+
+/// Cooperative cancellation surfacing as an EngineError subclass: every
+/// recovery path built for limit trips (interpreter reuse, clean argument
+/// stack, sandbox oracles) applies to a cancelled run unchanged.
+class CancelledError : public EngineError {
+ public:
+  CancelledError(CancelReason reason, const std::string& what)
+      : EngineError(what), reason_(reason) {}
+  [[nodiscard]] CancelReason cancel_reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken;
+
+/// Shared cancellation state: one owner requests, any number of CancelToken
+/// observers poll. Observation points are cooperative — split/steal/stage/
+/// sync points in the scheduler, the event loop's dispatch boundary, and the
+/// interpreter's amortized tick probe — so cancellation never interrupts a
+/// body mid-flight; it drains structured work to a clean joined state.
+///
+/// A source is reusable across attempts: reset() clears a deadline expiry
+/// (each retry gets a fresh budget) but deliberately keeps an explicit
+/// cancel latched — a caller that cancelled a session must not see a retry
+/// resurrect it.
+class CancelSource {
+ public:
+  static constexpr std::int64_t kNoDeadline =
+      std::int64_t(0x7fffffffffffffff);
+
+  /// Request cancellation (any thread, idempotent; first reason wins).
+  void request_cancel(CancelReason reason = CancelReason::Cancelled) noexcept {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected, std::uint8_t(reason),
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+  }
+
+  /// Treat the deadline as already passed (fault injection's deadline-expiry
+  /// action; equivalent to the deadline racing to now).
+  void expire_now() noexcept { request_cancel(CancelReason::DeadlineExpired); }
+
+  /// Arm (or clear, with kNoDeadline) an absolute steady-clock deadline.
+  void set_deadline(std::chrono::steady_clock::time_point when) noexcept {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            when.time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+  void set_deadline_in(std::int64_t ms) noexcept {
+    set_deadline(std::chrono::steady_clock::now() + std::chrono::milliseconds(ms));
+  }
+  void clear_deadline() noexcept {
+    deadline_ns_.store(kNoDeadline, std::memory_order_release);
+  }
+
+  /// Deterministic sweep hook: latch an explicit cancel at the N-th
+  /// cancelled() observation (N = 1 fires at the very next check). This is
+  /// what lets tests and the fuzz harness parameterically cancel at *every*
+  /// cooperative observation point without wall-clock races.
+  void cancel_after_observations(std::int64_t n) noexcept {
+    observations_left_.store(n, std::memory_order_relaxed);
+    observation_armed_.store(true, std::memory_order_release);
+  }
+
+  /// Re-arm for another attempt: clears the deadline, its expiry, and any
+  /// observation countdown. An explicit Cancelled stays latched.
+  void reset() noexcept {
+    observation_armed_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+    std::uint8_t expired = std::uint8_t(CancelReason::DeadlineExpired);
+    reason_.compare_exchange_strong(expired, 0, std::memory_order_release,
+                                    std::memory_order_relaxed);
+  }
+
+  /// One cooperative observation: true once the source is cancelled or its
+  /// deadline has passed (the expiry is latched as the reason).
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (observation_armed_.load(std::memory_order_acquire)) observe();
+    const std::uint8_t reason = reason_.load(std::memory_order_acquire);
+    if (reason != 0) return true;
+    const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != kNoDeadline && now_ns() >= deadline) {
+      std::uint8_t expected = 0;
+      reason_.compare_exchange_strong(
+          expected, std::uint8_t(CancelReason::DeadlineExpired),
+          std::memory_order_release, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return CancelReason(reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  void observe() const noexcept {
+    if (observations_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::uint8_t expected = 0;
+      reason_.compare_exchange_strong(expected,
+                                      std::uint8_t(CancelReason::Cancelled),
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed);
+      observation_armed_.store(false, std::memory_order_relaxed);
+    }
+  }
+
+  static std::int64_t now_ns() noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // mutable: observation counting and reason latching happen from const
+  // observers; both are idempotent latches, not logical state changes.
+  mutable std::atomic<std::uint8_t> reason_{0};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  mutable std::atomic<bool> observation_armed_{false};
+  mutable std::atomic<std::int64_t> observations_left_{0};
+};
+
+/// Cheap copyable observer handle. Default-constructed tokens are inert
+/// (never cancelled), so every API that grew a token parameter keeps its old
+/// behavior for existing call sites. A token borrows its source: the source
+/// must outlive every structure still polling the token.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(const CancelSource& source) : source_(&source) {}
+
+  [[nodiscard]] bool valid() const noexcept { return source_ != nullptr; }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return source_ != nullptr && source_->cancelled();
+  }
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return source_ == nullptr ? CancelReason::None : source_->reason();
+  }
+
+  /// Throw CancelledError when cancelled (the join-point raise: called once
+  /// after a graph/loop/pipeline has fully drained).
+  void raise_if_cancelled() const {
+    if (!cancelled()) return;
+    const CancelReason why = reason();
+    throw CancelledError(why, why == CancelReason::DeadlineExpired
+                                  ? "deadline expired"
+                                  : "cancelled");
+  }
+
+ private:
+  const CancelSource* source_ = nullptr;
+};
+
+}  // namespace jsceres

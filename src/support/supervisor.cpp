@@ -1,0 +1,311 @@
+#include "support/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "ceres/dependence_analyzer.h"
+#include "ceres/lightweight_profiler.h"
+#include "dom/page.h"
+#include "interp/interpreter.h"
+#include "js/lexer.h"
+#include "js/parser.h"
+#include "rivertrail/fault_injection.h"
+#include "rivertrail/parallel_for.h"
+#include "rivertrail/thread_pool.h"
+#include "support/clock.h"
+
+namespace jsceres {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::Completed:
+      return "completed";
+    case SessionState::Degraded:
+      return "degraded";
+    case SessionState::Cancelled:
+      return "cancelled";
+    case SessionState::TimedOut:
+      return "timed-out";
+    case SessionState::Quarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+namespace {
+
+/// How one attempt ended, from the supervisor's point of view. The policy
+/// state machine runs entirely on this classification.
+enum class AttemptClass {
+  Ok,
+  Cancelled,  // explicit cancel observed (sticky; ends the session)
+  Deadline,   // deadline expiry (degradable: a cheaper mode may fit)
+  Retryable,  // injected/transient scheduler fault (same mode, backoff)
+  Limit,      // sandbox limit trip (degradable)
+  FrontEnd,   // parse/lex error (no mode can help; input quarantine)
+  Fatal,      // broken runtime invariant or unknown exception
+};
+
+const char* keyword(AttemptClass c) {
+  switch (c) {
+    case AttemptClass::Ok:
+      return "ok";
+    case AttemptClass::Cancelled:
+      return "cancelled";
+    case AttemptClass::Deadline:
+      return "deadline";
+    case AttemptClass::Retryable:
+      return "retryable";
+    case AttemptClass::Limit:
+      return "limit";
+    case AttemptClass::FrontEnd:
+      return "parse";
+    case AttemptClass::Fatal:
+      return "fatal";
+  }
+  return "?";
+}
+
+/// Built-in attempt body: parse + run `request.source` at `mode` under the
+/// attempt's budgets, observing `token` in the interpreter's tick probe and
+/// the event loop's dispatch boundary. Throws for the supervisor to
+/// classify; verifies the engine's post-failure invariants on the way out.
+AttemptSuccess run_builtin_attempt(const SessionRequest& request, int mode,
+                                   const EngineLimits& limits,
+                                   std::int64_t max_ticks, CancelToken token) {
+  const js::Program program =
+      js::parse(request.source, "<session:" + request.name + ">", limits);
+
+  VirtualClock clock;
+  std::unique_ptr<ceres::DependenceAnalyzer> dependence;
+  std::unique_ptr<ceres::LightweightProfiler> lightweight;
+  interp::ExecutionHooks* hooks = nullptr;
+  if (mode >= 3) {
+    dependence = std::make_unique<ceres::DependenceAnalyzer>(program);
+    hooks = dependence.get();
+  } else if (mode >= 1) {
+    lightweight = std::make_unique<ceres::LightweightProfiler>(clock);
+    hooks = lightweight.get();
+  }
+
+  interp::InterpreterConfig config;
+  // Supervisor convention: <=0 means "no tick budget". The interpreter's own
+  // sentinel is negative-only (0 arms a zero-tick budget), so translate.
+  config.max_ticks = max_ticks > 0 ? max_ticks : -1;
+  config.limits = limits;
+  config.cancel = token;
+  interp::Interpreter interp(program, clock, hooks, config);
+
+  const auto check_invariants = [&interp] {
+    if (interp.debug_arg_stack_in_use() != 0) {
+      throw RuntimeInvariantError("argument stack not unwound after attempt");
+    }
+  };
+
+  try {
+    if (request.has_timers) {
+      dom::Page page(interp);
+      interp.run();
+      page.event_loop().run(request.horizon_ms, token);
+    } else {
+      interp.run();
+    }
+  } catch (...) {
+    check_invariants();  // a dirty stack outranks the in-flight failure
+    throw;
+  }
+  check_invariants();
+
+  AttemptSuccess success;
+  success.console = interp.console_output();
+  success.cpu_ns = clock.cpu_ns();
+  success.wall_ns = clock.wall_ns();
+  return success;
+}
+
+/// Run one attempt through its fault boundary and classify the result.
+AttemptClass run_attempt(const SessionRequest& request, int mode,
+                         const EngineLimits& limits, std::int64_t max_ticks,
+                         CancelToken token, AttemptRecord& record,
+                         AttemptSuccess& success) {
+  record.mode = mode;
+  AttemptClass result = AttemptClass::Ok;
+  try {
+    if (request.attempt) {
+      success = request.attempt(request, mode, limits, max_ticks, token);
+    } else {
+      success = run_builtin_attempt(request, mode, limits, max_ticks, token);
+    }
+  } catch (const CancelledError& e) {
+    record.error = e.what();
+    result = e.cancel_reason() == CancelReason::DeadlineExpired
+                 ? AttemptClass::Deadline
+                 : AttemptClass::Cancelled;
+  } catch (const rivertrail::sched_faults::InjectedFault& e) {
+    record.error = e.what();
+    result = AttemptClass::Retryable;
+  } catch (const RuntimeInvariantError& e) {
+    record.error = e.what();
+    result = AttemptClass::Fatal;
+  } catch (const EngineError& e) {
+    record.error = e.what();
+    result = AttemptClass::Limit;
+  } catch (const js::ParseError& e) {
+    record.error = e.what();
+    result = AttemptClass::FrontEnd;
+  } catch (const js::LexError& e) {
+    record.error = e.what();
+    result = AttemptClass::FrontEnd;
+  } catch (const std::exception& e) {
+    record.error = std::string("unexpected exception: ") + e.what();
+    result = AttemptClass::Fatal;
+  } catch (...) {
+    record.error = "unknown exception";
+    result = AttemptClass::Fatal;
+  }
+  record.outcome = keyword(result);
+  record.cpu_ns = success.cpu_ns;
+  record.wall_ns = success.wall_ns;
+  return result;
+}
+
+int next_rung(int mode) { return mode >= 3 ? 1 : 0; }
+
+/// Tighten per-attempt budgets for a retry: a fault already burned part of
+/// the session's patience, so the rerun gets half the wall budget and half
+/// the tick budget (floored — a retry with no budget at all would be a
+/// guaranteed deadline miss, which defeats the retry).
+void tighten(EngineLimits& limits, std::int64_t& max_ticks) {
+  if (limits.max_wall_ms > 0) {
+    limits.max_wall_ms = std::max<std::int64_t>(limits.max_wall_ms / 2, 10);
+  }
+  if (max_ticks > 0) max_ticks = std::max<std::int64_t>(max_ticks / 2, 10'000);
+}
+
+}  // namespace
+
+SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
+  SessionOutcome outcome;
+  outcome.name = request.name;
+  outcome.final_mode = request.mode;
+
+  CancelSource local_source;
+  CancelSource* source = request.cancel != nullptr ? request.cancel : &local_source;
+
+  int mode = request.mode;
+  int retries_left = options_.max_retries;
+  std::int64_t backoff_ms = options_.backoff_base_ms;
+  EngineLimits budgets = request.limits;
+  std::int64_t ticks = request.max_ticks;
+
+  for (;;) {
+    // An explicit cancel is sticky across attempts: observe it here so a
+    // cancel that lands between attempts (or during backoff) ends the
+    // session even if the next attempt would be too short to poll the token.
+    if (source->reason() == CancelReason::Cancelled) {
+      outcome.state = SessionState::Cancelled;
+      outcome.error = "cancelled";
+      return outcome;
+    }
+    // Fresh per-attempt deadline; reset() clears a previous expiry but
+    // keeps an explicit cancel latched (checked above).
+    source->reset();
+    if (request.deadline_ms > 0) source->set_deadline_in(request.deadline_ms);
+
+    AttemptRecord record;
+    AttemptSuccess success;
+    const AttemptClass result = run_attempt(request, mode, budgets, ticks,
+                                            CancelToken(*source), record, success);
+    ++outcome.attempts;
+    outcome.history.push_back(record);
+    outcome.error = record.error;
+    outcome.cpu_ns = record.cpu_ns;
+    outcome.wall_ns = record.wall_ns;
+
+    switch (result) {
+      case AttemptClass::Ok:
+        outcome.state = mode == request.mode ? SessionState::Completed
+                                             : SessionState::Degraded;
+        outcome.final_mode = mode;
+        outcome.console = std::move(success.console);
+        outcome.error.clear();
+        outcome.runtime_fault = false;  // the session answered after all
+        source->clear_deadline();
+        return outcome;
+
+      case AttemptClass::Cancelled:
+        outcome.state = SessionState::Cancelled;
+        outcome.final_mode = mode;
+        return outcome;
+
+      case AttemptClass::Retryable:
+        if (retries_left-- > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, options_.backoff_cap_ms);
+          tighten(budgets, ticks);
+          continue;  // same rung
+        }
+        // Retries exhausted on a runtime-side fault: the ladder below can
+        // still answer, but if it never does, the blame is the runtime's.
+        outcome.runtime_fault = true;
+        [[fallthrough]];
+
+      case AttemptClass::Deadline:
+      case AttemptClass::Limit:
+        if (options_.degrade_on_limit && mode > 0) {
+          mode = next_rung(mode);
+          continue;
+        }
+        outcome.final_mode = mode;
+        outcome.state = result == AttemptClass::Deadline
+                            ? SessionState::TimedOut
+                            : SessionState::Quarantined;
+        return outcome;
+
+      case AttemptClass::FrontEnd:
+        // No instrumentation mode can fix a parse error: quarantine
+        // immediately, blamed on the input.
+        outcome.state = SessionState::Quarantined;
+        outcome.final_mode = mode;
+        return outcome;
+
+      case AttemptClass::Fatal:
+        outcome.state = SessionState::Quarantined;
+        outcome.final_mode = mode;
+        outcome.runtime_fault = true;
+        return outcome;
+    }
+  }
+}
+
+std::vector<SessionOutcome> SessionSupervisor::run(
+    const std::vector<SessionRequest>& requests) {
+  std::vector<SessionOutcome> outcomes(requests.size());
+  if (requests.empty()) return outcomes;
+
+  // One pool task per session; the gate is the batch join. Each body is
+  // airtight — run_one already never throws by design, but the supervisor's
+  // whole point is that a session failure cannot take down its siblings, so
+  // the boundary is enforced here too, not just promised.
+  rivertrail::CompletionGate gate{std::int64_t(requests.size())};
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool_->submit([this, &requests, &outcomes, &gate, i] {
+      try {
+        outcomes[i] = run_one(requests[i]);
+      } catch (...) {
+        outcomes[i].name = requests[i].name;
+        outcomes[i].state = SessionState::Quarantined;
+        outcomes[i].runtime_fault = true;
+        outcomes[i].error = "exception escaped the session state machine";
+      }
+      gate.arrive(1);
+    });
+  }
+  rivertrail::detail::help_until(*pool_, gate);
+  return outcomes;
+}
+
+}  // namespace jsceres

@@ -34,9 +34,10 @@ LightweightResult InstrumentedRun::table2_row() const {
 }
 
 InstrumentedRun run_workload(const Workload& workload, Mode mode,
-                             double scale_override) {
+                             double scale_override, const SessionKnobs* knobs) {
   InstrumentedRun run;
-  run.program = js::parse(workload.source, workload.name);
+  run.program = js::parse(workload.source, workload.name,
+                          knobs != nullptr ? knobs->limits : EngineLimits{});
 
   run.hooks = std::make_unique<interp::HookList>();
   if (mode == Mode::Lightweight || mode == Mode::Combined) {
@@ -61,6 +62,13 @@ InstrumentedRun run_workload(const Workload& workload, Mode mode,
   interp::InterpreterConfig config;
   config.preempt_interval_ticks = workload.preempt_interval_ticks;
   config.preempt_block_ns = workload.preempt_block_ns;
+  if (knobs != nullptr) {
+    config.limits = knobs->limits;
+    // Knob convention: <=0 means "no tick budget" (the interpreter's own
+    // sentinel is negative-only; 0 would arm a zero-tick budget).
+    config.max_ticks = knobs->max_ticks > 0 ? knobs->max_ticks : -1;
+    config.cancel = knobs->cancel;
+  }
   // Mode 0: hand the interpreter a null hook pointer so even the per-event
   // virtual dispatch disappears — the engine-only baseline.
   interp::ExecutionHooks* hooks =
@@ -89,7 +97,8 @@ InstrumentedRun run_workload(const Workload& workload, Mode mode,
         *run.pool, run.page->canvas_context(workload.canvas_id).get(),
         workload.pipeline_depth);
   }
-  run.page->event_loop().run(workload.session_ms);
+  run.page->event_loop().run(workload.session_ms,
+                             knobs != nullptr ? knobs->cancel : CancelToken{});
   if (run.sampler != nullptr) run.sampler->finish();
 
   for (const std::string& marker : workload.nest_markers) {
@@ -184,6 +193,45 @@ const std::vector<Workload>& all_workloads() {
       make_normalmap(), make_sigma(),   make_processing(), make_d3(),
   };
   return workloads;
+}
+
+std::vector<SessionOutcome> run_workloads_supervised(
+    const std::vector<std::string>& names, rivertrail::ThreadPool& pool,
+    SupervisorOptions options, std::int64_t deadline_ms,
+    const EngineLimits& limits, std::int64_t max_ticks) {
+  std::vector<SessionRequest> requests;
+  requests.reserve(names.size());
+  for (const std::string& name : names) {
+    const Workload& workload = workload_by_name(name);  // static storage
+    SessionRequest request;
+    request.name = name;
+    request.mode = 3;
+    request.limits = limits;
+    request.max_ticks = max_ticks;
+    request.deadline_ms = deadline_ms;
+    // The attempt body is the real workload runner — page, canvas, user
+    // events, SCALE — with the supervisor's per-attempt budgets and token
+    // threaded through SessionKnobs. Exceptions propagate for the
+    // supervisor to classify.
+    request.attempt = [&workload](const SessionRequest&, int mode,
+                                  const EngineLimits& attempt_limits,
+                                  std::int64_t attempt_ticks,
+                                  CancelToken token) {
+      const SessionKnobs knobs{attempt_limits, attempt_ticks, token};
+      const Mode run_mode = mode >= 3   ? Mode::Dependence
+                            : mode >= 1 ? Mode::Lightweight
+                                        : Mode::Uninstrumented;
+      const InstrumentedRun run = run_workload(workload, run_mode, 0, &knobs);
+      AttemptSuccess success;
+      success.console = run.interp->console_output();
+      success.cpu_ns = run.clock.cpu_ns();
+      success.wall_ns = run.clock.wall_ns();
+      return success;
+    };
+    requests.push_back(std::move(request));
+  }
+  SessionSupervisor supervisor(pool, options);
+  return supervisor.run(requests);
 }
 
 const Workload& workload_by_name(const std::string& name) {

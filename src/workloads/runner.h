@@ -9,6 +9,7 @@
 #include "dom/page.h"
 #include "js/parser.h"
 #include "rivertrail/thread_pool.h"
+#include "support/supervisor.h"
 #include "workloads/workload.h"
 
 namespace jsceres::workloads {
@@ -50,10 +51,31 @@ struct InstrumentedRun {
 /// from a single run.
 enum class Mode { Uninstrumented, Lightweight, LoopProfile, Dependence, Combined };
 
+/// Supervisor-facing knobs threaded into a run_workload session: the
+/// sandbox limits, tick budget, and cooperative cancel token of one
+/// supervised attempt. All-default knobs reproduce the unsupervised run.
+struct SessionKnobs {
+  EngineLimits limits;
+  std::int64_t max_ticks = 0;
+  CancelToken cancel;
+};
+
 /// Parse, instrument, run to completion (init + event script + session
 /// horizon). `scale_override` > 0 forces the SCALE global (otherwise 1.0
 /// for profiling modes, workload.dependence_scale for dependence mode).
+/// `knobs` (optional) sandboxes and time-bounds the run for supervision.
 InstrumentedRun run_workload(const Workload& workload, Mode mode,
-                             double scale_override = 0);
+                             double scale_override = 0,
+                             const SessionKnobs* knobs = nullptr);
+
+/// Runner integration of the session supervisor: run each named workload as
+/// one supervised analysis session over the shared `pool`, requesting mode 3
+/// (dependence analysis) and letting the supervisor's policy degrade to
+/// mode 1 / mode 0 on limit trips or deadline misses. Outcome i corresponds
+/// to names[i].
+std::vector<SessionOutcome> run_workloads_supervised(
+    const std::vector<std::string>& names, rivertrail::ThreadPool& pool,
+    SupervisorOptions options = {}, std::int64_t deadline_ms = 0,
+    const EngineLimits& limits = {}, std::int64_t max_ticks = 0);
 
 }  // namespace jsceres::workloads

@@ -373,6 +373,43 @@ TEST(ArgStackAllocation, SteadyStateCallsAllocateNothing) {
       << "steady-state calls must not touch the heap";
 }
 
+TEST(ArgStackAllocation, ApplyForwardsThroughArgStackWithoutAllocating) {
+  // Regression: apply() used to snapshot the argument array into a
+  // std::vector per call — one heap allocation on every invocation. It now
+  // forwards through the same reused ArgStack frame as a direct call, so an
+  // apply-dominated loop must be allocation-free too. The argument array is
+  // hoisted and mutated in place; writes to existing elements reuse storage.
+  static js::Program program = js::parse(
+      "function add3(a, b, c) { return a + b + c; }\n"
+      "var arr = [0, 0, 0];\n"
+      "function driver(n) {\n"
+      "  var t = 0;\n"
+      "  for (var i = 0; i < n; i++) {\n"
+      "    arr[0] = i; arr[1] = i + 1; arr[2] = 2;\n"
+      "    t += add3.apply(null, arr);\n"
+      "  }\n"
+      "  return t;\n"
+      "}\n"
+      "var warm = driver(64);\n");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  interp.call(interp.global("driver"), Value::undefined(), {Value::number(32)});
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  const Value result =
+      interp.call(interp.global("driver"), Value::undefined(), {Value::number(512)});
+  g_counting.store(false, std::memory_order_relaxed);
+
+  EXPECT_TRUE(result.is_number());
+  // sum over i < 512 of (i + (i + 1) + 2) = 2i + 3.
+  EXPECT_DOUBLE_EQ(result.as_number(), 2.0 * (511.0 * 512 / 2) + 3.0 * 512);
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), 0)
+      << "apply() must reuse the ArgStack frame, not allocate a snapshot";
+  EXPECT_EQ(interp.debug_arg_stack_in_use(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Mode-3 index-atom gate: element accesses in instrumented runs must emit
 // the same canonical key spellings as interning did, via the cache.
