@@ -3,6 +3,7 @@
 //   fuzz_driver [--smoke] [--seed N] [--count N] [--corpus DIR] [--timers]
 //   fuzz_driver --hostile
 //   fuzz_driver --sessions N [--seed N] [--count N]
+//   fuzz_driver --soak [--sessions N] [--seed N]
 //
 // Default (and --smoke) mode: generate `count` programs from consecutive
 // seeds starting at `seed`, run the full oracle battery over each (every
@@ -18,17 +19,34 @@
 // in batches of N concurrent sessions over one shared pool. Every session
 // must end in a structured terminal outcome and no quarantine may be blamed
 // on the runtime itself (outcome.runtime_fault stays false).
+//
+// --soak streams N sessions (default 2000) through the resident
+// AnalysisService front-end and asserts the multi-tenant memory contract:
+// after warmup, the process-wide shared structures (atom table, shape tree,
+// stamp segments) and the RSS must plateau instead of growing with session
+// count, and once the stream drains, zero stamp-arena segments may remain
+// checked out. Run under ASan to additionally prove zero leaks.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <vector>
 
+#include "ceres/char_stack.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracles.h"
 #include "fuzz/triage.h"
+#include "interp/shape.h"
+#include "js/atom.h"
 #include "rivertrail/thread_pool.h"
+#include "support/epoch.h"
+#include "support/service.h"
 #include "support/supervisor.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -129,11 +147,162 @@ int run_sessions(std::uint64_t base_seed, int count, int sessions) {
   return failures > 99 ? 99 : failures;
 }
 
+/// Current resident-set bytes (Linux: /proc/self/statm), 0 when unknown.
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long total = 0;
+  unsigned long long resident = 0;
+  const int fields = std::fscanf(statm, "%llu %llu", &total, &resident);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  return std::size_t(resident) * std::size_t(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+/// Advance the epoch and run one full serialized reclamation pass (shapes
+/// before the domain, per the ordering contract).
+void force_reclaim() {
+  jsceres::EpochDomain::global().advance();
+  jsceres::AnalysisService::run_reclamation_pass();
+}
+
+int run_soak(std::uint64_t base_seed, int total) {
+  using namespace jsceres;
+  rivertrail::ThreadPool pool(4);
+  ServiceOptions options;
+  options.max_active = 4;
+  options.max_queue = 32;
+  options.max_per_tenant = 2;
+  options.governor.ceiling_bytes = 256u << 20;
+  options.watchdog_interval_ms = 100;
+  options.watchdog_stuck_ms = 10'000;
+  options.reclaim_every = 8;
+  int failures = 0;
+  std::size_t warm_shared = 0;
+  std::size_t warm_rss = 0;
+  std::size_t end_shared = 0;
+  std::size_t end_rss = 0;
+  {
+    AnalysisService service(pool, options);
+    const int warmup = std::max(total / 4, 1);
+    std::deque<ServiceTicket> window;
+    std::size_t runtime_faults = 0;
+    std::size_t shed = 0;
+
+    const auto pump = [&](std::size_t keep) {
+      while (window.size() > keep) {
+        const ServiceOutcome& outcome = window.front().wait();
+        if (outcome.state == ServiceState::Shed) {
+          ++shed;
+        } else if (outcome.session.runtime_fault) {
+          ++runtime_faults;
+          std::printf("SOAK FAIL %s: state=%s error=%s\n",
+                      outcome.session.name.c_str(), to_string(outcome.state),
+                      outcome.session.error.c_str());
+        }
+        window.pop_front();
+      }
+    };
+
+    for (int i = 0; i < total; ++i) {
+      const std::uint64_t seed = base_seed + std::uint64_t(i);
+      fuzz::GenOptions gen;
+      gen.use_timers = i % 4 == 3;
+      ServiceRequest request;
+      request.tenant = "tenant-" + std::to_string(i % 8);
+      request.memory_estimate = 4u << 20;
+      request.session.name = "seed-" + std::to_string(seed);
+      request.session.source = fuzz::generate_program(seed, gen);
+      request.session.limits.max_memory_bytes = 4u << 20;
+      request.session.max_ticks = 2'000'000;
+      request.session.has_timers = gen.use_timers;
+      request.session.horizon_ms = 200;
+      if (i % 5 == 4) request.session.deadline_ms = 250;
+      window.push_back(service.submit(std::move(request)));
+      // Sliding completion window: bounded caller-side state, and the
+      // queue never overflows purely from submission burstiness.
+      pump(16);
+
+      if (i + 1 == warmup) {
+        pump(0);
+        service.drain();
+        force_reclaim();
+        warm_shared = AnalysisService::shared_structure_bytes();
+        warm_rss = current_rss_bytes();
+      }
+    }
+    pump(0);
+    service.drain();
+    force_reclaim();
+    end_shared = AnalysisService::shared_structure_bytes();
+    end_rss = current_rss_bytes();
+
+    const ServiceStats stats = service.stats();
+    std::printf(
+        "soak: %d session(s), completed=%zu shed=%zu degraded=%zu "
+        "watchdog-quarantines=%zu\n",
+        total, stats.completed, shed, stats.degraded_admissions,
+        stats.watchdog_quarantines);
+    std::printf(
+        "soak: governor high-water=%zu bytes, reclaimed=%zu bytes, "
+        "queue high-water=%zu, active high-water=%zu\n",
+        stats.governor_high_water_bytes,
+        EpochDomain::global().reclaimed_bytes(), stats.queue_high_water,
+        stats.active_high_water);
+    failures += int(runtime_faults);
+  }
+
+  // Plateau: post-warmup growth of the shared structures must be marginal —
+  // the whole point of epoch reclamation. The slack absorbs hash-table
+  // capacity rounding and the generator's long-tail of rare atoms.
+  const std::size_t shared_slack = warm_shared / 2 + (1u << 20);
+  std::printf("soak: shared structures warm=%zu end=%zu (slack %zu)\n",
+              warm_shared, end_shared, shared_slack);
+  if (end_shared > warm_shared + shared_slack) {
+    std::printf("SOAK FAIL: shared structures grew past the plateau\n");
+    ++failures;
+  }
+  // RSS plateau, generous: allocator caching and ASan quarantines make RSS
+  // noisy, but session-linear growth (the leak this guards against) dwarfs
+  // the slack at soak counts.
+  if (warm_rss > 0 && end_rss > 0) {
+    // Sanitizer builds keep freed memory quarantined and shadow-mapped, so
+    // their RSS trails session count by design; the plateau assertion gets
+    // a wide berth there (the sanitizer run's job is leak detection).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    const std::size_t base_slack = 768u << 20;
+#else
+    const std::size_t base_slack = 96u << 20;
+#endif
+    const std::size_t rss_slack = warm_rss / 2 + base_slack;
+    std::printf("soak: rss warm=%zu end=%zu (slack %zu)\n", warm_rss, end_rss,
+                rss_slack);
+    if (end_rss > warm_rss + rss_slack) {
+      std::printf("SOAK FAIL: rss grew past the plateau\n");
+      ++failures;
+    }
+  }
+  // Every analyzer is gone: no stamp segment may still be checked out.
+  if (jsceres::ceres::stamp_segments_live() != 0) {
+    std::printf("SOAK FAIL: %zu stamp segment(s) leaked\n",
+                jsceres::ceres::stamp_segments_live());
+    ++failures;
+  }
+  jsceres::ceres::drain_stamp_segment_pool();
+  std::printf("soak: %d failure(s)\n", failures);
+  return failures > 99 ? 99 : failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool hostile = false;
   bool timers = false;
+  bool soak = false;
   int sessions = 0;
   std::uint64_t seed = 1;
   int count = 500;
@@ -143,6 +312,8 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--hostile") == 0) {
       hostile = true;
+    } else if (std::strcmp(arg, "--soak") == 0) {
+      soak = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       // Default mode; the flag exists so CI invocations read clearly.
     } else if (std::strcmp(arg, "--timers") == 0) {
@@ -157,13 +328,17 @@ int main(int argc, char** argv) {
       sessions = int(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_driver [--smoke] [--hostile] [--sessions N] "
-                   "[--seed N] [--count N] [--corpus DIR] [--timers]\n");
+                   "usage: fuzz_driver [--smoke] [--hostile] [--soak] "
+                   "[--sessions N] [--seed N] [--count N] [--corpus DIR] "
+                   "[--timers]\n");
       return 2;
     }
   }
 
   if (hostile) return run_hostile_suite();
+  // In soak mode --sessions N is the stream length (how many sessions flow
+  // through the resident service), defaulting to 2000.
+  if (soak) return run_soak(seed, sessions > 0 ? sessions : 2000);
   if (sessions > 0) return run_sessions(seed, count, sessions);
   return run_smoke(seed, count, corpus, timers);
 }

@@ -1,6 +1,90 @@
 #include "ceres/char_stack.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace jsceres::ceres {
+
+namespace {
+
+/// Process-wide segment pool: arenas check segments out and return them on
+/// reset/destruction, so a resident service running thousands of mode-3
+/// sessions reuses a bounded working set instead of churning the
+/// allocator. `g_segments_live` counts checked-out segments — the soak
+/// harness asserts it returns to zero once every analyzer is gone.
+constexpr std::size_t kMaxPooledSegments = 64;
+
+struct SegmentPool {
+  std::mutex mutex;
+  std::vector<StampArena::Segment*> free;
+};
+
+SegmentPool& pool() {
+  static SegmentPool* p = new SegmentPool();  // leaked: process lifetime
+  return *p;
+}
+
+std::atomic<std::size_t> g_segments_live{0};
+std::atomic<std::size_t> g_segments_pooled{0};
+
+}  // namespace
+
+void StampArena::grow() {
+  StampArena::Segment* segment = nullptr;
+  {
+    SegmentPool& p = pool();
+    const std::lock_guard lock(p.mutex);
+    if (!p.free.empty()) {
+      segment = p.free.back();
+      p.free.pop_back();
+      g_segments_pooled.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  if (segment == nullptr) segment = new Segment();
+  segments_.push_back(segment);
+  g_segments_live.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StampArena::reset() {
+  if (!segments_.empty()) {
+    SegmentPool& p = pool();
+    const std::lock_guard lock(p.mutex);
+    for (Segment* segment : segments_) {
+      if (p.free.size() < kMaxPooledSegments) {
+        p.free.push_back(segment);
+        g_segments_pooled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        delete segment;
+      }
+    }
+    g_segments_live.fetch_sub(segments_.size(), std::memory_order_relaxed);
+  }
+  segments_.clear();
+  size_ = 0;
+}
+
+std::size_t stamp_segments_live() {
+  return g_segments_live.load(std::memory_order_relaxed);
+}
+
+std::size_t stamp_segments_pooled() {
+  return g_segments_pooled.load(std::memory_order_relaxed);
+}
+
+std::size_t stamp_bytes_live() {
+  return g_segments_live.load(std::memory_order_relaxed) *
+         sizeof(StampArena::Segment);
+}
+
+std::size_t drain_stamp_segment_pool() {
+  SegmentPool& p = pool();
+  const std::lock_guard lock(p.mutex);
+  const std::size_t freed = p.free.size() * sizeof(StampArena::Segment);
+  for (StampArena::Segment* segment : p.free) delete segment;
+  g_segments_pooled.fetch_sub(p.free.size(), std::memory_order_relaxed);
+  p.free.clear();
+  return freed;
+}
 
 Characterization characterize_creation(const Stamp& stamp, const Stamp& current) {
   Characterization out;

@@ -49,6 +49,64 @@ struct StampNode {
   std::int64_t iteration = 0;
 };
 
+/// Segmented backing store for one stamp tree. Within a session the tree is
+/// append-only (states never repeat), but a resident service runs thousands
+/// of sessions, so the storage must actually come back: segments are
+/// checked out of a process-wide pool and returned on `reset()`/destruction
+/// instead of churning the allocator, and process-wide counters
+/// (`stamp_segments_live`, `stamp_bytes_live`) feed the memory governor and
+/// let the soak harness assert zero leaked segments.
+class StampArena {
+ public:
+  static constexpr std::size_t kSegmentShift = 10;
+  static constexpr std::size_t kSegmentNodes = 1 << kSegmentShift;  // 1024
+  static constexpr std::size_t kSegmentMask = kSegmentNodes - 1;
+
+  struct Segment {
+    StampNode nodes[kSegmentNodes];
+  };
+
+  StampArena() = default;
+  ~StampArena() { reset(); }
+  StampArena(const StampArena&) = delete;
+  StampArena& operator=(const StampArena&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] StampNode& operator[](StampId id) {
+    return segments_[id >> kSegmentShift]->nodes[id & kSegmentMask];
+  }
+  [[nodiscard]] const StampNode& operator[](StampId id) const {
+    return segments_[id >> kSegmentShift]->nodes[id & kSegmentMask];
+  }
+
+  void push_back(const StampNode& node) {
+    if ((size_ & kSegmentMask) == 0) grow();
+    segments_[size_ >> kSegmentShift]->nodes[size_ & kSegmentMask] = node;
+    ++size_;
+  }
+
+  /// Return every segment to the process-wide pool (retire hook: called by
+  /// the destructor and by CharStack::reset_for_reuse()).
+  void reset();
+
+ private:
+  void grow();
+
+  std::vector<Segment*> segments_;
+  std::size_t size_ = 0;
+};
+
+/// Segments currently checked out by live arenas, process-wide.
+std::size_t stamp_segments_live();
+/// Segments parked in the reuse pool (allocated but idle).
+std::size_t stamp_segments_pooled();
+/// Bytes of checked-out stamp segments (the governor's Ceres input).
+std::size_t stamp_bytes_live();
+/// Free every pooled segment (service shutdown / leak accounting in tests).
+/// Returns the bytes released.
+std::size_t drain_stamp_segment_pool();
+
 /// Per-loop-level dependence flags. The paper renders a triple per loop:
 /// "<loop> <instance-flag> <iteration-flag>", where "ok" means each
 /// instance/iteration has a private version of the datum and "dependence"
@@ -135,7 +193,7 @@ std::string render_characterization(const Characterization& chr,
 /// stamp is a prefix of the current state (datum pre-dates the inner loop).
 class CharStack {
  public:
-  CharStack() { nodes_.emplace_back(); }  // nodes_[0] = root (depth 0)
+  CharStack() { nodes_.push_back(StampNode{}); }  // nodes_[0] = root (depth 0)
 
   void on_enter(int loop_id) {
     const std::size_t index = counter_index(loop_id);
@@ -213,6 +271,25 @@ class CharStack {
   /// Stamp-tree size (diagnostics / growth tests). Grows with the number of
   /// *referenced* states, never with raw iteration count.
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Retire hook for analyzer reuse across sessions: return every arena
+  /// segment to the process-wide pool and reset to the freshly-constructed
+  /// state. Every outstanding StampId is invalidated — callers must drop
+  /// their stamps (the dependence analyzer resets its tables alongside).
+  void reset_for_reuse() {
+    stack_.clear();
+    frame_ids_.clear();
+    path_ids_.clear();
+    interned_depth_ = 0;
+    current_path_id_ = 0;
+    nodes_.reset();
+    nodes_.push_back(StampNode{});  // nodes_[0] = root (depth 0)
+    scratch_.clear();
+    path_intern_.clear();
+    instance_counters_.clear();
+    open_counts_.clear();
+    recursive_loops_.clear();
+  }
 
   /// Dense id of the current loop-id path (instances/iterations ignored).
   /// Two accesses have equal characterization-level loop ids iff their path
@@ -337,7 +414,7 @@ class CharStack {
   std::vector<std::uint32_t> path_ids_;  // loop-path id per open frame
   std::size_t interned_depth_ = 0;
   std::uint32_t current_path_id_ = 0;
-  std::vector<StampNode> nodes_;
+  StampArena nodes_;
   mutable std::vector<StampId> scratch_;
   std::unordered_map<std::uint64_t, std::uint32_t> path_intern_;
   std::vector<std::int64_t> instance_counters_;  // indexed by loop_id

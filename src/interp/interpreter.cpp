@@ -44,7 +44,16 @@ class FunctionFrame {
   ~FunctionFrame() {
     stack_.pop_back();
     // sync_hooks: memory events buffered by the body flush before the exit.
-    if (interp_.hooks() != nullptr) interp_.sync_hooks()->on_function_exit(fn_id_);
+    // The flush can trip the sandbox (the analyzer's tables charge the
+    // ledger), and a destructor is an implicitly-noexcept frame — letting
+    // the trip escape would terminate the process whether or not another
+    // exception is unwinding. Latch it instead; the next probe rethrows.
+    if (interp_.hooks() == nullptr) return;
+    try {
+      interp_.sync_hooks()->on_function_exit(fn_id_);
+    } catch (...) {
+      interp_.note_hook_failure();
+    }
   }
 
  private:
@@ -152,6 +161,9 @@ void Interpreter::recover_after_engine_error() noexcept {
   memory_batch_.clear();
   arg_stack_.unwind_all();
   ticks_pending_ = 0;
+  // A trip latched during the unwind is redundant with the error that
+  // triggered this recovery; dropping it keeps the next window clean.
+  deferred_hook_error_ = nullptr;
 }
 
 void Interpreter::flush_ticks_on_unwind() noexcept {
@@ -165,6 +177,14 @@ void Interpreter::flush_ticks_on_unwind() noexcept {
 }
 
 void Interpreter::flush_ticks() {
+  // Surface a sandbox trip that was latched inside a destructor's hook
+  // flush (see FunctionFrame): this is the first probe on a normal frame,
+  // where throwing is safe and the usual recovery contract applies.
+  if (deferred_hook_error_ != nullptr) {
+    std::exception_ptr error = deferred_hook_error_;
+    deferred_hook_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
   // Charge the batched ticks to the clock and run the low-frequency work
   // (sampling probe, budget check, simulated preemption). The probe cadence
   // (every ~64 ticks) and all totals are identical to charging per node;
@@ -1218,10 +1238,34 @@ bool pic_insert(IC& ic, const Way& way) {
   return !evicted;
 }
 
+/// Megamorphic-state streak tracking: called with the receiver shape of
+/// every generic (megamorphic) access. Returns true when kRecacheHits
+/// consecutive accesses shared one shape — the site is reset to the caching
+/// state (the caller's normal insert path then repopulates the ways), so a
+/// site condemned during a polymorphic warmup phase recovers once the
+/// workload settles on one shape.
+template <typename IC>
+bool recache_if_stable(IC& ic, const Shape* shape) {
+  if (shape == ic.last_shape) {
+    if (++ic.stable < IC::kRecacheHits) return false;
+    ic.megamorphic = false;
+    ic.misses = 0;
+    ic.stable = 0;
+    ic.last_shape = nullptr;
+    return true;
+  }
+  ic.last_shape = shape;
+  ic.stable = 1;
+  return false;
+}
+
 }  // namespace
 
 Value Interpreter::read_ic_miss(ReadIC& ic, JSObject& obj, const Shape* shape,
                                 js::Atom key) {
+  // A megamorphic site that just crossed the stable-shape streak re-enters
+  // caching here: the insert below runs on this very access.
+  if (ic.megamorphic) recache_if_stable(ic, shape);
   const std::int32_t own = shape->slot_of(key);
   if (own >= 0) {
     if (!ic.megamorphic &&
@@ -1306,7 +1350,7 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
 
 void Interpreter::write_ic_miss(WriteIC& ic, JSObject& obj, const Shape* shape,
                                 js::Atom key, Value value) {
-  if (ic.megamorphic) {
+  if (ic.megamorphic && !recache_if_stable(ic, shape)) {
     obj.set_property(key, std::move(value));
     return;
   }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -135,6 +136,15 @@ class Interpreter {
     if (!memory_batch_.empty()) flush_memory_events();
     return hooks_;
   }
+  /// Internal (FunctionFrame): a hook flush failed inside a destructor,
+  /// where propagating would std::terminate. Latch the in-flight exception;
+  /// the next flush_ticks() on a normal frame rethrows it. Recovery clears
+  /// the latch (when an exception was already unwinding, that one wins).
+  void note_hook_failure() noexcept {
+    if (deferred_hook_error_ == nullptr) {
+      deferred_hook_error_ = std::current_exception();
+    }
+  }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] const js::Program& program() const { return program_; }
   [[nodiscard]] const std::string& console_output() const { return console_; }
@@ -229,10 +239,17 @@ class Interpreter {
   /// like `arr.push`. On a miss the resolved way is inserted at the front
   /// and the oldest way rotates out; once a full cache keeps missing
   /// (kMegamorphicMisses rotations) the site goes megamorphic and falls
-  /// back to `Shape::slot_of` with no further cache writes.
+  /// back to `Shape::slot_of` with no cache writes.
+  ///
+  /// Megamorphic is not terminal: the generic path keeps a one-entry streak
+  /// counter (`last_shape`/`stable`), and kRecacheHits consecutive accesses
+  /// with the same receiver shape flip the site back to the caching state —
+  /// a polymorphic warmup phase (setup code touching many shapes) no longer
+  /// condemns the monomorphic steady state that follows it.
   struct ReadIC {
     static constexpr std::uint8_t kWays = 4;
     static constexpr std::uint8_t kMegamorphicMisses = 8;
+    static constexpr std::uint8_t kRecacheHits = 16;
     struct Way {
       const Shape* shape = nullptr;
       std::uint32_t slot = 0;
@@ -243,15 +260,22 @@ class Interpreter {
     std::uint8_t count = 0;   // filled ways (probe bound)
     std::uint8_t misses = 0;  // full-cache misses; saturates into megamorphic
     bool megamorphic = false;
+    /// Megamorphic-state streak tracking; compared by identity only (never
+    /// dereferenced — the pointer may name a shape this session no longer
+    /// reaches).
+    const Shape* last_shape = nullptr;
+    std::uint8_t stable = 0;  // consecutive same-shape generic accesses
   };
   /// Polymorphic inline cache for one named property *write* site: each way
   /// is either an in-place store to `slot`, or (when `new_shape` is set) the
   /// cached property-add transition `shape -> new_shape` appending at
   /// `slot`. Caching the transition target means repeated object-literal /
   /// constructor shapes append without touching the shape tree's mutex.
+  /// Megamorphic write sites re-cache exactly like read sites (see ReadIC).
   struct WriteIC {
     static constexpr std::uint8_t kWays = 4;
     static constexpr std::uint8_t kMegamorphicMisses = 8;
+    static constexpr std::uint8_t kRecacheHits = 16;
     struct Way {
       const Shape* shape = nullptr;
       std::uint32_t slot = 0;
@@ -261,6 +285,8 @@ class Interpreter {
     std::uint8_t count = 0;
     std::uint8_t misses = 0;
     bool megamorphic = false;
+    const Shape* last_shape = nullptr;  // identity compares only
+    std::uint8_t stable = 0;
   };
 
   // Statement / expression evaluation.
@@ -429,6 +455,9 @@ class Interpreter {
   /// consumer, skipping the fan-out layer per flush). Null iff hooks_ is.
   ExecutionHooks* memory_sink_ = nullptr;
   std::vector<MemoryEvent> memory_batch_;
+  /// Sandbox trip that surfaced inside a destructor's hook flush (see
+  /// note_hook_failure); rethrown by the next flush_ticks() probe.
+  std::exception_ptr deferred_hook_error_;
   std::string console_;
 };
 

@@ -1,5 +1,6 @@
 #include "interp/shape.h"
 
+#include "support/epoch.h"
 #include "support/limits.h"
 
 namespace jsceres::interp {
@@ -12,7 +13,39 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
+/// Process-wide accounting for the governor: node + map-link cost per
+/// shape, plus installed flat tables. Maintained by ctor/dtor (so a
+/// recursive unique_ptr teardown during reclamation self-accounts) and by
+/// the flat-table install CAS winner.
+constexpr std::size_t kShapeNodeCost = sizeof(Shape) + 64;
+std::atomic<std::size_t> g_shape_bytes{0};
+std::atomic<std::size_t> g_shape_count{0};
+
 }  // namespace
+
+Shape::Shape() {
+  g_shape_bytes.fetch_add(kShapeNodeCost, std::memory_order_relaxed);
+  g_shape_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Shape::Shape(const Shape* parent, js::Atom key)
+    : key_(key), slot_(parent->depth_), depth_(parent->depth_ + 1), parent_(parent) {
+  g_shape_bytes.fetch_add(kShapeNodeCost, std::memory_order_relaxed);
+  g_shape_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Shape::~Shape() {
+  const FlatTable* flat = flat_.load(std::memory_order_acquire);
+  if (flat != nullptr) {
+    g_shape_bytes.fetch_sub(sizeof(FlatTable) +
+                                flat->table.capacity() * sizeof(FlatTable::Entry) +
+                                flat->keys.capacity() * sizeof(js::Atom),
+                            std::memory_order_relaxed);
+    delete flat;
+  }
+  g_shape_bytes.fetch_sub(kShapeNodeCost, std::memory_order_relaxed);
+  g_shape_count.fetch_sub(1, std::memory_order_relaxed);
+}
 
 void Shape::FlatTable::insert(js::Atom key, std::int32_t slot) {
   std::size_t i = key.hash() & mask;
@@ -40,14 +73,61 @@ const Shape* Shape::transition(js::Atom key) const {
   const std::lock_guard lock(transitions_mutex_);
   auto& slot = transitions_[key];
   if (!slot) {
-    // Shapes are process-lifetime; charge the run that forces a fresh
-    // transition (the 10k-distinct-property amplifier) through the
-    // thread-local ledger. A trip leaves the empty map slot in place —
-    // retried transitions simply fill it later.
+    // Charge the run that forces a fresh transition (the 10k-distinct-
+    // property amplifier) through the thread-local ledger. A trip leaves
+    // the empty map slot in place — retried transitions simply fill it
+    // later.
     AllocationLedger::charge_current(sizeof(Shape) + 64);
     slot.reset(new Shape(this, key));
   }
+  // Epoch stamp under this shape's mutex: the reclamation pass reads it
+  // under the same mutex, so a racing prune either sees the fresh stamp or
+  // finishes first (and this call recreates the child).
+  slot->touch_epoch_.store(EpochDomain::global().current(),
+                           std::memory_order_relaxed);
   return slot.get();
+}
+
+std::size_t Shape::reclaim_unused(std::uint64_t min_pinned) {
+  const std::size_t before = g_shape_bytes.load(std::memory_order_relaxed);
+  root()->prune_children(min_pinned);
+  const std::size_t after = g_shape_bytes.load(std::memory_order_relaxed);
+  return before > after ? before - after : 0;
+}
+
+std::size_t Shape::live_bytes() {
+  return g_shape_bytes.load(std::memory_order_relaxed);
+}
+
+std::size_t Shape::live_count() {
+  return g_shape_count.load(std::memory_order_relaxed);
+}
+
+void Shape::prune_children(std::uint64_t min_pinned) const {
+  const std::lock_guard lock(transitions_mutex_);
+  for (auto it = transitions_.begin(); it != transitions_.end();) {
+    const Shape* child = it->second.get();
+    // A null slot is a ledger-tripped transition() that never built its
+    // shape (see transition()); the empty map entry is all there is to free.
+    if (child == nullptr || child->subtree_touched_before(min_pinned)) {
+      it = transitions_.erase(it);  // unique_ptr frees the whole subtree
+    } else {
+      child->prune_children(min_pinned);
+      ++it;
+    }
+  }
+}
+
+bool Shape::subtree_touched_before(std::uint64_t min_pinned) const {
+  if (touch_epoch_.load(std::memory_order_relaxed) >= min_pinned) return false;
+  const std::lock_guard lock(transitions_mutex_);
+  for (const auto& [key, child] : transitions_) {
+    // Null slots (tripped transitions) hold nothing a session can reach.
+    if (child != nullptr && !child->subtree_touched_before(min_pinned)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 std::int32_t Shape::slot_of_slow(js::Atom key) const {
@@ -103,6 +183,10 @@ const Shape::FlatTable* Shape::ensure_flat() const {
   if (flat_.compare_exchange_strong(expected, fresh.get(),
                                     std::memory_order_release,
                                     std::memory_order_acquire)) {
+    g_shape_bytes.fetch_add(
+        sizeof(FlatTable) + fresh->table.capacity() * sizeof(FlatTable::Entry) +
+            fresh->keys.capacity() * sizeof(js::Atom),
+        std::memory_order_relaxed);
     return fresh.release();
   }
   // Another thread won the install; ours is discarded — refund the charge.

@@ -34,9 +34,19 @@ namespace jsceres::interp {
 /// (guarded by a per-shape mutex) and the lazily installed flat table
 /// (atomic pointer, installed at most once via CAS; losers discard their
 /// candidate). Interpreters on different threads may grow the tree and
-/// flatten shapes concurrently; steady-state reads never take a lock. The
-/// tree lives for the process lifetime — shapes are never reclaimed, so
-/// cached `const Shape*` values can never dangle.
+/// flatten shapes concurrently; steady-state reads never take a lock.
+///
+/// Lifetime: by default the tree only grows, so cached `const Shape*`
+/// values can never dangle — the right contract for one-shot runs. A
+/// resident service additionally runs `reclaim_unused(min_pinned)` at
+/// session boundaries: every `transition()` stamps the returned shape with
+/// the global epoch, and a subtree whose newest stamp predates the oldest
+/// live session pin is provably unreachable (an interpreter can only hold
+/// a shape it obtained through `transition()` during its own pinned
+/// lifetime, and `slot_of`/flat-table walks only go *up* the chain), so
+/// the pass frees it. Ordering contract: run shape reclamation *before*
+/// `EpochDomain::reclaim()` in the same pass, so shapes keyed by retired
+/// atoms are destroyed before those atoms' table slots are recycled.
 class Shape {
  public:
   /// Chains longer than this flatten on their second lookup (the first
@@ -71,7 +81,19 @@ class Shape {
     return flat_.load(std::memory_order_acquire) != nullptr;
   }
 
-  ~Shape() { delete flat_.load(std::memory_order_acquire); }
+  /// Free every transition subtree whose newest epoch stamp is strictly
+  /// below `min_pinned` (see the class comment for why that is safe).
+  /// Returns the bytes released. Call with `EpochDomain::min_pinned()`.
+  static std::size_t reclaim_unused(std::uint64_t min_pinned);
+
+  /// Bytes held by live Shape nodes + installed flat tables, process-wide
+  /// (the memory governor's shape-tree input).
+  static std::size_t live_bytes();
+
+  /// Live shape-node count (root included; diagnostics/tests).
+  static std::size_t live_count();
+
+  ~Shape();
 
  private:
   /// Materialized slot table: `keys` in insertion (slot) order for
@@ -99,12 +121,19 @@ class Shape {
     void rehash(std::size_t capacity);
   };
 
-  Shape() = default;
-  Shape(const Shape* parent, js::Atom key)
-      : key_(key), slot_(parent->depth_), depth_(parent->depth_ + 1), parent_(parent) {}
+  Shape();
+  Shape(const Shape* parent, js::Atom key);
 
   std::int32_t slot_of_slow(js::Atom key) const;
   const FlatTable* ensure_flat() const;
+
+  /// Reclamation walk (locks parent before child, the only ordering used):
+  /// erase children whose whole subtree predates `min_pinned`, recurse into
+  /// the survivors.
+  void prune_children(std::uint64_t min_pinned) const;
+  /// True when this shape and every descendant was last touched before
+  /// `min_pinned` (i.e. the subtree is reclaimable).
+  [[nodiscard]] bool subtree_touched_before(std::uint64_t min_pinned) const;
 
   js::Atom key_;             // the property this link appends (root: unused)
   std::uint32_t slot_ = 0;   // key_'s slot index (== parent->depth_)
@@ -112,6 +141,10 @@ class Shape {
   const Shape* parent_ = nullptr;
   mutable std::atomic<const FlatTable*> flat_{nullptr};
   mutable std::atomic<std::uint16_t> lookups_{0};
+  /// Global epoch at the last transition() that returned this shape; every
+  /// holder of a `const Shape*` obtained it (directly or via an object/IC
+  /// it built) through such a call during its own pinned session.
+  mutable std::atomic<std::uint64_t> touch_epoch_{0};
   mutable std::mutex transitions_mutex_;
   mutable std::unordered_map<js::Atom, std::unique_ptr<Shape>> transitions_;
 };

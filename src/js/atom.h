@@ -1,22 +1,39 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 
 namespace jsceres::js {
 
 namespace detail {
-/// Immutable backing record of one interned string. Lives forever in the
-/// process-wide atom table; Atom handles are raw pointers into it, so
-/// equality is pointer identity and the hash is computed exactly once.
+/// Backing record of one interned string in the process-wide atom table.
+/// Atom handles are raw pointers into it, so equality is pointer identity
+/// and the hash is computed exactly once.
+///
+/// Lifetime comes in two flavors. Atoms interned outside any AtomScope are
+/// *immortal* (`refs >= kImmortalRefs`) — the one-shot behavior the whole
+/// engine was built on. Atoms first interned under an AtomScope are
+/// *transient*: `refs` counts the scopes (≈ sessions) that touched them,
+/// and when the last one ends the entry is unlinked from the table and its
+/// text freed once the epoch domain says no in-flight reader can remain.
+/// The record itself is recycled through a free list (ids are reused), so
+/// a resident service's atom table stays bounded by its *live* name set.
 struct AtomData {
+  /// Any value at or above this marks the atom immortal. Concurrent
+  /// promotion can race a scope's reference bump by a few counts, so the
+  /// check is a threshold, not an equality.
+  static constexpr std::uint32_t kImmortalRefs = 0x40000000u;
+
   std::shared_ptr<const std::string> text;
   std::size_t hash = 0;
   std::uint32_t id = 0;
+  std::atomic<std::uint32_t> refs{kImmortalRefs};
 };
 }  // namespace detail
 
@@ -26,7 +43,8 @@ struct AtomData {
 /// map lookups reuse the precomputed hash.
 ///
 /// Atoms convert implicitly to `const std::string&` (the table keeps the
-/// text alive for the process lifetime), which keeps printers, reports and
+/// text alive for as long as any scope references the atom — forever, for
+/// atoms interned outside an AtomScope), which keeps printers, reports and
 /// hook consumers source-compatible.
 class Atom {
  public:
@@ -46,7 +64,9 @@ class Atom {
     return data_->text;
   }
   [[nodiscard]] std::size_t hash() const { return data_->hash; }
-  /// Dense id (intern order); stable for the process lifetime.
+  /// Dense id (intern order); stable while the atom is live. A reclaimed
+  /// slot's id is reused, but never while any scope still references it —
+  /// so within one session, ids are unambiguous dedup keys.
   [[nodiscard]] std::uint32_t id() const { return data_->id; }
   [[nodiscard]] bool empty() const { return data_->text->empty(); }
   [[nodiscard]] std::size_t size() const { return data_->text->size(); }
@@ -83,8 +103,52 @@ class Atom {
   const detail::AtomData* data_;
 };
 
-/// Number of atoms interned so far (diagnostics / tests).
+/// Per-session atom lifetime scope (thread-local, like
+/// AllocationLedger::Scope). While a scope is installed on a thread, every
+/// atom interned or looked up on that thread is recorded as *referenced by
+/// this scope*: first-time interns become transient (refcounted) instead of
+/// immortal, and re-finding an existing transient atom adds this scope to
+/// its reference count exactly once. When the scope ends, its references
+/// are dropped; atoms that reach zero are unlinked from the table and their
+/// storage handed to the epoch domain for deferred reclamation.
+///
+/// Threads with no scope installed keep the historical behavior: their
+/// interns are immortal, and a scopeless lookup that hits another session's
+/// transient atom *promotes* it to immortal (the conservative direction —
+/// never reclaim what an untracked holder might keep).
+///
+/// Scopes nest (the previous scope is restored) and must be destroyed on
+/// the thread that created them.
+class AtomScope {
+ public:
+  AtomScope();
+  ~AtomScope();
+  AtomScope(const AtomScope&) = delete;
+  AtomScope& operator=(const AtomScope&) = delete;
+
+  /// The scope installed on the current thread, or nullptr.
+  static AtomScope* current() noexcept;
+
+  /// Distinct transient atoms this scope references (diagnostics/tests).
+  [[nodiscard]] std::size_t touched() const { return touched_.size(); }
+
+  /// Record `data` as referenced by this scope (bumps refs on first note).
+  /// Internal: called by the atom table under its lock, not by users.
+  void note(detail::AtomData* data);
+
+ private:
+  std::unordered_set<detail::AtomData*> touched_;
+  AtomScope* previous_ = nullptr;
+};
+
+/// Number of *live* atoms in the table (interned minus reclaimed).
 std::size_t atom_table_size();
+/// Approximate bytes held by live atoms (record + text + map overhead).
+/// Unlinked entries stop counting here and show up in the epoch domain's
+/// deferred_bytes() until reclaimed.
+std::size_t atom_table_bytes();
+/// Entries unlinked from the table but still awaiting epoch reclamation.
+std::size_t atom_table_retired_pending();
 
 }  // namespace jsceres::js
 

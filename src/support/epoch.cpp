@@ -1,0 +1,10 @@
+#include "support/epoch.h"
+
+namespace jsceres {
+
+EpochDomain& EpochDomain::global() {
+  static EpochDomain* domain = new EpochDomain();  // leaked: see header
+  return *domain;
+}
+
+}  // namespace jsceres

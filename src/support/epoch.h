@@ -1,0 +1,181 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace jsceres {
+
+/// Epoch-based reclamation for the process-lifetime structures a resident
+/// multi-tenant service would otherwise grow without bound (atom table,
+/// shape tree, stamp-arena segment pool).
+///
+/// Protocol: every session pins the global epoch for its lifetime
+/// (`EpochPin` RAII). A structure that wants to free shared state *retires*
+/// it instead — it unlinks the state from every lookup path first (so no
+/// new session can reach it), then hands the actual free to the domain as a
+/// deferred callback stamped with the current epoch. `reclaim()` runs the
+/// callbacks whose epoch is strictly below the oldest pin still alive:
+/// every session that could hold an in-flight raw pointer into the retired
+/// state has ended, so the free cannot dangle.
+///
+/// The domain is deliberately simple — a mutex, a pin multiset, a FIFO of
+/// deferred frees. Pins and retires are per-session events (thousands per
+/// run, not millions per second), so contention is not a concern; what
+/// matters is that the *structures'* hot paths stay lock-free and only the
+/// session-boundary bookkeeping goes through here.
+class EpochDomain {
+ public:
+  using Epoch = std::uint64_t;
+
+  /// The process-wide domain shared by the atom table, the shape tree, and
+  /// the stamp segment pool. Leaked (never destroyed): retire callbacks may
+  /// reference process-lifetime structures with unordered static teardown.
+  static EpochDomain& global();
+
+  /// Current epoch. Advanced at session boundaries, not on a clock.
+  /// Lock-free: hot paths (shape transitions) stamp structures with it.
+  [[nodiscard]] Epoch current() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Bump the epoch (typically: one session just ended). Returns the new
+  /// value.
+  Epoch advance() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// Oldest epoch still pinned by a live session; `current() + 1` when no
+  /// pin is held (everything retired so far is reclaimable).
+  [[nodiscard]] Epoch min_pinned() const {
+    const std::lock_guard lock(mutex_);
+    return min_pinned_locked();
+  }
+
+  /// Register a pin at the current epoch (session start). Returns the
+  /// pinned epoch; pass it back to unpin.
+  Epoch pin() {
+    const std::lock_guard lock(mutex_);
+    const Epoch now = epoch_.load(std::memory_order_relaxed);
+    ++pins_[now];
+    return now;
+  }
+
+  /// Drop a pin previously taken at `epoch` (session end).
+  void unpin(Epoch epoch) {
+    const std::lock_guard lock(mutex_);
+    const auto it = pins_.find(epoch);
+    if (it == pins_.end()) return;  // double-unpin: ignore
+    if (--it->second == 0) pins_.erase(it);
+  }
+
+  /// Defer `free_fn` until every pin at or before the current epoch is
+  /// gone. `bytes` is accounting only (high-water / pressure reporting).
+  /// `free_fn` runs outside the domain lock and may take its structure's
+  /// own locks.
+  void retire(std::size_t bytes, std::function<void()> free_fn) {
+    const std::lock_guard lock(mutex_);
+    deferred_.push_back(Deferred{epoch_.load(std::memory_order_relaxed),
+                                 bytes, std::move(free_fn)});
+    deferred_bytes_ += bytes;
+  }
+
+  /// Run every deferred free whose retire epoch is strictly below the
+  /// oldest live pin. Returns the bytes released. Safe to call from any
+  /// thread; frees run without the domain lock held.
+  ///
+  /// `floor_cap` bounds the floor from above. Callers that run a
+  /// multi-structure pass (prune shapes, then reclaim atoms) must compute
+  /// the floor ONCE and pass it here: sessions ending mid-pass advance the
+  /// epoch, and an uncapped reclaim would free atoms newer than the floor
+  /// the shape prune used — leaving live shape-map entries keyed by
+  /// recycled atoms.
+  std::size_t reclaim(Epoch floor_cap = ~Epoch{0}) {
+    std::vector<Deferred> ready;
+    {
+      const std::lock_guard lock(mutex_);
+      const Epoch floor = std::min(min_pinned_locked(), floor_cap);
+      while (!deferred_.empty() && deferred_.front().epoch < floor) {
+        deferred_bytes_ -= deferred_.front().bytes;
+        ready.push_back(std::move(deferred_.front()));
+        deferred_.pop_front();
+      }
+    }
+    std::size_t freed = 0;
+    for (Deferred& d : ready) {
+      d.free_fn();
+      freed += d.bytes;
+    }
+    if (freed > 0) {
+      const std::lock_guard lock(mutex_);
+      reclaimed_bytes_ += freed;
+    }
+    return freed;
+  }
+
+  // --- diagnostics ---------------------------------------------------------
+
+  /// Bytes sitting on the deferred list, waiting for pins to drain.
+  [[nodiscard]] std::size_t deferred_bytes() const {
+    const std::lock_guard lock(mutex_);
+    return deferred_bytes_;
+  }
+  [[nodiscard]] std::size_t deferred_count() const {
+    const std::lock_guard lock(mutex_);
+    return deferred_.size();
+  }
+  /// Total bytes ever released through reclaim().
+  [[nodiscard]] std::size_t reclaimed_bytes() const {
+    const std::lock_guard lock(mutex_);
+    return reclaimed_bytes_;
+  }
+  [[nodiscard]] std::size_t pinned_count() const {
+    const std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& [epoch, count] : pins_) n += std::size_t(count);
+    return n;
+  }
+
+ private:
+  struct Deferred {
+    Epoch epoch = 0;
+    std::size_t bytes = 0;
+    std::function<void()> free_fn;
+  };
+
+  [[nodiscard]] Epoch min_pinned_locked() const {
+    return pins_.empty() ? epoch_.load(std::memory_order_relaxed) + 1
+                         : pins_.begin()->first;
+  }
+
+  mutable std::mutex mutex_;
+  std::atomic<Epoch> epoch_{1};  // 0 is "never touched" in callers' stamps
+  std::map<Epoch, std::int64_t> pins_;
+  std::deque<Deferred> deferred_;  // FIFO by retire epoch
+  std::size_t deferred_bytes_ = 0;
+  std::size_t reclaimed_bytes_ = 0;
+};
+
+/// RAII pin on a domain for one session's lifetime.
+class EpochPin {
+ public:
+  explicit EpochPin(EpochDomain& domain = EpochDomain::global())
+      : domain_(&domain), epoch_(domain.pin()) {}
+  ~EpochPin() { domain_->unpin(epoch_); }
+  EpochPin(const EpochPin&) = delete;
+  EpochPin& operator=(const EpochPin&) = delete;
+
+  [[nodiscard]] EpochDomain::Epoch epoch() const { return epoch_; }
+
+ private:
+  EpochDomain* domain_;
+  EpochDomain::Epoch epoch_;
+};
+
+}  // namespace jsceres

@@ -1,0 +1,360 @@
+#include "support/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "ceres/char_stack.h"
+#include "interp/shape.h"
+#include "js/atom.h"
+#include "rivertrail/thread_pool.h"
+#include "support/epoch.h"
+
+namespace jsceres {
+
+const char* to_string(ServiceState state) {
+  switch (state) {
+    case ServiceState::Completed:
+      return "completed";
+    case ServiceState::Degraded:
+      return "degraded";
+    case ServiceState::Cancelled:
+      return "cancelled";
+    case ServiceState::TimedOut:
+      return "timed-out";
+    case ServiceState::Quarantined:
+      return "quarantined";
+    case ServiceState::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
+/// Shared completion state of one submitted request. Owned jointly by the
+/// ticket, the admission queue / active set, and the pool task, so it
+/// outlives whichever of them finishes last.
+struct ServiceTicket::Entry {
+  ServiceRequest request;
+  int requested_mode = 3;  // mode the caller asked for, before admission
+  int admitted_mode = 3;   // may be below requested_mode (governor)
+  CancelSource cancel;    // armed per-attempt; watchdog latches Cancelled
+  /// steady_clock ns when the session actually started running; 0 while
+  /// queued. The watchdog keys stuck detection off this.
+  std::atomic<std::int64_t> started_ns{0};
+  std::atomic<bool> watchdog_flagged{false};
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  ServiceOutcome outcome;
+
+  void complete(ServiceOutcome result) {
+    {
+      const std::lock_guard lock(mutex);
+      outcome = std::move(result);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+ServiceOutcome ServiceTicket::wait() const {
+  std::unique_lock lock(entry_->mutex);
+  entry_->cv.wait(lock, [this] { return entry_->done; });
+  return entry_->outcome;
+}
+
+bool ServiceTicket::done() const {
+  const std::lock_guard lock(entry_->mutex);
+  return entry_->done;
+}
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ServiceState from_session_state(SessionState state) {
+  switch (state) {
+    case SessionState::Completed:
+      return ServiceState::Completed;
+    case SessionState::Degraded:
+      return ServiceState::Degraded;
+    case SessionState::Cancelled:
+      return ServiceState::Cancelled;
+    case SessionState::TimedOut:
+      return ServiceState::TimedOut;
+    case SessionState::Quarantined:
+      return ServiceState::Quarantined;
+  }
+  return ServiceState::Quarantined;
+}
+
+}  // namespace
+
+std::size_t AnalysisService::shared_structure_bytes() {
+  return js::atom_table_bytes() + interp::Shape::live_bytes() +
+         ceres::stamp_bytes_live() + EpochDomain::global().deferred_bytes();
+}
+
+std::size_t AnalysisService::run_reclamation_pass() {
+  // One pass at a time, process-wide. Two overlapping passes are unsafe
+  // even though each structure locks itself: pass A's epoch reclaim could
+  // recycle atom slots under a floor that pass B's still-running shape
+  // prune has not applied yet, leaving B to erase shape-map entries whose
+  // keys hash through recycled atom data.
+  static std::mutex pass_mutex;
+  const std::lock_guard lock(pass_mutex);
+  // The floor is computed once and used for BOTH structures: sessions that
+  // end mid-pass advance the epoch, and a refreshed floor in the second
+  // step would free atoms the first step still considered reachable.
+  const auto floor = EpochDomain::global().min_pinned();
+  std::size_t freed = interp::Shape::reclaim_unused(floor);
+  freed += EpochDomain::global().reclaim(floor);
+  return freed;
+}
+
+AnalysisService::AnalysisService(rivertrail::ThreadPool& pool,
+                                 ServiceOptions options)
+    : pool_(&pool),
+      options_(options),
+      governor_(options.governor),
+      supervisor_(pool, options.supervisor) {
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+}
+
+AnalysisService::~AnalysisService() {
+  {
+    const std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  drain();
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+  // Final reclamation: no session is pinned anymore, so everything retired
+  // is reclaimable.
+  EpochDomain::global().advance();
+  run_reclamation_pass();
+}
+
+ServiceTicket AnalysisService::submit(ServiceRequest request) {
+  auto entry = std::make_shared<Entry>();
+  entry->request = std::move(request);
+  entry->requested_mode = entry->request.session.mode;
+  entry->admitted_mode = entry->requested_mode;
+  entry->request.session.cancel = &entry->cancel;
+
+  const auto shed = [&entry](const char* reason) {
+    ServiceOutcome outcome;
+    outcome.state = ServiceState::Shed;
+    outcome.shed_reason = reason;
+    outcome.session.name = entry->request.session.name;
+    entry->complete(std::move(outcome));
+    return ServiceTicket(entry);
+  };
+
+  const std::lock_guard lock(mutex_);
+  ++submitted_;
+  if (shutting_down_) {
+    ++shed_shutdown_;
+    return shed("shutdown");
+  }
+
+  const bool can_run_now =
+      active_.size() < options_.max_active &&
+      tenant_active_[entry->request.tenant] < options_.max_per_tenant;
+  // Queue capacity is checked before the governor so a queue-full shed
+  // leaves no reservation to unwind.
+  if (!can_run_now && queue_.size() >= options_.max_queue) {
+    ++shed_queue_full_;
+    return shed("queue-full");
+  }
+
+  switch (governor_.admit(entry->request.memory_estimate,
+                          shared_structure_bytes())) {
+    case AdmitDecision::Shed:
+      ++shed_memory_;
+      return shed("memory-pressure");
+    case AdmitDecision::Degrade:
+      // Admit one rung down: the paper's ladder (3 -> 1 -> 0), entered
+      // lower so the session's instrumentation footprint shrinks with the
+      // process's memory headroom. The supervisor may still degrade
+      // further on its own.
+      if (entry->admitted_mode > 0) {
+        entry->admitted_mode = entry->admitted_mode >= 3 ? 1 : 0;
+        ++degraded_admissions_;
+      }
+      break;
+    case AdmitDecision::Admit:
+      break;
+  }
+  entry->request.session.mode = entry->admitted_mode;
+
+  if (can_run_now) {
+    dispatch_locked(entry);
+  } else {
+    queue_.push_back(entry);
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
+  return ServiceTicket(entry);
+}
+
+void AnalysisService::dispatch_locked(const std::shared_ptr<Entry>& entry) {
+  active_.push_back(entry);
+  active_high_water_ = std::max(active_high_water_, active_.size());
+  ++tenant_active_[entry->request.tenant];
+  pool_->submit([this, entry] { run_entry(entry); });
+}
+
+void AnalysisService::run_entry(const std::shared_ptr<Entry>& entry) {
+  entry->started_ns.store(now_ns(), std::memory_order_release);
+
+  ServiceOutcome outcome;
+  {
+    // Pin first, scope second: the scope's destructor retires dead atoms
+    // at the then-current epoch, and it must run while our pin ordering is
+    // irrelevant but *before* the unpin so reverse destruction keeps the
+    // session's own lookups safe to the last instruction.
+    const EpochPin pin;
+    const js::AtomScope scope;
+    outcome.session = supervisor_.run_one(entry->request.session);
+  }
+
+  outcome.state = from_session_state(outcome.session.state);
+  if (outcome.session.state == SessionState::Cancelled &&
+      entry->watchdog_flagged.load(std::memory_order_acquire)) {
+    // The cancel was the watchdog's, not a caller's: the session was stuck
+    // and has been forcibly reclaimed — that is a quarantine.
+    outcome.state = ServiceState::Quarantined;
+    outcome.watchdog_quarantined = true;
+  } else if (outcome.session.state == SessionState::Completed &&
+             entry->admitted_mode < entry->requested_mode) {
+    outcome.state = ServiceState::Degraded;  // admission already degraded it
+  }
+
+  finish_entry(entry, outcome.session.peak_bytes);
+  entry->complete(std::move(outcome));
+}
+
+void AnalysisService::finish_entry(const std::shared_ptr<Entry>& entry,
+                                   std::size_t peak_bytes) {
+  governor_.release(entry->request.memory_estimate, peak_bytes);
+  EpochDomain::global().advance();
+
+  bool run_reclaim = false;
+  std::shared_ptr<Entry> next;
+  {
+    const std::lock_guard lock(mutex_);
+    active_.erase(std::remove(active_.begin(), active_.end(), entry),
+                  active_.end());
+    const auto it = tenant_active_.find(entry->request.tenant);
+    if (it != tenant_active_.end() && --it->second == 0) {
+      tenant_active_.erase(it);
+    }
+    ++completed_;
+    if (++completions_since_reclaim_ >= options_.reclaim_every) {
+      completions_since_reclaim_ = 0;
+      run_reclaim = true;
+    }
+    // Dispatch the next eligible queued request (FIFO, skipping requests
+    // whose tenant is at its cap — they keep their queue position).
+    if (active_.size() < options_.max_active) {
+      for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+        if (tenant_active_[(*qit)->request.tenant] < options_.max_per_tenant) {
+          next = *qit;
+          queue_.erase(qit);
+          break;
+        }
+      }
+      if (next != nullptr) dispatch_locked(next);
+    }
+    if (queue_.empty() && active_.empty()) idle_cv_.notify_all();
+  }
+
+  if (run_reclaim) {
+    const std::size_t freed = run_reclamation_pass();
+    const std::lock_guard lock(mutex_);
+    reclaimed_bytes_ += freed;
+  }
+}
+
+void AnalysisService::drain() {
+  // Help the pool while waiting: drain() may be called from a thread the
+  // sessions' own parallel work would otherwise like to use, and helping
+  // keeps a single-worker pool deadlock-free.
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      if (queue_.empty() && active_.empty()) return;
+      if (idle_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                            [this] { return queue_.empty() && active_.empty(); })) {
+        return;
+      }
+    }
+    pool_->try_run_one();
+  }
+}
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats out;
+  {
+    const std::lock_guard lock(mutex_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.shed_queue_full = shed_queue_full_;
+    out.shed_memory = shed_memory_;
+    out.shed_shutdown = shed_shutdown_;
+    out.degraded_admissions = degraded_admissions_;
+    out.watchdog_quarantines = watchdog_quarantines_;
+    out.queue_depth = queue_.size();
+    out.active_sessions = active_.size();
+    out.queue_high_water = queue_high_water_;
+    out.active_high_water = active_high_water_;
+    out.reclaimed_bytes = reclaimed_bytes_;
+  }
+  out.governor_reserved_bytes = governor_.reserved_bytes();
+  out.governor_high_water_bytes = governor_.high_water_bytes();
+  out.shared_structure_bytes = shared_structure_bytes();
+  return out;
+}
+
+void AnalysisService::watchdog_main() {
+  for (;;) {
+    {
+      std::unique_lock lock(watchdog_mutex_);
+      watchdog_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.watchdog_interval_ms),
+          [this] { return watchdog_stop_; });
+      if (watchdog_stop_) return;
+    }
+    if (options_.watchdog_stuck_ms <= 0) continue;
+    const std::int64_t now = now_ns();
+    const std::int64_t stuck_ns = options_.watchdog_stuck_ms * 1'000'000;
+    const std::lock_guard lock(mutex_);
+    for (const auto& entry : active_) {
+      const std::int64_t started =
+          entry->started_ns.load(std::memory_order_acquire);
+      if (started == 0 || now - started < stuck_ns) continue;
+      if (entry->watchdog_flagged.exchange(true, std::memory_order_acq_rel)) {
+        continue;  // already flagged on a previous scan
+      }
+      // Explicit cancel, not a deadline: the supervisor's reset() clears
+      // deadline expiries between attempts, but an explicit cancel is
+      // sticky — the stuck session cannot resurrect itself by retrying.
+      entry->cancel.request_cancel();
+      ++watchdog_quarantines_;
+    }
+  }
+}
+
+}  // namespace jsceres

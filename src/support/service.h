@@ -1,0 +1,216 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "support/cancel.h"
+#include "support/govern.h"
+#include "support/supervisor.h"
+
+namespace jsceres {
+
+/// Terminal state of a service request. Extends SessionState with the one
+/// outcome only the ingress layer can produce: Shed — the request was
+/// rejected at admission (queue full, memory ceiling, shutdown) and never
+/// became a session. A shed is structured and immediate: submit() never
+/// blocks the caller and a ticket for a shed request is already complete.
+enum class ServiceState : std::uint8_t {
+  Completed,
+  Degraded,     // answered below the requested mode (ladder or admission)
+  Cancelled,
+  TimedOut,
+  Quarantined,  // includes sessions the watchdog declared stuck
+  Shed,
+};
+
+const char* to_string(ServiceState state);
+
+/// One tenant-attributed unit of ingress work.
+struct ServiceRequest {
+  SessionRequest session;
+  /// Tenant key for the per-tenant concurrency cap (empty: the anonymous
+  /// tenant, still capped as one tenant).
+  std::string tenant;
+  /// Bytes the governor reserves at admission; reconciled against the
+  /// session's measured peak on release. Callers that underestimate show up
+  /// in MemoryGovernor::max_underestimate().
+  std::size_t memory_estimate = 1u << 20;
+};
+
+/// The structured result every submit() eventually yields — shed or served,
+/// never a hang and never an exception.
+struct ServiceOutcome {
+  ServiceState state = ServiceState::Shed;
+  /// Why admission rejected this request ("queue-full", "memory-pressure",
+  /// "shutdown"); empty when the request became a session.
+  std::string shed_reason;
+  /// True when the watchdog cancelled the session for running past the
+  /// stuck threshold (state reads Quarantined).
+  bool watchdog_quarantined = false;
+  /// The supervised session result; default-constructed for a shed.
+  SessionOutcome session;
+};
+
+class AnalysisService;
+
+/// Completion handle for one submitted request. wait() blocks until the
+/// outcome is final; a shed ticket is complete before submit() returns.
+class ServiceTicket {
+ public:
+  /// Block until the outcome is final, then return a copy. By value on
+  /// purpose: the ticket is the outcome's only owner, so a reference would
+  /// dangle in the natural one-liner `service.submit(...).wait()`.
+  ServiceOutcome wait() const;
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class AnalysisService;
+  struct Entry;
+  explicit ServiceTicket(std::shared_ptr<Entry> entry)
+      : entry_(std::move(entry)) {}
+
+  std::shared_ptr<Entry> entry_;
+};
+
+struct ServiceOptions {
+  /// Sessions running concurrently (each occupies one pool task).
+  std::size_t max_active = 4;
+  /// Bounded admission queue; a submit that finds it full is shed.
+  std::size_t max_queue = 16;
+  /// Concurrent sessions per tenant; excess requests queue behind the cap
+  /// even when global capacity is free.
+  std::size_t max_per_tenant = 2;
+  /// Memory governor knobs (ceiling 0: admission never sheds on memory).
+  MemoryGovernor::Options governor;
+  /// Watchdog scan period; 0 disables the watchdog thread.
+  std::int64_t watchdog_interval_ms = 0;
+  /// Wall time after which a running session is declared stuck and
+  /// cancelled (sticky — it wins over any retry rung). 0 with a nonzero
+  /// interval means the watchdog only maintains diagnostics.
+  std::int64_t watchdog_stuck_ms = 0;
+  /// Run the reclamation pass (shape prune, then epoch reclaim) every N
+  /// session completions. The pass is amortized bookkeeping, not a GC
+  /// pause: it frees only state no live session can reach.
+  std::size_t reclaim_every = 8;
+  SupervisorOptions supervisor;
+};
+
+/// Point-in-time service counters (all monotonic except the gauges).
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;   // sessions that ran to a terminal outcome
+  std::size_t shed_queue_full = 0;
+  std::size_t shed_memory = 0;
+  std::size_t shed_shutdown = 0;
+  std::size_t degraded_admissions = 0;  // admitted below the asked mode
+  std::size_t watchdog_quarantines = 0;
+  std::size_t queue_depth = 0;         // gauge
+  std::size_t active_sessions = 0;     // gauge
+  std::size_t queue_high_water = 0;
+  std::size_t active_high_water = 0;
+  std::size_t governor_reserved_bytes = 0;   // gauge
+  std::size_t governor_high_water_bytes = 0;
+  std::size_t shared_structure_bytes = 0;    // gauge (atoms+shapes+stamps)
+  std::size_t reclaimed_bytes = 0;  // total freed by reclamation passes
+};
+
+/// Ingress front-end of the resident analysis service: a bounded admission
+/// queue over SessionSupervisor with memory-governed admission, per-tenant
+/// concurrency caps, a stuck-session watchdog, and epoch-scoped global
+/// state so the process does not accrete atoms/shapes/stamp segments across
+/// tenants.
+///
+/// Structure: submit() decides synchronously — shed (structured, instant),
+/// run now (a pool task is dispatched inline), or queue (bounded). There is
+/// no dispatcher thread: the completion handler of each finishing session
+/// dispatches the next eligible queued request, so the service is driven
+/// entirely by the pool it already shares with the sessions' own parallel
+/// work. Each running session holds an epoch pin and a thread-local
+/// AtomScope; completion releases both, advances the epoch, and (amortized)
+/// runs shape pruning before epoch reclamation — the documented ordering
+/// that lets atom slots recycle safely.
+class AnalysisService {
+ public:
+  AnalysisService(rivertrail::ThreadPool& pool, ServiceOptions options = {});
+  /// Drains (queued requests still run; new submits shed with "shutdown"),
+  /// stops the watchdog, and runs a final reclamation pass.
+  ~AnalysisService();
+
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Admit, queue, or shed `request`. Never blocks on capacity: the worst
+  /// case is an immediate structured Shed. The returned ticket's wait() is
+  /// the only blocking point, and only for admitted requests.
+  ServiceTicket submit(ServiceRequest request);
+
+  /// Block until every admitted request has a final outcome.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+  [[nodiscard]] MemoryGovernor& governor() { return governor_; }
+
+  /// Bytes held by the process-wide shared structures the governor folds
+  /// into pressure: atom table + shape tree + stamp segments + frees still
+  /// deferred on the epoch domain.
+  static std::size_t shared_structure_bytes();
+
+  /// One serialized reclamation pass over every shared structure: computes
+  /// the epoch floor once, prunes the shape tree with it, then reclaims the
+  /// epoch domain capped to the SAME floor. Passes from different threads
+  /// are mutually exclusive — interleaving them would let one thread's atom
+  /// recycling overtake another thread's shape prune and resurrect the
+  /// shapes-before-atoms ordering hazard (see interp/shape.h). Returns the
+  /// bytes freed.
+  static std::size_t run_reclamation_pass();
+
+ private:
+  using Entry = ServiceTicket::Entry;
+
+  void dispatch_locked(const std::shared_ptr<Entry>& entry);
+  void run_entry(const std::shared_ptr<Entry>& entry);
+  void finish_entry(const std::shared_ptr<Entry>& entry,
+                    std::size_t peak_bytes);
+  void watchdog_main();
+
+  rivertrail::ThreadPool* pool_;
+  ServiceOptions options_;
+  MemoryGovernor governor_;
+  SessionSupervisor supervisor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;  // drain(): queue and active both empty
+  std::deque<std::shared_ptr<Entry>> queue_;
+  std::vector<std::shared_ptr<Entry>> active_;
+  std::unordered_map<std::string, std::size_t> tenant_active_;
+  bool shutting_down_ = false;
+
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t shed_queue_full_ = 0;
+  std::size_t shed_memory_ = 0;
+  std::size_t shed_shutdown_ = 0;
+  std::size_t degraded_admissions_ = 0;
+  std::size_t watchdog_quarantines_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::size_t active_high_water_ = 0;
+  std::size_t completions_since_reclaim_ = 0;
+  std::size_t reclaimed_bytes_ = 0;
+
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace jsceres

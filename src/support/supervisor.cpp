@@ -123,6 +123,7 @@ AttemptSuccess run_builtin_attempt(const SessionRequest& request, int mode,
   success.console = interp.console_output();
   success.cpu_ns = clock.cpu_ns();
   success.wall_ns = clock.wall_ns();
+  success.peak_bytes = interp.ledger().peak();
   return success;
 }
 
@@ -169,6 +170,7 @@ AttemptClass run_attempt(const SessionRequest& request, int mode,
   record.outcome = keyword(result);
   record.cpu_ns = success.cpu_ns;
   record.wall_ns = success.wall_ns;
+  record.peak_bytes = success.peak_bytes;
   return result;
 }
 
@@ -224,6 +226,7 @@ SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
     outcome.error = record.error;
     outcome.cpu_ns = record.cpu_ns;
     outcome.wall_ns = record.wall_ns;
+    outcome.peak_bytes = std::max(outcome.peak_bytes, record.peak_bytes);
 
     switch (result) {
       case AttemptClass::Ok:

@@ -37,6 +37,7 @@ struct AttemptRecord {
   std::string error;  // empty for "ok"
   std::int64_t cpu_ns = 0;
   std::int64_t wall_ns = 0;
+  std::size_t peak_bytes = 0;  // attempt's ledger high-water mark
 };
 
 /// Structured per-session result: the state, the mode that finally answered,
@@ -55,6 +56,10 @@ struct SessionOutcome {
   std::string error;
   std::int64_t cpu_ns = 0;
   std::int64_t wall_ns = 0;
+  /// Largest per-attempt ledger high-water mark — what the session really
+  /// cost in sandbox bytes (the memory governor reconciles its admission
+  /// estimate against this on release).
+  std::size_t peak_bytes = 0;
   bool runtime_fault = false;
 };
 
@@ -85,6 +90,7 @@ struct AttemptSuccess {
   std::string console;
   std::int64_t cpu_ns = 0;
   std::int64_t wall_ns = 0;
+  std::size_t peak_bytes = 0;  // ledger high-water mark of the attempt
 };
 
 /// One analysis session: a program, its sandbox, its time bounds, and its

@@ -17,8 +17,11 @@
 
 #include "interp/interpreter.h"
 #include "interp/shape.h"
+#include "js/atom.h"
 #include "js/parser.h"
 #include "support/clock.h"
+#include "support/epoch.h"
+#include "support/service.h"
 
 namespace {
 std::atomic<std::int64_t> g_alloc_count{0};
@@ -136,6 +139,128 @@ TEST(PolymorphicIC, SustainedThrashGoesMegamorphicAndStaysCorrect) {
   EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(objs[0])}).as_number(), 0);
   EXPECT_DOUBLE_EQ(interp.call(get, Value::undefined(), {Value::object(objs[7])}).as_number(), 7);
   EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+}
+
+TEST(PolymorphicIC, MegamorphicReadSiteRecachesAfterStableStreak) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  // Parade 16 distinct shapes through the site to trip it megamorphic.
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr obj = interp.make_object();
+    for (int pad = 0; pad < i; ++pad) {
+      obj->set_property("rc_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                        Value::number(0));
+    }
+    obj->set_property("p", Value::number(i));
+    objs.push_back(std::move(obj));
+  }
+  for (int i = 0; i < 16; ++i) {
+    interp.call(get, Value::undefined(), {Value::object(objs[std::size_t(i)])});
+  }
+  ASSERT_TRUE(interp.debug_read_ic(0).megamorphic);
+
+  // A stable shape (distinct from the parade's last) must survive
+  // kRecacheHits - 1 = 15 generic accesses without flipping the site...
+  const ObjPtr stable = object_with_keys(interp, {"s1", "p"});
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(
+        interp.call(get, Value::undefined(), {Value::object(stable)}).as_number(), 2);
+    EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+    EXPECT_EQ(interp.debug_read_ic(0).ways, 0);
+  }
+  // ...and the 16th consecutive access re-caches: the site leaves the
+  // megamorphic state and that same access installs its way.
+  EXPECT_DOUBLE_EQ(
+      interp.call(get, Value::undefined(), {Value::object(stable)}).as_number(), 2);
+  auto dbg = interp.debug_read_ic(0);
+  EXPECT_FALSE(dbg.megamorphic);
+  EXPECT_EQ(dbg.ways, 1);
+  EXPECT_EQ(dbg.shapes[0], stable->shape());
+
+  // The recovered cache serves hits again, and can grow polymorphic anew.
+  EXPECT_DOUBLE_EQ(
+      interp.call(get, Value::undefined(), {Value::object(objs[0])}).as_number(), 0);
+  dbg = interp.debug_read_ic(0);
+  EXPECT_FALSE(dbg.megamorphic);
+  EXPECT_EQ(dbg.ways, 2);
+  EXPECT_EQ(dbg.shapes[0], objs[0]->shape());
+  EXPECT_EQ(dbg.shapes[1], stable->shape());
+}
+
+TEST(PolymorphicIC, AlternatingShapesNeverAssembleRecacheStreak) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr obj = interp.make_object();
+    for (int pad = 0; pad < i; ++pad) {
+      obj->set_property("alt_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                        Value::number(0));
+    }
+    obj->set_property("p", Value::number(i));
+    objs.push_back(std::move(obj));
+  }
+  for (int i = 0; i < 16; ++i) {
+    interp.call(get, Value::undefined(), {Value::object(objs[std::size_t(i)])});
+  }
+  ASSERT_TRUE(interp.debug_read_ic(0).megamorphic);
+
+  // A genuinely bimorphic thrash resets the streak on every flip: far more
+  // than kRecacheHits total accesses, never kRecacheHits consecutive.
+  for (int round = 0; round < 40; ++round) {
+    const ObjPtr& obj = objs[std::size_t(round % 2)];
+    EXPECT_DOUBLE_EQ(
+        interp.call(get, Value::undefined(), {Value::object(obj)}).as_number(),
+        round % 2);
+  }
+  EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+  EXPECT_EQ(interp.debug_read_ic(0).ways, 0);
+}
+
+TEST(PolymorphicIC, MegamorphicWriteSiteRecachesAfterStableStreak) {
+  static js::Program program = js::parse("function put(o, v) { o.p = v; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value put = interp.global("put");
+
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr obj = interp.make_object();
+    for (int pad = 0; pad < i + 1; ++pad) {
+      obj->set_property("wr_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                        Value::number(0));
+    }
+    obj->set_property("p", Value::number(i));
+    objs.push_back(std::move(obj));
+  }
+  for (int i = 0; i < 16; ++i) {
+    interp.call(put, Value::undefined(),
+                {Value::object(objs[std::size_t(i)]), Value::number(i)});
+  }
+  ASSERT_TRUE(interp.debug_write_ic(0).megamorphic);
+
+  // 16 consecutive in-place stores through one shape re-cache the site.
+  const ObjPtr stable = object_with_keys(interp, {"ws", "p"});
+  for (int i = 0; i < 16; ++i) {
+    interp.call(put, Value::undefined(),
+                {Value::object(stable), Value::number(100 + i)});
+  }
+  const auto dbg = interp.debug_write_ic(0);
+  EXPECT_FALSE(dbg.megamorphic);
+  EXPECT_EQ(dbg.ways, 1);
+  EXPECT_EQ(dbg.shapes[0], stable->shape());
+  EXPECT_FALSE(dbg.is_transition[0]);
+  EXPECT_DOUBLE_EQ(stable->own_property(std::string("p"))->as_number(), 115);
 }
 
 TEST(PolymorphicIC, WriteSiteCachesTransitionTarget) {
@@ -263,6 +388,81 @@ TEST(IncrementalShape, ConcurrentTransitionGrowthIsRaceFreeAndDeduplicated) {
   for (int i = 0; i < kDepth; ++i) {
     EXPECT_EQ(results[0]->slot_of(shared_keys[std::size_t(i)]), i);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Atom table under concurrent sessions. Eight threads cycle epoch-pinned
+// AtomScopes, racing interns of shared and private names against lookups
+// and against full reclamation passes issued from the workers themselves —
+// the resident service's steady state, compressed. Runs under TSan in CI.
+// ---------------------------------------------------------------------------
+
+TEST(AtomTorture, ConcurrentScopedInternLookupAndReclaim) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 60;
+  constexpr int kSharedNames = 8;
+  constexpr int kPrivateNames = 8;
+
+  // Materialize the lazily-interned (immortal) empty atom first so the
+  // before/after comparison sees only the torture's own atoms.
+  const js::Atom empty_atom;
+  ASSERT_TRUE(empty_atom.empty());
+  const std::size_t baseline = js::atom_table_size();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        // One scope per iteration = one session: its transient atoms retire
+        // when it ends, racing the other threads' live scopes.
+        const EpochPin pin;
+        const js::AtomScope scope;
+
+        // Shared names: every thread interns the same spellings, racing
+        // scope-reference bumps on one entry.
+        for (int k = 0; k < kSharedNames; ++k) {
+          const std::string text = "torture_shared_" + std::to_string(k);
+          const js::Atom atom = js::Atom::intern(text);
+          EXPECT_EQ(atom.str(), text);
+          js::Atom found;
+          ASSERT_TRUE(js::Atom::try_find(text, &found));
+          EXPECT_EQ(found, atom);  // identity: one entry per spelling
+        }
+        // Private names: unique per (thread, iteration), so every iteration
+        // retires its own batch and the table must not accrete them.
+        for (int k = 0; k < kPrivateNames; ++k) {
+          const std::string text = "torture_t" + std::to_string(t) + "_i" +
+                                   std::to_string(iter) + "_" + std::to_string(k);
+          const js::Atom atom = js::Atom::intern(text);
+          EXPECT_EQ(atom.str(), text);
+          EXPECT_EQ(atom, js::Atom::intern(text));  // re-intern dedups
+        }
+        // Misses must stay misses (and not disturb concurrent interns).
+        js::Atom missing;
+        EXPECT_FALSE(js::Atom::try_find(
+            "torture_never_" + std::to_string(t) + "_" + std::to_string(iter),
+            &missing));
+        EXPECT_GE(scope.touched(), std::size_t(kSharedNames + kPrivateNames));
+
+        // A few workers run the full serialized reclamation pass mid-flight,
+        // racing everyone else's pinned lookups. It may free nothing (our
+        // own pin holds the floor down) — the point is that it's safe.
+        if ((iter + t) % 16 == 0) {
+          EpochDomain::global().advance();
+          AnalysisService::run_reclamation_pass();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // All scopes are gone: one final pass must reclaim every transient atom
+  // the torture created — the table returns to its pre-test size.
+  EpochDomain::global().advance();
+  AnalysisService::run_reclamation_pass();
+  EXPECT_LE(js::atom_table_size(), baseline);
+  EXPECT_EQ(js::atom_table_retired_pending(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,304 @@
+// AnalysisService: the resident multi-tenant ingress front-end. Admission
+// (run / queue / structured shed), per-tenant concurrency caps, the memory
+// governor's degrade/shed ladder and estimate reconciliation, the stuck-
+// session watchdog, and end-to-end epoch reclamation of the shared
+// structures once the service drains. This binary runs under the TSan and
+// ASan CI jobs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interp/shape.h"
+#include "js/atom.h"
+#include "rivertrail/thread_pool.h"
+#include "support/cancel.h"
+#include "support/epoch.h"
+#include "support/service.h"
+
+namespace jsceres {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A latch the test holds closed while it inspects the service mid-flight;
+/// gated attempts block on it (observing their cancel token, so a watchdog
+/// or shutdown can still reclaim them).
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void release() {
+    {
+      const std::lock_guard lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+
+  /// Block until release() or cancellation (which throws, so the supervisor
+  /// classifies the attempt instead of the service hanging forever).
+  void wait(CancelToken token) {
+    entered.fetch_add(1, std::memory_order_release);
+    std::unique_lock lock(mutex);
+    while (!open) {
+      token.raise_if_cancelled();
+      cv.wait_for(lock, 1ms);
+    }
+  }
+
+  /// Test-side: wait (bounded) until `n` attempts are parked on the gate.
+  [[nodiscard]] bool await_entered(int n) const {
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (entered.load(std::memory_order_acquire) >= n) return true;
+      std::this_thread::sleep_for(1ms);
+    }
+    return false;
+  }
+};
+
+ServiceRequest gated_request(std::string name, std::string tenant, Gate& gate) {
+  ServiceRequest request;
+  request.session.name = std::move(name);
+  request.tenant = std::move(tenant);
+  request.memory_estimate = 1u << 10;
+  request.session.attempt = [&gate](const SessionRequest&, int,
+                                    const EngineLimits&, std::int64_t,
+                                    CancelToken token) -> AttemptSuccess {
+    gate.wait(token);
+    AttemptSuccess success;
+    success.console = "ran";
+    return success;
+  };
+  return request;
+}
+
+TEST(Service, AdmissionRunsQueuesAndShedsStructured) {
+  rivertrail::ThreadPool pool(2);
+  ServiceOptions options;
+  options.max_active = 1;
+  options.max_queue = 1;
+  Gate gate;
+  {
+    AnalysisService service(pool, options);
+    ServiceTicket first = service.submit(gated_request("first", "t", gate));
+    ASSERT_TRUE(gate.await_entered(1));
+    ServiceTicket queued = service.submit(gated_request("queued", "t", gate));
+
+    // Queue full: the third submit is shed synchronously — its ticket is
+    // already complete (never a hang) with a structured reason.
+    ServiceTicket shed = service.submit(gated_request("shed-me", "t", gate));
+    EXPECT_TRUE(shed.done());
+    const ServiceOutcome& shed_outcome = shed.wait();
+    EXPECT_EQ(shed_outcome.state, ServiceState::Shed);
+    EXPECT_EQ(shed_outcome.shed_reason, "queue-full");
+    EXPECT_EQ(shed_outcome.session.name, "shed-me");
+
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 3u);
+    EXPECT_EQ(stats.shed_queue_full, 1u);
+    EXPECT_EQ(stats.active_sessions, 1u);
+    EXPECT_EQ(stats.queue_depth, 1u);
+
+    // Open the gate: the active session completes and its completion
+    // handler dispatches the queued one (no dispatcher thread to wake).
+    gate.release();
+    EXPECT_EQ(first.wait().state, ServiceState::Completed);
+    EXPECT_EQ(queued.wait().state, ServiceState::Completed);
+    service.drain();
+    stats = service.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_EQ(stats.queue_high_water, 1u);
+  }
+}
+
+TEST(Service, PerTenantCapQueuesExcessWhileOtherTenantsRun) {
+  rivertrail::ThreadPool pool(4);
+  ServiceOptions options;
+  options.max_active = 4;
+  options.max_per_tenant = 1;
+  Gate gate;
+  {
+    AnalysisService service(pool, options);
+    ServiceTicket a1 = service.submit(gated_request("a1", "tenant-a", gate));
+    ServiceTicket b1 = service.submit(gated_request("b1", "tenant-b", gate));
+    ASSERT_TRUE(gate.await_entered(2));
+    // tenant-a is at its cap: a2 queues even though global capacity is free.
+    ServiceTicket a2 = service.submit(gated_request("a2", "tenant-a", gate));
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.active_sessions, 2u);  // a1 + b1, not a2
+    EXPECT_EQ(stats.queue_depth, 1u);
+
+    gate.release();
+    EXPECT_EQ(a1.wait().state, ServiceState::Completed);
+    EXPECT_EQ(b1.wait().state, ServiceState::Completed);
+    EXPECT_EQ(a2.wait().state, ServiceState::Completed);
+  }
+}
+
+TEST(Service, GovernorDegradesThenShedsUnderMemoryPressure) {
+  rivertrail::ThreadPool pool(2);
+  // Ceiling sized against the live shared structures so the arithmetic is
+  // stable no matter what earlier tests interned: one 80 MiB reservation
+  // lands in the degrade band, a second would cross the ceiling and sheds.
+  const std::size_t shared = AnalysisService::shared_structure_bytes();
+  ServiceOptions options;
+  options.max_active = 4;
+  options.governor.ceiling_bytes = shared + (100u << 20);
+  Gate gate;
+  {
+    AnalysisService service(pool, options);
+
+    std::atomic<int> observed_mode{-1};
+    ServiceRequest big = gated_request("big", "t", gate);
+    big.memory_estimate = 80u << 20;
+    big.session.attempt = [&gate, &observed_mode](
+                              const SessionRequest&, int mode,
+                              const EngineLimits&, std::int64_t,
+                              CancelToken token) -> AttemptSuccess {
+      observed_mode.store(mode, std::memory_order_release);
+      gate.wait(token);
+      return AttemptSuccess{};
+    };
+    ServiceTicket first = service.submit(std::move(big));
+    ASSERT_TRUE(gate.await_entered(1));
+
+    // ~80% pressure at admission: degraded one rung (3 -> 1), visible both
+    // in the mode the attempt actually ran and in the outcome state.
+    EXPECT_EQ(observed_mode.load(std::memory_order_acquire), 1);
+
+    // While the first reservation is held, another 80 MiB would cross the
+    // ceiling: shed with a structured reason, reservation untouched.
+    ServiceRequest second = gated_request("too-big", "t", gate);
+    second.memory_estimate = 80u << 20;
+    const ServiceOutcome shed_outcome = service.submit(std::move(second)).wait();
+    EXPECT_EQ(shed_outcome.state, ServiceState::Shed);
+    EXPECT_EQ(shed_outcome.shed_reason, "memory-pressure");
+    EXPECT_EQ(service.stats().shed_memory, 1u);
+    EXPECT_EQ(service.governor().shed_count(), 1u);
+
+    gate.release();
+    const ServiceOutcome& first_outcome = first.wait();
+    EXPECT_EQ(first_outcome.state, ServiceState::Degraded);
+    service.drain();
+
+    // Released: the same reservation admits again (still degraded — the
+    // shared structures alone don't clear the band's floor, the point is
+    // the ceiling no longer blocks it).
+    gate.release();  // idempotent; keeps the gate open for the re-admit
+    ServiceRequest third = gated_request("fits-again", "t", gate);
+    third.memory_estimate = 80u << 20;
+    EXPECT_NE(service.submit(std::move(third)).wait().state, ServiceState::Shed);
+  }
+}
+
+TEST(Service, GovernorReconcilesEstimateAgainstMeasuredPeak) {
+  rivertrail::ThreadPool pool(2);
+  ServiceOptions options;
+  {
+    AnalysisService service(pool, options);
+    ServiceRequest request;
+    request.session.name = "under-estimator";
+    request.memory_estimate = 1u << 10;  // claims 1 KiB...
+    request.session.attempt = [](const SessionRequest&, int, const EngineLimits&,
+                                 std::int64_t, CancelToken) -> AttemptSuccess {
+      AttemptSuccess success;
+      success.peak_bytes = 10u << 20;  // ...actually peaks at 10 MiB
+      return success;
+    };
+    const ServiceOutcome outcome = service.submit(std::move(request)).wait();
+    EXPECT_EQ(outcome.state, ServiceState::Completed);
+    EXPECT_EQ(outcome.session.peak_bytes, std::size_t(10u << 20));
+    service.drain();
+    // The reconciliation gap is surfaced for estimate tuning.
+    EXPECT_GE(service.governor().max_underestimate(),
+              std::size_t((10u << 20) - (1u << 10)));
+  }
+}
+
+TEST(Service, WatchdogQuarantinesStuckSessionAndSparesSiblings) {
+  rivertrail::ThreadPool pool(2);
+  ServiceOptions options;
+  options.max_active = 2;
+  options.watchdog_interval_ms = 5;
+  options.watchdog_stuck_ms = 25;
+  Gate sibling_gate;
+  {
+    AnalysisService service(pool, options);
+
+    // Never opens its gate: only the watchdog's sticky cancel ends it.
+    ServiceRequest stuck;
+    stuck.session.name = "stuck";
+    stuck.tenant = "bad-tenant";
+    stuck.session.attempt = [](const SessionRequest&, int, const EngineLimits&,
+                               std::int64_t, CancelToken token) -> AttemptSuccess {
+      for (;;) {
+        token.raise_if_cancelled();
+        std::this_thread::sleep_for(1ms);
+      }
+    };
+    ServiceTicket stuck_ticket = service.submit(std::move(stuck));
+    ServiceTicket sibling =
+        service.submit(gated_request("sibling", "good-tenant", sibling_gate));
+    ASSERT_TRUE(sibling_gate.await_entered(1));
+    sibling_gate.release();
+
+    const ServiceOutcome& stuck_outcome = stuck_ticket.wait();
+    EXPECT_EQ(stuck_outcome.state, ServiceState::Quarantined);
+    EXPECT_TRUE(stuck_outcome.watchdog_quarantined);
+    // One attempt: the watchdog's explicit cancel is sticky, so the
+    // supervisor cannot resurrect the session through a retry rung.
+    EXPECT_EQ(stuck_outcome.session.attempts, 1);
+
+    EXPECT_EQ(sibling.wait().state, ServiceState::Completed);
+    service.drain();
+    EXPECT_EQ(service.stats().watchdog_quarantines, 1u);
+  }
+}
+
+TEST(Service, RealSessionsReclaimSharedStateOnceDrained) {
+  rivertrail::ThreadPool pool(4);
+  ServiceOptions options;
+  options.max_active = 4;
+  options.max_queue = 32;  // all 24 submits must admit, never shed
+  options.reclaim_every = 2;
+  {
+    AnalysisService service(pool, options);
+    std::vector<ServiceTicket> tickets;
+    for (int i = 0; i < 24; ++i) {
+      // Unique names per session: every run interns fresh transient atoms
+      // and grows fresh shape-tree children that only reclamation can free.
+      const std::string n = std::to_string(i);
+      ServiceRequest request;
+      request.session.name = "real-" + n;
+      request.tenant = "tenant-" + std::to_string(i % 3);
+      request.session.source =
+          "var obj_" + n + " = {};"
+          "obj_" + n + ".alpha_" + n + " = 1;"
+          "obj_" + n + ".beta_" + n + " = 2;"
+          "console.log(obj_" + n + ".alpha_" + n + " + obj_" + n + ".beta_" + n + ");";
+      tickets.push_back(service.submit(std::move(request)));
+    }
+    for (ServiceTicket& ticket : tickets) {
+      const ServiceOutcome& outcome = ticket.wait();
+      EXPECT_EQ(outcome.state, ServiceState::Completed) << outcome.session.error;
+      EXPECT_EQ(outcome.session.console, "3\n");
+    }
+    service.drain();
+  }
+  // The destructor's final pass runs with no pins left: every transient
+  // atom is reclaimed and the shape tree prunes back to its root.
+  EXPECT_EQ(js::atom_table_retired_pending(), 0u);
+  EXPECT_EQ(interp::Shape::live_count(), 1u);
+}
+
+}  // namespace
+}  // namespace jsceres

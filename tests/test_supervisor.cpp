@@ -229,6 +229,135 @@ TEST(Supervisor, InjectedTaskFaultIsRetriedAndHeals) {
   EXPECT_FALSE(outcome.runtime_fault);
 }
 
+TEST(Supervisor, RetryBudgetExhaustionAtModeZeroFloorQuarantinesAsRuntimeFault) {
+  rivertrail::ThreadPool pool(2);
+  SessionSupervisor supervisor(pool);
+
+  // Already at the ladder's floor (mode 0) with an attempt that faults every
+  // time: the same-mode retry budget is the only recourse, and when it runs
+  // out there is no lower rung to fall to.
+  SessionRequest request;
+  request.name = "floor-faulter";
+  request.mode = 0;
+  std::atomic<int> calls{0};
+  request.attempt = [&calls](const SessionRequest&, int mode, const EngineLimits&,
+                             std::int64_t, CancelToken) -> AttemptSuccess {
+    EXPECT_EQ(mode, 0);  // never re-asks a higher rung
+    calls.fetch_add(1, std::memory_order_relaxed);
+    throw sched_faults::InjectedFault("persistent scheduler fault");
+  };
+  const SessionOutcome outcome = supervisor.run_one(request);
+
+  EXPECT_EQ(outcome.state, SessionState::Quarantined);
+  EXPECT_TRUE(outcome.runtime_fault);  // the fault was runtime-side, not input
+  EXPECT_EQ(outcome.final_mode, 0);
+  // Initial attempt + max_retries same-mode retries, nothing more.
+  EXPECT_EQ(outcome.attempts, supervisor.options().max_retries + 1);
+  EXPECT_EQ(calls.load(), supervisor.options().max_retries + 1);
+  for (const AttemptRecord& record : outcome.history) {
+    EXPECT_EQ(record.mode, 0);
+    EXPECT_EQ(record.outcome, "retryable");
+  }
+}
+
+TEST(Supervisor, DeadlineExpiringDuringBackoffDoesNotKillTheRetry) {
+  rivertrail::ThreadPool pool(2);
+  // Backoff strictly longer than the per-attempt deadline: after the first
+  // attempt faults, the deadline armed for that attempt expires while the
+  // supervisor sleeps. A deadline expiry is per-attempt state — reset()
+  // clears it — so the retry must still run, with a fresh deadline.
+  SupervisorOptions options;
+  options.backoff_base_ms = 80;
+  SessionSupervisor supervisor(pool, options);
+
+  SessionRequest request;
+  request.name = "backoff-deadline";
+  request.deadline_ms = 20;
+  std::atomic<int> calls{0};
+  request.attempt = [&calls](const SessionRequest&, int, const EngineLimits&,
+                             std::int64_t, CancelToken token) -> AttemptSuccess {
+    if (calls.fetch_add(1, std::memory_order_relaxed) == 0) {
+      throw sched_faults::InjectedFault("one-shot fault");
+    }
+    // The retry starts with a clean token: the backoff-window expiry of the
+    // previous attempt's deadline must not leak in.
+    EXPECT_EQ(token.reason(), CancelReason::None);
+    AttemptSuccess success;
+    success.console = "recovered";
+    return success;
+  };
+  const SessionOutcome outcome = supervisor.run_one(request);
+
+  EXPECT_EQ(outcome.state, SessionState::Completed) << outcome.error;
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_EQ(outcome.history[0].outcome, "retryable");
+  EXPECT_EQ(outcome.history[1].outcome, "ok");
+  EXPECT_EQ(outcome.console, "recovered");
+  EXPECT_FALSE(outcome.runtime_fault);
+}
+
+TEST(Supervisor, MixedBatchAssignsQuarantineBlameCorrectly) {
+  rivertrail::ThreadPool pool(4);
+  SessionSupervisor supervisor(pool);
+
+  std::vector<SessionRequest> requests;
+  requests.push_back(simple_request("good-a", "console.log(1);"));
+  requests.push_back(simple_request("bad-parse", "function ( { ) syntax"));
+  // Runtime invariant breakage: fatal on the spot, never retried.
+  SessionRequest invariant;
+  invariant.name = "invariant-breaker";
+  std::atomic<int> invariant_calls{0};
+  invariant.attempt = [&invariant_calls](const SessionRequest&, int,
+                                         const EngineLimits&, std::int64_t,
+                                         CancelToken) -> AttemptSuccess {
+    invariant_calls.fetch_add(1, std::memory_order_relaxed);
+    throw RuntimeInvariantError("argument stack not unwound");
+  };
+  requests.push_back(std::move(invariant));
+  // Faults on every rung: retries exhaust at mode 3, then the ladder walks
+  // 1 and 0 with no budget left — every step one attempt.
+  SessionRequest all_rungs;
+  all_rungs.name = "faults-everywhere";
+  all_rungs.attempt = [](const SessionRequest&, int, const EngineLimits&,
+                         std::int64_t, CancelToken) -> AttemptSuccess {
+    throw sched_faults::InjectedFault("fault at every rung");
+  };
+  requests.push_back(std::move(all_rungs));
+  requests.push_back(simple_request("good-b", "console.log(2);"));
+
+  const std::vector<SessionOutcome> outcomes = supervisor.run(requests);
+  ASSERT_EQ(outcomes.size(), 5u);
+
+  EXPECT_EQ(outcomes[0].state, SessionState::Completed) << outcomes[0].error;
+  EXPECT_EQ(outcomes[4].state, SessionState::Completed) << outcomes[4].error;
+
+  // Parse failure: input's fault, one attempt, no ladder walk.
+  EXPECT_EQ(outcomes[1].state, SessionState::Quarantined);
+  EXPECT_FALSE(outcomes[1].runtime_fault);
+  EXPECT_EQ(outcomes[1].attempts, 1);
+  EXPECT_EQ(outcomes[1].history[0].outcome, "parse");
+
+  // Broken invariant: runtime's fault, fatal immediately.
+  EXPECT_EQ(outcomes[2].state, SessionState::Quarantined);
+  EXPECT_TRUE(outcomes[2].runtime_fault);
+  EXPECT_EQ(outcomes[2].attempts, 1);
+  EXPECT_EQ(invariant_calls.load(), 1);
+  EXPECT_EQ(outcomes[2].history[0].outcome, "fatal");
+
+  // Persistent injected fault: (max_retries + 1) attempts at mode 3, then
+  // one attempt each at rungs 1 and 0 — all retryable, blamed on the
+  // runtime because the fault class is scheduler-side.
+  EXPECT_EQ(outcomes[3].state, SessionState::Quarantined);
+  EXPECT_TRUE(outcomes[3].runtime_fault);
+  EXPECT_EQ(outcomes[3].attempts, supervisor.options().max_retries + 3);
+  EXPECT_EQ(outcomes[3].final_mode, 0);
+  EXPECT_EQ(outcomes[3].history.front().mode, 3);
+  EXPECT_EQ(outcomes[3].history.back().mode, 0);
+  for (const AttemptRecord& record : outcomes[3].history) {
+    EXPECT_EQ(record.outcome, "retryable");
+  }
+}
+
 TEST(Supervisor, FaultInjectionSweepLeavesEverySessionTerminalAndPoolReusable) {
   DisarmGuard guard;
   rivertrail::ThreadPool pool(4);
