@@ -10,12 +10,20 @@
 // Also sweeps the sampling profiler's function-granularity artifact, which
 // reproduces the paper's Gecko anomaly (sampled active time undercounting a
 // long single-function computation).
+//
+// Finally, gates the observability layer's own cost: a probed-vs-plain loop
+// at interpreter-tick work density must show <= 5% overhead with probes
+// compiled in (JSCERES_OBS=1), and <= 1% — i.e. free within noise — with
+// probes compiled out (JSCERES_OBS=0). A breach exits nonzero so CI fails.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 
 #include "ceres/sampling_profiler.h"
 #include "interp/interpreter.h"
 #include "js/parser.h"
+#include "support/obs.h"
 #include "workloads/runner.h"
 
 using namespace jsceres;
@@ -31,6 +39,90 @@ double host_ms(workloads::Mode mode, const workloads::Workload& workload,
                         .count();
   *virtual_s = run.clock.cpu_seconds();
   return ms;
+}
+
+// --- observability probe overhead gate -------------------------------------
+//
+// Per-iteration work: a chain of dependent 64-bit mixes (loads, shifts,
+// multiplies — the same ALU/branch shape as interpreter dispatch) sized as a
+// conservative LOWER bound on one interpreter tick (~80ns here vs hundreds
+// of ns for a real tick). Understating the work overstates the probe's
+// relative cost, so the gate errs strict. Integer work on purpose: the
+// interpreter loop is integer/pointer-dominated, and a probe's cold init
+// path (guard + shard registration calls) costs a tight *FP* chain extra
+// xmm spills that the real hot loop never pays. noinline keeps the two
+// loops structurally identical.
+
+constexpr int kWorkRounds = 16;
+constexpr std::size_t kProbeIters = 1'000'000;
+
+inline std::uint64_t obs_mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+__attribute__((noinline)) std::uint64_t obs_plain_loop(std::size_t iters) {
+  std::uint64_t acc = 1;
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (int u = 0; u < kWorkRounds; ++u) acc = obs_mix(acc + std::uint64_t(u));
+  }
+  return acc;
+}
+
+__attribute__((noinline)) std::uint64_t obs_probed_loop(std::size_t iters) {
+  std::uint64_t acc = 1;
+  for (std::size_t i = 0; i < iters; ++i) {
+    for (int u = 0; u < kWorkRounds; ++u) acc = obs_mix(acc + std::uint64_t(u));
+    JSCERES_OBS_COUNT("bench.obs_ticks", 1);
+  }
+  return acc;
+}
+
+/// Best-of-N wall time of `fn(kProbeIters)` in ns (min defeats scheduling
+/// noise; the loops are deterministic so min is the honest cost).
+template <typename Fn>
+std::int64_t best_of(Fn fn, std::uint64_t* sink) {
+  std::int64_t best = INT64_MAX;
+  for (int rep = 0; rep < 7; ++rep) {
+    const std::int64_t t0 = obs::mono_ns();
+    *sink += fn(kProbeIters);
+    best = std::min(best, obs::mono_ns() - t0);
+  }
+  return best;
+}
+
+/// Returns 0 when the probe overhead is within this build's budget, 1 on a
+/// breach.
+int run_obs_overhead_gate() {
+#if JSCERES_OBS
+  constexpr double kBudget = 0.05;  // metrics probes: <= 5% on the hot loop
+  const char* config = "JSCERES_OBS=1 (probes compiled in)";
+#else
+  constexpr double kBudget = 0.01;  // compiled-out probes must be free
+  const char* config = "JSCERES_OBS=0 (probes compiled out)";
+#endif
+  std::uint64_t sink = 0;
+  // Warm both paths (first JSCERES_OBS_COUNT pays one-time registry
+  // interning; that is setup, not steady-state probe cost).
+  sink += obs_plain_loop(1000);
+  sink += obs_probed_loop(1000);
+  const std::int64_t plain_ns = best_of(obs_plain_loop, &sink);
+  const std::int64_t probed_ns = best_of(obs_probed_loop, &sink);
+  const double overhead =
+      double(probed_ns - plain_ns) / double(plain_ns > 0 ? plain_ns : 1);
+
+  std::printf("\nobservability probe overhead gate [%s]\n", config);
+  std::printf("  %zu iterations x %d-mix tick: plain %.2f ms, probed %.2f ms "
+              "-> %+.2f%% (budget %.0f%%)  [%s]  (sink %llu)\n",
+              kProbeIters, kWorkRounds, double(plain_ns) / 1e6,
+              double(probed_ns) / 1e6, overhead * 100.0, kBudget * 100.0,
+              overhead <= kBudget ? "ok" : "BREACH",
+              static_cast<unsigned long long>(sink & 7));
+  return overhead <= kBudget ? 0 : 1;
 }
 
 }  // namespace
@@ -78,5 +170,5 @@ int main() {
   }
   std::printf("  (the paper observed exactly this: Gecko's function-level sampling\n"
               "   can report less active time than JS-CERES measures inside loops)\n");
-  return 0;
+  return run_obs_overhead_gate();
 }

@@ -18,15 +18,71 @@ that stopped hitting, a fast path that fell off — not single-digit noise.
 
 Usage:
     diff_bench.py measured.json baseline.json [--threshold 2.5]
+    diff_bench.py --metrics soak_metrics.json
 
 measured.json: google-benchmark --benchmark_format=json output.
 baseline.json: this repo's snapshot format ({"benchmarks": {name:
 {"after_ms"|"after_ns": ...}}}, optional "anchor": name).
+
+--metrics mode ingests the observability snapshot the soak smoke dumps
+(fuzz_driver --soak --metrics-out; {"counters": {...}, "gauges": {...},
+"histograms": {...}}) and emits NON-FATAL ::notice annotations when an
+engine health ratio looks off — an inline-cache hit rate below its floor,
+or sessions shed by admission control during a smoke that should sail
+through. These are trend flags, not gates (a loaded CI runner can shed
+legitimately), so this mode always exits 0.
 """
 
 import argparse
 import json
 import sys
+
+# Health floors for --metrics mode. The IC floor is far below the steady
+# observed rate (~98%) so only a real fast-path loss trips it.
+IC_HIT_RATE_FLOOR = 0.90
+SHED_COUNTERS = (
+    "governor.shed",
+    "service.shed_memory",
+    "service.shed_queue_full",
+)
+
+
+def check_metrics(path):
+    """Non-fatal health notices from a soak metrics snapshot. Returns 0."""
+    with open(path) as f:
+        snap = json.load(f)
+    counters = snap.get("counters", {})
+
+    print(f"metrics check: {path}")
+    for prefix in ("read", "write"):
+        hits = counters.get(f"interp.ic_{prefix}_hits", 0)
+        misses = counters.get(f"interp.ic_{prefix}_misses", 0)
+        total = hits + misses
+        if total == 0:
+            continue
+        rate = hits / total
+        status = "ok" if rate >= IC_HIT_RATE_FLOOR else "LOW"
+        print(f"  interp.ic_{prefix} hit rate: {rate:.4f} "
+              f"({hits}/{total}) {status}")
+        if rate < IC_HIT_RATE_FLOOR:
+            print(f"::notice title=IC {prefix} hit rate below floor::"
+                  f"interp.ic_{prefix} hit rate {rate:.4f} < "
+                  f"{IC_HIT_RATE_FLOOR:.2f} in {path}; the inline-cache "
+                  f"fast path may have regressed (megamorphic trips: "
+                  f"{counters.get('interp.ic_megamorphic_trips', 0)}, "
+                  f"re-caches: {counters.get('interp.ic_recaches', 0)}).")
+
+    shed = {name: counters.get(name, 0) for name in SHED_COUNTERS}
+    total_shed = sum(shed.values())
+    submitted = counters.get("service.submitted", 0)
+    print(f"  sessions shed: {total_shed} of {submitted} submitted")
+    if total_shed > 0:
+        detail = ", ".join(f"{k}={v}" for k, v in shed.items() if v > 0)
+        print(f"::notice title=soak smoke shed sessions::"
+              f"{total_shed} of {submitted} sessions shed ({detail}) in "
+              f"{path}; admission control fired during a smoke that should "
+              f"admit everything — check memory estimates and queue bounds.")
+    return 0
 
 
 def baseline_time(entry):
@@ -57,10 +113,18 @@ def measured_times(doc):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("measured")
-    parser.add_argument("baseline")
+    parser.add_argument("measured", nargs="?")
+    parser.add_argument("baseline", nargs="?")
     parser.add_argument("--threshold", type=float, default=2.5)
+    parser.add_argument("--metrics", metavar="SNAP_JSON",
+                        help="observability snapshot to health-check "
+                             "(non-fatal notices; exits 0)")
     args = parser.parse_args()
+
+    if args.metrics:
+        return check_metrics(args.metrics)
+    if not args.measured or not args.baseline:
+        parser.error("measured and baseline are required without --metrics")
 
     with open(args.measured) as f:
         measured = measured_times(json.load(f))

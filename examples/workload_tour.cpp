@@ -1,33 +1,52 @@
 // Full JS-CERES pipeline on one case-study application, chosen by name:
 //
 //   $ ./workload_tour "Tear-able Cloth"
+//   $ ./workload_tour --trace-out tour.trace "Tear-able Cloth"
 //   $ ./workload_tour            # lists the 12 workloads
 //
 // Runs the paper's three staged analyses (SS3): lightweight profiling, loop
 // profiling, and dependence analysis; then prints the app's Table 2 row,
-// its Table 3 nest rows, and the top dependence warnings.
+// its Table 3 nest rows, and the top dependence warnings. --trace-out FILE
+// records the whole tour as a Chrome trace-event file (chrome://tracing,
+// ui.perfetto.dev).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "analysis/classifier.h"
 #include "analysis/nest.h"
 #include "ceres/abort_advisor.h"
 #include "js/loop_scanner.h"
 #include "report/tables.h"
+#include "support/obs.h"
 #include "workloads/runner.h"
 
 using namespace jsceres;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::printf("usage: workload_tour <name>\navailable workloads:\n");
+  std::string trace_out;
+  const char* name = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      name = argv[i];
+    }
+  }
+  if (name == nullptr) {
+    std::printf(
+        "usage: workload_tour [--trace-out FILE] <name>\navailable "
+        "workloads:\n");
     for (const auto& w : workloads::all_workloads()) {
       std::printf("  %-20s %-18s %s\n", w.name.c_str(), w.category.c_str(),
                   w.description.c_str());
     }
     return 0;
   }
+  if (!trace_out.empty()) obs::TraceRecorder::instance().start();
+  obs::TraceRecorder::instance().set_thread_name("tour-main");
 
-  const workloads::Workload& workload = workloads::workload_by_name(argv[1]);
+  const workloads::Workload& workload = workloads::workload_by_name(name);
   std::printf("%s — %s (%s)\n\n", workload.name.c_str(),
               workload.description.c_str(), workload.url.c_str());
 
@@ -70,6 +89,16 @@ int main(int argc, char** argv) {
   for (const int root : dep.nest_roots) {
     const auto spec = ceres::advise(dep.program, *dep.dependence, root, nullptr);
     std::fputs(spec.render(dep.program).c_str(), stdout);
+  }
+
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::instance().stop();
+    if (obs::TraceRecorder::instance().write_chrome_trace(trace_out)) {
+      std::printf("\ntrace written to %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }

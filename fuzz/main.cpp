@@ -3,7 +3,8 @@
 //   fuzz_driver [--smoke] [--seed N] [--count N] [--corpus DIR] [--timers]
 //   fuzz_driver --hostile
 //   fuzz_driver --sessions N [--seed N] [--count N]
-//   fuzz_driver --soak [--sessions N] [--seed N]
+//   fuzz_driver --soak [--sessions N] [--seed N] [--metrics-out FILE]
+//               [--trace-out FILE]
 //
 // Default (and --smoke) mode: generate `count` programs from consecutive
 // seeds starting at `seed`, run the full oracle battery over each (every
@@ -26,6 +27,9 @@
 // stamp segments) and the RSS must plateau instead of growing with session
 // count, and once the stream drains, zero stamp-arena segments may remain
 // checked out. Run under ASan to additionally prove zero leaks.
+// --metrics-out FILE periodically overwrites FILE with the full metrics
+// registry as JSON; --trace-out FILE records the whole soak into a Chrome
+// trace-event file (open in chrome://tracing or ui.perfetto.dev).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +45,7 @@
 #include "js/atom.h"
 #include "rivertrail/thread_pool.h"
 #include "support/epoch.h"
+#include "support/obs.h"
 #include "support/service.h"
 #include "support/supervisor.h"
 
@@ -170,8 +175,27 @@ void force_reclaim() {
   jsceres::AnalysisService::run_reclamation_pass();
 }
 
-int run_soak(std::uint64_t base_seed, int total) {
+/// Overwrite `path` with the full metrics registry as JSON (engine gauges
+/// refreshed first). Called periodically so a crash mid-soak still leaves
+/// the last period's snapshot on disk.
+void dump_metrics(jsceres::AnalysisService& service, const std::string& path) {
+  if (path.empty()) return;
+  const std::string json = service.metrics_snapshot().to_json();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "metrics-out: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+}
+
+int run_soak(std::uint64_t base_seed, int total,
+             const std::string& metrics_out, const std::string& trace_out) {
   using namespace jsceres;
+  if (!trace_out.empty()) obs::TraceRecorder::instance().start();
+  obs::TraceRecorder::instance().set_thread_name("soak-driver");
   rivertrail::ThreadPool pool(4);
   ServiceOptions options;
   options.max_active = 4;
@@ -221,11 +245,15 @@ int run_soak(std::uint64_t base_seed, int total) {
       request.session.max_ticks = 2'000'000;
       request.session.has_timers = gen.use_timers;
       request.session.horizon_ms = 200;
+      // Timer sessions run their frames through the pipelined frame graph,
+      // so soak traces carry per-frame kernel/upload/commit spans.
+      if (gen.use_timers) request.session.frame_pool = &pool;
       if (i % 5 == 4) request.session.deadline_ms = 250;
       window.push_back(service.submit(std::move(request)));
       // Sliding completion window: bounded caller-side state, and the
       // queue never overflows purely from submission burstiness.
       pump(16);
+      if ((i + 1) % 100 == 0) dump_metrics(service, metrics_out);
 
       if (i + 1 == warmup) {
         pump(0);
@@ -254,6 +282,16 @@ int run_soak(std::uint64_t base_seed, int total) {
         EpochDomain::global().reclaimed_bytes(), stats.queue_high_water,
         stats.active_high_water);
     failures += int(runtime_faults);
+    dump_metrics(service, metrics_out);
+  }
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::instance().stop();
+    if (obs::TraceRecorder::instance().write_chrome_trace(trace_out)) {
+      std::printf("soak: trace written to %s\n", trace_out.c_str());
+    } else {
+      std::printf("SOAK FAIL: cannot write trace to %s\n", trace_out.c_str());
+      ++failures;
+    }
   }
 
   // Plateau: post-warmup growth of the shared structures must be marginal —
@@ -307,6 +345,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int count = 500;
   std::string corpus = "fuzz-corpus";
+  std::string metrics_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -326,11 +366,15 @@ int main(int argc, char** argv) {
       corpus = argv[++i];
     } else if (std::strcmp(arg, "--sessions") == 0 && i + 1 < argc) {
       sessions = int(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_driver [--smoke] [--hostile] [--soak] "
                    "[--sessions N] [--seed N] [--count N] [--corpus DIR] "
-                   "[--timers]\n");
+                   "[--timers] [--metrics-out FILE] [--trace-out FILE]\n");
       return 2;
     }
   }
@@ -338,7 +382,10 @@ int main(int argc, char** argv) {
   if (hostile) return run_hostile_suite();
   // In soak mode --sessions N is the stream length (how many sessions flow
   // through the resident service), defaulting to 2000.
-  if (soak) return run_soak(seed, sessions > 0 ? sessions : 2000);
+  if (soak) {
+    return run_soak(seed, sessions > 0 ? sessions : 2000, metrics_out,
+                    trace_out);
+  }
   if (sessions > 0) return run_sessions(seed, count, sessions);
   return run_smoke(seed, count, corpus, timers);
 }

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "support/obs.h"
+
 namespace jsceres::ceres {
 
 namespace {
@@ -43,6 +45,7 @@ void StampArena::grow() {
   if (segment == nullptr) segment = new Segment();
   segments_.push_back(segment);
   g_segments_live.fetch_add(1, std::memory_order_relaxed);
+  JSCERES_OBS_COUNT("ceres.stamp_checkouts", 1);
 }
 
 void StampArena::reset() {

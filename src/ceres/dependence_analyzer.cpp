@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "support/obs.h"
+
 namespace jsceres::ceres {
 
 DependenceAnalyzer::DependenceAnalyzer(const js::Program& program, Options options)
@@ -240,6 +242,7 @@ void DependenceAnalyzer::on_prop_read(std::uint64_t obj_id, js::Atom key,
 
 void DependenceAnalyzer::on_memory_batch(const interp::MemoryEvent* events,
                                          std::size_t count) {
+  JSCERES_OBS_COUNT("ceres.mode3_events", count);
   // Qualified calls: devirtualized dispatch per event — the whole point of
   // the batch path (the interpreter already paid the one virtual hop for
   // the batch itself).

@@ -4,6 +4,7 @@
 
 #include "interp/hooks.h"
 #include "support/clock.h"
+#include "support/obs.h"
 
 namespace jsceres::ceres {
 
@@ -23,6 +24,7 @@ class LightweightProfiler final : public interp::ExecutionHooks {
   explicit LightweightProfiler(const VirtualClock& clock) : clock_(&clock) {}
 
   void on_loop_enter(const interp::LoopEvent&) override {
+    JSCERES_OBS_COUNT("ceres.mode1_events", 1);
     if (open_loops_++ == 0) loop_entry_wall_ns_ = clock_->wall_ns();
   }
 

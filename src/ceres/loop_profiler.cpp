@@ -1,8 +1,11 @@
 #include "ceres/loop_profiler.h"
 
+#include "support/obs.h"
+
 namespace jsceres::ceres {
 
 void LoopProfiler::on_loop_enter(const interp::LoopEvent& e) {
+  JSCERES_OBS_COUNT("ceres.mode2_events", 1);
   auto& stats = stats_[e.loop_id];
   stats.loop_id = e.loop_id;
   ++stats.instances;

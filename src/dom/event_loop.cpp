@@ -7,6 +7,7 @@
 
 #include "dom/canvas.h"
 #include "rivertrail/parallel_pipeline.h"
+#include "support/obs.h"
 
 namespace jsceres::dom {
 
@@ -145,6 +146,7 @@ void EventLoop::run_frame_graph_burst(std::int64_t horizon_ns) {
   // serial loop — then snapshot the canvas for the downstream stages.
   auto kernel = rivertrail::serial_stage([&](std::size_t token) -> bool {
     if (!next_dispatch_is_raf(horizon_ns)) return false;
+    JSCERES_OBS_SPAN_ARG("frame", "frame.kernel", "seq", next_frame_seq_);
     const std::int64_t due = tasks_.begin()->first.first;
     advance_wall_to(due);
     const std::int64_t t0 = thread_cpu_ns();
@@ -171,6 +173,8 @@ void EventLoop::run_frame_graph_burst(std::int64_t horizon_ns) {
   auto upload = rivertrail::parallel_stage([&](std::size_t token) {
     const std::int64_t t0 = thread_cpu_ns();
     FrameSlot& slot = slots[token & slot_mask];
+    JSCERES_OBS_SPAN_ARG("frame", "frame.upload", "seq",
+                         std::uint64_t(slot.seq));
     slot.checksum = fnv1a(slot.pixels);
     upload_ns_.fetch_add(thread_cpu_ns() - t0, std::memory_order_relaxed);
   });
@@ -180,8 +184,11 @@ void EventLoop::run_frame_graph_burst(std::int64_t horizon_ns) {
   auto commit = rivertrail::serial_stage([&](std::size_t token) {
     const std::int64_t t0 = thread_cpu_ns();
     const FrameSlot& slot = slots[token & slot_mask];
+    JSCERES_OBS_SPAN_ARG("frame", "frame.commit", "seq",
+                         std::uint64_t(slot.seq));
     frame_log_.emplace_back(slot.seq, slot.checksum);
     ++frames_committed_;
+    JSCERES_OBS_COUNT("frame.committed", 1);
     commit_ns_ += thread_cpu_ns() - t0;
   });
 

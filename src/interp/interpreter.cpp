@@ -8,6 +8,8 @@
 #include <limits>
 #include <optional>
 
+#include "support/obs.h"
+
 namespace jsceres::interp {
 
 namespace {
@@ -122,6 +124,9 @@ Interpreter::Interpreter(const js::Program& program, VirtualClock& clock,
 }
 
 Interpreter::~Interpreter() {
+  // Callbacks run via call() after the last run() (event-loop sessions)
+  // accrue IC transitions too; push the remainder before teardown.
+  flush_ic_stats();
   // Break the closure <-> global-environment refcount cycle: a function
   // object stored in a global slot holds an EnvPtr to the environment that
   // stores it, so without this the whole global graph (stdlib included)
@@ -753,6 +758,32 @@ Value Interpreter::call_js_function(JSObject& fn_obj, const Value& this_val,
 // Top level
 // ---------------------------------------------------------------------------
 
+void Interpreter::flush_ic_stats() {
+#if JSCERES_OBS
+  const auto delta = [](std::uint64_t cur, std::uint64_t& flushed) {
+    const std::uint64_t d = cur - flushed;
+    flushed = cur;
+    return d;
+  };
+  JSCERES_OBS_COUNT("interp.ic_read_hits",
+                    delta(ic_stats_.read_hits, ic_stats_flushed_.read_hits));
+  JSCERES_OBS_COUNT(
+      "interp.ic_read_misses",
+      delta(ic_stats_.read_misses, ic_stats_flushed_.read_misses));
+  JSCERES_OBS_COUNT("interp.ic_write_hits",
+                    delta(ic_stats_.write_hits, ic_stats_flushed_.write_hits));
+  JSCERES_OBS_COUNT(
+      "interp.ic_write_misses",
+      delta(ic_stats_.write_misses, ic_stats_flushed_.write_misses));
+  JSCERES_OBS_COUNT("interp.ic_megamorphic_trips",
+                    delta(ic_stats_.megamorphic_trips,
+                          ic_stats_flushed_.megamorphic_trips));
+  JSCERES_OBS_COUNT("interp.ic_recaches",
+                    delta(ic_stats_.recaches, ic_stats_flushed_.recaches));
+  JSCERES_OBS_HIST("interp.ledger_peak_bytes", ledger_.peak());
+#endif
+}
+
 void Interpreter::run() {
   const AllocationLedger::Scope ledger_scope(&ledger_);
   begin_run_window();
@@ -764,8 +795,10 @@ void Interpreter::run() {
       if (completion.type != Completion::Type::Normal) break;
     }
     flush_ticks();
+    flush_ic_stats();
   } catch (const JSException& ex) {
     flush_ticks_on_unwind();
+    flush_ic_stats();
     std::string name = "Error";
     std::string message = to_string_value(ex.value);
     if (ex.value.is_object()) {
@@ -780,6 +813,7 @@ void Interpreter::run() {
     throw EngineError("uncaught " + name + ": " + message);
   } catch (...) {
     flush_ticks_on_unwind();
+    flush_ic_stats();
     recover_after_engine_error();
     throw;
   }
@@ -1197,9 +1231,13 @@ Value Interpreter::eval_member_named(const Value& base, const js::Member& member
       for (std::uint8_t i = 0; i < ic.count; ++i) {
         const ReadIC::Way& way = ic.ways[i];
         if (way.shape != shape) continue;
-        if (way.holder == nullptr) return *obj.prop_slot(way.slot);
+        if (way.holder == nullptr) {
+          ++ic_stats_.read_hits;
+          return *obj.prop_slot(way.slot);
+        }
         if (obj.prototype().get() == way.holder &&
             way.holder->shape() == way.holder_shape) {
+          ++ic_stats_.read_hits;
           return *way.holder->prop_slot(way.slot);
         }
         break;  // receiver matched but the holder moved: re-resolve
@@ -1238,23 +1276,29 @@ bool pic_insert(IC& ic, const Way& way) {
   return !evicted;
 }
 
-/// Megamorphic-state streak tracking: called with the receiver shape of
-/// every generic (megamorphic) access. Returns true when kRecacheHits
-/// consecutive accesses shared one shape — the site is reset to the caching
-/// state (the caller's normal insert path then repopulates the ways), so a
-/// site condemned during a polymorphic warmup phase recovers once the
-/// workload settles on one shape.
+/// Megamorphic-state streak tracking: called with the (receiver shape,
+/// holder shape) pair of a generic (megamorphic) access — holder_shape is
+/// nullptr when the property resolved on the receiver itself. Returns true
+/// when kRecacheHits consecutive accesses shared one pair — the site is
+/// reset to the caching state (the caller's normal insert path then
+/// repopulates the ways), so a site condemned during a polymorphic warmup
+/// phase recovers once the workload settles on one shape. Tracking the pair
+/// (not the receiver alone) keeps a stable receiver over a CHURNING
+/// prototype chain megamorphic: re-caching it would install a way the very
+/// next access invalidates, paying resolve-and-insert forever.
 template <typename IC>
-bool recache_if_stable(IC& ic, const Shape* shape) {
-  if (shape == ic.last_shape) {
+bool recache_if_stable(IC& ic, const Shape* shape, const Shape* holder_shape) {
+  if (shape == ic.last_shape && holder_shape == ic.last_holder) {
     if (++ic.stable < IC::kRecacheHits) return false;
     ic.megamorphic = false;
     ic.misses = 0;
     ic.stable = 0;
     ic.last_shape = nullptr;
+    ic.last_holder = nullptr;
     return true;
   }
   ic.last_shape = shape;
+  ic.last_holder = holder_shape;
   ic.stable = 1;
   return false;
 }
@@ -1263,38 +1307,51 @@ bool recache_if_stable(IC& ic, const Shape* shape) {
 
 Value Interpreter::read_ic_miss(ReadIC& ic, JSObject& obj, const Shape* shape,
                                 js::Atom key) {
-  // A megamorphic site that just crossed the stable-shape streak re-enters
-  // caching here: the insert below runs on this very access.
-  if (ic.megamorphic) recache_if_stable(ic, shape);
+  ++ic_stats_.read_misses;
   const std::int32_t own = shape->slot_of(key);
   if (own >= 0) {
+    // Own-property access: the streak holder is the nullptr sentinel. A
+    // megamorphic site that just crossed the stable-(shape,holder) streak
+    // re-enters caching here — the insert below runs on this very access.
+    if (ic.megamorphic && recache_if_stable(ic, shape, nullptr)) {
+      ++ic_stats_.recaches;
+    }
     if (!ic.megamorphic &&
         !pic_insert(ic, ReadIC::Way{shape, std::uint32_t(own), nullptr, nullptr}) &&
         ++ic.misses >= ReadIC::kMegamorphicMisses) {
       ic.megamorphic = true;
       ic.count = 0;  // stop probing stale ways; all accesses go generic
+      ++ic_stats_.megamorphic_trips;
     }
     return *obj.prop_slot(std::uint32_t(own));
   }
-  if (!ic.megamorphic) {
-    JSObject* proto = obj.prototype().get();
-    if (proto != nullptr) {
-      if (const Shape* proto_shape = proto->shape()) {
-        const std::int32_t slot = proto_shape->slot_of(key);
-        if (slot >= 0) {
-          if (!pic_insert(ic, ReadIC::Way{shape, std::uint32_t(slot), proto,
-                                          proto_shape}) &&
-              ++ic.misses >= ReadIC::kMegamorphicMisses) {
-            ic.megamorphic = true;
-            ic.count = 0;
-          }
-          return *proto->prop_slot(std::uint32_t(slot));
-        }
+  // Not an own property: resolve the direct-prototype holder FIRST, so the
+  // megamorphic streak can be fed with the pair it would actually cache.
+  JSObject* proto = obj.prototype().get();
+  const Shape* proto_shape = proto != nullptr ? proto->shape() : nullptr;
+  const std::int32_t proto_slot =
+      proto_shape != nullptr ? proto_shape->slot_of(key) : -1;
+  if (proto_slot >= 0) {
+    if (ic.megamorphic && recache_if_stable(ic, shape, proto_shape)) {
+      ++ic_stats_.recaches;
+    }
+    if (!ic.megamorphic) {
+      if (!pic_insert(ic, ReadIC::Way{shape, std::uint32_t(proto_slot), proto,
+                                      proto_shape}) &&
+          ++ic.misses >= ReadIC::kMegamorphicMisses) {
+        ic.megamorphic = true;
+        ic.count = 0;
+        ++ic_stats_.megamorphic_trips;
       }
+      return *proto->prop_slot(std::uint32_t(proto_slot));
     }
   }
-  // Megamorphic site, or a deeper/dictionary-mode holder: generic prototype
-  // walk with no cache churn (`own` above already settled the receiver).
+  // Megamorphic site, or a deeper/dictionary-mode holder or absent key.
+  // Uncacheable resolutions are streak-neutral: they could never be served
+  // by a re-cached way, so they neither build nor break a stable streak.
+  // Generic prototype walk with no cache churn (`own` above already settled
+  // the receiver).
+  if (proto_slot >= 0) return *proto->prop_slot(std::uint32_t(proto_slot));
   for (const JSObject* walk = obj.prototype().get(); walk != nullptr;
        walk = walk->prototype().get()) {
     if (const Value* found = walk->own_property(key)) return *found;
@@ -1333,6 +1390,7 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
     for (std::uint8_t i = 0; i < ic.count; ++i) {
       const WriteIC::Way& way = ic.ways[i];
       if (way.shape != shape) continue;
+      ++ic_stats_.write_hits;
       if (way.new_shape == nullptr) {
         *obj.prop_slot(way.slot) = std::move(value);
       } else {
@@ -1350,9 +1408,13 @@ void Interpreter::assign_member_named(const Value& base, const js::Member& membe
 
 void Interpreter::write_ic_miss(WriteIC& ic, JSObject& obj, const Shape* shape,
                                 js::Atom key, Value value) {
-  if (ic.megamorphic && !recache_if_stable(ic, shape)) {
-    obj.set_property(key, std::move(value));
-    return;
+  ++ic_stats_.write_misses;
+  if (ic.megamorphic) {
+    if (!recache_if_stable(ic, shape, nullptr)) {
+      obj.set_property(key, std::move(value));
+      return;
+    }
+    ++ic_stats_.recaches;
   }
   const std::int32_t own = shape->slot_of(key);
   WriteIC::Way way;
@@ -1364,6 +1426,7 @@ void Interpreter::write_ic_miss(WriteIC& ic, JSObject& obj, const Shape* shape,
   if (!pic_insert(ic, way) && ++ic.misses >= WriteIC::kMegamorphicMisses) {
     ic.megamorphic = true;
     ic.count = 0;
+    ++ic_stats_.megamorphic_trips;
   }
   if (way.new_shape == nullptr) {
     *obj.prop_slot(way.slot) = std::move(value);

@@ -220,6 +220,18 @@ class Interpreter {
   };
   [[nodiscard]] ReadICDebug debug_read_ic(std::uint32_t ic_id) const;
   [[nodiscard]] WriteICDebug debug_write_ic(std::uint32_t ic_id) const;
+  /// Cumulative inline-cache transition counters for this interpreter.
+  /// Plain (non-atomic) members bumped on the hot paths; flushed into the
+  /// process-wide obs registry (interp.ic_*) at the end of every run().
+  struct ICStats {
+    std::uint64_t read_hits = 0;       // PIC way hits at read sites
+    std::uint64_t read_misses = 0;     // read_ic_miss entries (incl. generic)
+    std::uint64_t write_hits = 0;
+    std::uint64_t write_misses = 0;
+    std::uint64_t megamorphic_trips = 0;  // caching -> megamorphic
+    std::uint64_t recaches = 0;           // megamorphic -> caching
+  };
+  [[nodiscard]] const ICStats& ic_stats() const { return ic_stats_; }
   /// Argument-stack slots currently reserved (0 whenever no call is live).
   [[nodiscard]] std::size_t debug_arg_stack_in_use() const {
     return arg_stack_.in_use();
@@ -261,10 +273,14 @@ class Interpreter {
     std::uint8_t misses = 0;  // full-cache misses; saturates into megamorphic
     bool megamorphic = false;
     /// Megamorphic-state streak tracking; compared by identity only (never
-    /// dereferenced — the pointer may name a shape this session no longer
-    /// reaches).
+    /// dereferenced — the pointers may name shapes this session no longer
+    /// reaches). The streak is over the PAIR (receiver shape, holder shape):
+    /// a stable receiver over a churning prototype chain must not re-cache,
+    /// since the cached way would be invalidated by the very next access.
+    /// last_holder is nullptr for own-property accesses.
     const Shape* last_shape = nullptr;
-    std::uint8_t stable = 0;  // consecutive same-shape generic accesses
+    const Shape* last_holder = nullptr;
+    std::uint8_t stable = 0;  // consecutive same-(shape,holder) accesses
   };
   /// Polymorphic inline cache for one named property *write* site: each way
   /// is either an in-place store to `slot`, or (when `new_shape` is set) the
@@ -285,7 +301,10 @@ class Interpreter {
     std::uint8_t count = 0;
     std::uint8_t misses = 0;
     bool megamorphic = false;
-    const Shape* last_shape = nullptr;  // identity compares only
+    /// Streak pair as in ReadIC; writes always resolve on the receiver, so
+    /// last_holder stays nullptr and only participates for symmetry.
+    const Shape* last_shape = nullptr;
+    const Shape* last_holder = nullptr;
     std::uint8_t stable = 0;
   };
 
@@ -421,6 +440,11 @@ class Interpreter {
   // the program's AST (the AST itself stays immutable and shareable).
   std::vector<ReadIC> read_ics_;
   std::vector<WriteIC> write_ics_;
+  ICStats ic_stats_;
+  /// Watermark of what flush_ic_stats() already pushed to the registry, so
+  /// repeated run() calls and the destructor only add deltas.
+  ICStats ic_stats_flushed_;
+  void flush_ic_stats();
   std::vector<std::int32_t> global_ref_cache_;  // -1: not yet resolved
 
   /// Reused argument storage for Call/New evaluation (see ArgStack).

@@ -15,6 +15,7 @@
 #include "rivertrail/parallel_for.h"
 #include "rivertrail/thread_pool.h"
 #include "support/cancel.h"
+#include "support/obs.h"
 
 namespace jsceres::rivertrail {
 
@@ -124,6 +125,10 @@ struct PipelineRun {
     // as first-exception-wins, raised as CancelledError at the join.
     if (error.has_failed() || cancel.cancelled()) return;
     if (ticket >= end_ticket.load(std::memory_order_relaxed)) return;  // bubble
+    JSCERES_OBS_SPAN_ARG("pipeline", "stage", "stage", stage);
+#if JSCERES_OBS
+    const std::int64_t obs_body_start = obs::mono_ns();
+#endif
     try {
       JSCERES_SCHED_EVENT();
       if (!stages[stage].fn(ticket) && stage == 0) {
@@ -137,6 +142,12 @@ struct PipelineRun {
     } catch (...) {
       error.capture();
     }
+#if JSCERES_OBS
+    // Per-stage ticket latency (body wall time, ns). One histogram across
+    // stages keeps the hot path to a single probe; the trace spans carry
+    // the per-stage breakdown via the "stage" arg.
+    JSCERES_OBS_HIST("pipeline.stage_ns", obs::mono_ns() - obs_body_start);
+#endif
   }
 
   /// Walk `ticket` from `stage` to retirement (or park it at a turnstile).
@@ -173,8 +184,10 @@ struct PipelineRun {
       ++stage;
     }
     // Retired: hand the freed in-flight slot to the next unspawned ticket.
+    JSCERES_OBS_COUNT("pipeline.tokens", 1);
     const std::size_t next = next_spawn.fetch_add(1, std::memory_order_relaxed);
     if (next < total) spawn(next, 0);
+    else JSCERES_OBS_GAUGE_ADD("pipeline.in_flight", -1);
     gate.arrive(1);  // last touch of the run state for this token
   }
 };
@@ -209,6 +222,10 @@ inline std::size_t run_pipeline(ThreadPool& pool, std::size_t max_tokens,
   max_in_flight = std::min(std::max<std::size_t>(max_in_flight, 1), max_tokens);
   pipe_detail::PipelineRun run(pool, std::move(stages), max_tokens, max_in_flight);
   run.cancel = cancel;
+  // In-flight depth gauge: +max_in_flight now (tickets 0..k-1 go live),
+  // retired tokens that spawn a successor keep the level, the last
+  // max_in_flight retirements drain it back down.
+  JSCERES_OBS_GAUGE_ADD("pipeline.in_flight", std::int64_t(max_in_flight));
   run.next_spawn.store(max_in_flight, std::memory_order_relaxed);
   for (std::size_t ticket = 1; ticket < max_in_flight; ++ticket) {
     run.spawn(ticket, 0);

@@ -13,6 +13,7 @@
 #include "rivertrail/fault_injection.h"
 #include "rivertrail/task.h"
 #include "rivertrail/ws_deque.h"
+#include "support/obs.h"
 
 namespace jsceres::rivertrail {
 
@@ -175,6 +176,7 @@ class ThreadPool {
       self.slab.release(slot);
       return false;
     }
+    JSCERES_OBS_COUNT("sched.splits", 1);
     // Unconditional, like inject(): the epoch bump must precede the
     // sleepers check or a worker parking between its rescan and its
     // sleepers_ increment sleeps through this push. Splits only happen
@@ -211,6 +213,8 @@ class ThreadPool {
     hungry_.fetch_sub(1, std::memory_order_relaxed);
     if (found) {
       JSCERES_SCHED_EVENT_NOTHROW();  // claim-by-helper scheduling event
+      JSCERES_OBS_COUNT("sched.tasks_helped", 1);
+      JSCERES_OBS_SPAN("sched", "task");
       task.run();
     }
     return found;
@@ -248,6 +252,7 @@ class ThreadPool {
 
   void worker_main(Worker& self) {
     tls_worker_ = &self;
+    JSCERES_OBS_SET_THREAD_NAME("worker-" + std::to_string(self.index));
     while (true) {
       if (Task* task = self.deque.pop()) {
         run_owned(self, task);
@@ -279,6 +284,7 @@ class ThreadPool {
       hungry_.fetch_sub(1, std::memory_order_relaxed);
       if (found) {
         JSCERES_SCHED_EVENT_NOTHROW();  // steal/inject-claim scheduling event
+        JSCERES_OBS_SPAN("sched", "task");
         task.run();
         continue;
       }
@@ -293,6 +299,8 @@ class ThreadPool {
     Task local = *task;
     self.slab.release(task);
     JSCERES_SCHED_EVENT_NOTHROW();  // own-deque pop scheduling event
+    JSCERES_OBS_COUNT("sched.tasks_own", 1);
+    JSCERES_OBS_SPAN("sched", "task");
     local.run();
   }
 
@@ -312,6 +320,7 @@ class ThreadPool {
         if (victim.inject.empty()) {
           victim.inject_nonempty.store(false, std::memory_order_relaxed);
         }
+        JSCERES_OBS_COUNT("sched.inject_claims", 1);
         return true;
       }
     }
@@ -321,6 +330,7 @@ class ThreadPool {
       if (Task* task = victim.deque.steal()) {
         *out = *task;
         victim.slab.release(task);
+        JSCERES_OBS_COUNT("sched.steals", 1);
         return true;
       }
     }
@@ -363,6 +373,7 @@ class ThreadPool {
   bool park(Worker& self, Task* out) {
     const std::uint64_t epoch = work_epoch_.load(std::memory_order_seq_cst);
     if (find_nonlocal(self.index, out)) return true;
+    JSCERES_OBS_COUNT("sched.parks", 1);
     std::unique_lock lock(idle_mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     idle_cv_.wait(lock, [&] {

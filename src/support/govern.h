@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "support/obs.h"
+
 namespace jsceres {
 
 /// What the governor tells the admission path to do with a new session.
@@ -68,22 +70,31 @@ class MemoryGovernor {
     if (options_.ceiling_bytes == 0) {
       reserved_ += estimate;
       note_high_water(shared_bytes);
+      JSCERES_OBS_COUNT("governor.admit", 1);
       return AdmitDecision::Admit;
     }
     const std::size_t in_use = reserved_ + shared_bytes;
     const auto pressure =
         double(in_use + estimate) / double(options_.ceiling_bytes);
+    // Pressure-band occupancy: every admission decision counts into the
+    // band it landed in, and the gauge tracks the last observed pressure
+    // (percent, so the integer gauge keeps two digits of resolution).
+    JSCERES_OBS_GAUGE_SET("governor.pressure_pct",
+                          std::int64_t(pressure * 100.0));
     if (pressure >= options_.shed_pressure ||
         in_use + estimate > options_.ceiling_bytes) {
       ++shed_count_;
+      JSCERES_OBS_COUNT("governor.shed", 1);
       return AdmitDecision::Shed;
     }
     reserved_ += estimate;
     note_high_water(shared_bytes);
     if (pressure >= options_.degrade_pressure) {
       ++degrade_count_;
+      JSCERES_OBS_COUNT("governor.degrade", 1);
       return AdmitDecision::Degrade;
     }
+    JSCERES_OBS_COUNT("governor.admit", 1);
     return AdmitDecision::Admit;
   }
 
@@ -96,6 +107,8 @@ class MemoryGovernor {
     if (actual_peak > estimate) {
       max_underestimate_ =
           std::max(max_underestimate_, actual_peak - estimate);
+      JSCERES_OBS_GAUGE_SET("governor.max_underestimate_bytes",
+                            max_underestimate_);
     }
   }
 

@@ -8,6 +8,7 @@
 #include "js/atom.h"
 #include "rivertrail/thread_pool.h"
 #include "support/epoch.h"
+#include "support/obs.h"
 
 namespace jsceres {
 
@@ -107,12 +108,22 @@ std::size_t AnalysisService::run_reclamation_pass() {
   // keys hash through recycled atom data.
   static std::mutex pass_mutex;
   const std::lock_guard lock(pass_mutex);
+  JSCERES_OBS_SPAN("service", "reclamation_pass");
+#if JSCERES_OBS
+  const std::int64_t obs_pass_start = obs::mono_ns();
+#endif
   // The floor is computed once and used for BOTH structures: sessions that
   // end mid-pass advance the epoch, and a refreshed floor in the second
   // step would free atoms the first step still considered reachable.
   const auto floor = EpochDomain::global().min_pinned();
   std::size_t freed = interp::Shape::reclaim_unused(floor);
   freed += EpochDomain::global().reclaim(floor);
+#if JSCERES_OBS
+  JSCERES_OBS_COUNT("epoch.reclaim_passes", 1);
+  JSCERES_OBS_COUNT("epoch.freed_bytes", freed);
+  JSCERES_OBS_HIST("epoch.reclaim_pass_us",
+                   (obs::mono_ns() - obs_pass_start) / 1000);
+#endif
   return freed;
 }
 
@@ -165,8 +176,10 @@ ServiceTicket AnalysisService::submit(ServiceRequest request) {
 
   const std::lock_guard lock(mutex_);
   ++submitted_;
+  JSCERES_OBS_COUNT("service.submitted", 1);
   if (shutting_down_) {
     ++shed_shutdown_;
+    JSCERES_OBS_COUNT("service.shed_shutdown", 1);
     return shed("shutdown");
   }
 
@@ -177,6 +190,7 @@ ServiceTicket AnalysisService::submit(ServiceRequest request) {
   // leaves no reservation to unwind.
   if (!can_run_now && queue_.size() >= options_.max_queue) {
     ++shed_queue_full_;
+    JSCERES_OBS_COUNT("service.shed_queue_full", 1);
     return shed("queue-full");
   }
 
@@ -184,6 +198,7 @@ ServiceTicket AnalysisService::submit(ServiceRequest request) {
                           shared_structure_bytes())) {
     case AdmitDecision::Shed:
       ++shed_memory_;
+      JSCERES_OBS_COUNT("service.shed_memory", 1);
       return shed("memory-pressure");
     case AdmitDecision::Degrade:
       // Admit one rung down: the paper's ladder (3 -> 1 -> 0), entered
@@ -205,6 +220,7 @@ ServiceTicket AnalysisService::submit(ServiceRequest request) {
   } else {
     queue_.push_back(entry);
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
+    JSCERES_OBS_GAUGE_SET("service.queue_depth", queue_.size());
   }
   return ServiceTicket(entry);
 }
@@ -251,6 +267,23 @@ void AnalysisService::finish_entry(const std::shared_ptr<Entry>& entry,
   governor_.release(entry->request.memory_estimate, peak_bytes);
   EpochDomain::global().advance();
 
+#if JSCERES_OBS
+  // Per-tenant session latency. Dynamic names intern once per tenant; the
+  // registry's cell cap turns a hostile tenant-name cardinality into the
+  // obs.registry_overflow counter instead of unbounded growth.
+  const std::int64_t started =
+      entry->started_ns.load(std::memory_order_acquire);
+  if (started != 0) {
+    const std::int64_t ms = (now_ns() - started) / 1'000'000;
+    JSCERES_OBS_HIST("service.session_ms", ms);
+    const std::string& tenant = entry->request.tenant;
+    obs::Histogram::at("service.session_ms." +
+                       (tenant.empty() ? std::string("anon") : tenant))
+        .record(std::uint64_t(ms));
+  }
+  JSCERES_OBS_COUNT("service.completed", 1);
+#endif
+
   bool run_reclaim = false;
   std::shared_ptr<Entry> next;
   {
@@ -278,6 +311,8 @@ void AnalysisService::finish_entry(const std::shared_ptr<Entry>& entry,
       }
       if (next != nullptr) dispatch_locked(next);
     }
+    JSCERES_OBS_GAUGE_SET("service.queue_depth", queue_.size());
+    JSCERES_OBS_GAUGE_SET("service.active_sessions", active_.size());
     if (queue_.empty() && active_.empty()) idle_cv_.notify_all();
   }
 
@@ -353,8 +388,41 @@ void AnalysisService::watchdog_main() {
       // sticky — the stuck session cannot resurrect itself by retrying.
       entry->cancel.request_cancel();
       ++watchdog_quarantines_;
+      JSCERES_OBS_COUNT("service.watchdog_quarantines", 1);
     }
   }
+}
+
+void AnalysisService::refresh_engine_gauges() {
+  JSCERES_OBS_GAUGE_SET("interp.shape_count", interp::Shape::live_count());
+  JSCERES_OBS_GAUGE_SET("interp.shape_bytes", interp::Shape::live_bytes());
+  JSCERES_OBS_GAUGE_SET("js.atom_table_size", js::atom_table_size());
+  JSCERES_OBS_GAUGE_SET("js.atom_table_bytes", js::atom_table_bytes());
+  JSCERES_OBS_GAUGE_SET("ceres.stamp_segments_live",
+                        ceres::stamp_segments_live());
+  JSCERES_OBS_GAUGE_SET("ceres.stamp_bytes_live", ceres::stamp_bytes_live());
+  JSCERES_OBS_GAUGE_SET("epoch.deferred_bytes",
+                        EpochDomain::global().deferred_bytes());
+  JSCERES_OBS_GAUGE_SET("epoch.deferred_count",
+                        EpochDomain::global().deferred_count());
+  JSCERES_OBS_GAUGE_SET("epoch.pinned_sessions",
+                        EpochDomain::global().pinned_count());
+}
+
+obs::Snapshot AnalysisService::metrics_snapshot() const {
+  refresh_engine_gauges();
+  {
+    const std::lock_guard lock(mutex_);
+    JSCERES_OBS_GAUGE_SET("service.queue_depth", queue_.size());
+    JSCERES_OBS_GAUGE_SET("service.active_sessions", active_.size());
+  }
+  JSCERES_OBS_GAUGE_SET("governor.reserved_bytes", governor_.reserved_bytes());
+  JSCERES_OBS_GAUGE_SET("governor.max_underestimate_bytes",
+                        governor_.max_underestimate());
+  JSCERES_OBS_GAUGE_SET(
+      "governor.pressure_pct",
+      std::int64_t(governor_.pressure(shared_structure_bytes()) * 100.0));
+  return obs::snapshot();
 }
 
 }  // namespace jsceres

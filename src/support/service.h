@@ -14,6 +14,7 @@
 
 #include "support/cancel.h"
 #include "support/govern.h"
+#include "support/obs.h"
 #include "support/supervisor.h"
 
 namespace jsceres {
@@ -159,6 +160,15 @@ class AnalysisService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }
   [[nodiscard]] MemoryGovernor& governor() { return governor_; }
+
+  /// Full observability snapshot: refreshes the cross-layer engine gauges
+  /// (shape tree, atom table, stamp segments, epoch domain) plus this
+  /// service's own gauges, then aggregates the whole metrics registry.
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const;
+
+  /// Push the process-wide shared-structure gauges into the registry.
+  /// Static: callable without a service (the soak driver's periodic dump).
+  static void refresh_engine_gauges();
 
   /// Bytes held by the process-wide shared structures the governor folds
   /// into pressure: atom table + shape tree + stamp segments + frees still

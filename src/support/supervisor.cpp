@@ -16,6 +16,7 @@
 #include "rivertrail/parallel_for.h"
 #include "rivertrail/thread_pool.h"
 #include "support/clock.h"
+#include "support/obs.h"
 
 namespace jsceres {
 
@@ -108,6 +109,12 @@ AttemptSuccess run_builtin_attempt(const SessionRequest& request, int mode,
   try {
     if (request.has_timers) {
       dom::Page page(interp);
+      // Frame graph works without a canvas (the kernel stage no-ops); the
+      // point is exercising the pipelined frame path under supervision and
+      // emitting its per-stage spans into any active trace.
+      if (request.frame_pool != nullptr) {
+        page.event_loop().enable_frame_graph(*request.frame_pool);
+      }
       interp.run();
       page.event_loop().run(request.horizon_ms, token);
     } else {
@@ -190,6 +197,9 @@ void tighten(EngineLimits& limits, std::int64_t& max_ticks) {
 }  // namespace
 
 SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
+  JSCERES_OBS_COUNT("supervisor.sessions", 1);
+  JSCERES_OBS_SPAN_ARG("supervisor", "session", "mode",
+                       std::uint64_t(request.mode));
   SessionOutcome outcome;
   outcome.name = request.name;
   outcome.final_mode = request.mode;
@@ -246,6 +256,7 @@ SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
 
       case AttemptClass::Retryable:
         if (retries_left-- > 0) {
+          JSCERES_OBS_COUNT("supervisor.retries", 1);
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
           backoff_ms = std::min(backoff_ms * 2, options_.backoff_cap_ms);
           tighten(budgets, ticks);
@@ -259,6 +270,7 @@ SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
       case AttemptClass::Deadline:
       case AttemptClass::Limit:
         if (options_.degrade_on_limit && mode > 0) {
+          JSCERES_OBS_COUNT("supervisor.degradations", 1);
           mode = next_rung(mode);
           continue;
         }
@@ -266,16 +278,21 @@ SessionOutcome SessionSupervisor::run_one(const SessionRequest& request) {
         outcome.state = result == AttemptClass::Deadline
                             ? SessionState::TimedOut
                             : SessionState::Quarantined;
+        if (outcome.state == SessionState::Quarantined) {
+          JSCERES_OBS_COUNT("supervisor.quarantines", 1);
+        }
         return outcome;
 
       case AttemptClass::FrontEnd:
         // No instrumentation mode can fix a parse error: quarantine
         // immediately, blamed on the input.
+        JSCERES_OBS_COUNT("supervisor.quarantines", 1);
         outcome.state = SessionState::Quarantined;
         outcome.final_mode = mode;
         return outcome;
 
       case AttemptClass::Fatal:
+        JSCERES_OBS_COUNT("supervisor.quarantines", 1);
         outcome.state = SessionState::Quarantined;
         outcome.final_mode = mode;
         outcome.runtime_fault = true;

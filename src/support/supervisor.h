@@ -112,6 +112,11 @@ struct SessionRequest {
   /// wins over any retry. Must outlive the batch. nullptr: the supervisor
   /// owns a private source.
   CancelSource* cancel = nullptr;
+  /// Pool for the timer session's frame graph (kernel/upload/commit run as
+  /// pipeline stages instead of inline). nullptr: frames run serially on the
+  /// event-loop thread. Only consulted when `has_timers` is set. Must
+  /// outlive the batch.
+  rivertrail::ThreadPool* frame_pool = nullptr;
   /// Custom attempt body (runner integration): executes one attempt at
   /// `mode` under `limits`/`max_ticks`, observing the token, and either
   /// returns or throws (EngineError, CancelledError, InjectedFault, ...) for

@@ -226,6 +226,113 @@ TEST(PolymorphicIC, AlternatingShapesNeverAssembleRecacheStreak) {
   EXPECT_EQ(interp.debug_read_ic(0).ways, 0);
 }
 
+TEST(PolymorphicIC, ChurningPrototypeUnderStableReceiverStaysMegamorphic) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+
+  // Parade 16 distinct shapes through the site to trip it megamorphic.
+  std::vector<ObjPtr> objs;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr obj = interp.make_object();
+    for (int pad = 0; pad < i; ++pad) {
+      obj->set_property("ph_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                        Value::number(0));
+    }
+    obj->set_property("p", Value::number(i));
+    objs.push_back(std::move(obj));
+  }
+  for (int i = 0; i < 16; ++i) {
+    interp.call(get, Value::undefined(), {Value::object(objs[std::size_t(i)])});
+  }
+  ASSERT_TRUE(interp.debug_read_ic(0).megamorphic);
+  const std::uint64_t recaches_before = interp.ic_stats().recaches;
+
+  // `p` lives on the receiver's direct prototype, and the prototype
+  // alternates between two shapes while the receiver's own shape never
+  // changes. The re-cache streak tracks the (receiver shape, holder shape)
+  // PAIR, so it resets on every flip; a streak over the receiver shape
+  // alone would re-cache after 16 accesses and then miss on every flip.
+  const ObjPtr receiver = object_with_keys(interp, {"ph_r"});
+  const ObjPtr proto_a = object_with_keys(interp, {"p"});
+  const ObjPtr proto_b = object_with_keys(interp, {"ph_b", "p"});
+  ASSERT_NE(proto_a->shape(), proto_b->shape());
+  for (int round = 0; round < 40; ++round) {
+    receiver->set_prototype(round % 2 == 0 ? proto_a : proto_b);
+    EXPECT_DOUBLE_EQ(
+        interp.call(get, Value::undefined(), {Value::object(receiver)}).as_number(),
+        round % 2 == 0 ? 1 : 2);
+  }
+  EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+  EXPECT_EQ(interp.debug_read_ic(0).ways, 0);
+  EXPECT_EQ(interp.ic_stats().recaches, recaches_before);
+
+  // Hold the holder still too and the pair streak assembles: 15 accesses
+  // stay megamorphic, the 16th re-caches a proto way for this exact pair.
+  receiver->set_prototype(proto_a);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_DOUBLE_EQ(
+        interp.call(get, Value::undefined(), {Value::object(receiver)}).as_number(), 1);
+    EXPECT_TRUE(interp.debug_read_ic(0).megamorphic);
+  }
+  EXPECT_DOUBLE_EQ(
+      interp.call(get, Value::undefined(), {Value::object(receiver)}).as_number(), 1);
+  auto dbg = interp.debug_read_ic(0);
+  EXPECT_FALSE(dbg.megamorphic);
+  EXPECT_EQ(dbg.ways, 1);
+  EXPECT_EQ(dbg.shapes[0], receiver->shape());
+  EXPECT_EQ(interp.ic_stats().recaches, recaches_before + 1);
+
+  // The recovered proto way serves hits without further misses.
+  const std::uint64_t misses_after = interp.ic_stats().read_misses;
+  EXPECT_DOUBLE_EQ(
+      interp.call(get, Value::undefined(), {Value::object(receiver)}).as_number(), 1);
+  EXPECT_EQ(interp.ic_stats().read_misses, misses_after);
+  EXPECT_EQ(interp.debug_read_ic(0).ways, 1);
+}
+
+TEST(PolymorphicIC, ICStatsTrackTheSiteStateMachine) {
+  static js::Program program = js::parse("function get(o) { return o.p; }");
+  VirtualClock clock;
+  Interpreter interp(program, clock);
+  interp.run();
+  const Value get = interp.global("get");
+  const std::uint64_t base_hits = interp.ic_stats().read_hits;
+  const std::uint64_t base_misses = interp.ic_stats().read_misses;
+
+  // First access misses (installs the way), the next nine hit.
+  const ObjPtr obj = object_with_keys(interp, {"p"});
+  for (int i = 0; i < 10; ++i) {
+    interp.call(get, Value::undefined(), {Value::object(obj)});
+  }
+  EXPECT_EQ(interp.ic_stats().read_misses, base_misses + 1);
+  EXPECT_EQ(interp.ic_stats().read_hits, base_hits + 9);
+
+  // A 16-shape parade trips the site; the trip is counted exactly once.
+  const std::uint64_t base_trips = interp.ic_stats().megamorphic_trips;
+  for (int i = 0; i < 16; ++i) {
+    ObjPtr thrash = interp.make_object();
+    for (int pad = 0; pad <= i; ++pad) {
+      thrash->set_property("st_pad" + std::to_string(i) + "_" + std::to_string(pad),
+                           Value::number(0));
+    }
+    thrash->set_property("p", Value::number(i));
+    interp.call(get, Value::undefined(), {Value::object(thrash)});
+  }
+  ASSERT_TRUE(interp.debug_read_ic(0).megamorphic);
+  EXPECT_EQ(interp.ic_stats().megamorphic_trips, base_trips + 1);
+
+  // A stable streak re-caches; the recache is counted exactly once.
+  const std::uint64_t base_recaches = interp.ic_stats().recaches;
+  for (int i = 0; i < 16; ++i) {
+    interp.call(get, Value::undefined(), {Value::object(obj)});
+  }
+  EXPECT_FALSE(interp.debug_read_ic(0).megamorphic);
+  EXPECT_EQ(interp.ic_stats().recaches, base_recaches + 1);
+}
+
 TEST(PolymorphicIC, MegamorphicWriteSiteRecachesAfterStableStreak) {
   static js::Program program = js::parse("function put(o, v) { o.p = v; }");
   VirtualClock clock;
