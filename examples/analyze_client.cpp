@@ -1,0 +1,90 @@
+// Send one script to a running example_serve and print the full outcome.
+//
+//   example_analyze_client <port> <source> [token] [mode]
+//
+//   ./example_analyze_client 7333 'console.log(1 + 2);'
+//   ./example_analyze_client 7333 "$(cat script.js)" tok-alpha 1
+//
+// Prints the service state, shed reason (if any), console output, and the
+// attempt history the supervisor recorded — everything the wire response
+// frame carries. A typed rejection (auth, rate, busy) or a transport
+// failure prints as such and exits nonzero.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/client.h"
+#include "net/frame.h"
+
+int main(int argc, char** argv) {
+  using namespace jsceres;
+
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: example_analyze_client <port> <source> [token] "
+                 "[mode]\n");
+    return 2;
+  }
+
+  net::ClientOptions options;
+  options.port = std::uint16_t(std::strtoul(argv[1], nullptr, 10));
+  if (argc > 3) options.token = argv[3];
+
+  net::AnalysisClient client(options);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  net::WireRequest request;
+  request.name = "cli";
+  request.source = argv[2];
+  request.mode = argc > 4 ? std::uint8_t(std::strtoul(argv[4], nullptr, 10)) : 3;
+  request.max_ticks = 10'000'000;
+  request.max_memory_bytes = 64u << 20;
+  request.memory_estimate = 8u << 20;
+
+  const net::WireResult result = client.roundtrip(request);
+  switch (result.kind) {
+    case net::WireResult::Kind::Transport:
+      std::fprintf(stderr, "transport failure: %s\n",
+                   result.transport.c_str());
+      return 1;
+    case net::WireResult::Kind::ErrorFrame:
+      std::fprintf(stderr, "rejected: %s (%s)\n",
+                   net::to_string(result.error.code),
+                   result.error.message.c_str());
+      return 1;
+    case net::WireResult::Kind::Outcome:
+      break;
+  }
+
+  const ServiceOutcome& outcome = result.outcome;
+  std::printf("state: %s\n", to_string(outcome.state));
+  if (!outcome.shed_reason.empty()) {
+    std::printf("shed reason: %s\n", outcome.shed_reason.c_str());
+  }
+  if (outcome.watchdog_quarantined) {
+    std::printf("watchdog: quarantined as stuck\n");
+  }
+  if (!outcome.session.error.empty()) {
+    std::printf("error: %s\n", outcome.session.error.c_str());
+  }
+  if (!outcome.session.console.empty()) {
+    std::printf("console:\n%s", outcome.session.console.c_str());
+  }
+  std::printf("attempts (%d):\n", outcome.session.attempts);
+  for (const AttemptRecord& attempt : outcome.session.history) {
+    std::printf("  mode %d -> %s%s%s (cpu %lld us, wall %lld us)\n",
+                attempt.mode, attempt.outcome.c_str(),
+                attempt.error.empty() ? "" : ": ",
+                attempt.error.c_str(),
+                static_cast<long long>(attempt.cpu_ns / 1000),
+                static_cast<long long>(attempt.wall_ns / 1000));
+  }
+  return outcome.state == ServiceState::Completed ||
+                 outcome.state == ServiceState::Degraded
+             ? 0
+             : 1;
+}

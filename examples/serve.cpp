@@ -1,0 +1,77 @@
+// Run the analysis engine as a network service.
+//
+//   example_serve [port] [token=tenant ...]
+//
+// Binds 127.0.0.1:<port> (default 7333; 0 picks an ephemeral port and
+// prints it), starts an AnalysisService behind an AnalysisServer, and
+// serves framed requests until EOF on stdin. With no token=tenant pairs
+// the server is open: whatever token a client sends becomes its tenant
+// name. With pairs, only those tokens are accepted and everything else is
+// answered with a typed auth-failed frame.
+//
+// Pair it with example_analyze_client:
+//
+//   ./example_serve 7333 &
+//   ./example_analyze_client 7333 'console.log(1 + 2);'
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/server.h"
+#include "rivertrail/thread_pool.h"
+#include "support/service.h"
+
+int main(int argc, char** argv) {
+  using namespace jsceres;
+
+  net::ServerOptions server_options;
+  server_options.port = 7333;
+  if (argc > 1) {
+    server_options.port = std::uint16_t(std::strtoul(argv[1], nullptr, 10));
+  }
+  for (int i = 2; i < argc; ++i) {
+    const char* eq = std::strchr(argv[i], '=');
+    if (eq == nullptr) {
+      std::fprintf(stderr, "usage: example_serve [port] [token=tenant ...]\n");
+      return 2;
+    }
+    const std::string pair = argv[i];
+    const std::size_t split = pair.find('=');
+    server_options.tenants[pair.substr(0, split)] = pair.substr(split + 1);
+  }
+  server_options.tenant_requests_per_sec = 50;
+
+  rivertrail::ThreadPool pool(4);
+  ServiceOptions service_options;
+  service_options.max_active = 4;
+  service_options.max_queue = 32;
+  service_options.governor.ceiling_bytes = 256u << 20;
+  service_options.watchdog_interval_ms = 100;
+  service_options.watchdog_stuck_ms = 10'000;
+  AnalysisService service(pool, service_options);
+
+  net::AnalysisServer server(service, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (%s auth) — EOF on stdin stops\n",
+              unsigned(server.port()),
+              server_options.tenants.empty() ? "open" : "token");
+
+  // Park until the operator closes stdin; the server threads do the work.
+  while (std::fgetc(stdin) != EOF) {
+  }
+
+  server.stop();
+  const net::ServerStats stats = server.stats();
+  std::printf(
+      "served: accepted=%zu submitted=%zu responses=%zu error-frames=%zu "
+      "malformed=%zu timed-out=%zu rejected=%zu\n",
+      stats.connections_accepted, stats.requests_submitted,
+      stats.responses_written, stats.error_frames, stats.malformed_frames,
+      stats.connections_timed_out, stats.connections_rejected);
+  return 0;
+}

@@ -2,6 +2,8 @@
 //
 //   fuzz_driver [--smoke] [--seed N] [--count N] [--corpus DIR] [--timers]
 //   fuzz_driver --hostile
+//   fuzz_driver --hostile-net
+//   fuzz_driver --serve [--seed N] [--count N]
 //   fuzz_driver --sessions N [--seed N] [--count N]
 //   fuzz_driver --soak [--sessions N] [--seed N] [--metrics-out FILE]
 //               [--trace-out FILE]
@@ -15,6 +17,17 @@
 //
 // --hostile runs the hostile-input demo suite: every case must trip its
 // limit with a recoverable error and leave the engine reusable.
+//
+// --hostile-net runs the hostile-client suite against a real loopback
+// AnalysisServer: garbage magic, oversized length prefixes, zero-length
+// floods, a slow-drip writer, mid-frame and mid-response disconnects,
+// connection/in-flight/rate floods. Every case must end in a typed error
+// frame (or orderly close) with the server still serving afterwards.
+//
+// --serve streams `count` requests through the server over real sockets —
+// generated programs with every tenth slot a hostile action — after first
+// running the loopback differential oracle: in-process submit() and the
+// wire round-trip must agree outcome-for-outcome on the same requests.
 //
 // --sessions N routes the generated programs through a real SessionSupervisor
 // in batches of N concurrent sessions over one shared pool. Every session
@@ -41,6 +54,7 @@
 #include "fuzz/generator.h"
 #include "fuzz/oracles.h"
 #include "fuzz/triage.h"
+#include "fuzz/wire.h"
 #include "interp/shape.h"
 #include "js/atom.h"
 #include "rivertrail/thread_pool.h"
@@ -68,6 +82,18 @@ int run_hostile_suite() {
     if (!report.recovered) ++failures;
   }
   std::printf("hostile suite: %d failure(s)\n", failures);
+  return failures;
+}
+
+int run_hostile_net() {
+  int failures = 0;
+  for (const jsceres::fuzz::NetHostileReport& report :
+       jsceres::fuzz::run_hostile_net_suite()) {
+    std::printf("[%s] %-24s %s\n", report.recovered ? "RECOVERED" : "FAILED",
+                report.name.c_str(), report.detail.c_str());
+    if (!report.recovered) ++failures;
+  }
+  std::printf("hostile-net suite: %d failure(s)\n", failures);
   return failures;
 }
 
@@ -339,6 +365,8 @@ int run_soak(std::uint64_t base_seed, int total,
 
 int main(int argc, char** argv) {
   bool hostile = false;
+  bool hostile_net = false;
+  bool serve = false;
   bool timers = false;
   bool soak = false;
   int sessions = 0;
@@ -352,6 +380,10 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--hostile") == 0) {
       hostile = true;
+    } else if (std::strcmp(arg, "--hostile-net") == 0) {
+      hostile_net = true;
+    } else if (std::strcmp(arg, "--serve") == 0) {
+      serve = true;
     } else if (std::strcmp(arg, "--soak") == 0) {
       soak = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
@@ -372,14 +404,19 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: fuzz_driver [--smoke] [--hostile] [--soak] "
-                   "[--sessions N] [--seed N] [--count N] [--corpus DIR] "
-                   "[--timers] [--metrics-out FILE] [--trace-out FILE]\n");
+                   "usage: fuzz_driver [--smoke] [--hostile] [--hostile-net] "
+                   "[--serve] [--soak] [--sessions N] [--seed N] [--count N] "
+                   "[--corpus DIR] [--timers] [--metrics-out FILE] "
+                   "[--trace-out FILE]\n");
       return 2;
     }
   }
 
   if (hostile) return run_hostile_suite();
+  if (hostile_net) return run_hostile_net();
+  // In serve mode --count N is the stream length (slots, including the
+  // hostile ones), defaulting to 500 like smoke mode.
+  if (serve) return jsceres::fuzz::run_serve_mode(seed, count);
   // In soak mode --sessions N is the stream length (how many sessions flow
   // through the resident service), defaulting to 2000.
   if (soak) {

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jsceres::fuzz {
+
+/// One wire-level hostile-client case: what was done to the server and
+/// whether it ended the contractual way — a typed error frame (or orderly
+/// close) AND the server still serving a fresh well-formed request
+/// afterwards. Mirrors HostileReport for the engine-level suite.
+struct NetHostileReport {
+  std::string name;
+  bool recovered = false;
+  std::string detail;
+};
+
+/// The hostile-net suite from the robustness acceptance criteria: garbage
+/// magic, an oversized length prefix, a zero-length-payload flood, a
+/// slow-drip byte-at-a-time writer (slowloris), disconnect mid-response,
+/// a flood past the connection cap, pipelining past the in-flight cap, and
+/// a request-rate flood past the tenant quota. Spins its own loopback
+/// server; every case must leave it accepting.
+std::vector<NetHostileReport> run_hostile_net_suite();
+
+/// Serve mode: start a real AnalysisService + AnalysisServer pair on the
+/// loopback, stream `count` requests at it through the wire client —
+/// generated programs, with every tenth slot replaced by a hostile-client
+/// action — then run the in-process-vs-wire differential oracle over the
+/// leading seeds: for the same request, AnalysisService::submit() directly
+/// and a round-trip through the server must agree on ServiceState, final
+/// mode, and console output (wire-only timeout/reject states may appear
+/// only for the hostile slots). Returns the failure count (0 = green).
+int run_serve_mode(std::uint64_t base_seed, int count);
+
+}  // namespace jsceres::fuzz

@@ -1,0 +1,204 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jsceres::net {
+
+namespace {
+
+std::int64_t mono_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool AnalysisClient::connect(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return false;
+  };
+
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.host + ")");
+  }
+
+  // Bounded connect: non-blocking + poll, then back to blocking I/O (the
+  // frame helpers carry their own deadlines via poll).
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return fail("connect");
+    struct pollfd pfd {
+      fd_, POLLOUT, 0
+    };
+    const int ready = ::poll(&pfd, 1, options_.connect_timeout_ms);
+    if (ready <= 0) {
+      errno = ready == 0 ? ETIMEDOUT : errno;
+      return fail("connect");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      errno = so_error;
+      return fail("connect");
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  buffer_.clear();
+  return true;
+}
+
+void AnalysisClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool AnalysisClient::send_request(WireRequest request, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  if (request.id == 0) request.id = next_id_++;
+  const std::vector<std::uint8_t> bytes =
+      make_request_frame(options_.token, request);
+  const IoStatus status =
+      write_all(fd_, bytes.data(), bytes.size(), options_.io_timeout_ms);
+  if (status != IoStatus::Ok) {
+    if (error != nullptr) {
+      *error = status == IoStatus::Timeout ? "write timeout"
+                                           : "connection lost during write";
+    }
+    return false;
+  }
+  return true;
+}
+
+WireResult AnalysisClient::read_result() {
+  WireResult result;
+  if (fd_ < 0) {
+    result.transport = "not connected";
+    return result;
+  }
+  const std::int64_t deadline = mono_ms() + options_.io_timeout_ms;
+  for (;;) {
+    const DecodeResult decoded = decode_frame(buffer_.data(), buffer_.size(),
+                                              options_.max_frame_bytes);
+    if (decoded.status == DecodeStatus::Bad) {
+      result.transport = std::string("protocol violation from server: ") +
+                         to_string(decoded.error);
+      close();
+      return result;
+    }
+    if (decoded.status == DecodeStatus::Ok) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + std::ptrdiff_t(decoded.consumed));
+      if (decoded.frame.kind == FrameKind::Error) {
+        if (!decode_error(decoded.frame.payload, result.error)) {
+          result.transport = "malformed error frame from server";
+          close();
+          return result;
+        }
+        result.kind = WireResult::Kind::ErrorFrame;
+        result.id = result.error.id;
+        return result;
+      }
+      if (decoded.frame.kind == FrameKind::Response) {
+        std::uint32_t id = 0;
+        if (!decode_response(decoded.frame.payload, id, result.outcome)) {
+          result.transport = "malformed response frame from server";
+          close();
+          return result;
+        }
+        result.kind = WireResult::Kind::Outcome;
+        result.id = id;
+        return result;
+      }
+      result.transport = "unexpected frame kind from server";
+      close();
+      return result;
+    }
+
+    const std::int64_t left = deadline - mono_ms();
+    if (left <= 0) {
+      result.transport = "timeout";
+      return result;
+    }
+    const IoStatus ready =
+        wait_readable(fd_, int(left > 60'000 ? 60'000 : left));
+    if (ready == IoStatus::Timeout) {
+      result.transport = "timeout";
+      return result;
+    }
+    if (ready == IoStatus::Error) {
+      result.transport = "connection lost";
+      close();
+      return result;
+    }
+    std::uint8_t chunk[4096];
+    const std::ptrdiff_t got = read_some(fd_, chunk, sizeof(chunk));
+    if (got == 0) {
+      result.transport = "connection closed by server";
+      close();
+      return result;
+    }
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      result.transport = std::string("read error: ") + std::strerror(errno);
+      close();
+      return result;
+    }
+    buffer_.insert(buffer_.end(), chunk, chunk + got);
+  }
+}
+
+WireResult AnalysisClient::roundtrip(WireRequest request) {
+  if (request.id == 0) request.id = next_id_++;
+  const std::uint32_t want = request.id;
+  std::string error;
+  if (!send_request(request, &error)) {
+    WireResult result;
+    result.transport = error;
+    return result;
+  }
+  // FIFO per connection: skip any stale earlier answers (pipelined use),
+  // bail on transport failure, return the frame matching our id. A frame
+  // with id 0 is a connection-level verdict (timeout, shutdown) and ends
+  // the exchange too.
+  for (;;) {
+    WireResult result = read_result();
+    if (result.kind == WireResult::Kind::Transport) return result;
+    if (result.id == want || result.id == 0) return result;
+  }
+}
+
+}  // namespace jsceres::net

@@ -1,0 +1,75 @@
+#pragma once
+
+// AnalysisClient: the blocking counterpart of AnalysisServer — connect to
+// a loopback/remote server, send framed requests, read framed outcomes.
+// Every read and write carries a deadline, so a dead or stalled server
+// yields a structured client-side error instead of a hang; a typed Error
+// frame from the server is surfaced verbatim. Used by the examples, the
+// loopback tests, and the wire-level fuzz driver.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace jsceres::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Tenant token stamped into every frame header (<= kTenantTokenBytes).
+  std::string token;
+  int connect_timeout_ms = 2000;
+  /// Deadline for each whole-frame read and write.
+  int io_timeout_ms = 10'000;
+  std::size_t max_frame_bytes = 1u << 20;
+};
+
+/// What one wire exchange produced, exactly one of three shapes: a served
+/// outcome, a typed rejection from the server, or a transport failure.
+struct WireResult {
+  enum class Kind : std::uint8_t { Outcome, ErrorFrame, Transport };
+  Kind kind = Kind::Transport;
+  std::uint32_t id = 0;
+  ServiceOutcome outcome;   // Kind::Outcome
+  WireErrorFrame error;     // Kind::ErrorFrame
+  std::string transport;    // Kind::Transport: what broke ("timeout", ...)
+
+  [[nodiscard]] bool ok() const { return kind == Kind::Outcome; }
+};
+
+class AnalysisClient {
+ public:
+  explicit AnalysisClient(ClientOptions options) : options_(options) {}
+  ~AnalysisClient() { close(); }
+
+  AnalysisClient(const AnalysisClient&) = delete;
+  AnalysisClient& operator=(const AnalysisClient&) = delete;
+
+  /// Connect (bounded). False with `error` filled on failure.
+  bool connect(std::string* error = nullptr);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Fire one request and assign it a fresh id. False on transport failure.
+  bool send_request(WireRequest request, std::string* error = nullptr);
+
+  /// Read the next whole frame (Response or Error) within io_timeout_ms.
+  WireResult read_result();
+
+  /// send_request + read frames until the matching id answers (responses
+  /// arrive in FIFO order per connection, so with a single outstanding
+  /// request this is one read).
+  WireResult roundtrip(WireRequest request);
+
+ private:
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  std::vector<std::uint8_t> buffer_;
+};
+
+}  // namespace jsceres::net

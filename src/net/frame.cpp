@@ -1,0 +1,491 @@
+#include "net/frame.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "net/net_faults.h"
+
+namespace jsceres::net {
+
+const char* to_string(WireError error) {
+  switch (error) {
+    case WireError::BadMagic:
+      return "bad-magic";
+    case WireError::BadVersion:
+      return "bad-version";
+    case WireError::BadKind:
+      return "bad-kind";
+    case WireError::FrameTooLarge:
+      return "frame-too-large";
+    case WireError::MalformedPayload:
+      return "malformed-payload";
+    case WireError::ReadTimeout:
+      return "read-timeout";
+    case WireError::IdleTimeout:
+      return "idle-timeout";
+    case WireError::WriteTimeout:
+      return "write-timeout";
+    case WireError::TooManyInFlight:
+      return "too-many-in-flight";
+    case WireError::ServerBusy:
+      return "server-busy";
+    case WireError::AuthFailed:
+      return "auth-failed";
+    case WireError::RateLimited:
+      return "rate-limited";
+    case WireError::ShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+namespace {
+
+// Little-endian byte serialization. The wire format is explicit bytes, not
+// struct memcpy, so it is layout- and endianness-independent.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(std::uint8_t(v));
+  out.push_back(std::uint8_t(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(std::uint8_t(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(std::uint8_t(v >> shift));
+  }
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, std::uint32_t(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked forward reader over a payload; any overrun latches
+/// failure and every later read returns zero values, so decoders can read
+/// a whole struct and check ok() once.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t len;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool take(std::size_t n) {
+    if (failed || len - pos < n) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data[pos++];
+  }
+
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    std::uint16_t v = std::uint16_t(data[pos]) | std::uint16_t(data[pos + 1]) << 8;
+    pos += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+
+  [[nodiscard]] bool ok() const { return !failed; }
+  [[nodiscard]] bool exhausted() const { return !failed && pos == len; }
+};
+
+Reader reader(const std::vector<std::uint8_t>& payload) {
+  return Reader{payload.data(), payload.size()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  put_u32(out, kMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, std::uint8_t(frame.kind));
+  put_u16(out, 0);  // reserved
+  for (std::size_t i = 0; i < kTenantTokenBytes; ++i) {
+    put_u8(out, i < frame.tenant.size() ? std::uint8_t(frame.tenant[i]) : 0);
+  }
+  put_u32(out, std::uint32_t(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t max_frame_bytes) {
+  DecodeResult result;
+  if (len < kHeaderBytes) {
+    // Magic is validated as soon as its bytes exist so garbage fails fast
+    // instead of stalling in NeedMore until a read timeout.
+    for (std::size_t i = 0; i < len && i < 4; ++i) {
+      if (data[i] != std::uint8_t(kMagic >> (8 * i))) {
+        result.status = DecodeStatus::Bad;
+        result.error = WireError::BadMagic;
+        result.detail = "frame does not start with JSCA";
+        return result;
+      }
+    }
+    result.status = DecodeStatus::NeedMore;
+    return result;
+  }
+
+  Reader header{data, kHeaderBytes};
+  const std::uint32_t magic = header.u32();
+  const std::uint8_t version = header.u8();
+  const std::uint8_t kind = header.u8();
+  header.u16();  // reserved
+  std::string tenant;
+  for (std::size_t i = 0; i < kTenantTokenBytes; ++i) {
+    const char c = char(header.u8());
+    if (c != '\0') tenant.push_back(c);
+  }
+  const std::uint32_t payload_len = header.u32();
+
+  if (magic != kMagic) {
+    result.status = DecodeStatus::Bad;
+    result.error = WireError::BadMagic;
+    result.detail = "frame does not start with JSCA";
+    return result;
+  }
+  if (version != kProtocolVersion) {
+    result.status = DecodeStatus::Bad;
+    result.error = WireError::BadVersion;
+    result.detail = "unsupported protocol version " + std::to_string(version);
+    return result;
+  }
+  if (kind < std::uint8_t(FrameKind::Request) ||
+      kind > std::uint8_t(FrameKind::Error)) {
+    result.status = DecodeStatus::Bad;
+    result.error = WireError::BadKind;
+    result.detail = "unknown frame kind " + std::to_string(kind);
+    return result;
+  }
+  // The length check precedes buffering: an attacker announcing a 4 GiB
+  // payload is refused from the 28th byte, having cost the server nothing.
+  if (payload_len > max_frame_bytes) {
+    result.status = DecodeStatus::Bad;
+    result.error = WireError::FrameTooLarge;
+    result.detail = "payload of " + std::to_string(payload_len) +
+                    " bytes exceeds the frame cap of " +
+                    std::to_string(max_frame_bytes);
+    return result;
+  }
+  if (len < kHeaderBytes + payload_len) {
+    result.status = DecodeStatus::NeedMore;
+    return result;
+  }
+
+  result.status = DecodeStatus::Ok;
+  result.frame.kind = FrameKind(kind);
+  result.frame.tenant = std::move(tenant);
+  result.frame.payload.assign(data + kHeaderBytes,
+                              data + kHeaderBytes + payload_len);
+  result.consumed = kHeaderBytes + payload_len;
+  return result;
+}
+
+std::vector<std::uint8_t> encode_request(const WireRequest& request) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, request.id);
+  put_u8(out, request.mode);
+  put_u8(out, request.has_timers ? 1 : 0);
+  put_u16(out, 0);  // reserved
+  put_u32(out, request.deadline_ms);
+  put_u64(out, std::uint64_t(request.max_ticks));
+  put_u64(out, request.memory_estimate);
+  put_u64(out, request.max_memory_bytes);
+  put_str(out, request.name);
+  put_str(out, request.source);
+  return out;
+}
+
+bool decode_request(const std::vector<std::uint8_t>& payload,
+                    WireRequest& out) {
+  Reader r = reader(payload);
+  out.id = r.u32();
+  out.mode = r.u8();
+  out.has_timers = r.u8() != 0;
+  r.u16();  // reserved
+  out.deadline_ms = r.u32();
+  out.max_ticks = std::int64_t(r.u64());
+  out.memory_estimate = r.u64();
+  out.max_memory_bytes = r.u64();
+  out.name = r.str();
+  out.source = r.str();
+  // Trailing bytes are a violation, not slack: a frame that says 100 bytes
+  // and encodes 60 is malformed (forward compatibility is the version
+  // byte's job, not silent padding).
+  return r.exhausted() && out.mode <= 3;
+}
+
+std::vector<std::uint8_t> encode_response(std::uint32_t id,
+                                          const ServiceOutcome& outcome) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, id);
+  put_u8(out, std::uint8_t(outcome.state));
+  put_u8(out, outcome.watchdog_quarantined ? 1 : 0);
+  put_u8(out, std::uint8_t(outcome.session.final_mode));
+  put_u8(out, 0);  // reserved
+  put_u32(out, std::uint32_t(outcome.session.attempts));
+  put_str(out, outcome.shed_reason);
+  put_str(out, outcome.session.name);
+  put_str(out, outcome.session.error);
+  put_str(out, outcome.session.console);
+  put_u64(out, std::uint64_t(outcome.session.cpu_ns));
+  put_u64(out, std::uint64_t(outcome.session.wall_ns));
+  put_u64(out, outcome.session.peak_bytes);
+  put_u8(out, outcome.session.runtime_fault ? 1 : 0);
+  put_u32(out, std::uint32_t(outcome.session.history.size()));
+  for (const AttemptRecord& attempt : outcome.session.history) {
+    put_u8(out, std::uint8_t(attempt.mode));
+    put_str(out, attempt.outcome);
+    put_str(out, attempt.error);
+    put_u64(out, std::uint64_t(attempt.cpu_ns));
+    put_u64(out, std::uint64_t(attempt.wall_ns));
+    put_u64(out, attempt.peak_bytes);
+  }
+  return out;
+}
+
+bool decode_response(const std::vector<std::uint8_t>& payload,
+                     std::uint32_t& id, ServiceOutcome& out) {
+  Reader r = reader(payload);
+  id = r.u32();
+  const std::uint8_t state = r.u8();
+  if (state > std::uint8_t(ServiceState::Shed)) return false;
+  out.state = ServiceState(state);
+  out.watchdog_quarantined = r.u8() != 0;
+  out.session.final_mode = r.u8();
+  r.u8();  // reserved
+  out.session.attempts = int(r.u32());
+  out.shed_reason = r.str();
+  out.session.name = r.str();
+  out.session.error = r.str();
+  out.session.console = r.str();
+  out.session.cpu_ns = std::int64_t(r.u64());
+  out.session.wall_ns = std::int64_t(r.u64());
+  out.session.peak_bytes = r.u64();
+  out.session.runtime_fault = r.u8() != 0;
+  const std::uint32_t history = r.u32();
+  // A hostile length field cannot force a huge reserve: each record needs
+  // at least 33 payload bytes, so the remaining buffer bounds the count.
+  if (r.ok() && std::size_t(history) > (r.len - r.pos) / 33 + 1) return false;
+  out.session.history.clear();
+  for (std::uint32_t i = 0; i < history && r.ok(); ++i) {
+    AttemptRecord attempt;
+    attempt.mode = int(r.u8());
+    attempt.outcome = r.str();
+    attempt.error = r.str();
+    attempt.cpu_ns = std::int64_t(r.u64());
+    attempt.wall_ns = std::int64_t(r.u64());
+    attempt.peak_bytes = r.u64();
+    out.session.history.push_back(std::move(attempt));
+  }
+  // The first five ServiceState values mirror SessionState one-to-one; a
+  // shed never became a session, so its session field keeps the default.
+  if (out.state != ServiceState::Shed) {
+    out.session.state = SessionState(std::uint8_t(out.state));
+  }
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_error(std::uint32_t id, WireError code,
+                                       const std::string& message) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, id);
+  put_u8(out, std::uint8_t(code));
+  put_str(out, message);
+  return out;
+}
+
+bool decode_error(const std::vector<std::uint8_t>& payload,
+                  WireErrorFrame& out) {
+  Reader r = reader(payload);
+  out.id = r.u32();
+  const std::uint8_t code = r.u8();
+  if (code < std::uint8_t(WireError::BadMagic) ||
+      code > std::uint8_t(WireError::ShuttingDown)) {
+    return false;
+  }
+  out.code = WireError(code);
+  out.message = r.str();
+  return r.exhausted();
+}
+
+std::vector<std::uint8_t> make_request_frame(const std::string& tenant_token,
+                                             const WireRequest& request) {
+  Frame frame;
+  frame.kind = FrameKind::Request;
+  frame.tenant = tenant_token.substr(0, kTenantTokenBytes);
+  frame.payload = encode_request(request);
+  return encode_frame(frame);
+}
+
+std::vector<std::uint8_t> make_error_frame(std::uint32_t id, WireError code,
+                                           const std::string& message) {
+  Frame frame;
+  frame.kind = FrameKind::Error;
+  frame.payload = encode_error(id, code, message);
+  return encode_frame(frame);
+}
+
+// --- deadline-bounded socket I/O -------------------------------------------
+
+namespace {
+
+std::int64_t mono_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget against `deadline`, clamped for poll(). A deadline of
+/// 0 means "one immediate attempt": poll with timeout 0.
+int remaining_ms(std::int64_t deadline) {
+  if (deadline <= 0) return 0;
+  const std::int64_t left = deadline - mono_ms();
+  if (left <= 0) return -1;  // expired
+  return int(left > 60'000 ? 60'000 : left);
+}
+
+}  // namespace
+
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n) {
+  const io_faults::Decision fault = io_faults::on_event(fd, /*is_read=*/true);
+  if (fault.act == io_faults::Decision::Act::Eintr) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fault.cap != 0 && fault.cap < n) n = fault.cap;
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+IoStatus read_exact(int fd, void* buf, std::size_t n, int timeout_ms) {
+  std::uint8_t* at = static_cast<std::uint8_t*>(buf);
+  const std::int64_t deadline = timeout_ms > 0 ? mono_ms() + timeout_ms : 0;
+  while (n > 0) {
+    const int wait = remaining_ms(deadline);
+    if (wait < 0) return IoStatus::Timeout;
+    struct pollfd pfd {
+      fd, POLLIN, 0
+    };
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (ready == 0) {
+      if (deadline == 0) return IoStatus::Timeout;
+      continue;  // poll clamped below the deadline; loop re-checks it
+    }
+    const std::ptrdiff_t got = read_some(fd, at, n);
+    if (got == 0) return IoStatus::Closed;
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return errno == ECONNRESET ? IoStatus::Closed : IoStatus::Error;
+    }
+    at += got;
+    n -= std::size_t(got);
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus write_all(int fd, const void* buf, std::size_t n, int timeout_ms) {
+  const std::uint8_t* at = static_cast<const std::uint8_t*>(buf);
+  const std::int64_t deadline = timeout_ms > 0 ? mono_ms() + timeout_ms : 0;
+  while (n > 0) {
+    const int wait = remaining_ms(deadline);
+    if (wait < 0) return IoStatus::Timeout;
+    struct pollfd pfd {
+      fd, POLLOUT, 0
+    };
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (ready == 0) {
+      if (deadline == 0) return IoStatus::Timeout;
+      continue;
+    }
+    const io_faults::Decision fault =
+        io_faults::on_event(fd, /*is_read=*/false);
+    if (fault.act == io_faults::Decision::Act::Eintr) continue;
+    std::size_t chunk = n;
+    if (fault.cap != 0 && fault.cap < chunk) chunk = fault.cap;
+    const ssize_t wrote = ::send(fd, at, chunk, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return (errno == EPIPE || errno == ECONNRESET) ? IoStatus::Closed
+                                                     : IoStatus::Error;
+    }
+    at += wrote;
+    n -= std::size_t(wrote);
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus wait_readable(int fd, int timeout_ms) {
+  for (;;) {
+    struct pollfd pfd {
+      fd, POLLIN, 0
+    };
+    const int ready = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::Error;
+    }
+    if (ready == 0) return IoStatus::Timeout;
+    // POLLHUP/POLLERR still count as readable: recv() will report the EOF
+    // or error, which is the structured path the caller handles.
+    return IoStatus::Ok;
+  }
+}
+
+}  // namespace jsceres::net

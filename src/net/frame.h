@@ -1,0 +1,166 @@
+#pragma once
+
+// The wire protocol of the analysis server: length-prefixed binary frames
+// with a fixed 28-byte header carrying magic, version, frame kind, the
+// tenant token, and the payload length. Three frame kinds flow over a
+// connection — Request (client -> server: script source + mode + limits +
+// memory estimate), Response (server -> client: the full serialized
+// ServiceOutcome, shed reason and attempt history included), and Error
+// (server -> client: a typed rejection from the WireError taxonomy). The
+// grammar, defaults, and taxonomy are documented in src/net/README.md.
+//
+// Alongside the codec live the deadline-bounded socket I/O helpers
+// (read_exact / write_all / wait_readable) every server and client I/O
+// path routes through; each poll/recv/send round is one fault-injection
+// event for net_faults.h.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/service.h"
+
+namespace jsceres::net {
+
+// --- frame grammar ---------------------------------------------------------
+
+/// "JSCA" little-endian; the first four bytes of every frame.
+inline constexpr std::uint32_t kMagic = 0x4143534Au;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Fixed-size tenant token field in the header, NUL-padded.
+inline constexpr std::size_t kTenantTokenBytes = 16;
+/// magic(4) + version(1) + kind(1) + reserved(2) + token(16) + length(4).
+inline constexpr std::size_t kHeaderBytes = 28;
+
+enum class FrameKind : std::uint8_t {
+  Request = 1,
+  Response = 2,
+  Error = 3,
+};
+
+/// The typed rejection taxonomy. Every way the server refuses work answers
+/// with exactly one of these inside an Error frame — hostile clients get a
+/// structured verdict, never a silent close and never a hang.
+enum class WireError : std::uint8_t {
+  BadMagic = 1,        // header did not start with kMagic (closes)
+  BadVersion = 2,      // unknown protocol version (closes)
+  BadKind = 3,         // frame kind the server does not accept (closes)
+  FrameTooLarge = 4,   // payload length above max_frame_bytes (closes)
+  MalformedPayload = 5,  // header fine, payload failed to decode (closes)
+  ReadTimeout = 6,     // a started frame did not complete in time (closes)
+  IdleTimeout = 7,     // no traffic and nothing in flight (closes)
+  WriteTimeout = 8,    // client refused to drain a response (closes)
+  TooManyInFlight = 9,   // per-connection pipeline cap (connection survives)
+  ServerBusy = 10,     // total connection cap (closes the excess socket)
+  AuthFailed = 11,     // unknown tenant token (closes)
+  RateLimited = 12,    // per-tenant request-rate quota (connection survives)
+  ShuttingDown = 13,   // server draining; request not accepted
+};
+
+const char* to_string(WireError error);
+
+/// One decoded frame: kind, the tenant token (trailing NULs stripped), and
+/// the raw payload bytes.
+struct Frame {
+  FrameKind kind = FrameKind::Request;
+  std::string tenant;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Request payload: what one submit() needs, flattened onto the wire.
+struct WireRequest {
+  std::uint32_t id = 0;  // echoed in the matching Response/Error frame
+  std::uint8_t mode = 3;
+  bool has_timers = false;
+  std::uint32_t deadline_ms = 0;
+  std::int64_t max_ticks = 0;
+  std::uint64_t memory_estimate = 1u << 20;
+  std::uint64_t max_memory_bytes = 0;
+  std::string name;
+  std::string source;
+};
+
+/// Error payload: the typed code plus a human-readable detail line. id is 0
+/// when the error is not tied to a specific request (malformed input, idle
+/// timeout, connection-level rejections).
+struct WireErrorFrame {
+  std::uint32_t id = 0;
+  WireError code = WireError::MalformedPayload;
+  std::string message;
+};
+
+// --- codec -----------------------------------------------------------------
+
+/// Serialize a frame (header + payload). Tokens longer than
+/// kTenantTokenBytes are truncated — validate at the call site.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+enum class DecodeStatus : std::uint8_t {
+  Ok,        // one whole frame decoded; `consumed` bytes eaten
+  NeedMore,  // the buffer holds a valid prefix of a frame
+  Bad,       // protocol violation; `error`/`detail` say which
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::NeedMore;
+  WireError error = WireError::BadMagic;
+  std::string detail;
+  Frame frame;
+  std::size_t consumed = 0;
+};
+
+/// Decode one frame from the front of `data`. Never reads past `len`;
+/// rejects payload lengths above `max_frame_bytes` before buffering them.
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t max_frame_bytes);
+
+std::vector<std::uint8_t> encode_request(const WireRequest& request);
+[[nodiscard]] bool decode_request(const std::vector<std::uint8_t>& payload,
+                                  WireRequest& out);
+
+/// Response payload carries the echoed request id plus the complete
+/// ServiceOutcome — state, shed reason, watchdog flag, and the attempt
+/// history with per-attempt modes/outcomes/clocks.
+std::vector<std::uint8_t> encode_response(std::uint32_t id,
+                                          const ServiceOutcome& outcome);
+[[nodiscard]] bool decode_response(const std::vector<std::uint8_t>& payload,
+                                   std::uint32_t& id, ServiceOutcome& out);
+
+std::vector<std::uint8_t> encode_error(std::uint32_t id, WireError code,
+                                       const std::string& message);
+[[nodiscard]] bool decode_error(const std::vector<std::uint8_t>& payload,
+                                WireErrorFrame& out);
+
+/// Convenience: a fully encoded request/error frame ready to write.
+std::vector<std::uint8_t> make_request_frame(const std::string& tenant_token,
+                                             const WireRequest& request);
+std::vector<std::uint8_t> make_error_frame(std::uint32_t id, WireError code,
+                                           const std::string& message);
+
+// --- deadline-bounded socket I/O -------------------------------------------
+
+enum class IoStatus : std::uint8_t {
+  Ok,
+  Timeout,  // the deadline elapsed before the transfer finished
+  Closed,   // orderly EOF / peer reset mid-transfer
+  Error,    // unrecoverable errno
+};
+
+/// Read exactly `n` bytes within `timeout_ms` (<= 0: a single non-blocking
+/// attempt round). Loops over poll+recv; EINTR and short reads resume.
+IoStatus read_exact(int fd, void* buf, std::size_t n, int timeout_ms);
+
+/// Write all `n` bytes within `timeout_ms`. MSG_NOSIGNAL: a dead peer
+/// yields Closed, not SIGPIPE.
+IoStatus write_all(int fd, const void* buf, std::size_t n, int timeout_ms);
+
+/// Wait until `fd` is readable (Ok), the timeout elapses (Timeout), or the
+/// socket errors/hangs up with nothing to read (Error).
+IoStatus wait_readable(int fd, int timeout_ms);
+
+/// One bounded recv into `buf` after readability: >0 bytes read, 0 on
+/// orderly EOF, -1 on error. EINTR retries internally.
+std::ptrdiff_t read_some(int fd, void* buf, std::size_t n);
+
+}  // namespace jsceres::net

@@ -1,0 +1,482 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/obs.h"
+
+namespace jsceres::net {
+
+namespace {
+
+std::int64_t mono_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+AnalysisServer::AnalysisServer(AnalysisService& service, ServerOptions options)
+    : service_(&service), options_(options) {}
+
+AnalysisServer::~AnalysisServer() { stop(); }
+
+bool AnalysisServer::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) return fail("listen");
+
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void AnalysisServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Closing the listen socket unblocks the accept loop's poll at its next
+  // tick; handler threads observe stopping_ on theirs and enter drain.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (;;) {
+    std::thread victim;
+    {
+      const std::lock_guard lock(conn_mutex_);
+      reap_finished_locked();
+      if (connections_.empty()) break;
+      auto it = connections_.begin();
+      victim = std::move(it->second);
+      connections_.erase(it);
+    }
+    if (victim.joinable()) victim.join();
+  }
+  JSCERES_OBS_GAUGE_SET("net.connections_open", 0);
+}
+
+ServerStats AnalysisServer::stats() const {
+  ServerStats out;
+  out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  out.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  out.connections_open = open_connections_.load(std::memory_order_relaxed);
+  out.connections_timed_out = timed_out_.load(std::memory_order_relaxed);
+  out.frames_read = frames_read_.load(std::memory_order_relaxed);
+  out.frames_written = frames_written_.load(std::memory_order_relaxed);
+  out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  out.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
+  out.responses_written = responses_written_.load(std::memory_order_relaxed);
+  out.error_frames = error_frames_.load(std::memory_order_relaxed);
+  out.malformed_frames = malformed_.load(std::memory_order_relaxed);
+  out.auth_failures = auth_failures_.load(std::memory_order_relaxed);
+  out.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  out.in_flight_rejected = in_flight_rejected_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void AnalysisServer::accept_main() {
+  JSCERES_OBS_SET_THREAD_NAME("net-accept");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const IoStatus ready = wait_readable(listen_fd_, 50);
+    if (ready == IoStatus::Timeout) continue;
+    if (ready == IoStatus::Error) break;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;  // listen socket closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    {
+      const std::lock_guard lock(conn_mutex_);
+      reap_finished_locked();
+    }
+    if (open_connections_.load(std::memory_order_acquire) >=
+        options_.max_connections) {
+      // The wire mirror of the service's structured shed: the excess
+      // connection learns WHY before the close, within a short write
+      // budget so a non-reading flooder cannot stall the accept loop.
+      const std::vector<std::uint8_t> busy = make_error_frame(
+          0, WireError::ServerBusy, "connection cap reached, retry later");
+      write_all(fd, busy.data(), busy.size(), 200);
+      ::close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      JSCERES_OBS_COUNT("net.connections_rejected", 1);
+      continue;
+    }
+
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    JSCERES_OBS_COUNT("net.connections_accepted", 1);
+    const std::size_t open =
+        open_connections_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    JSCERES_OBS_GAUGE_SET("net.connections_open", open);
+    const std::lock_guard lock(conn_mutex_);
+    const std::uint64_t conn_id = next_conn_id_++;
+    connections_.emplace(
+        conn_id, std::thread([this, fd, conn_id] {
+          connection_main(fd, conn_id);
+          const std::size_t now_open =
+              open_connections_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+          JSCERES_OBS_GAUGE_SET("net.connections_open", now_open);
+          const std::lock_guard done_lock(conn_mutex_);
+          finished_.push_back(conn_id);
+        }));
+  }
+}
+
+void AnalysisServer::reap_finished_locked() {
+  for (const std::uint64_t id : finished_) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    it->second.join();
+    connections_.erase(it);
+  }
+  finished_.clear();
+}
+
+bool AnalysisServer::write_frame(int fd, const std::vector<std::uint8_t>& bytes) {
+  const IoStatus status =
+      write_all(fd, bytes.data(), bytes.size(), options_.write_timeout_ms);
+  if (status == IoStatus::Ok) {
+    frames_written_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    JSCERES_OBS_COUNT("net.frames_written", 1);
+    JSCERES_OBS_COUNT("net.bytes_written", bytes.size());
+    return true;
+  }
+  if (status == IoStatus::Timeout) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+    JSCERES_OBS_COUNT("net.connections_timed_out", 1);
+  }
+  return false;
+}
+
+void AnalysisServer::send_error(int fd, std::uint32_t id, WireError code,
+                                const std::string& message) {
+  error_frames_.fetch_add(1, std::memory_order_relaxed);
+  JSCERES_OBS_COUNT("net.error_frames", 1);
+  write_frame(fd, make_error_frame(id, code, message));
+}
+
+bool AnalysisServer::rate_allow(const std::string& tenant) {
+  if (options_.tenant_requests_per_sec == 0) return true;
+  const std::int64_t now = mono_ms();
+  const std::lock_guard lock(rate_mutex_);
+  RateWindow& window = rate_[tenant];
+  if (now - window.window_start_ms >= 1000) {
+    window.window_start_ms = now;
+    window.count = 0;
+  }
+  return ++window.count <= options_.tenant_requests_per_sec;
+}
+
+bool AnalysisServer::handle_frame(int fd, const Frame& frame,
+                                  std::deque<Pending>& pending) {
+  if (frame.kind != FrameKind::Request) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    JSCERES_OBS_COUNT("net.malformed_frames", 1);
+    send_error(fd, 0, WireError::BadKind,
+               "clients may only send Request frames");
+    return false;
+  }
+
+  WireRequest request;
+  if (!decode_request(frame.payload, request)) {
+    // Malformed input never reaches the engine: answered and closed here,
+    // with the decoder having touched nothing but its own buffer.
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    JSCERES_OBS_COUNT("net.malformed_frames", 1);
+    send_error(fd, 0, WireError::MalformedPayload,
+               "request payload failed to decode");
+    return false;
+  }
+
+  // Tenant authentication ahead of admission: a bad token is a hostile or
+  // misconfigured client — reject and close before any engine work.
+  std::string tenant;
+  if (options_.tenants.empty()) {
+    tenant = frame.tenant;
+  } else {
+    const auto it = options_.tenants.find(frame.tenant);
+    if (it == options_.tenants.end()) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      JSCERES_OBS_COUNT("net.auth_failures", 1);
+      send_error(fd, request.id, WireError::AuthFailed,
+                 "unknown tenant token");
+      return false;
+    }
+    tenant = it->second;
+  }
+
+  // Policy rejections (quota, pipeline cap) answer through the pending
+  // FIFO so responses keep strict request order, and the connection lives:
+  // a client may back off and continue.
+  const auto reject = [&](WireError code, const std::string& message,
+                          std::atomic<std::size_t>& counter,
+                          const char* metric) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+#if JSCERES_OBS
+    obs::Counter::at(metric).add(1);
+#else
+    (void)metric;
+#endif
+    Pending item;
+    item.id = request.id;
+    item.tenant = tenant;
+    item.received_ms = mono_ms();
+    item.is_error = true;
+    item.error = code;
+    item.error_message = message;
+    pending.push_back(std::move(item));
+  };
+
+  if (!rate_allow(tenant)) {
+    reject(WireError::RateLimited,
+           "tenant exceeded " +
+               std::to_string(options_.tenant_requests_per_sec) +
+               " requests/sec",
+           rate_limited_, "net.rate_limited");
+    return true;
+  }
+  if (pending.size() >= options_.max_in_flight_per_conn) {
+    reject(WireError::TooManyInFlight,
+           "connection already has " + std::to_string(pending.size()) +
+               " requests in flight",
+           in_flight_rejected_, "net.in_flight_rejected");
+    return true;
+  }
+
+  ServiceRequest service_request;
+  service_request.tenant = tenant;
+  service_request.memory_estimate = std::size_t(request.memory_estimate);
+  service_request.session.name =
+      request.name.empty() ? "wire-" + std::to_string(request.id)
+                           : request.name;
+  service_request.session.source = std::move(request.source);
+  service_request.session.mode = int(request.mode);
+  service_request.session.has_timers = request.has_timers;
+  service_request.session.deadline_ms = std::int64_t(request.deadline_ms);
+  service_request.session.max_ticks = request.max_ticks;
+  service_request.session.limits.max_memory_bytes =
+      std::size_t(request.max_memory_bytes);
+  // The frame cap already bounded the source; reflect it into the sandbox
+  // too so a decoded-but-huge script trips the front-end limit, not RAM.
+  service_request.session.limits.max_source_bytes = options_.max_frame_bytes;
+
+  Pending item;
+  item.id = request.id;
+  item.tenant = tenant;
+  item.received_ms = mono_ms();
+  // submit() never blocks: worst case the ticket is already complete with
+  // a structured shed, which the flush loop serializes like any outcome.
+  item.ticket = service_->submit(std::move(service_request));
+  pending.push_back(std::move(item));
+  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  JSCERES_OBS_COUNT("net.requests_submitted", 1);
+  return true;
+}
+
+bool AnalysisServer::flush_pending(int fd, std::deque<Pending>& pending,
+                                   bool block, std::int64_t block_deadline_ms) {
+  while (!pending.empty()) {
+    Pending& front = pending.front();
+    std::vector<std::uint8_t> bytes;
+    if (front.is_error) {
+      error_frames_.fetch_add(1, std::memory_order_relaxed);
+      JSCERES_OBS_COUNT("net.error_frames", 1);
+      bytes = make_error_frame(front.id, front.error, front.error_message);
+    } else {
+      std::optional<ServiceOutcome> outcome;
+      if (block) {
+        // Drain path: bounded patience per ticket, never a bare wait() —
+        // the writer loop must stay finite even if a session wedges.
+        const std::int64_t left = block_deadline_ms - mono_ms();
+        outcome = front.ticket->wait_for(left > 0 ? left : 0);
+        if (!outcome.has_value()) {
+          error_frames_.fetch_add(1, std::memory_order_relaxed);
+          JSCERES_OBS_COUNT("net.error_frames", 1);
+          bytes = make_error_frame(front.id, WireError::ShuttingDown,
+                                   "server draining before outcome was ready");
+        }
+      } else {
+        outcome = front.ticket->wait_for(0);
+        if (!outcome.has_value()) return true;  // front still running
+      }
+      if (outcome.has_value()) {
+        Frame frame;
+        frame.kind = FrameKind::Response;
+        frame.payload = encode_response(front.id, *outcome);
+        bytes = encode_frame(frame);
+#if JSCERES_OBS
+        const std::int64_t wire_ms = mono_ms() - front.received_ms;
+        JSCERES_OBS_HIST("net.request_ms", wire_ms);
+        obs::Histogram::at("net.request_ms." + (front.tenant.empty()
+                                                    ? std::string("anon")
+                                                    : front.tenant))
+            .record(std::uint64_t(wire_ms < 0 ? 0 : wire_ms));
+#endif
+        responses_written_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!write_frame(fd, bytes)) return false;
+    pending.pop_front();
+  }
+  return true;
+}
+
+void AnalysisServer::connection_main(int fd, std::uint64_t conn_id) {
+  JSCERES_OBS_SET_THREAD_NAME("net-conn-" + std::to_string(conn_id));
+  JSCERES_OBS_SPAN("net", "connection");
+
+  std::vector<std::uint8_t> buffer;
+  std::deque<Pending> pending;
+  std::int64_t last_activity_ms = mono_ms();
+  std::int64_t frame_started_ms = 0;
+  bool peer_alive = true;
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!flush_pending(fd, pending, /*block=*/false, 0)) {
+      peer_alive = false;
+      break;
+    }
+
+    const IoStatus readable = wait_readable(fd, 5);
+    if (readable == IoStatus::Error) {
+      peer_alive = false;
+      break;
+    }
+    if (readable == IoStatus::Ok) {
+      std::uint8_t chunk[4096];
+      const std::ptrdiff_t got = read_some(fd, chunk, sizeof(chunk));
+      if (got == 0) {
+        // Orderly EOF — possibly mid-frame (a hostile half-close) or with
+        // responses still owed (disconnect mid-response). Either way the
+        // peer is gone: drop state, free the fd.
+        peer_alive = false;
+        break;
+      }
+      if (got < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          peer_alive = false;
+          break;
+        }
+      } else {
+        if (buffer.empty()) frame_started_ms = mono_ms();
+        last_activity_ms = mono_ms();
+        bytes_read_.fetch_add(std::size_t(got), std::memory_order_relaxed);
+        JSCERES_OBS_COUNT("net.bytes_read", std::size_t(got));
+        buffer.insert(buffer.end(), chunk, chunk + got);
+
+        bool close_now = false;
+        for (;;) {
+          const DecodeResult decoded =
+              decode_frame(buffer.data(), buffer.size(),
+                           options_.max_frame_bytes);
+          if (decoded.status == DecodeStatus::NeedMore) break;
+          if (decoded.status == DecodeStatus::Bad) {
+            malformed_.fetch_add(1, std::memory_order_relaxed);
+            JSCERES_OBS_COUNT("net.malformed_frames", 1);
+            // Flush outcomes already owed, then the typed verdict, then
+            // close: a framing violation is unrecoverable — the byte
+            // stream has no trustworthy resynchronization point.
+            flush_pending(fd, pending, /*block=*/true,
+                          mono_ms() + options_.drain_timeout_ms);
+            send_error(fd, 0, decoded.error, decoded.detail);
+            close_now = true;
+            break;
+          }
+          frames_read_.fetch_add(1, std::memory_order_relaxed);
+          JSCERES_OBS_COUNT("net.frames_read", 1);
+          buffer.erase(buffer.begin(),
+                       buffer.begin() + std::ptrdiff_t(decoded.consumed));
+          frame_started_ms = buffer.empty() ? 0 : mono_ms();
+          if (!handle_frame(fd, decoded.frame, pending)) {
+            close_now = true;
+            break;
+          }
+        }
+        if (close_now) break;
+      }
+    }
+
+    const std::int64_t now = mono_ms();
+    if (!buffer.empty() && options_.read_timeout_ms > 0 &&
+        now - frame_started_ms > options_.read_timeout_ms) {
+      // Slowloris: a frame begun but drip-fed dies with a structured
+      // verdict instead of occupying the handler indefinitely.
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      JSCERES_OBS_COUNT("net.connections_timed_out", 1);
+      flush_pending(fd, pending, /*block=*/true,
+                    now + options_.drain_timeout_ms);
+      send_error(fd, 0, WireError::ReadTimeout,
+                 "frame incomplete after " +
+                     std::to_string(options_.read_timeout_ms) + " ms");
+      break;
+    }
+    if (buffer.empty() && pending.empty() && options_.idle_timeout_ms > 0 &&
+        now - last_activity_ms > options_.idle_timeout_ms) {
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      JSCERES_OBS_COUNT("net.connections_timed_out", 1);
+      send_error(fd, 0, WireError::IdleTimeout,
+                 "no traffic for " + std::to_string(options_.idle_timeout_ms) +
+                     " ms");
+      break;
+    }
+  }
+
+  // Graceful drain: outcomes already admitted still reach the client (the
+  // wire mirror of "queued requests still run" in the service destructor),
+  // each bounded so a wedged session cannot wedge shutdown.
+  if (peer_alive && stopping_.load(std::memory_order_acquire) &&
+      !pending.empty()) {
+    flush_pending(fd, pending, /*block=*/true,
+                  mono_ms() + options_.drain_timeout_ms);
+  }
+  ::close(fd);
+}
+
+}  // namespace jsceres::net

@@ -64,6 +64,23 @@ ServiceOutcome ServiceTicket::wait() const {
   return entry_->outcome;
 }
 
+std::optional<ServiceOutcome> ServiceTicket::wait_for(std::int64_t ms) const {
+  std::unique_lock lock(entry_->mutex);
+  if (ms <= 0) {
+    if (!entry_->done) return std::nullopt;
+    return entry_->outcome;
+  }
+  // wait_for's predicate form re-checks under the lock, so the
+  // timeout-then-complete race collapses to two clean cases: the outcome
+  // either became visible within the window (returned) or it did not
+  // (nullopt now, a later wait sees it).
+  if (!entry_->cv.wait_for(lock, std::chrono::milliseconds(ms),
+                           [this] { return entry_->done; })) {
+    return std::nullopt;
+  }
+  return entry_->outcome;
+}
+
 bool ServiceTicket::done() const {
   const std::lock_guard lock(entry_->mutex);
   return entry_->done;
@@ -138,11 +155,13 @@ AnalysisService::AnalysisService(rivertrail::ThreadPool& pool,
   }
 }
 
+void AnalysisService::begin_shutdown() {
+  const std::lock_guard lock(mutex_);
+  shutting_down_ = true;
+}
+
 AnalysisService::~AnalysisService() {
-  {
-    const std::lock_guard lock(mutex_);
-    shutting_down_ = true;
-  }
+  begin_shutdown();
   drain();
   if (watchdog_.joinable()) {
     {
@@ -284,20 +303,35 @@ void AnalysisService::finish_entry(const std::shared_ptr<Entry>& entry,
   JSCERES_OBS_COUNT("service.completed", 1);
 #endif
 
+  // Shutdown edge: once the final unlock below publishes "queue and active
+  // both empty", drain() may return and the destructor may start tearing
+  // the service down — so that unlock must be this handler's LAST touch of
+  // any member. The amortized reclamation pass therefore runs *before* the
+  // entry leaves the active set (the session slot is held a little longer,
+  // which only delays the next dispatch, never correctness); the old shape
+  // — notify idle, then re-lock mutex_ to bank reclaimed_bytes_ — was a
+  // use-after-destruction window for a submit/destructor race.
   bool run_reclaim = false;
+  {
+    const std::lock_guard lock(mutex_);
+    ++completed_;
+    if (++completions_since_reclaim_ >= options_.reclaim_every) {
+      completions_since_reclaim_ = 0;
+      run_reclaim = true;
+    }
+  }
+  std::size_t freed = 0;
+  if (run_reclaim) freed = run_reclamation_pass();
+
   std::shared_ptr<Entry> next;
   {
     const std::lock_guard lock(mutex_);
+    reclaimed_bytes_ += freed;
     active_.erase(std::remove(active_.begin(), active_.end(), entry),
                   active_.end());
     const auto it = tenant_active_.find(entry->request.tenant);
     if (it != tenant_active_.end() && --it->second == 0) {
       tenant_active_.erase(it);
-    }
-    ++completed_;
-    if (++completions_since_reclaim_ >= options_.reclaim_every) {
-      completions_since_reclaim_ = 0;
-      run_reclaim = true;
     }
     // Dispatch the next eligible queued request (FIFO, skipping requests
     // whose tenant is at its cap — they keep their queue position).
@@ -314,12 +348,6 @@ void AnalysisService::finish_entry(const std::shared_ptr<Entry>& entry,
     JSCERES_OBS_GAUGE_SET("service.queue_depth", queue_.size());
     JSCERES_OBS_GAUGE_SET("service.active_sessions", active_.size());
     if (queue_.empty() && active_.empty()) idle_cv_.notify_all();
-  }
-
-  if (run_reclaim) {
-    const std::size_t freed = run_reclamation_pass();
-    const std::lock_guard lock(mutex_);
-    reclaimed_bytes_ += freed;
   }
 }
 

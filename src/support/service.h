@@ -7,6 +7,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,6 +72,15 @@ class ServiceTicket {
   /// purpose: the ticket is the outcome's only owner, so a reference would
   /// dangle in the natural one-liner `service.submit(...).wait()`.
   ServiceOutcome wait() const;
+
+  /// Bounded wait: the outcome if it turns final within `ms` milliseconds
+  /// (<= 0: an immediate check), std::nullopt otherwise. A nullopt return
+  /// claims nothing about the future — the outcome may complete a
+  /// nanosecond later and a subsequent wait()/wait_for() will see it. The
+  /// server's writer loop polls tickets with this so a wire client can
+  /// never pin a connection thread on an outcome forever.
+  [[nodiscard]] std::optional<ServiceOutcome> wait_for(std::int64_t ms) const;
+
   [[nodiscard]] bool done() const;
 
  private:
@@ -156,6 +166,13 @@ class AnalysisService {
 
   /// Block until every admitted request has a final outcome.
   void drain();
+
+  /// Flip the service into shutdown: every later submit() is shed with the
+  /// structured "shutdown" reason; already-admitted requests still run.
+  /// Idempotent, and the first thing the destructor does — exposed so
+  /// ingress layers (and tests) can fence submitters racing teardown
+  /// before the destructor starts invalidating state.
+  void begin_shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const ServiceOptions& options() const { return options_; }

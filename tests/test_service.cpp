@@ -10,6 +10,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -261,6 +262,125 @@ TEST(Service, WatchdogQuarantinesStuckSessionAndSparesSiblings) {
     EXPECT_EQ(sibling.wait().state, ServiceState::Completed);
     service.drain();
     EXPECT_EQ(service.stats().watchdog_quarantines, 1u);
+  }
+}
+
+TEST(Service, WaitForTimesOutThenSeesTheOutcome) {
+  rivertrail::ThreadPool pool(2);
+  Gate gate;
+  AnalysisService service(pool, {});
+  ServiceTicket ticket = service.submit(gated_request("slow", "t", gate));
+  ASSERT_TRUE(gate.await_entered(1));
+
+  // Outcome not final: a bounded wait returns nullopt instead of blocking,
+  // and an immediate check agrees.
+  EXPECT_FALSE(ticket.wait_for(10).has_value());
+  EXPECT_FALSE(ticket.wait_for(0).has_value());
+  EXPECT_FALSE(ticket.done());
+
+  gate.release();
+  const std::optional<ServiceOutcome> outcome = ticket.wait_for(10'000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->state, ServiceState::Completed);
+  // A nullopt claimed nothing about the future: later waits see the result.
+  EXPECT_TRUE(ticket.wait_for(0).has_value());
+  EXPECT_EQ(ticket.wait().state, ServiceState::Completed);
+}
+
+TEST(Service, WaitForRacingCompletionNeverLosesTheOutcome) {
+  rivertrail::ThreadPool pool(2);
+  AnalysisService service(pool, {});
+  // Hammer the timeout-then-complete straddle: tiny bounded waits polled
+  // against attempts of varying latency. Whatever interleaving the race
+  // picks, wait_for either times out cleanly or returns the real outcome,
+  // and the terminal wait() always agrees.
+  for (int round = 0; round < 100; ++round) {
+    ServiceRequest request;
+    request.session.name = "race-" + std::to_string(round);
+    const int stall_us = (round % 5) * 37;
+    request.session.attempt = [stall_us](const SessionRequest&, int,
+                                         const EngineLimits&, std::int64_t,
+                                         CancelToken) -> AttemptSuccess {
+      if (stall_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      }
+      AttemptSuccess success;
+      success.console = "ran";
+      return success;
+    };
+    ServiceTicket ticket = service.submit(std::move(request));
+    std::optional<ServiceOutcome> outcome;
+    while (!(outcome = ticket.wait_for(1)).has_value()) {
+    }
+    EXPECT_EQ(outcome->state, ServiceState::Completed);
+    EXPECT_EQ(outcome->session.console, "ran");
+  }
+  service.drain();
+}
+
+TEST(Service, SubmitRacingShutdownAlwaysGetsAStructuredOutcome) {
+  rivertrail::ThreadPool pool(4);
+  // Submitters race begin_shutdown() across many rounds with a sliding
+  // start offset. Every submit must land exactly one of two ways — served,
+  // or shed with the structured "shutdown" reason — and joining the
+  // submitters before the destructor keeps the calls inside the object's
+  // lifetime, which is the documented fencing contract.
+  for (int round = 0; round < 25; ++round) {
+    constexpr int kSubmitters = 4;
+    std::vector<ServiceOutcome> outcomes(kSubmitters);
+    {
+      AnalysisService service(pool, {});
+      std::atomic<bool> go{false};
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&service, &go, &outcomes, t] {
+          while (!go.load(std::memory_order_acquire)) {
+          }
+          ServiceRequest request;
+          request.session.name = "race-" + std::to_string(t);
+          request.session.attempt =
+              [](const SessionRequest&, int, const EngineLimits&,
+                 std::int64_t, CancelToken) -> AttemptSuccess {
+            return AttemptSuccess{};
+          };
+          outcomes[std::size_t(t)] =
+              service.submit(std::move(request)).wait();
+        });
+      }
+      go.store(true, std::memory_order_release);
+      if (round % 5 != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(round * 20));
+      }
+      service.begin_shutdown();
+      for (std::thread& submitter : submitters) submitter.join();
+    }
+    for (const ServiceOutcome& outcome : outcomes) {
+      if (outcome.state == ServiceState::Shed) {
+        EXPECT_EQ(outcome.shed_reason, "shutdown");
+      } else {
+        EXPECT_EQ(outcome.state, ServiceState::Completed);
+      }
+    }
+  }
+}
+
+TEST(Service, DestructionImmediatelyAfterOutcomeIsSafe) {
+  rivertrail::ThreadPool pool(2);
+  // wait() returns the instant the completion handler publishes "idle";
+  // destroying the service right then races the handler's tail. The
+  // handler's final unlock is contractually its last touch of any member,
+  // so this loop is TSan's chance to prove it.
+  for (int round = 0; round < 50; ++round) {
+    AnalysisService service(pool, {});
+    ServiceRequest request;
+    request.session.name = "teardown-" + std::to_string(round);
+    request.session.attempt = [](const SessionRequest&, int,
+                                 const EngineLimits&, std::int64_t,
+                                 CancelToken) -> AttemptSuccess {
+      return AttemptSuccess{};
+    };
+    EXPECT_EQ(service.submit(std::move(request)).wait().state,
+              ServiceState::Completed);
   }
 }
 
